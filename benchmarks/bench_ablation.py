@@ -1,0 +1,148 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure — quantifies each individual mechanism so the
+contribution of every optimization is visible in isolation:
+
+* the L/S list split (how much of the index the merge never touches),
+* the sort order (decreasing vs increasing vs natural),
+* the home-similarity knob of Probe-Cluster,
+* the stopword budget of Probe-stopWords.
+"""
+
+import pytest
+
+from harness import citation_words, run_join
+from repro import OverlapPredicate, ProbeClusterJoin, ProbeCountJoin
+
+N = 2000
+THRESHOLD = 15
+DATA = None
+
+
+def _data():
+    global DATA
+    if DATA is None:
+        DATA = citation_words(N)
+    return DATA
+
+
+def test_ablation_ls_split_fraction(benchmark, report):
+    """How many posting-list entries the L-split spares from merging."""
+
+    def run():
+        rows = {}
+        for name in ("probe-count", "probe-count-optmerge"):
+            rows[name] = run_join(name, _data(), OverlapPredicate(THRESHOLD))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    basic = rows["probe-count"].counters
+    opt = rows["probe-count-optmerge"].counters
+    report(
+        "ablation: L/S split",
+        "heap items merged",
+        basic=basic.list_items_touched,
+        optmerge=opt.list_items_touched,
+        spared_fraction=1 - opt.list_items_touched / basic.list_items_touched,
+        binary_searches_instead=opt.binary_searches,
+    )
+    assert opt.list_items_touched < basic.list_items_touched / 3
+
+
+@pytest.mark.parametrize("direction", ["decreasing", "increasing", "natural"])
+def test_ablation_sort_direction(benchmark, report, direction):
+    """§3.3 prescribes decreasing size; measure the alternatives."""
+    data = _data()
+    if direction == "decreasing":
+        ordered = data
+        algorithm = ProbeCountJoin(variant="sort")
+    elif direction == "increasing":
+        permutation = list(reversed(data.sort_permutation_by_size_desc()))
+        ordered = data.reorder(permutation)
+        algorithm = ProbeCountJoin(variant="online")
+    else:
+        ordered = data
+        algorithm = ProbeCountJoin(variant="online")
+
+    result = benchmark.pedantic(
+        algorithm.join, args=(ordered, OverlapPredicate(THRESHOLD)), rounds=1, iterations=1
+    )
+    report(
+        "ablation: record order",
+        direction,
+        seconds=result.elapsed_seconds,
+        work=result.counters.total_work(),
+        pairs=len(result.pairs),
+    )
+
+
+@pytest.mark.parametrize("home_similarity", [0.2, 0.4, 0.6, 0.8])
+def test_ablation_home_similarity(benchmark, report, home_similarity):
+    """Cluster cohesion vs compression trade-off of §3.4."""
+    algorithm = ProbeClusterJoin(home_similarity=home_similarity)
+    result = benchmark.pedantic(
+        algorithm.join, args=(_data(), OverlapPredicate(THRESHOLD)), rounds=1, iterations=1
+    )
+    report(
+        "ablation: probe-cluster home similarity",
+        f"s={home_similarity:g}",
+        seconds=result.elapsed_seconds,
+        clusters=result.counters.clusters_created,
+        work=result.counters.total_work(),
+        pairs=len(result.pairs),
+    )
+
+
+def test_ablation_word_merged_index(benchmark, report):
+    """§4.1 option 1 (grouping words), the paper's negative result.
+
+    "Although the number of words reduces sufficiently, this does not
+    result in significant reduction in index size because the larger
+    lists did not overlap enough" — expect little compression and far
+    more candidate verifications than the record-grouping approach.
+    """
+    from repro.core.word_merge import WordMergedIndexJoin
+
+    data = citation_words(1000)
+    predicate = OverlapPredicate(THRESHOLD)
+
+    def run():
+        merged = WordMergedIndexJoin().join(data, predicate)
+        plain = run_join("probe-count-online", data, predicate)
+        return merged, plain
+
+    merged, plain = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert merged.pair_set() == plain.pair_set()
+    report(
+        "ablation: word-merged index (discarded §4.1 option)",
+        "word-merged",
+        seconds=merged.elapsed_seconds,
+        words=merged.counters.extra["words"],
+        superwords=merged.counters.extra["superwords"],
+        verified=merged.counters.pairs_verified,
+    )
+    report(
+        "ablation: word-merged index (discarded §4.1 option)",
+        "probe-count-online (record-level)",
+        seconds=plain.elapsed_seconds,
+        verified=plain.counters.pairs_verified,
+    )
+
+
+@pytest.mark.parametrize("budget_fraction", [0.25, 0.5, 1.0])
+def test_ablation_stopword_budget(benchmark, report, budget_fraction):
+    """Fewer stopwords than the T-1 maximum: cheaper verify, slower merge."""
+    algorithm = ProbeCountJoin(
+        variant="stopwords", stopword_budget_fraction=budget_fraction
+    )
+    result = benchmark.pedantic(
+        algorithm.join, args=(_data(), OverlapPredicate(THRESHOLD)), rounds=1, iterations=1
+    )
+    report(
+        "ablation: stopword budget",
+        f"fraction={budget_fraction:g}",
+        stopwords=result.counters.extra["stopwords"],
+        seconds=result.elapsed_seconds,
+        work=result.counters.total_work(),
+        pairs=len(result.pairs),
+    )

@@ -1,0 +1,44 @@
+"""§4/§6 side experiment: index compression memory/CPU trade-off.
+
+The paper: compression "would contribute to pushing the limit upto
+which we can hold the index in memory" and is orthogonal to the
+ClusterMem partitioning. Measures the compressed footprint of realistic
+posting lists versus the decode cost a compressed probe pays.
+"""
+
+from harness import citation_words, run_join
+from repro import OverlapPredicate
+from repro.compression.compressed_join import CompressedProbeJoin
+
+N = 2000
+THRESHOLD = 15
+
+
+def test_compressed_index_footprint_and_cost(benchmark, report):
+    data = citation_words(N)
+    predicate = OverlapPredicate(THRESHOLD)
+
+    def run():
+        compressed = CompressedProbeJoin().join(data, predicate)
+        plain = run_join("probe-count-optmerge", data, predicate)
+        return compressed, plain
+
+    compressed, plain = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert compressed.pair_set() == plain.pair_set()
+    bytes_compressed = compressed.counters.extra["index_bytes_compressed"]
+    bytes_plain = compressed.counters.extra["index_bytes_plain"]
+    report(
+        "compression: index footprint vs probe cost",
+        "compressed (varbyte+skips)",
+        index_bytes=bytes_compressed,
+        compression_ratio=bytes_plain / bytes_compressed,
+        seconds=compressed.elapsed_seconds,
+    )
+    report(
+        "compression: index footprint vs probe cost",
+        "plain (8B/posting reference)",
+        index_bytes=bytes_plain,
+        compression_ratio=1.0,
+        seconds=plain.elapsed_seconds,
+    )
+    assert bytes_compressed < bytes_plain

@@ -1,0 +1,57 @@
+"""Figures 1 & 2: MergeOpt vs stopwords vs basic Probe-Count.
+
+Fig 1 — running time vs dataset size, averaged over thresholds
+(citation All-words). Fig 2 — running time vs threshold at fixed size.
+
+Paper shapes to reproduce: Probe >> Probe-stopWords >> Probe-optMerge,
+with the optMerge gain growing sharply as the threshold rises ("running
+time reduces by a factor of five to hundred"; at 87% threshold, 80x vs
+basic and 20x vs stopwords).
+"""
+
+import pytest
+
+from harness import (
+    CITATION_MID_THRESHOLDS,
+    CITATION_THRESHOLDS,
+    citation_words,
+    sweep_sizes,
+    sweep_thresholds,
+)
+from repro import OverlapPredicate
+
+# Basic Probe-Count is quadratic-ish in list lengths: keep sizes modest.
+FIG1_SIZES = [250, 500, 1000, 2000]
+FIG2_N = 1000
+
+ALGORITHMS = ["probe-count", "probe-count-stopwords", "probe-count-optmerge"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig1_time_vs_size(benchmark, report, algorithm):
+    datasets = [citation_words(n) for n in FIG1_SIZES]
+    rows = benchmark.pedantic(
+        sweep_sizes,
+        args=(algorithm, datasets, OverlapPredicate, CITATION_MID_THRESHOLDS),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        report("fig1 citation: time vs size (avg over T)", f"{algorithm} n={row['n']}", **row)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig2_time_vs_threshold(benchmark, report, algorithm):
+    data = citation_words(FIG2_N)
+    rows = benchmark.pedantic(
+        sweep_thresholds,
+        args=(algorithm, data, OverlapPredicate, CITATION_THRESHOLDS),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        report(
+            f"fig2 citation: time vs threshold (n={FIG2_N})",
+            f"{algorithm} T={row['T']}",
+            **row,
+        )

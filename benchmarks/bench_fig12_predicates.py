@@ -1,0 +1,52 @@
+"""Figure 12: running time vs output size across predicates.
+
+The paper's generalization check: run the full Probe-Cluster stack under
+intersect-size, Jaccard, and TF-IDF cosine predicates, sweeping each
+threshold so the joins produce growing numbers of output pairs, and
+plot running time against output size. If the framework optimizes every
+predicate equally well, the three curves coincide ("running times of
+the three functions are within a factor 20-30% of each other").
+"""
+
+import pytest
+
+from harness import citation_words, run_join
+from repro import CosinePredicate, JaccardPredicate, OverlapPredicate
+
+# Threshold ladders chosen to produce comparable output-size ranges.
+SWEEPS = {
+    "intersect-size": (OverlapPredicate, [21, 18, 15, 12, 10, 8]),
+    "jaccard": (JaccardPredicate, [0.95, 0.9, 0.85, 0.8, 0.7, 0.6]),
+    "cosine": (CosinePredicate, [0.98, 0.95, 0.92, 0.9, 0.85, 0.8]),
+}
+
+ALGORITHM = "probe-count-sort"
+
+
+@pytest.mark.parametrize("n", [1000, 2000])
+@pytest.mark.parametrize("series", sorted(SWEEPS))
+def test_fig12_time_vs_output_size(benchmark, report, n, series):
+    predicate_cls, thresholds = SWEEPS[series]
+    data = citation_words(n)
+
+    def sweep():
+        rows = []
+        for threshold in thresholds:
+            result = run_join(ALGORITHM, data, predicate_cls(threshold))
+            rows.append(
+                {
+                    "threshold": threshold,
+                    "output_pairs": len(result.pairs),
+                    "seconds": result.elapsed_seconds,
+                    "work": result.counters.total_work(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        report(
+            f"fig12 citation n={n}: time vs output pairs",
+            f"{series} t={row['threshold']:g}",
+            **row,
+        )

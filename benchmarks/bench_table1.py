@@ -1,0 +1,39 @@
+"""Table 1: similarity functions with average set size and #elements.
+
+Paper values (250k citations / 500k addresses):
+
+    Citation All-words    avg 24   70000 elements
+    Citation All-3grams   avg 127  29000 elements
+    Address  All-3grams   avg 47   37000 elements
+    Address  Name-3grams  avg 16   14000 elements
+
+Our corpora are scaled down, so element counts shrink with n; the
+averages should land near the paper's.
+"""
+
+import pytest
+
+from harness import address_3grams, address_names, citation_3grams, citation_words
+
+N = 3000
+
+FUNCTIONS = [
+    ("citation all-words", citation_words, 24),
+    ("citation all-3grams", citation_3grams, 127),
+    ("address all-3grams", address_3grams, 47),
+    ("address name-3grams", address_names, 16),
+]
+
+
+@pytest.mark.parametrize("label,builder,paper_avg", FUNCTIONS)
+def test_table1_similarity_function_stats(benchmark, report, label, builder, paper_avg):
+    data = benchmark.pedantic(builder, args=(N,), rounds=1, iterations=1)
+    report(
+        "table1 similarity functions",
+        label,
+        n=len(data),
+        avg_set_size=data.average_set_size(),
+        paper_avg=paper_avg,
+        elements=data.n_distinct_tokens(),
+    )
+    assert paper_avg * 0.5 <= data.average_set_size() <= paper_avg * 1.6

@@ -1,0 +1,57 @@
+"""Benchmark session plumbing: the paper-style series report.
+
+Each benchmark test measures one curve of one figure/table and registers
+its data points through the ``report`` fixture. At session end the rows
+are printed grouped by experiment — the same series the paper plots —
+and appended to ``benchmarks/series_output.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+import pytest
+
+_ROWS: dict[str, list[tuple[str, dict]]] = defaultdict(list)
+
+
+@pytest.fixture
+def report():
+    """Register one data point: report(experiment, series_label, **cols)."""
+
+    def add(experiment: str, series: str, **columns) -> None:
+        _ROWS[experiment].append((series, columns))
+
+    return add
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _render() -> list[str]:
+    lines = []
+    for experiment in sorted(_ROWS):
+        lines.append("")
+        lines.append(f"=== {experiment} ===")
+        for series, columns in _ROWS[experiment]:
+            rendered = "  ".join(
+                f"{key}={_format_value(value)}" for key, value in columns.items()
+            )
+            lines.append(f"  {series:34s} {rendered}")
+    return lines
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _ROWS:
+        return
+    lines = _render()
+    for line in lines:
+        terminalreporter.write_line(line)
+    out_path = os.path.join(os.path.dirname(__file__), "series_output.txt")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines).lstrip("\n") + "\n")
+    terminalreporter.write_line(f"\nseries written to {out_path}")

@@ -1,0 +1,117 @@
+"""Shared benchmark harness: cached datasets and sweep helpers.
+
+Scale note: the paper ran C code on a 2004 dual-Xeon over 250k-500k
+records; this is pure Python, so dataset sizes are scaled down by
+~50-100x. What must survive the scaling — and what EXPERIMENTS.md
+compares — is the *shape* of each curve: which algorithm wins, by
+roughly what factor, and where the crossovers sit. Alongside wall-clock
+seconds every row reports the machine-independent ``work`` counter
+(heap pops + list touches + searches + generated/verified pairs).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro import similarity_join
+from repro.core.join import make_algorithm
+from repro.core.records import Dataset
+from repro.datagen import (
+    address_all_3grams,
+    address_name_3grams,
+    citation_all_3grams,
+    citation_all_words,
+)
+
+# Scaled-down stand-ins for the paper's x-axes.
+CITATION_SIZES = [500, 1000, 2000, 4000]
+ADDRESS_SIZES = [500, 1000, 2000, 4000]
+#: paper thresholds span 90%..20% of the average set size (24 words for
+#: citation All-words -> T in 21..5); our citation average is ~22.
+CITATION_THRESHOLDS = [8, 10, 12, 15, 18, 21]
+CITATION_MID_THRESHOLDS = [12, 15, 18]  # the "averaged over thresholds" runs
+#: address All-3grams averages ~50 grams; the paper used T=40 (85%).
+ADDRESS_THRESHOLDS = [25, 30, 35, 40, 45]
+ADDRESS_MID_THRESHOLDS = [30, 35, 40]
+
+
+@lru_cache(maxsize=None)
+def citation_words(n: int) -> Dataset:
+    return citation_all_words(n, seed=42)
+
+
+@lru_cache(maxsize=None)
+def citation_3grams(n: int) -> Dataset:
+    return citation_all_3grams(n, seed=42)
+
+
+@lru_cache(maxsize=None)
+def address_3grams(n: int) -> Dataset:
+    return address_all_3grams(n, seed=42)
+
+
+@lru_cache(maxsize=None)
+def address_names(n: int) -> Dataset:
+    return address_name_3grams(n, seed=42)
+
+
+def run_join(algorithm_name: str, dataset: Dataset, predicate, **kwargs):
+    """One join; returns the JoinResult (wall time + counters inside)."""
+    return similarity_join(dataset, predicate, algorithm=algorithm_name, **kwargs)
+
+
+def sweep_sizes(algorithm_name: str, datasets, predicate_factory, thresholds):
+    """Average time over thresholds per dataset size (Figs 1, 7, 8)."""
+    rows = []
+    for data in datasets:
+        total_seconds = 0.0
+        total_work = 0
+        pairs = 0
+        for threshold in thresholds:
+            result = run_join(algorithm_name, data, predicate_factory(threshold))
+            total_seconds += result.elapsed_seconds
+            total_work += result.counters.total_work()
+            pairs = len(result.pairs)
+        rows.append(
+            {
+                "n": len(data),
+                "seconds": total_seconds / len(thresholds),
+                "work": total_work // len(thresholds),
+                "pairs_at_min_t": pairs,
+            }
+        )
+    return rows
+
+
+def sweep_thresholds(algorithm_name: str, dataset, predicate_factory, thresholds):
+    """Time per threshold at fixed size (Figs 2, 4, 6, 9, 10)."""
+    rows = []
+    for threshold in thresholds:
+        result = run_join(algorithm_name, dataset, predicate_factory(threshold))
+        rows.append(
+            {
+                "T": threshold,
+                "seconds": result.elapsed_seconds,
+                "work": result.counters.total_work(),
+                "pairs": len(result.pairs),
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "ADDRESS_MID_THRESHOLDS",
+    "ADDRESS_SIZES",
+    "ADDRESS_THRESHOLDS",
+    "CITATION_MID_THRESHOLDS",
+    "CITATION_SIZES",
+    "CITATION_THRESHOLDS",
+    "address_3grams",
+    "address_names",
+    "citation_3grams",
+    "citation_words",
+    "make_algorithm",
+    "run_join",
+    "sweep_sizes",
+    "sweep_thresholds",
+]

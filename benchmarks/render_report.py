@@ -1,0 +1,23 @@
+"""Render series_output.txt as ASCII bar charts.
+
+Usage:
+    python benchmarks/render_report.py [series_output.txt] [metric]
+"""
+
+import os
+import sys
+
+from repro.reporting import render_report
+
+
+def main() -> int:
+    default = os.path.join(os.path.dirname(__file__), "series_output.txt")
+    path = sys.argv[1] if len(sys.argv) > 1 else default
+    metric = sys.argv[2] if len(sys.argv) > 2 else "seconds"
+    with open(path, "r", encoding="utf-8") as handle:
+        print(render_report(handle.read(), metric=metric))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

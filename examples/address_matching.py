@@ -1,0 +1,60 @@
+"""Matching dirty name/address records — 3-gram and edit-distance joins.
+
+The paper's Address dataset use case: the same household appears in
+several utility lists with typos and dropped fields. Letter 3-grams
+absorb word-level noise that a word join would miss, and an
+edit-distance join on the name fields catches misspelled names.
+
+Run:  python examples/address_matching.py
+"""
+
+from repro import Dataset, JaccardPredicate, edit_distance_join, similarity_join
+from repro.datagen import AddressGenerator
+from repro.text import tokenize_qgrams
+
+N_RECORDS = 600
+
+
+def main() -> None:
+    records = AddressGenerator(seed=11, duplicate_fraction=0.3).generate(N_RECORDS)
+    texts = [record.text() for record in records]
+
+    # --- whole-record join on 3-gram sets -------------------------------
+    data = Dataset.from_texts(texts, tokenize_qgrams)
+    print(f"3-gram corpus: {data}\n")
+    result = similarity_join(data, JaccardPredicate(0.8), algorithm="probe-cluster")
+    print(f"jaccard-on-3grams (f=0.8): {len(result.pairs)} matching pairs")
+    for pair in result.sorted_pairs()[:3]:
+        print(f"  similarity={pair.similarity:.2f}")
+        print(f"    {texts[pair.rid_a][:80]}")
+        print(f"    {texts[pair.rid_b][:80]}")
+    print()
+
+    # --- edit-distance join on the name fields --------------------------
+    names = [record.name_text() for record in records]
+    matches = edit_distance_join(names, k=2, algorithm="probe-count-optmerge")
+    print(f"edit-distance-on-names (k=2): {len(matches.pairs)} pairs")
+    shown = 0
+    for pair in matches.sorted_pairs():
+        if names[pair.rid_a] != names[pair.rid_b]:
+            print(
+                f"  distance={int(pair.similarity)}:"
+                f" {names[pair.rid_a]!r} ~ {names[pair.rid_b]!r}"
+            )
+            shown += 1
+            if shown == 5:
+                break
+    print()
+
+    # --- combine: candidates from 3-grams, confirmation by names --------
+    qgram_pairs = result.pair_set()
+    name_pairs = matches.pair_set()
+    confirmed = qgram_pairs & name_pairs
+    print(
+        f"pairs matching on BOTH full-record 3-grams and names:"
+        f" {len(confirmed)} of {len(qgram_pairs)} 3-gram matches"
+    )
+
+
+if __name__ == "__main__":
+    main()

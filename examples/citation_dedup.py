@@ -1,0 +1,73 @@
+"""Deduplicating a citation corpus — the paper's motivating workload.
+
+Generates a synthetic CiteSeer-style citation list (with injected
+near-duplicate groups), finds duplicate pairs with two predicates, and
+prints the duplicate clusters that Probe-Cluster discovered on the way.
+
+Run:  python examples/citation_dedup.py
+"""
+
+from collections import defaultdict
+
+from repro import (
+    CosinePredicate,
+    Dataset,
+    OverlapPredicate,
+    ProbeClusterJoin,
+    similarity_join,
+)
+from repro.datagen import CitationGenerator
+from repro.text import tokenize_words
+
+N_RECORDS = 800
+
+
+def main() -> None:
+    records = CitationGenerator(seed=7).generate(N_RECORDS)
+    texts = [record.text() for record in records]
+    data = Dataset.from_texts(texts, tokenize_words)
+    print(f"corpus: {data}\n")
+
+    # --- T-overlap join: share at least 15 words -----------------------
+    threshold = 15
+    algorithm = ProbeClusterJoin()
+    result = algorithm.join(data, OverlapPredicate(threshold))
+    print(
+        f"T-overlap (T={threshold}): {len(result.pairs)} duplicate pairs in"
+        f" {result.elapsed_seconds:.2f}s"
+        f" ({result.counters.clusters_created} clusters discovered)"
+    )
+    example = result.sorted_pairs()[0]
+    print(f"  e.g. records {example.rid_a} / {example.rid_b}:")
+    print(f"    {texts[example.rid_a][:90]}")
+    print(f"    {texts[example.rid_b][:90]}\n")
+
+    # --- duplicate groups via the online clustering --------------------
+    groups = defaultdict(list)
+    for rid, cid in algorithm.last_assignment.items():
+        groups[cid].append(rid)
+    dup_groups = sorted(
+        (members for members in groups.values() if len(members) > 2),
+        key=len,
+        reverse=True,
+    )
+    print(f"clusters with >2 members: {len(dup_groups)}; largest groups:")
+    for members in dup_groups[:3]:
+        print(f"  group of {len(members)}: {sorted(members)[:8]}")
+        print(f"    {texts[members[0]][:90]}")
+    print()
+
+    # --- cosine/TF-IDF join: weight rare words higher -------------------
+    cosine = similarity_join(data, CosinePredicate(0.85), algorithm="probe-count-sort")
+    print(
+        f"cosine (f=0.85): {len(cosine.pairs)} pairs in"
+        f" {cosine.elapsed_seconds:.2f}s"
+    )
+    print(
+        "  TF-IDF weighting lets rare title words dominate, so fewer"
+        " coincidental matches survive than under plain overlap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Rule-based deduplication of structured records.
+
+The paper's datasets are segmented records (citation: author / title /
+year; address: names / address lines / PIN). Real deduplication
+composes per-field conditions — this example declares "duplicate iff
+the titles' word sets are highly similar AND the first author is within
+edit distance 1", then inspects how each rule narrows the matches.
+
+Run:  python examples/structured_dedup.py
+"""
+
+from repro import JaccardPredicate
+from repro.datagen import CitationGenerator
+from repro.dedup import EditDistanceRule, FieldRule, RuleBasedMatcher
+
+N_RECORDS = 400
+
+
+def main() -> None:
+    citations = CitationGenerator(seed=33).generate(N_RECORDS)
+    records = [
+        {
+            "first_author": citation.authors[0],
+            "title": citation.title,
+            "year": str(citation.year),
+        }
+        for citation in citations
+    ]
+
+    title_rule = FieldRule("title", JaccardPredicate(0.7))
+    author_rule = EditDistanceRule("first_author", k=1)
+
+    by_title = RuleBasedMatcher([title_rule]).match(records)
+    by_author = RuleBasedMatcher([author_rule]).match(records)
+    both = RuleBasedMatcher([title_rule, author_rule], combine="all").match(records)
+    either = RuleBasedMatcher([title_rule, author_rule], combine="any").match(records)
+
+    print(f"{N_RECORDS} structured citation records")
+    print(f"  title jaccard >= 0.7          : {len(by_title.pairs):5d} pairs")
+    print(f"  author edit distance <= 1    : {len(by_author.pairs):5d} pairs")
+    print(f"  BOTH (conjunction)           : {len(both.pairs):5d} pairs")
+    print(f"  EITHER (disjunction)         : {len(either.pairs):5d} pairs")
+
+    groups = RuleBasedMatcher([title_rule, author_rule], combine="all").groups(records)
+    print(f"\nduplicate groups under the conjunction: {len(groups)}")
+    sample = groups[0]
+    print(f"example group {sample}:")
+    for rid in sample[:3]:
+        print(f"  author={records[rid]['first_author']!r}")
+        print(f"    title={records[rid]['title'][:64]!r}")
+
+
+if __name__ == "__main__":
+    main()

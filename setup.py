@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments whose setuptools predates bundled bdist_wheel (pip's PEP 660
+editable build needs the `wheel` package there; `python setup.py develop`
+does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Inverted-index compression substrate.
+
+The paper (§4, §6) notes that "a wealth of techniques exist in IR for
+compressing an inverted index. These would contribute to pushing the
+limit upto which we can hold the index in memory", and that its
+partitioning method is orthogonal to them. This subpackage supplies
+those techniques from scratch:
+
+* :mod:`repro.compression.varbyte` — variable-byte codes,
+* :mod:`repro.compression.elias` — Elias gamma/delta bit-level codes,
+* :mod:`repro.compression.postings` — delta-encoded posting lists with
+  block skip pointers,
+* :mod:`repro.compression.compressed_join` — an online probe join over
+  a compressed index, for measuring the memory/CPU trade-off.
+"""
+
+from repro.compression.elias import (
+    elias_delta_decode,
+    elias_delta_encode,
+    elias_gamma_decode,
+    elias_gamma_encode,
+)
+from repro.compression.postings import CompressedPostingList
+from repro.compression.varbyte import varbyte_decode, varbyte_encode
+
+__all__ = [
+    "CompressedPostingList",
+    "elias_delta_decode",
+    "elias_delta_encode",
+    "elias_gamma_decode",
+    "elias_gamma_encode",
+    "varbyte_decode",
+    "varbyte_encode",
+]

@@ -1,0 +1,141 @@
+"""Elias gamma and delta codes (bit-level universal integer codes).
+
+Gamma: ``floor(log2 x)`` zero bits, then ``x`` in binary. Delta: the
+length field itself gamma-coded. Denser than variable-byte for very
+small values (typical of tight delta gaps), at higher decode cost —
+the classic Managing-Gigabytes trade-off the paper's §6 alludes to.
+Both code *positive* integers; callers encode ``delta + 1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "elias_delta_decode",
+    "elias_delta_encode",
+    "elias_gamma_decode",
+    "elias_gamma_encode",
+]
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._current = 0
+        self._n_bits = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._current = (self._current << 1) | (bit & 1)
+        self._n_bits += 1
+        if self._n_bits == 8:
+            self._bytes.append(self._current)
+            self._current = 0
+            self._n_bits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        for position in range(width - 1, -1, -1):
+            self.write_bit((value >> position) & 1)
+
+    def getvalue(self) -> bytes:
+        """Flushed bytes; the tail is padded with zero bits."""
+        if self._n_bits:
+            return bytes(self._bytes) + bytes(
+                [self._current << (8 - self._n_bits)]
+            )
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """MSB-first bit consumer."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._position = 0
+
+    def read_bit(self) -> int:
+        byte_index, bit_index = divmod(self._position, 8)
+        if byte_index >= len(self._data):
+            raise ValueError("bit stream exhausted")
+        self._position += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def exhausted_to_padding(self) -> bool:
+        """True when only zero-padding remains."""
+        remaining = len(self._data) * 8 - self._position
+        if remaining >= 8:
+            return False
+        probe = self._position
+        for offset in range(remaining):
+            byte_index, bit_index = divmod(probe + offset, 8)
+            if (self._data[byte_index] >> (7 - bit_index)) & 1:
+                return False
+        return True
+
+
+def _gamma_write(writer: BitWriter, value: int) -> None:
+    if value < 1:
+        raise ValueError(f"Elias codes need positive ints, got {value}")
+    width = value.bit_length()
+    for _ in range(width - 1):
+        writer.write_bit(0)
+    writer.write_bits(value, width)
+
+
+def _gamma_read(reader: BitReader) -> int:
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+    if zeros == 0:
+        return 1
+    return (1 << zeros) | reader.read_bits(zeros)
+
+
+def elias_gamma_encode(values: Iterable[int]) -> bytes:
+    """Gamma-encode positive integers."""
+    writer = BitWriter()
+    for value in values:
+        _gamma_write(writer, value)
+    return writer.getvalue()
+
+
+def elias_gamma_decode(data: bytes, count: int) -> list[int]:
+    """Decode ``count`` gamma-coded integers."""
+    reader = BitReader(data)
+    return [_gamma_read(reader) for _ in range(count)]
+
+
+def elias_delta_encode(values: Iterable[int]) -> bytes:
+    """Delta-encode positive integers (gamma-coded length field)."""
+    writer = BitWriter()
+    for value in values:
+        if value < 1:
+            raise ValueError(f"Elias codes need positive ints, got {value}")
+        width = value.bit_length()
+        _gamma_write(writer, width)
+        if width > 1:
+            writer.write_bits(value & ((1 << (width - 1)) - 1), width - 1)
+    return writer.getvalue()
+
+
+def elias_delta_decode(data: bytes, count: int) -> list[int]:
+    """Decode ``count`` delta-coded integers."""
+    reader = BitReader(data)
+    out = []
+    for _ in range(count):
+        width = _gamma_read(reader)
+        if width == 1:
+            out.append(1)
+        else:
+            out.append((1 << (width - 1)) | reader.read_bits(width - 1))
+    return out

@@ -1,0 +1,106 @@
+"""Delta-compressed posting lists with block skip pointers.
+
+Ids are stored as variable-byte-coded gaps, chopped into fixed-size
+blocks; a small in-memory directory holds each block's first id and
+byte offset, so membership probes decode only one block and merges
+decode blocks on demand. This is the classic skip-pointer layout from
+the IR literature the paper's §6 references.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterator, Sequence
+
+from repro.compression.varbyte import varbyte_decode_deltas, varbyte_encode
+
+__all__ = ["CompressedPostingList"]
+
+
+class CompressedPostingList:
+    """Immutable compressed id-sorted posting list."""
+
+    __slots__ = ("_data", "_block_first", "_block_offset", "_block_size", "_length")
+
+    def __init__(self, ids: Sequence[int], block_size: int = 64):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        previous = -1
+        block_first: list[int] = []
+        block_offset: list[int] = []
+        chunks: list[bytes] = []
+        offset = 0
+        pending: list[int] = []
+        pending_first = 0
+        n_ids = 0
+        for entity_id in ids:
+            n_ids += 1
+            if entity_id <= previous:
+                raise ValueError("posting ids must be strictly increasing")
+            if not pending:
+                pending_first = entity_id
+                pending.append(0)  # first gap within block is vs block base
+            else:
+                pending.append(entity_id - previous)
+            previous = entity_id
+            if len(pending) == block_size:
+                encoded = varbyte_encode(pending)
+                block_first.append(pending_first)
+                block_offset.append(offset)
+                chunks.append(encoded)
+                offset += len(encoded)
+                pending = []
+        if pending:
+            encoded = varbyte_encode(pending)
+            block_first.append(pending_first)
+            block_offset.append(offset)
+            chunks.append(encoded)
+        self._data = b"".join(chunks)
+        self._block_first = block_first
+        self._block_offset = block_offset
+        self._block_size = block_size
+        self._length = n_ids
+
+    def __len__(self) -> int:
+        return self._length
+
+    def size_in_bytes(self) -> int:
+        """Compressed payload plus the skip directory (8 B per entry)."""
+        return len(self._data) + 16 * len(self._block_first)
+
+    def _decode_block(self, block: int) -> list[int]:
+        count = min(self._block_size, self._length - block * self._block_size)
+        return varbyte_decode_deltas(
+            self._data,
+            self._block_offset[block],
+            count,
+            self._block_first[block],
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        for block in range(len(self._block_first)):
+            yield from self._decode_block(block)
+
+    def decode(self) -> list[int]:
+        """All ids, decoded."""
+        return list(self)
+
+    def __contains__(self, entity_id: int) -> bool:
+        block = bisect_right(self._block_first, entity_id) - 1
+        if block < 0:
+            return False
+        return entity_id in self._decode_block(block)
+
+    def first_geq(self, entity_id: int) -> int | None:
+        """Smallest stored id >= entity_id (skip-pointer search)."""
+        if self._length == 0:
+            return None
+        block = bisect_right(self._block_first, entity_id) - 1
+        if block < 0:
+            return self._block_first[0]
+        for candidate in self._decode_block(block):
+            if candidate >= entity_id:
+                return candidate
+        if block + 1 < len(self._block_first):
+            return self._block_first[block + 1]
+        return None

@@ -1,0 +1,81 @@
+"""Variable-byte integer codes (the workhorse IR posting compressor).
+
+Each integer is written in base-128 digits, least significant first;
+the high bit of a byte marks the last digit of a number. Simple, fast
+to decode, and compresses small deltas of sorted RID lists to 1-2 bytes
+each.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["varbyte_decode", "varbyte_encode"]
+
+
+def varbyte_encode(values: Iterable[int]) -> bytes:
+    """Encode non-negative integers into a variable-byte stream."""
+    out = bytearray()
+    for value in values:
+        if value < 0:
+            raise ValueError(f"variable-byte codes need non-negative ints, got {value}")
+        while True:
+            digit = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(digit)
+            else:
+                out.append(digit | 0x80)
+                break
+    return bytes(out)
+
+
+def varbyte_decode(data: bytes, start: int = 0, count: int | None = None) -> list[int]:
+    """Decode ``count`` integers (or all) from ``data`` at ``start``."""
+    out: list[int] = []
+    value = 0
+    shift = 0
+    position = start
+    end = len(data)
+    while position < end:
+        byte = data[position]
+        position += 1
+        value |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            out.append(value)
+            value = 0
+            shift = 0
+            if count is not None and len(out) == count:
+                break
+        else:
+            shift += 7
+    else:
+        if shift != 0:
+            raise ValueError("truncated variable-byte stream")
+    return out
+
+
+def varbyte_decode_deltas(
+    data: bytes, start: int, count: int, base: int
+) -> list[int]:
+    """Decode ``count`` deltas starting from ``base`` into absolute ids."""
+    out: list[int] = []
+    value = 0
+    shift = 0
+    position = start
+    current = base
+    end = len(data)
+    while position < end and len(out) < count:
+        byte = data[position]
+        position += 1
+        value |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            current += value
+            out.append(current)
+            value = 0
+            shift = 0
+        else:
+            shift += 7
+    if len(out) < count:
+        raise ValueError("truncated variable-byte stream")
+    return out

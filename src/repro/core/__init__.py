@@ -1,0 +1,22 @@
+"""Core join algorithms — the paper's primary contribution.
+
+Submodules (imported directly, or via the :mod:`repro` top level, which
+re-exports the public names):
+
+* ``records`` — the :class:`Dataset` container.
+* ``inverted_index`` — scored posting lists with §5.1.1 statistics.
+* ``heap_merge`` / ``merge_opt`` / ``merge_dynamic`` — the three merge
+  engines (§2.1, §3.1/Algorithm 1+3, §4.1.1).
+* ``probe_count`` — Probe-Count and its stopwords / optMerge / online /
+  sort variants.
+* ``pair_count`` — Pair-Count and its threshold optimization.
+* ``word_groups`` — the itemset-mining join.
+* ``probe_cluster`` — the final in-memory algorithm (§3.4).
+* ``cluster_mem`` — the limited-memory two-phase join (§4).
+* ``naive`` — the quadratic ground-truth baseline.
+* ``join`` — the ``similarity_join`` dispatch API.
+
+This module stays import-light on purpose: predicates import
+``repro.core.records``, so eager re-exports here would create an import
+cycle.
+"""

@@ -1,0 +1,154 @@
+"""Common driver machinery shared by every join algorithm.
+
+A :class:`SetJoinAlgorithm` performs an exact similarity self-join of a
+:class:`~repro.core.records.Dataset` under a
+:class:`~repro.predicates.SimilarityPredicate`. Candidate generation
+differs per algorithm; the final decision for every emitted pair is
+always :meth:`BoundPredicate.verify`, so all algorithms (including the
+naive baseline) agree exactly on the output set.
+
+``join_between`` implements the non-self join ("the extension to
+non-self-joins is obvious", §2): index one side, probe with the other.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.core.inverted_index import ScoredInvertedIndex
+from repro.core.merge_opt import merge_opt
+from repro.core.records import Dataset
+from repro.core.results import JoinResult, MatchPair
+from repro.predicates.base import BoundPredicate, SimilarityPredicate
+from repro.utils.counters import CostCounters
+
+__all__ = ["SetJoinAlgorithm"]
+
+
+class SetJoinAlgorithm(ABC):
+    """Base class: timing, binding, verification, non-self joins."""
+
+    name: str = "abstract"
+
+    def join(self, dataset: Dataset, predicate: SimilarityPredicate) -> JoinResult:
+        """Exact similarity self-join; pairs are canonical (a < b)."""
+        bound = predicate.bind(dataset)
+        counters = CostCounters()
+        start = time.perf_counter()
+        pairs = self._run(dataset, bound, counters)
+        elapsed = time.perf_counter() - start
+        counters.pairs_output = len(pairs)
+        return JoinResult(
+            pairs=pairs,
+            algorithm=self.name,
+            predicate=predicate.name,
+            counters=counters,
+            elapsed_seconds=elapsed,
+        )
+
+    @abstractmethod
+    def _run(
+        self, dataset: Dataset, bound: BoundPredicate, counters: CostCounters
+    ) -> list[MatchPair]:
+        """Produce the verified match pairs."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _verify_pair(
+        bound: BoundPredicate,
+        rid_a: int,
+        rid_b: int,
+        counters: CostCounters,
+        out: list[MatchPair],
+    ) -> bool:
+        """Run exact verification and emit the pair if it matches."""
+        counters.pairs_verified += 1
+        ok, similarity = bound.verify(rid_a, rid_b)
+        if ok:
+            out.append(MatchPair.make(rid_a, rid_b, similarity))
+        return ok
+
+    def join_between(
+        self, left: Dataset, right: Dataset, predicate: SimilarityPredicate
+    ) -> JoinResult:
+        """Non-self join: index ``right``, probe with ``left``.
+
+        Returned pairs use ``rid_a`` = left RID and ``rid_b`` = right RID
+        (both in their own dataset's numbering; ``rid_a < rid_b`` is not
+        enforced here since the id spaces differ).
+        """
+        if left.vocabulary is not None and left.vocabulary is not right.vocabulary:
+            raise ValueError(
+                "join_between needs both datasets built over the same vocabulary"
+                " object (pass vocabulary= when constructing the second one)"
+            )
+        combined_payloads = None
+        if left.payloads is not None and right.payloads is not None:
+            combined_payloads = list(left.payloads) + list(right.payloads)
+        combined = Dataset(
+            list(left.records) + list(right.records),
+            vocabulary=left.vocabulary,
+            payloads=combined_payloads,
+        )
+        bound = predicate.bind(combined)
+        counters = CostCounters()
+        start = time.perf_counter()
+        offset = len(left)
+        index = ScoredInvertedIndex()
+        for rid in range(offset, len(combined)):
+            index.insert(
+                rid,
+                combined[rid],
+                bound.cached_score_vector(rid),
+                bound.norm(rid),
+                counters,
+            )
+        band = bound.band_filter()
+        pairs: list[MatchPair] = []
+        for rid in range(len(left)):
+            counters.probes += 1
+            lists = index.probe_lists(combined[rid], bound.cached_score_vector(rid))
+            if not lists:
+                continue
+            norm_r = bound.norm(rid)
+            index_threshold = bound.index_threshold(norm_r, index.min_norm)
+            accept = None
+            if band is not None:
+                accept = _band_accept(band, rid)
+            candidates = merge_opt(
+                lists,
+                index_threshold,
+                lambda sid, _n=norm_r, _b=bound: _b.threshold(_n, _b.norm(sid)),
+                counters,
+                accept=accept,
+            )
+            for sid, _weight in candidates:
+                counters.pairs_verified += 1
+                ok, similarity = bound.verify(rid, sid)
+                if ok:
+                    pairs.append(MatchPair(rid, sid - offset, similarity))
+        elapsed = time.perf_counter() - start
+        counters.pairs_output = len(pairs)
+        return JoinResult(
+            pairs=pairs,
+            algorithm=f"{self.name}/between",
+            predicate=predicate.name,
+            counters=counters,
+            elapsed_seconds=elapsed,
+        )
+
+
+def _band_accept(band, rid):
+    """Closure factory for the in-merge band filter."""
+    keys = band.keys
+    radius = band.radius + 1e-12
+    key_r = keys[rid]
+
+    def accept(sid: int) -> bool:
+        return abs(keys[sid] - key_r) <= radius
+
+    return accept

@@ -1,0 +1,81 @@
+"""Deduplication convenience layer (the paper's motivating application).
+
+"Applications like data cleaning and data integration extensively rely
+on such joins for deduplicating records with text fields like names and
+addresses." This module turns a similarity join's pair list into
+duplicate *groups* (connected components) and wraps the common
+text-in / groups-out workflow into one call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.join import similarity_join
+from repro.core.records import Dataset
+from repro.core.results import MatchPair
+from repro.predicates.base import SimilarityPredicate
+
+__all__ = ["connected_components", "dedupe_texts"]
+
+
+def connected_components(
+    pairs: Iterable[MatchPair | tuple[int, int]], n_records: int
+) -> list[list[int]]:
+    """Group records into duplicate clusters via union-find.
+
+    Args:
+        pairs: matched pairs (MatchPair or plain (rid_a, rid_b)).
+        n_records: total number of records.
+
+    Returns one sorted RID list per group of size >= 2, ordered by the
+    group's smallest member. Singletons are omitted.
+    """
+    parent = list(range(n_records))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for pair in pairs:
+        if isinstance(pair, MatchPair):
+            rid_a, rid_b = pair.rid_a, pair.rid_b
+        else:
+            rid_a, rid_b = pair
+        root_a, root_b = find(rid_a), find(rid_b)
+        if root_a != root_b:
+            parent[max(root_a, root_b)] = min(root_a, root_b)
+
+    groups: dict[int, list[int]] = {}
+    for rid in range(n_records):
+        groups.setdefault(find(rid), []).append(rid)
+    return [
+        sorted(members)
+        for _root, members in sorted(groups.items())
+        if len(members) >= 2
+    ]
+
+
+def dedupe_texts(
+    texts: Sequence[str],
+    predicate: SimilarityPredicate,
+    tokenizer: Callable[[str], Sequence[str]],
+    algorithm: str = "probe-cluster",
+    **kwargs,
+) -> list[list[int]]:
+    """One-call text deduplication.
+
+    Tokenizes, joins, and returns duplicate groups (lists of indexes
+    into ``texts``), each sorted, groups ordered by smallest member.
+
+    Example::
+
+        groups = dedupe_texts(citations, JaccardPredicate(0.8), tokenize_words)
+    """
+    dataset = Dataset.from_texts(texts, tokenizer)
+    result = similarity_join(dataset, predicate, algorithm=algorithm, **kwargs)
+    return connected_components(result.pairs, len(texts))

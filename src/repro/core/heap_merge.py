@@ -1,0 +1,114 @@
+"""Basic heap-based posting-list merge (paper §2.1).
+
+The Probe-Count algorithm merges the RID lists of every probe word with a
+heap over the list frontiers: repeatedly pop the minimum RID, accumulate
+its weight while successive popped RIDs are equal, and push the popped
+list's next RID. Candidates whose accumulated weight reaches the
+threshold are returned.
+
+This is the unoptimized baseline that MergeOpt (``merge_opt.py``)
+improves on; it merges *all* lists regardless of the threshold.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.core.inverted_index import PostingList
+from repro.predicates.base import WEIGHT_EPS
+from repro.utils.counters import CostCounters
+
+__all__ = ["heap_merge"]
+
+
+def heap_merge(
+    lists: list[tuple[PostingList, float]],
+    threshold_of: Callable[[int], float],
+    counters: CostCounters,
+    accept: Callable[[int], bool] | None = None,
+) -> list[tuple[int, float]]:
+    """Merge posting lists, returning ``(entity_id, weight)`` candidates.
+
+    Args:
+        lists: ``(posting_list, probe_score)`` pairs from the index probe;
+            a match in list ``l_w`` contributes
+            ``probe_score * entry_score``.
+        threshold_of: maps an entity id to its pair threshold ``T(r, s)``.
+        counters: work counters to update.
+        accept: optional id-level filter (e.g. "only ids smaller than the
+            probing record" for two-pass self-joins); filtered ids are
+            skipped entirely.
+
+    Returns candidates with ``weight >= T(r, s) - eps`` in increasing id
+    order.
+    """
+    heap: list[tuple[int, int]] = []
+    frontiers: list[int] = []
+    for list_idx, (plist, _probe_score) in enumerate(lists):
+        position = 0
+        if accept is not None:
+            ids = plist.ids
+            n = len(ids)
+            while position < n and not accept(ids[position]):
+                position += 1
+        if position < len(plist.ids):
+            heap.append((plist.ids[position], list_idx))
+            frontiers.append(position + 1)
+            counters.heap_pushes += 1
+        else:
+            frontiers.append(position)
+    heapq.heapify(heap)
+
+    candidates: list[tuple[int, float]] = []
+    while heap:
+        current, list_idx = heapq.heappop(heap)
+        counters.heap_pops += 1
+        weight = _contribution(lists, list_idx, frontiers, counters)
+        _advance(heap, lists, list_idx, frontiers, accept, counters)
+        while heap and heap[0][0] == current:
+            _, list_idx = heapq.heappop(heap)
+            counters.heap_pops += 1
+            weight += _contribution(lists, list_idx, frontiers, counters)
+            _advance(heap, lists, list_idx, frontiers, accept, counters)
+        counters.candidates_checked += 1
+        if weight >= threshold_of(current) - WEIGHT_EPS:
+            candidates.append((current, weight))
+    return candidates
+
+
+def _contribution(
+    lists: list[tuple[PostingList, float]],
+    list_idx: int,
+    frontiers: list[int],
+    counters: CostCounters,
+) -> float:
+    """Weight contributed by the entry just popped from ``list_idx``."""
+    plist, probe_score = lists[list_idx]
+    position = frontiers[list_idx] - 1
+    counters.list_items_touched += 1
+    return probe_score * plist.scores[position]
+
+
+def _advance(
+    heap: list[tuple[int, int]],
+    lists: list[tuple[PostingList, float]],
+    list_idx: int,
+    frontiers: list[int],
+    accept: Callable[[int], bool] | None,
+    counters: CostCounters,
+) -> None:
+    """Push the next (accepted) entry of ``list_idx`` into the heap."""
+    plist, _probe_score = lists[list_idx]
+    ids = plist.ids
+    n = len(ids)
+    position = frontiers[list_idx]
+    if accept is not None:
+        while position < n and not accept(ids[position]):
+            position += 1
+    if position < n:
+        heapq.heappush(heap, (ids[position], list_idx))
+        counters.heap_pushes += 1
+        frontiers[list_idx] = position + 1
+    else:
+        frontiers[list_idx] = position

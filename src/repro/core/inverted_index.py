@@ -1,0 +1,186 @@
+"""Scored inverted index (paper §2.1, generalized per §5.1.1).
+
+Maps each word to the list of entities (record ids, or cluster ids for
+Probe-Cluster) containing it, together with the entity's score for that
+word. Entities must be inserted in increasing id order so every posting
+list stays id-sorted — the property the heap merge and the doubling
+binary search rely on.
+
+Per §5.1.1 the index incrementally maintains, for each word ``w``, the
+maximum score ``score(w, I) = max_s score(w, s)`` (Eq. 3), and globally
+the minimum entity norm ``minS = min_s ||s||`` used to bound the
+threshold ``T(r, I) = T(r, minS)``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections.abc import Iterable, Sequence
+
+from repro.utils.counters import CostCounters
+
+__all__ = ["PostingList", "ScoredInvertedIndex"]
+
+
+class PostingList:
+    """Id-sorted entities containing one word, with per-entity scores."""
+
+    __slots__ = ("ids", "scores", "max_score")
+
+    def __init__(self):
+        self.ids: list[int] = []
+        self.scores: list[float] = []
+        self.max_score: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def append(self, entity_id: int, score: float) -> None:
+        if self.ids and entity_id <= self.ids[-1]:
+            raise ValueError(
+                f"entities must be inserted in increasing id order"
+                f" (got {entity_id} after {self.ids[-1]})"
+            )
+        self.ids.append(entity_id)
+        self.scores.append(score)
+        if score > self.max_score:
+            self.max_score = score
+
+    def insert_sorted(self, entity_id: int, score: float) -> None:
+        """Insert (or score-raise) an entity keeping the list id-sorted.
+
+        Needed by the cluster-level index, where an old cluster can gain
+        a new word after younger clusters already hold it. If the entity
+        is present, its score is raised to the max (the §5.1.3 cluster
+        summary semantics).
+        """
+        position = bisect_left(self.ids, entity_id)
+        if position < len(self.ids) and self.ids[position] == entity_id:
+            if score > self.scores[position]:
+                self.scores[position] = score
+        else:
+            self.ids.insert(position, entity_id)
+            self.scores.insert(position, score)
+        if score > self.max_score:
+            self.max_score = score
+
+
+class ScoredInvertedIndex:
+    """Word -> posting-list index with the §5.1.1 incremental statistics."""
+
+    def __init__(self):
+        self._postings: dict[int, PostingList] = {}
+        self.min_norm: float = math.inf
+        self.n_entries: int = 0
+        self.n_entities: int = 0
+
+    def __len__(self) -> int:
+        """Number of distinct indexed words."""
+        return len(self._postings)
+
+    def __contains__(self, token: int) -> bool:
+        return token in self._postings
+
+    def get(self, token: int) -> PostingList | None:
+        return self._postings.get(token)
+
+    def get_or_create(self, token: int) -> PostingList:
+        """Posting list for ``token``, created empty if absent.
+
+        Callers mutating the list directly (e.g. ``insert_sorted``) must
+        bump ``n_entries`` themselves for added entries.
+        """
+        plist = self._postings.get(token)
+        if plist is None:
+            plist = PostingList()
+            self._postings[token] = plist
+        return plist
+
+    def tokens(self) -> Iterable[int]:
+        return self._postings.keys()
+
+    def insert(
+        self,
+        entity_id: int,
+        tokens: Sequence[int],
+        scores: Sequence[float],
+        norm: float,
+        counters: CostCounters | None = None,
+    ) -> None:
+        """Insert one entity under all its words.
+
+        ``norm`` is the entity's ``||s||`` (Eq. 1); for clusters, callers
+        pass the cluster summary ``||C|| = min over members`` (§5.1.3).
+        """
+        postings = self._postings
+        for token, score in zip(tokens, scores):
+            plist = postings.get(token)
+            if plist is None:
+                plist = PostingList()
+                postings[token] = plist
+            plist.append(entity_id, score)
+        self.n_entries += len(tokens)
+        self.n_entities += 1
+        if norm < self.min_norm:
+            self.min_norm = norm
+        if counters is not None:
+            counters.index_entries += len(tokens)
+
+    def add_entity_tokens(
+        self,
+        entity_id: int,
+        tokens: Sequence[int],
+        scores: Sequence[float],
+        counters: CostCounters | None = None,
+    ) -> None:
+        """Append extra words for an existing entity (cluster growth).
+
+        Used by Probe-Cluster when a record joins a cluster and brings
+        new words (§3.4 / §4 step 3). The entity must still be the
+        largest id in each touched posting list **or** already present;
+        words whose list already ends with this entity get their score
+        raised to the max (the §5.1.3 cluster summary
+        ``score(w, C) = max over members``).
+        """
+        postings = self._postings
+        added = 0
+        for token, score in zip(tokens, scores):
+            plist = postings.get(token)
+            if plist is None:
+                plist = PostingList()
+                postings[token] = plist
+            if plist.ids and plist.ids[-1] == entity_id:
+                if score > plist.scores[-1]:
+                    plist.scores[-1] = score
+                    if score > plist.max_score:
+                        plist.max_score = score
+            else:
+                plist.append(entity_id, score)
+                added += 1
+        self.n_entries += added
+        if counters is not None:
+            counters.index_entries += added
+
+    def update_min_norm(self, norm: float) -> None:
+        """Lower the index-wide minimum norm (cluster summaries shrink)."""
+        if norm < self.min_norm:
+            self.min_norm = norm
+
+    def probe_lists(
+        self, tokens: Sequence[int], probe_scores: Sequence[float]
+    ) -> list[tuple[PostingList, float]]:
+        """Posting lists matching the probe record's words.
+
+        Returns ``(posting_list, probe_score)`` for each probe word that
+        exists in the index, skipping zero-score words.
+        """
+        out = []
+        postings = self._postings
+        for token, probe_score in zip(tokens, probe_scores):
+            if probe_score == 0.0:
+                continue
+            plist = postings.get(token)
+            if plist is not None and len(plist) > 0:
+                out.append((plist, probe_score))
+        return out

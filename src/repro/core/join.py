@@ -1,0 +1,189 @@
+"""Top-level convenience API: ``similarity_join`` and friends.
+
+Wraps the algorithm classes behind a single dispatch function so the
+quickstart is one call::
+
+    from repro import Dataset, JaccardPredicate, similarity_join
+    result = similarity_join(dataset, JaccardPredicate(0.8))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.cluster_mem import ClusterMemJoin, MemoryBudget
+from repro.core.naive import NaiveJoin
+from repro.core.pair_count import PairCountJoin
+from repro.core.probe_cluster import ProbeClusterJoin
+from repro.core.probe_count import ProbeCountJoin
+from repro.core.records import Dataset
+from repro.core.results import JoinResult
+from repro.core.word_groups import WordGroupsJoin
+from repro.predicates.base import SimilarityPredicate
+from repro.predicates.edit_distance import EditDistancePredicate, qgram_dataset
+
+__all__ = [
+    "ALGORITHMS",
+    "edit_distance_join",
+    "hamming_join",
+    "make_algorithm",
+    "similarity_join",
+]
+
+#: Per algorithm name: (class, base keyword arguments). ``ALGORITHMS``
+#: below exposes the zero-argument factory view of the same registry.
+_SPECS: dict[str, tuple[type, dict]] = {
+    "naive": (NaiveJoin, {}),
+    "probe-count": (ProbeCountJoin, {"variant": "basic"}),
+    "probe-count-stopwords": (ProbeCountJoin, {"variant": "stopwords"}),
+    "probe-count-optmerge": (ProbeCountJoin, {"variant": "optmerge"}),
+    "probe-count-online": (ProbeCountJoin, {"variant": "online"}),
+    "probe-count-sort": (ProbeCountJoin, {"variant": "sort"}),
+    "pair-count": (PairCountJoin, {"optimized": False}),
+    "pair-count-optmerge": (PairCountJoin, {"optimized": True}),
+    "word-groups": (WordGroupsJoin, {"optimized": False}),
+    "word-groups-optmerge": (WordGroupsJoin, {"optimized": True}),
+    "probe-cluster": (ProbeClusterJoin, {}),
+}
+
+#: Factory per algorithm name; every entry is a zero-argument callable
+#: producing a fresh instance with the paper's default parameters.
+ALGORITHMS: dict[str, Callable[[], object]] = {
+    name: (lambda _cls=cls, _base=base: _cls(**_base))
+    for name, (cls, base) in _SPECS.items()
+}
+
+
+def make_algorithm(name: str, **kwargs):
+    """Instantiate a join algorithm by its benchmark-table name.
+
+    Extra keyword arguments are merged over the variant's defaults.
+    ``cluster-mem`` additionally accepts ``memory_fraction`` (resolved
+    against the dataset at join time) or an explicit ``budget``.
+    """
+    if name == "cluster-mem":
+        budget = kwargs.pop("budget", None)
+        fraction = kwargs.pop("memory_fraction", None)
+        if budget is None and fraction is None:
+            raise ValueError("cluster-mem needs budget= or memory_fraction=")
+        if budget is None:
+
+            class _Deferred:
+                """Budget resolved against the dataset at join time."""
+
+                name = "cluster-mem"
+
+                def join(self, dataset, predicate):
+                    resolved = ClusterMemJoin(
+                        MemoryBudget.fraction_of_full(dataset, fraction), **kwargs
+                    )
+                    return resolved.join(dataset, predicate)
+
+            return _Deferred()
+        return ClusterMemJoin(budget, **kwargs)
+    spec = _SPECS.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown algorithm {name!r}; expected one of"
+            f" {sorted(_SPECS) + ['cluster-mem']}"
+        )
+    cls, base = spec
+    return cls(**{**base, **kwargs})
+
+
+def similarity_join(
+    dataset: Dataset,
+    predicate: SimilarityPredicate,
+    algorithm: str = "probe-cluster",
+    **kwargs,
+) -> JoinResult:
+    """Exact similarity self-join with the named algorithm.
+
+    Args:
+        dataset: the tokenized records.
+        predicate: the join condition (see :mod:`repro.predicates`).
+        algorithm: a key of :data:`ALGORITHMS` or ``"cluster-mem"``.
+        kwargs: algorithm construction options.
+
+    Returns a :class:`~repro.core.results.JoinResult`.
+    """
+    return make_algorithm(algorithm, **kwargs).join(dataset, predicate)
+
+
+def hamming_join(
+    dataset: Dataset,
+    k: int,
+    algorithm: str = "probe-cluster",
+    **kwargs,
+) -> JoinResult:
+    """Exact symmetric-difference join ``|r Δ s| <= k``.
+
+    Index joins cannot surface qualifying pairs that share *no*
+    elements (possible when ``|r| + |s| <= k``); those are brute-force
+    verified among records of size <= k, keeping the join exact for any
+    ``k``.
+    """
+    from repro.core.results import MatchPair
+    from repro.predicates.hamming import HammingPredicate
+
+    predicate = HammingPredicate(k)
+    result = similarity_join(dataset, predicate, algorithm=algorithm, **kwargs)
+    small = [rid for rid in range(len(dataset)) if len(dataset[rid]) <= k]
+    if small:
+        bound = predicate.bind(dataset)
+        seen = result.pair_set()
+        for i, rid_a in enumerate(small):
+            for rid_b in small[i + 1 :]:
+                key = (min(rid_a, rid_b), max(rid_a, rid_b))
+                if key in seen:
+                    continue
+                result.counters.pairs_verified += 1
+                ok, distance = bound.verify(key[0], key[1])
+                if ok:
+                    seen.add(key)
+                    result.pairs.append(MatchPair(key[0], key[1], distance))
+        result.counters.pairs_output = len(result.pairs)
+    return result
+
+
+def edit_distance_join(
+    strings: Sequence[str],
+    k: int,
+    q: int = 3,
+    algorithm: str = "probe-cluster",
+    **kwargs,
+) -> JoinResult:
+    """Exact edit-distance self-join over raw strings (§5.2.3).
+
+    Builds the numbered-q-gram dataset, runs the set join for candidate
+    generation, and — because the q-gram count bound is vacuous for very
+    short strings (threshold <= 0) — additionally brute-force-verifies
+    all pairs of strings no longer than ``1 + q(k-1)``, so the result is
+    exact for any input.
+    """
+    predicate = EditDistancePredicate(k=k, q=q)
+    dataset = qgram_dataset(strings, q=q)
+    result = similarity_join(dataset, predicate, algorithm=algorithm, **kwargs)
+    cutoff = predicate.short_string_cutoff()
+    bound = predicate.bind(dataset)
+    short = [
+        rid
+        for rid in range(len(dataset))
+        if bound.string_length(rid) <= cutoff
+    ]
+    if short:
+        seen = result.pair_set()
+        from repro.core.results import MatchPair
+
+        for i, rid_a in enumerate(short):
+            for rid_b in short[i + 1 :]:
+                key = (min(rid_a, rid_b), max(rid_a, rid_b))
+                if key in seen:
+                    continue
+                result.counters.pairs_verified += 1
+                ok, distance = bound.verify(key[0], key[1])
+                if ok:
+                    seen.add(key)
+                    result.pairs.append(MatchPair(key[0], key[1], distance))
+        result.counters.pairs_output = len(result.pairs)
+    return result

@@ -1,0 +1,173 @@
+"""Dynamic-threshold merge for the most-similar-cluster search (§4.1.1).
+
+Probe-Cluster must simultaneously (a) find every cluster whose overlap
+with the probing record reaches the join threshold ``T`` and (b) find the
+*most similar* cluster even when its overlap is below ``T`` (to pick a
+home cluster under limited memory). Running MergeOpt at threshold ``T``
+would miss (b); running it at a tiny threshold would forfeit its pruning.
+
+The paper's solution: start the probe with a low threshold and raise it
+as matching clusters are found — "dynamic increases of thresholds can be
+efficiently handled in MergeOpt because that just implies that some lists
+would be removed from the heap and put in the direct search list".
+
+Implementation of that list demotion: when the threshold rises, the
+longest lists still in the heap whose cumulative maximum contribution
+falls below the new threshold are *demoted* — their in-heap frontier
+entry is consumed normally when popped but no successor is pushed, and
+subsequent candidates probe them by doubling binary search from the
+frontier instead. Per-candidate bookkeeping of which lists already
+contributed via the heap prevents double counting.
+
+The caller never sees a threshold lower than it has returned, and raises
+are clamped so the threshold never exceeds the join threshold ``T`` —
+hence every cluster with overlap >= T is still reported (§4.1.1: "each
+subsequent cluster returned by MergeOpt will have an overlap either
+greater than T or no less than the threshold of all previous clusters").
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.core.inverted_index import PostingList
+from repro.predicates.base import WEIGHT_EPS
+from repro.utils.counters import CostCounters
+from repro.utils.search import gallop_search_from
+
+__all__ = ["merge_dynamic"]
+
+
+def merge_dynamic(
+    lists: list[tuple[PostingList, float]],
+    initial_threshold: float,
+    threshold_cap: float,
+    on_candidate: Callable[[int, float], float],
+    counters: CostCounters,
+    accept: Callable[[int], bool] | None = None,
+) -> None:
+    """Merge with a monotonically rising threshold.
+
+    Args:
+        lists: ``(posting_list, probe_score)`` probe matches.
+        initial_threshold: starting threshold (e.g. ``0.2 * T``).
+        threshold_cap: upper clamp for raises — the join threshold ``T``;
+            candidates at or above it are always reported.
+        on_candidate: called with ``(entity_id, weight)`` for every
+            candidate whose completed weight reaches the current
+            threshold; returns the (possibly raised) new threshold.
+        counters: work counters to update.
+        accept: optional id-level filter applied before heap insertion.
+    """
+    if not lists:
+        return
+    ordered = sorted(lists, key=lambda item: -len(item[0]))
+    n_lists = len(ordered)
+    cumulative: list[float] = []
+    running = 0.0
+    for plist, probe_score in ordered:
+        running += probe_score * plist.max_score
+        cumulative.append(running)
+
+    threshold = min(initial_threshold, threshold_cap)
+    k = _split_point(cumulative, threshold)
+    # Per-list state. Lists [0, k) start in L; lists [k, n) start in S.
+    search_from = [0] * n_lists  # L / demoted binary-search resume points
+    frontiers = [0] * n_lists  # next-unpushed position for S lists
+    demoted = [False] * n_lists
+
+    heap: list[tuple[int, int]] = []
+    for list_idx in range(k, n_lists):
+        plist, _probe_score = ordered[list_idx]
+        position = _first_accepted(plist, 0, accept)
+        if position < len(plist.ids):
+            heap.append((plist.ids[position], list_idx))
+            frontiers[list_idx] = position + 1
+            counters.heap_pushes += 1
+        else:
+            frontiers[list_idx] = position
+    heapq.heapify(heap)
+
+    while heap:
+        current, list_idx = heapq.heappop(heap)
+        counters.heap_pops += 1
+        counters.list_items_touched += 1
+        contributed = {list_idx}
+        plist, probe_score = ordered[list_idx]
+        weight = probe_score * plist.scores[frontiers[list_idx] - 1]
+        if not demoted[list_idx]:
+            _push_next(heap, ordered, list_idx, frontiers, accept, counters)
+        while heap and heap[0][0] == current:
+            _, list_idx = heapq.heappop(heap)
+            counters.heap_pops += 1
+            counters.list_items_touched += 1
+            contributed.add(list_idx)
+            plist, probe_score = ordered[list_idx]
+            weight += probe_score * plist.scores[frontiers[list_idx] - 1]
+            if not demoted[list_idx]:
+                _push_next(heap, ordered, list_idx, frontiers, accept, counters)
+
+        counters.candidates_checked += 1
+        # Complete the weight by searching L and demoted lists,
+        # smallest-first, with the early-termination bound.
+        for i in range(k - 1, -1, -1):
+            if i in contributed:
+                continue
+            if weight + cumulative[i] < threshold - WEIGHT_EPS:
+                break
+            plist, probe_score = ordered[i]
+            counters.binary_searches += 1
+            position = gallop_search_from(plist.ids, current, search_from[i])
+            search_from[i] = position
+            if position < len(plist.ids) and plist.ids[position] == current:
+                weight += probe_score * plist.scores[position]
+
+        if weight >= threshold - WEIGHT_EPS:
+            new_threshold = on_candidate(current, weight)
+            new_threshold = min(max(new_threshold, threshold), threshold_cap)
+            if new_threshold > threshold + WEIGHT_EPS:
+                threshold = new_threshold
+                new_k = _split_point(cumulative, threshold)
+                for i in range(k, new_k):
+                    demoted[i] = True
+                    search_from[i] = frontiers[i]
+                k = max(k, new_k)
+
+
+def _split_point(cumulative: list[float], threshold: float) -> int:
+    """Largest prefix length with cumulative max contribution < threshold."""
+    k = 0
+    while k < len(cumulative) and cumulative[k] < threshold - WEIGHT_EPS:
+        k += 1
+    return k
+
+
+def _first_accepted(
+    plist: PostingList, position: int, accept: Callable[[int], bool] | None
+) -> int:
+    if accept is None:
+        return position
+    ids = plist.ids
+    n = len(ids)
+    while position < n and not accept(ids[position]):
+        position += 1
+    return position
+
+
+def _push_next(
+    heap: list[tuple[int, int]],
+    ordered: list[tuple[PostingList, float]],
+    list_idx: int,
+    frontiers: list[int],
+    accept: Callable[[int], bool] | None,
+    counters: CostCounters,
+) -> None:
+    plist, _probe_score = ordered[list_idx]
+    position = _first_accepted(plist, frontiers[list_idx], accept)
+    if position < len(plist.ids):
+        heapq.heappush(heap, (plist.ids[position], list_idx))
+        counters.heap_pushes += 1
+        frontiers[list_idx] = position + 1
+    else:
+        frontiers[list_idx] = position

@@ -1,0 +1,248 @@
+"""The Probe-Count family of join algorithms.
+
+Variants, in the order the paper develops them:
+
+* ``basic`` — §2.1: build the full inverted index in one pass, then probe
+  it with every record, merging all matching lists with a heap.
+* ``stopwords`` — §3.1: ``basic`` with the highest-frequency words
+  removed from the index and each record's threshold reduced by the
+  weight of the stopwords it contains (candidates are then verified, so
+  the join stays exact).
+* ``optmerge`` — §3.1: ``basic`` with the heap merge replaced by the
+  threshold-sensitive MergeOpt (Algorithm 1 / 3).
+* ``online`` — §3.2: single pass; each record probes the *partial* index
+  before being inserted, halving the merge work and producing each pair
+  exactly once.
+* ``sort`` — §3.3 / §5.1.2: ``online`` over records pre-sorted by
+  decreasing norm, so heavy records are processed while posting lists
+  are short (and, for non-constant thresholds, while ``T(r, I)`` is
+  still high).
+
+``ProbeCountJoin(variant=...)`` selects one; results are identical across
+variants (tests enforce this), only the work differs.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import SetJoinAlgorithm, _band_accept
+from repro.core.heap_merge import heap_merge
+from repro.core.inverted_index import ScoredInvertedIndex
+from repro.core.merge_opt import merge_opt
+from repro.core.records import Dataset
+from repro.core.results import MatchPair
+from repro.predicates.base import WEIGHT_EPS, BoundPredicate
+from repro.utils.counters import CostCounters
+
+__all__ = ["ProbeCountJoin", "VARIANTS"]
+
+VARIANTS = ("basic", "stopwords", "optmerge", "online", "sort")
+
+
+class ProbeCountJoin(SetJoinAlgorithm):
+    """Inverted-index probe join (paper §2.1 with the §3.1–§3.3 options).
+
+    Args:
+        variant: one of ``basic``, ``stopwords``, ``optmerge``,
+            ``online``, ``sort``.
+        stopword_budget_fraction: for the ``stopwords`` variant, the
+            fraction of the minimum index threshold that the removed
+            words' maximum contribution may not exceed; the paper's
+            "top T-1 words" rule corresponds to the default 1.0 with
+            unit weights.
+    """
+
+    def __init__(self, variant: str = "optmerge", stopword_budget_fraction: float = 1.0):
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+        self.variant = variant
+        self.stopword_budget_fraction = stopword_budget_fraction
+        self.name = f"probe-count-{variant}"
+
+    # ------------------------------------------------------------------
+
+    def _run(
+        self, dataset: Dataset, bound: BoundPredicate, counters: CostCounters
+    ) -> list[MatchPair]:
+        if self.variant in ("online", "sort"):
+            return self._run_online(dataset, bound, counters)
+        if self.variant == "stopwords":
+            return self._run_stopwords(dataset, bound, counters)
+        return self._run_two_pass(dataset, bound, counters)
+
+    # ------------------------------------------------------------------
+    # Two-pass variants: basic / optmerge
+    # ------------------------------------------------------------------
+
+    def _run_two_pass(
+        self, dataset: Dataset, bound: BoundPredicate, counters: CostCounters
+    ) -> list[MatchPair]:
+        index = ScoredInvertedIndex()
+        for rid in range(len(dataset)):
+            index.insert(
+                rid, dataset[rid], bound.cached_score_vector(rid), bound.norm(rid), counters
+            )
+        band = bound.band_filter()
+        pairs: list[MatchPair] = []
+        use_optmerge = self.variant == "optmerge"
+        for rid in range(len(dataset)):
+            counters.probes += 1
+            lists = index.probe_lists(dataset[rid], bound.cached_score_vector(rid))
+            if not lists:
+                continue
+            norm_r = bound.norm(rid)
+            threshold_of = _threshold_closure(bound, norm_r)
+            accept = _band_accept(band, rid) if band is not None else None
+            if use_optmerge:
+                index_threshold = bound.index_threshold(norm_r, index.min_norm)
+                candidates = merge_opt(lists, index_threshold, threshold_of, counters, accept)
+            else:
+                candidates = heap_merge(lists, threshold_of, counters, accept)
+            for sid, _weight in candidates:
+                # The full index contains rid itself and yields each pair
+                # twice; emit once, in canonical orientation.
+                if sid < rid:
+                    self._verify_pair(bound, sid, rid, counters, pairs)
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Stopwords variant (§3.1)
+    # ------------------------------------------------------------------
+
+    def _run_stopwords(
+        self, dataset: Dataset, bound: BoundPredicate, counters: CostCounters
+    ) -> list[MatchPair]:
+        stopwords = self._select_stopwords(dataset, bound)
+        counters.extra["stopwords"] = len(stopwords)
+        index = ScoredInvertedIndex()
+        for rid in range(len(dataset)):
+            tokens = dataset[rid]
+            scores = bound.cached_score_vector(rid)
+            kept_tokens = []
+            kept_scores = []
+            for token, score in zip(tokens, scores):
+                if token not in stopwords:
+                    kept_tokens.append(token)
+                    kept_scores.append(score)
+            index.insert(rid, kept_tokens, kept_scores, bound.norm(rid), counters)
+        band = bound.band_filter()
+        pairs: list[MatchPair] = []
+        for rid in range(len(dataset)):
+            counters.probes += 1
+            tokens = dataset[rid]
+            scores = bound.cached_score_vector(rid)
+            probe_tokens = []
+            probe_scores = []
+            stop_contribution = 0.0
+            for token, score in zip(tokens, scores):
+                if token in stopwords:
+                    # Assume, pessimistically, that the partner record
+                    # shares the stopword at the maximum indexed score.
+                    stop_contribution += score * stopwords[token]
+                else:
+                    probe_tokens.append(token)
+                    probe_scores.append(score)
+            lists = index.probe_lists(probe_tokens, probe_scores)
+            if not lists:
+                continue
+            norm_r = bound.norm(rid)
+
+            def threshold_of(sid: int, _n=norm_r, _cut=stop_contribution) -> float:
+                return bound.threshold(_n, bound.norm(sid)) - _cut
+
+            accept = _band_accept(band, rid) if band is not None else None
+            candidates = heap_merge(lists, threshold_of, counters, accept)
+            for sid, _weight in candidates:
+                if sid < rid:
+                    self._verify_pair(bound, sid, rid, counters, pairs)
+        return pairs
+
+    def _select_stopwords(self, dataset: Dataset, bound: BoundPredicate) -> dict[int, float]:
+        """Pick the highest-frequency words whose combined maximum
+        contribution stays below the smallest possible pair threshold.
+
+        Sound: a pair overlapping *only* on stopwords cannot reach its
+        threshold, so every qualifying pair still shares a kept word.
+        With unit weights and T-overlap this is exactly "the top T-1
+        highest frequency words" of §3.1. Returns token -> max score.
+        """
+        max_score: dict[int, float] = {}
+        min_norm = float("inf")
+        for rid in range(len(dataset)):
+            scores = bound.cached_score_vector(rid)
+            for token, score in zip(dataset[rid], scores):
+                if score > max_score.get(token, 0.0):
+                    max_score[token] = score
+            norm = bound.norm(rid)
+            if norm < min_norm:
+                min_norm = norm
+        if not max_score:
+            return {}
+        min_threshold = bound.threshold(min_norm, min_norm) * self.stopword_budget_fraction
+        by_frequency = sorted(
+            dataset.frequency.items(), key=lambda item: (-item[1], item[0])
+        )
+        stopwords: dict[int, float] = {}
+        budget = 0.0
+        for token, _freq in by_frequency:
+            contribution = max_score.get(token, 0.0) ** 2
+            if budget + contribution >= min_threshold - WEIGHT_EPS:
+                break
+            budget += contribution
+            stopwords[token] = max_score[token]
+        return stopwords
+
+    # ------------------------------------------------------------------
+    # Online / sorted variants (§3.2, §3.3)
+    # ------------------------------------------------------------------
+
+    def _run_online(
+        self, dataset: Dataset, bound: BoundPredicate, counters: CostCounters
+    ) -> list[MatchPair]:
+        if self.variant == "sort":
+            # §5.1.2: decreasing norm (== decreasing size for unit scores).
+            order = sorted(range(len(dataset)), key=lambda rid: (-bound.norm(rid), rid))
+        else:
+            order = list(range(len(dataset)))
+        band = bound.band_filter()
+        # The index is keyed by *processing position* so posting lists
+        # stay id-sorted even when records are processed out of RID order.
+        index = ScoredInvertedIndex()
+        pairs: list[MatchPair] = []
+        for position, rid in enumerate(order):
+            tokens = dataset[rid]
+            scores = bound.cached_score_vector(rid)
+            norm_r = bound.norm(rid)
+            counters.probes += 1
+            lists = index.probe_lists(tokens, scores)
+            if lists:
+
+                def threshold_of(pos: int, _n=norm_r) -> float:
+                    return bound.threshold(_n, bound.norm(order[pos]))
+
+                index_threshold = bound.index_threshold(norm_r, index.min_norm)
+                accept = None
+                if band is not None:
+                    keys = band.keys
+                    radius = band.radius + 1e-12
+                    key_r = keys[rid]
+
+                    def accept(pos: int, _k=key_r, _rad=radius) -> bool:
+                        return abs(keys[order[pos]] - _k) <= _rad
+
+                candidates = merge_opt(lists, index_threshold, threshold_of, counters, accept)
+                for pos, _weight in candidates:
+                    sid = order[pos]
+                    self._verify_pair(
+                        bound, min(rid, sid), max(rid, sid), counters, pairs
+                    )
+            index.insert(position, tokens, scores, norm_r, counters)
+        return pairs
+
+
+def _threshold_closure(bound: BoundPredicate, norm_r: float):
+    """entity id -> T(r, s), capturing the probe record's norm."""
+
+    def threshold_of(sid: int) -> float:
+        return bound.threshold(norm_r, bound.norm(sid))
+
+    return threshold_of

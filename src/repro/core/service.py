@@ -1,0 +1,208 @@
+"""Incremental similarity-index service.
+
+The paper's introduction motivates set joins with DBMSs that must serve
+similarity *queries* over set-valued columns, not only batch joins.
+This module packages the online probe as a service: add records one at
+a time, query any record-shaped set against everything added so far,
+and persist/restore the whole index. The probe per query/add is the
+same MergeOpt machinery the batch joins use.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.core.inverted_index import ScoredInvertedIndex
+from repro.core.merge_opt import merge_opt
+from repro.core.records import Dataset
+from repro.core.results import MatchPair
+from repro.predicates.base import SimilarityPredicate
+from repro.utils.counters import CostCounters
+
+__all__ = ["SimilarityIndex"]
+
+
+class SimilarityIndex:
+    """A growable index answering similarity queries exactly.
+
+    Args:
+        predicate: the join condition queries are evaluated under.
+        tokenizer: optional callable turning raw strings into token
+            lists; when given, ``add``/``query`` accept strings.
+
+    Notes:
+        Predicates whose scores depend on corpus statistics (TF-IDF
+        cosine) are rebound as the corpus grows only when ``rebind()``
+        is called; for streaming use, prefer corpus-independent
+        predicates or pass precomputed ``stats``.
+    """
+
+    def __init__(self, predicate: SimilarityPredicate, tokenizer=None):
+        self.predicate = predicate
+        self.tokenizer = tokenizer
+        self._token_lists: list[list[str]] = []
+        self._payloads: list = []
+        self._vocabulary: dict[str, int] = {}
+        self._dataset = Dataset([], vocabulary=self._vocabulary, payloads=[])
+        self._bound = None
+        self._index = ScoredInvertedIndex()
+        self.counters = CostCounters()
+
+    def __len__(self) -> int:
+        return len(self._dataset)
+
+    # ------------------------------------------------------------------
+
+    def _tokens_of(self, item) -> list[str]:
+        if self.tokenizer is not None and isinstance(item, str):
+            return list(self.tokenizer(item))
+        return [str(token) for token in item]
+
+    def _record_of(self, tokens: Sequence[str], extend_vocab: bool) -> tuple[int, ...]:
+        ids = set()
+        for token in tokens:
+            token_id = self._vocabulary.get(token)
+            if token_id is None:
+                if not extend_vocab:
+                    continue  # unseen token cannot match anything anyway
+                token_id = len(self._vocabulary)
+                self._vocabulary[token] = token_id
+            ids.add(token_id)
+        return tuple(sorted(ids))
+
+    def rebind(self) -> None:
+        """Recompute predicate statistics over the current corpus."""
+        self._bound = self.predicate.bind(self._dataset)
+
+    def _ensure_bound(self):
+        if self._bound is None:
+            self.rebind()
+        else:
+            self._bound.extend_to(len(self._dataset))
+        return self._bound
+
+    # ------------------------------------------------------------------
+
+    def add(self, item, payload=None) -> int:
+        """Insert a record; returns its rid."""
+        tokens = self._tokens_of(item)
+        record = self._record_of(tokens, extend_vocab=True)
+        rid = len(self._dataset)
+        self._token_lists.append(tokens)
+        self._dataset.records.append(record)
+        self._dataset.payloads.append(payload if payload is not None else item)
+        self._dataset._frequency = None  # invalidate cached stats
+        bound = self._ensure_bound()
+        self._index.insert(
+            rid, record, bound.cached_score_vector(rid), bound.norm(rid), self.counters
+        )
+        return rid
+
+    def query(self, item) -> list[MatchPair]:
+        """All indexed records matching ``item`` under the predicate.
+
+        The probe item gets the temporary rid ``len(self)`` (it is not
+        inserted); returned pairs carry ``rid_a`` = matched record and
+        ``rid_b`` = that temporary rid.
+        """
+        tokens = self._tokens_of(item)
+        record = self._record_of(tokens, extend_vocab=True)
+        probe_rid = len(self._dataset)
+        # Temporarily extend the dataset so the bound predicate can
+        # score the probe record. Corpus statistics (cosine IDF) stay
+        # frozen at the last rebind() — the documented service semantics.
+        self._dataset.records.append(record)
+        self._dataset.payloads.append(item)
+        self._dataset._frequency = None
+        try:
+            bound = self._ensure_bound()
+            bound.extend_to(probe_rid + 1)
+            self.counters.probes += 1
+            lists = self._index.probe_lists(record, bound.cached_score_vector(probe_rid))
+            if not lists:
+                return []
+            norm_r = bound.norm(probe_rid)
+            band = bound.band_filter()
+            accept = None
+            if band is not None:
+                keys = band.keys
+                radius = band.radius + 1e-12
+                key_r = keys[probe_rid]
+
+                def accept(sid: int) -> bool:
+                    return abs(keys[sid] - key_r) <= radius
+
+            matches = []
+            for sid, _weight in merge_opt(
+                lists,
+                bound.index_threshold(norm_r, self._index.min_norm),
+                lambda sid: bound.threshold(norm_r, bound.norm(sid)),
+                self.counters,
+                accept,
+            ):
+                self.counters.pairs_verified += 1
+                ok, similarity = bound.verify(sid, probe_rid)
+                if ok:
+                    matches.append(MatchPair(sid, probe_rid, similarity))
+            return matches
+        finally:
+            self._dataset.records.pop()
+            self._dataset.payloads.pop()
+            self._dataset._frequency = None
+            if self._bound is not None:
+                # Drop the probe's cache slot so a future record at this
+                # rid cannot see stale scores.
+                del self._bound._score_vectors[probe_rid:]
+                del self._bound._norms[probe_rid:]
+                del self._bound._score_maps[probe_rid:]
+                if getattr(self._bound, "_band", None) is not None:
+                    self._bound._band = None
+
+    def payload(self, rid: int):
+        return self._dataset.payload(rid)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialize the indexed records (the index is rebuilt on load)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "token_lists": self._token_lists,
+                    "payloads": [
+                        payload if isinstance(payload, (str, int, float, list)) else str(payload)
+                        for payload in self._dataset.payloads
+                    ],
+                },
+                handle,
+            )
+
+    @classmethod
+    def load(
+        cls, path: str, predicate: SimilarityPredicate, tokenizer=None
+    ) -> "SimilarityIndex":
+        """Restore an index saved with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+        service = cls(predicate, tokenizer=tokenizer)
+        for tokens, payload in zip(state["token_lists"], state["payloads"]):
+            record = service._record_of(tokens, extend_vocab=True)
+            rid = len(service._dataset)
+            service._token_lists.append(tokens)
+            service._dataset.records.append(record)
+            service._dataset.payloads.append(payload)
+        service._dataset._frequency = None
+        service.rebind()
+        bound = service._bound
+        for rid in range(len(service._dataset)):
+            service._index.insert(
+                rid,
+                service._dataset[rid],
+                bound.cached_score_vector(rid),
+                bound.norm(rid),
+                service.counters,
+            )
+        return service

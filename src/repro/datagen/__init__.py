@@ -1,0 +1,66 @@
+"""Synthetic datasets standing in for the paper's proprietary corpora.
+
+The paper evaluates on (a) 250k CiteSeer citation strings and (b) 500k
+name/address records from Pune utilities — neither is available. These
+generators produce corpora with the same *statistical shape*: Zipfian
+word frequencies, Table-1 average set sizes, and injected near-duplicate
+clusters (many high-overlap records in the citation data, fewer in the
+address data). The join algorithms' costs depend only on that shape, not
+on record semantics, so every experiment's comparison remains meaningful
+(see DESIGN.md "Substitutions").
+
+The four Table-1 "similarity functions" are exposed as dataset builders:
+
+========================  =========================================
+``citation_all_words``    all words of a citation (paper avg 24)
+``citation_all_3grams``   all 3-grams of a citation (paper avg 127)
+``address_all_3grams``    all 3-grams of an address (paper avg 47)
+``address_name_3grams``   3-grams of the name fields (paper avg 16)
+========================  =========================================
+"""
+
+from repro.core.records import Dataset
+from repro.datagen.address import AddressGenerator, AddressRecord
+from repro.datagen.citation import CitationGenerator, CitationRecord
+from repro.text.tokenizers import tokenize_qgrams, tokenize_words
+
+__all__ = [
+    "AddressGenerator",
+    "AddressRecord",
+    "CitationGenerator",
+    "CitationRecord",
+    "address_all_3grams",
+    "address_name_3grams",
+    "citation_all_3grams",
+    "citation_all_words",
+]
+
+
+def citation_all_words(n: int, seed: int = 0) -> Dataset:
+    """All-words sets over a synthetic citation corpus (Table 1 row 1)."""
+    texts = [record.text() for record in CitationGenerator(seed=seed).generate(n)]
+    return Dataset.from_texts(texts, tokenize_words)
+
+
+def citation_all_3grams(n: int, seed: int = 0) -> Dataset:
+    """All-3grams sets over a synthetic citation corpus (Table 1 row 2)."""
+    texts = [record.text() for record in CitationGenerator(seed=seed).generate(n)]
+    return Dataset.from_texts(texts, tokenize_qgrams)
+
+
+def address_all_3grams(n: int, seed: int = 0) -> Dataset:
+    """All-3grams sets over a synthetic address corpus (Table 1 row 3)."""
+    texts = [record.text() for record in AddressGenerator(seed=seed).generate(n)]
+    return Dataset.from_texts(texts, tokenize_qgrams)
+
+
+def address_name_3grams(n: int, seed: int = 0) -> Dataset:
+    """Name-3grams sets over a synthetic address corpus (Table 1 row 4)."""
+    records = AddressGenerator(seed=seed).generate(n)
+    names = [record.name_text() for record in records]
+    full = [record.text() for record in records]
+    return Dataset(
+        Dataset.from_texts(names, tokenize_qgrams).records,
+        vocabulary=None,
+        payloads=full,
+    )

@@ -1,0 +1,87 @@
+"""Zipfian pseudo-word vocabularies.
+
+Real text corpora have heavily skewed word frequencies — the property
+MergeOpt exploits ("most real-life datasets follow an extremely skewed
+distribution of the frequency of occurrence of words", §3.1). This
+module builds deterministic pseudo-word vocabularies and samples from
+them under a Zipf law with configurable exponent.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+
+__all__ = ["ZipfVocabulary", "pseudo_word"]
+
+_ONSETS = [
+    "b", "br", "c", "ch", "cr", "d", "dr", "f", "fl", "g", "gr", "h", "j",
+    "k", "kl", "l", "m", "n", "p", "pr", "qu", "r", "s", "sh", "sk", "sl",
+    "st", "t", "th", "tr", "v", "w", "z",
+]
+_NUCLEI = ["a", "ai", "e", "ea", "i", "o", "oo", "u", "ou"]
+_CODAS = ["", "b", "d", "g", "k", "l", "m", "n", "ng", "r", "s", "t", "x"]
+
+
+def pseudo_word(rng: random.Random, min_syllables: int = 2, max_syllables: int = 4) -> str:
+    """A pronounceable deterministic pseudo-word."""
+    n_syllables = rng.randint(min_syllables, max_syllables)
+    parts = []
+    for _ in range(n_syllables):
+        parts.append(rng.choice(_ONSETS) + rng.choice(_NUCLEI) + rng.choice(_CODAS))
+    return "".join(parts)
+
+
+class ZipfVocabulary:
+    """A fixed vocabulary sampled under a Zipf law.
+
+    Args:
+        size: number of distinct words.
+        exponent: Zipf exponent ``s``; rank ``i`` has probability
+            proportional to ``1 / (i + 1)^s``. Natural-language corpora
+            sit near ``s = 1``.
+        rng: the source of randomness (word shapes and sampling).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        exponent: float = 1.0,
+        rng: random.Random | None = None,
+        syllables: tuple[int, int] = (2, 4),
+    ):
+        if size < 1:
+            raise ValueError(f"vocabulary size must be >= 1, got {size}")
+        self.rng = rng if rng is not None else random.Random(0)
+        seen: set[str] = set()
+        words: list[str] = []
+        while len(words) < size:
+            word = pseudo_word(self.rng, *syllables)
+            if word not in seen:
+                seen.add(word)
+                words.append(word)
+        self.words = words
+        cumulative: list[float] = []
+        total = 0.0
+        for rank in range(size):
+            total += 1.0 / (rank + 1.0) ** exponent
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def sample(self) -> str:
+        """One word, Zipf-distributed by rank."""
+        u = self.rng.random() * self._total
+        return self.words[bisect_left(self._cumulative, u)]
+
+    def sample_distinct(self, k: int) -> list[str]:
+        """``k`` distinct Zipf-distributed words (k <= size)."""
+        if k > len(self.words):
+            raise ValueError(f"cannot sample {k} distinct words from {len(self.words)}")
+        out: dict[str, None] = {}
+        while len(out) < k:
+            out.setdefault(self.sample(), None)
+        return list(out)

@@ -1,0 +1,18 @@
+"""Rule-based deduplication of structured records.
+
+The paper's corpora are *segmented* records (citation: author / title /
+year / pages; address: name fields / address lines / PIN), and its
+data-cleaning motivation composes per-field similarity conditions —
+"duplicate iff titles overlap heavily AND author names are within small
+edit distance". This package provides that layer on top of the joins:
+
+* :class:`FieldRule` — a similarity predicate applied to one field,
+* :class:`EditDistanceRule` — an edit-distance bound on one field,
+* :class:`RuleBasedMatcher` — combines rules with all/any/k-of-n
+  semantics; the most selective rule generates candidates with a full
+  join and the remaining rules are verified per candidate pair.
+"""
+
+from repro.dedup.rules import EditDistanceRule, FieldRule, RuleBasedMatcher
+
+__all__ = ["EditDistanceRule", "FieldRule", "RuleBasedMatcher"]

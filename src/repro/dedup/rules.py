@@ -1,0 +1,172 @@
+"""Per-field match rules and their combination.
+
+A rule binds one record field to a similarity condition. The matcher
+evaluates a conjunction ("all"), disjunction ("any"), or k-of-n vote
+over rules:
+
+* conjunction — the first rule runs as a full similarity join
+  (candidate generation); the other rules are *verified* pair-by-pair,
+  so only one inverted-index pass is ever built;
+* disjunction — every rule runs as a full join; pair sets are unioned;
+* vote — every rule runs; pairs matched by at least ``k`` rules win.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.dedupe import connected_components
+from repro.core.join import similarity_join
+from repro.core.records import Dataset
+from repro.core.results import JoinResult, MatchPair
+from repro.predicates.base import SimilarityPredicate
+from repro.predicates.edit_distance import EditDistancePredicate, qgram_dataset
+from repro.text.tokenizers import tokenize_words
+from repro.utils.counters import CostCounters
+
+__all__ = ["EditDistanceRule", "FieldRule", "RuleBasedMatcher"]
+
+
+class FieldRule:
+    """A set-similarity predicate on one field.
+
+    Args:
+        field: key into each record mapping.
+        predicate: the similarity condition.
+        tokenizer: field string -> token list (words by default).
+    """
+
+    def __init__(
+        self,
+        field: str,
+        predicate: SimilarityPredicate,
+        tokenizer: Callable[[str], Sequence[str]] = tokenize_words,
+    ):
+        self.field = field
+        self.predicate = predicate
+        self.tokenizer = tokenizer
+
+    def describe(self) -> str:
+        return f"{self.field}~{self.predicate.name}"
+
+    def build(self, records: Sequence[Mapping]) -> "_BoundRule":
+        texts = [str(record.get(self.field, "")) for record in records]
+        dataset = Dataset.from_texts(texts, self.tokenizer)
+        return _BoundRule(self, dataset, self.predicate.bind(dataset))
+
+
+class EditDistanceRule(FieldRule):
+    """An edit-distance bound on one field."""
+
+    def __init__(self, field: str, k: int, q: int = 3):
+        self.field = field
+        self.predicate = EditDistancePredicate(k=k, q=q)
+        self.k = k
+        self.q = q
+        self.tokenizer = None
+
+    def describe(self) -> str:
+        return f"{self.field}~{self.predicate.name}"
+
+    def build(self, records: Sequence[Mapping]) -> "_BoundRule":
+        texts = [str(record.get(self.field, "")) for record in records]
+        dataset = qgram_dataset(texts, q=self.q)
+        return _BoundRule(self, dataset, self.predicate.bind(dataset))
+
+
+class _BoundRule:
+    """A rule bound to the concrete record list."""
+
+    def __init__(self, rule: FieldRule, dataset: Dataset, bound):
+        self.rule = rule
+        self.dataset = dataset
+        self.bound = bound
+
+    def join_pairs(self, algorithm: str) -> set[tuple[int, int]]:
+        result = similarity_join(self.dataset, self.rule.predicate, algorithm=algorithm)
+        pairs = result.pair_set()
+        if isinstance(self.rule.predicate, EditDistancePredicate):
+            # The q-gram bound is vacuous for very short field values;
+            # brute-force those for exactness (see edit_distance_join).
+            cutoff = self.rule.predicate.short_string_cutoff()
+            short = [
+                rid
+                for rid in range(len(self.dataset))
+                if self.bound.string_length(rid) <= cutoff
+            ]
+            for i, rid_a in enumerate(short):
+                for rid_b in short[i + 1 :]:
+                    key = (min(rid_a, rid_b), max(rid_a, rid_b))
+                    if key not in pairs and self.verify(*key):
+                        pairs.add(key)
+        return pairs
+
+    def verify(self, rid_a: int, rid_b: int) -> bool:
+        ok, _similarity = self.bound.verify(rid_a, rid_b)
+        return ok
+
+
+class RuleBasedMatcher:
+    """Combine field rules into a record matcher.
+
+    Args:
+        rules: the field rules (at least one).
+        combine: ``"all"``, ``"any"``, or an integer k for k-of-n.
+        algorithm: join algorithm used for candidate generation.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[FieldRule],
+        combine: str | int = "all",
+        algorithm: str = "probe-cluster",
+    ):
+        if not rules:
+            raise ValueError("need at least one rule")
+        if isinstance(combine, int):
+            if not 1 <= combine <= len(rules):
+                raise ValueError(
+                    f"vote threshold must be in [1, {len(rules)}], got {combine}"
+                )
+        elif combine not in ("all", "any"):
+            raise ValueError(f"combine must be 'all', 'any', or an int, got {combine!r}")
+        self.rules = list(rules)
+        self.combine = combine
+        self.algorithm = algorithm
+
+    def match(self, records: Sequence[Mapping]) -> JoinResult:
+        """Matched record pairs under the combined rules."""
+        bound_rules = [rule.build(records) for rule in self.rules]
+        if self.combine == "all":
+            pairs = self._match_all(bound_rules)
+        elif self.combine == "any":
+            pairs = set()
+            for bound_rule in bound_rules:
+                pairs |= bound_rule.join_pairs(self.algorithm)
+        else:
+            votes: dict[tuple[int, int], int] = {}
+            for bound_rule in bound_rules:
+                for pair in bound_rule.join_pairs(self.algorithm):
+                    votes[pair] = votes.get(pair, 0) + 1
+            pairs = {pair for pair, count in votes.items() if count >= self.combine}
+        description = f"rules[{'+'.join(r.describe() for r in self.rules)}]"
+        return JoinResult(
+            pairs=[MatchPair(a, b) for a, b in sorted(pairs)],
+            algorithm=self.algorithm,
+            predicate=f"{description} combine={self.combine}",
+            counters=CostCounters(pairs_output=len(pairs)),
+        )
+
+    def _match_all(self, bound_rules: list[_BoundRule]) -> set[tuple[int, int]]:
+        # Generate candidates with the first rule, verify the rest.
+        candidates = bound_rules[0].join_pairs(self.algorithm)
+        survivors = set()
+        for rid_a, rid_b in candidates:
+            if all(rule.verify(rid_a, rid_b) for rule in bound_rules[1:]):
+                survivors.add((rid_a, rid_b))
+        return survivors
+
+    def groups(self, records: Sequence[Mapping]) -> list[list[int]]:
+        """Duplicate groups (connected components of matched pairs)."""
+        result = self.match(records)
+        return connected_components(result.pairs, len(records))

@@ -1,0 +1,106 @@
+"""Match-quality evaluation against ground-truth duplicate labels.
+
+The joins are exact with respect to their *predicate*; whether the
+predicate captures true duplicates is a data-cleaning quality question
+(the paper's motivating application cites interactive-dedup work for
+exactly this reason). Given ground-truth group labels — the synthetic
+generators provide them via ``generate_labeled`` — this module scores a
+join's pairs with pairwise precision / recall / F1 and sweeps a
+predicate family over thresholds to chart the quality trade-off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.join import similarity_join
+from repro.core.records import Dataset
+from repro.core.results import MatchPair
+
+__all__ = ["MatchQuality", "pair_quality", "threshold_sweep", "true_pairs_of"]
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Pairwise precision / recall / F1 of a predicted pair set."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchQuality(precision={self.precision:.3f},"
+            f" recall={self.recall:.3f}, f1={self.f1:.3f})"
+        )
+
+
+def true_pairs_of(labels: Sequence[int]) -> set[tuple[int, int]]:
+    """All record pairs sharing a ground-truth group label."""
+    by_group: dict[int, list[int]] = {}
+    for rid, label in enumerate(labels):
+        by_group.setdefault(label, []).append(rid)
+    pairs: set[tuple[int, int]] = set()
+    for members in by_group.values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                pairs.add((members[i], members[j]))
+    return pairs
+
+
+def pair_quality(
+    predicted: Iterable[MatchPair | tuple[int, int]],
+    labels: Sequence[int],
+) -> MatchQuality:
+    """Score predicted pairs against ground-truth group labels."""
+    truth = true_pairs_of(labels)
+    predicted_set: set[tuple[int, int]] = set()
+    for pair in predicted:
+        if isinstance(pair, MatchPair):
+            rid_a, rid_b = pair.rid_a, pair.rid_b
+        else:
+            rid_a, rid_b = pair
+        predicted_set.add((min(rid_a, rid_b), max(rid_a, rid_b)))
+    true_positives = len(predicted_set & truth)
+    return MatchQuality(
+        true_positives=true_positives,
+        false_positives=len(predicted_set) - true_positives,
+        false_negatives=len(truth) - true_positives,
+    )
+
+
+def threshold_sweep(
+    dataset: Dataset,
+    labels: Sequence[int],
+    predicate_factory: Callable[[float], object],
+    thresholds: Sequence[float],
+    algorithm: str = "probe-count-sort",
+) -> list[tuple[float, MatchQuality]]:
+    """Quality at each threshold — the dedup tuning curve.
+
+    Returns ``[(threshold, MatchQuality), ...]`` in the given threshold
+    order. Typical use: pick the F1-maximizing threshold.
+    """
+    out = []
+    for threshold in thresholds:
+        result = similarity_join(
+            dataset, predicate_factory(threshold), algorithm=algorithm
+        )
+        out.append((threshold, pair_quality(result.pairs, labels)))
+    return out

@@ -1,0 +1,108 @@
+"""FP-growth frequent-itemset mining (Han, Pei, Yin & Mao).
+
+The paper mentions an FP-growth-based Word-Groups implementation that
+"took much less memory but did not complete in two hours" at support 2;
+we provide the miner as a substrate (it is property-tested against the
+Apriori miner) and keep Apriori as the default engine for Word-Groups,
+matching the paper's choice.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+__all__ = ["FPNode", "fpgrowth"]
+
+
+class FPNode:
+    """One node of an FP-tree."""
+
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: int | None, parent: "FPNode | None"):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, FPNode] = {}
+        self.link: FPNode | None = None
+
+
+def _build_tree(
+    transactions: Sequence[tuple[Sequence[int], int]], min_support: int
+) -> tuple[FPNode, dict[int, FPNode]]:
+    """Build an FP-tree from (items, count) transactions."""
+    frequency: Counter[int] = Counter()
+    for items, count in transactions:
+        for item in items:
+            frequency[item] += count
+    frequent = {item for item, total in frequency.items() if total >= min_support}
+    root = FPNode(None, None)
+    header: dict[int, FPNode] = {}
+    for items, count in transactions:
+        ordered = sorted(
+            (item for item in set(items) if item in frequent),
+            key=lambda it: (-frequency[it], it),
+        )
+        node = root
+        for item in ordered:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                child.link = header.get(item)
+                header[item] = child
+            child.count += count
+            node = child
+    return root, header
+
+
+def _mine_tree(
+    header: dict[int, FPNode],
+    min_support: int,
+    suffix: tuple[int, ...],
+    out: dict[tuple[int, ...], int],
+) -> None:
+    for item in sorted(header):
+        support = 0
+        node = header[item]
+        while node is not None:
+            support += node.count
+            node = node.link
+        if support < min_support:
+            continue
+        itemset = tuple(sorted(suffix + (item,)))
+        out[itemset] = support
+        # Conditional pattern base: prefix paths of every node of `item`.
+        conditional: list[tuple[list[int], int]] = []
+        node = header[item]
+        while node is not None:
+            path: list[int] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                conditional.append((path, node.count))
+            node = node.link
+        if conditional:
+            _root, sub_header = _build_tree(conditional, min_support)
+            if sub_header:
+                _mine_tree(sub_header, min_support, itemset, out)
+
+
+def fpgrowth(
+    transactions: Sequence[Sequence[int]], min_support: int = 2
+) -> dict[tuple[int, ...], int]:
+    """All frequent itemsets with their supports.
+
+    Returns ``{sorted_itemset: support}`` — the same itemsets the Apriori
+    miner finds (property-tested), without tid-lists.
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+    weighted = [(transaction, 1) for transaction in transactions]
+    _root, header = _build_tree(weighted, min_support)
+    out: dict[tuple[int, ...], int] = {}
+    _mine_tree(header, min_support, (), out)
+    return out

@@ -1,0 +1,120 @@
+"""MinHash signatures and signature-based group compaction (paper §2.3).
+
+The MinHash of a set under a random ordering of the universe is the
+minimum element in that ordering; the probability that two sets agree on
+one MinHash equals their Jaccard resemblance. With ``k`` independent hash
+functions, the fraction of agreeing components estimates the resemblance
+(the paper's ``S(g1, g2)`` formula).
+
+``compact_groups`` implements the paper's compaction: treat each group's
+``k`` signature components as ``k`` words and merge groups that agree on
+at least ``k * p`` of them. The candidate search uses an inverted index
+on (slot, value) pairs — "the Probe Cluster algorithm can be used to
+efficiently create such clusters in a single pass" — and merges are
+applied with a union-find.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+__all__ = ["MinHasher", "compact_groups"]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class MinHasher:
+    """k independent MinHash functions over integer universes."""
+
+    def __init__(self, k: int = 16, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        rng = random.Random(seed)
+        self.k = k
+        self._coefficients = [
+            (rng.randrange(1, _MERSENNE_PRIME), rng.randrange(_MERSENNE_PRIME))
+            for _ in range(k)
+        ]
+
+    def signature(self, items: Sequence[int]) -> tuple[int, ...]:
+        """k-component MinHash signature of a non-empty integer set."""
+        if not items:
+            raise ValueError("cannot MinHash an empty set")
+        out = []
+        for a, b in self._coefficients:
+            out.append(min((a * item + b) % _MERSENNE_PRIME for item in items))
+        return tuple(out)
+
+    def estimate_resemblance(
+        self, sig_a: Sequence[int], sig_b: Sequence[int]
+    ) -> float:
+        """Estimated Jaccard resemblance: fraction of agreeing slots."""
+        if len(sig_a) != len(sig_b):
+            raise ValueError("signatures must have equal length")
+        agree = sum(1 for x, y in zip(sig_a, sig_b) if x == y)
+        return agree / len(sig_a)
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> None:
+        rx, ry = self.find(x), self.find(y)
+        if rx != ry:
+            self.parent[max(rx, ry)] = min(rx, ry)
+
+
+def compact_groups(
+    groups: Sequence[Sequence[int]],
+    k: int = 16,
+    p: float = 0.9,
+    seed: int = 0,
+) -> list[list[int]]:
+    """Merge groups whose signatures agree on >= k*p slots.
+
+    Args:
+        groups: RID lists (each non-empty).
+        k: signatures per group.
+        p: agreement fraction required to merge.
+        seed: hash-function seed (results are deterministic per seed).
+
+    Returns the partition of group indices: one list of original group
+    indices per merged cluster, each sorted, clusters ordered by their
+    smallest member.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    hasher = MinHasher(k=k, seed=seed)
+    signatures = [hasher.signature(list(group)) for group in groups]
+    # Inverted index on (slot, value); count agreements per group pair.
+    slot_index: dict[tuple[int, int], list[int]] = {}
+    for group_idx, signature in enumerate(signatures):
+        for slot, value in enumerate(signature):
+            slot_index.setdefault((slot, value), []).append(group_idx)
+    agreement: dict[tuple[int, int], int] = {}
+    for members in slot_index.values():
+        if len(members) < 2:
+            continue
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                key = (members[i], members[j])
+                agreement[key] = agreement.get(key, 0) + 1
+    threshold = k * p
+    union_find = _UnionFind(len(groups))
+    for (idx_a, idx_b), count in agreement.items():
+        if count >= threshold - 1e-12:
+            union_find.union(idx_a, idx_b)
+    clusters: dict[int, list[int]] = {}
+    for group_idx in range(len(groups)):
+        clusters.setdefault(union_find.find(group_idx), []).append(group_idx)
+    return [sorted(members) for _root, members in sorted(clusters.items())]

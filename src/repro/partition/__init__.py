@@ -1,0 +1,31 @@
+"""Partitioning substrate: pInfo store, batch planning, band joins.
+
+Three pieces:
+
+* :mod:`repro.partition.pinfo` — the append-only disk store of
+  per-record partitioning decisions ``(r, h(r), J(r))`` that ClusterMem's
+  first phase writes and its second phase splits per batch (§4.1/§4.2).
+* :mod:`repro.partition.batching` — packing clusters into batches whose
+  combined record-level index fits the memory budget (§4.2).
+* :mod:`repro.partition.bandjoin` — the Simple / Greedy / Optimal range
+  partitioners for band filters ``|l(r) - l(s)| <= k`` (§5.3).
+"""
+
+from repro.partition.bandjoin import (
+    greedy_partitions,
+    optimal_partitions,
+    partition_cost,
+    simple_partitions,
+)
+from repro.partition.batching import plan_batches
+from repro.partition.pinfo import PartitionEntry, PartitionInfoStore
+
+__all__ = [
+    "PartitionEntry",
+    "PartitionInfoStore",
+    "greedy_partitions",
+    "optimal_partitions",
+    "partition_cost",
+    "plan_batches",
+    "simple_partitions",
+]

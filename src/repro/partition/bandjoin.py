@@ -1,0 +1,205 @@
+"""Range partitioning for band filters (paper §5.3).
+
+Every filter in the predicate framework has the form
+``|l(r) - l(s)| <= k`` (a band join). Besides evaluating the filter
+inside the merge, the paper proposes range-partitioning the records into
+(possibly overlapping) partitions such that every in-band pair co-occurs
+in at least one partition, then running the join per partition:
+
+* **Simple** — sort by ``l()`` and grow windows; emit a window when the
+  next record leaves the band of the window's first record, restarting
+  from the earliest record still in range. Adjacent windows overlap.
+* **Greedy** — delay emitting a window until the next one is known;
+  merge the two when the merged join cost is below the sum of the parts.
+* **Optimal** — dynamic program over the simple windows: the cheapest
+  way to cover windows ``1..n`` with merged runs, i.e. a shortest path
+  in the window graph ("the shortest path between nodes w0 and wn
+  corresponds to the most efficient partitioning").
+
+The default join-cost model is quadratic in partition size, the cost
+shape of a similarity join within a partition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+__all__ = [
+    "greedy_partitions",
+    "optimal_partitions",
+    "partition_cost",
+    "partitioned_band_join",
+    "simple_partitions",
+]
+
+
+def _default_cost(n: int) -> float:
+    return float(n) * float(n)
+
+
+def partition_cost(
+    partitions: Sequence[Sequence[int]], cost: Callable[[int], float] = _default_cost
+) -> float:
+    """Total modeled join cost of a partitioning."""
+    return sum(cost(len(partition)) for partition in partitions)
+
+
+def _windows(keys: Sequence[float], radius: float) -> tuple[list[int], list[tuple[int, int]]]:
+    """Sorted record order plus the simple algorithm's window spans.
+
+    Returns ``(order, spans)`` where ``order`` is the rid order of
+    increasing key and each span ``(start, end)`` indexes ``order``
+    half-open. Consecutive spans overlap so that every in-band pair
+    co-occurs in some window.
+    """
+    n = len(keys)
+    order = sorted(range(n), key=lambda rid: keys[rid])
+    if n == 0:
+        return order, []
+    spans: list[tuple[int, int]] = []
+    eps = 1e-12
+    start = 0
+    for i in range(n):
+        if keys[order[i]] - keys[order[start]] > radius + eps:
+            spans.append((start, i))
+            while keys[order[i]] - keys[order[start]] > radius + eps:
+                start += 1
+    spans.append((start, n))
+    return order, spans
+
+
+def simple_partitions(
+    keys: Sequence[float], radius: float
+) -> list[list[int]]:
+    """The Simple window partitioner: one partition per window."""
+    order, spans = _windows(keys, radius)
+    return [[order[i] for i in range(lo, hi)] for lo, hi in spans]
+
+
+def greedy_partitions(
+    keys: Sequence[float],
+    radius: float,
+    cost: Callable[[int], float] = _default_cost,
+) -> list[list[int]]:
+    """Merge adjacent windows when the merged cost is lower (§5.3).
+
+    "Delay the output of a window w_prev until the following window
+    w_curr is found. Then merge the two adjacent window-groups if that
+    will lead to a smaller total join cost." Merged runs keep chaining
+    while profitable. Not guaranteed optimal.
+    """
+    order, spans = _windows(keys, radius)
+    if not spans:
+        return []
+    merged: list[tuple[int, int]] = [spans[0]]
+    for lo, hi in spans[1:]:
+        prev_lo, prev_hi = merged[-1]
+        separate = cost(prev_hi - prev_lo) + cost(hi - lo)
+        together = cost(hi - prev_lo)
+        if together < separate:
+            merged[-1] = (prev_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return [[order[i] for i in range(lo, hi)] for lo, hi in merged]
+
+
+def optimal_partitions(
+    keys: Sequence[float],
+    radius: float,
+    cost: Callable[[int], float] = _default_cost,
+) -> list[list[int]]:
+    """Optimal window merging via dynamic programming (§5.3).
+
+    ``best[j]`` = cheapest cost of covering windows ``0..j-1`` where the
+    last partition is a merged run of windows ``i..j-1`` — the shortest
+    path from w0 to wn in the paper's window graph. A merged run of
+    windows ``i..j-1`` spans ``order[spans[i].start : spans[j-1].end]``.
+    """
+    order, spans = _windows(keys, radius)
+    n = len(spans)
+    if n == 0:
+        return []
+    inf = float("inf")
+    best = [inf] * (n + 1)
+    best[0] = 0.0
+    choice = [0] * (n + 1)
+    for j in range(1, n + 1):
+        for i in range(j):
+            run = spans[j - 1][1] - spans[i][0]
+            value = best[i] + cost(run)
+            if value < best[j]:
+                best[j] = value
+                choice[j] = i
+    runs: list[tuple[int, int]] = []
+    j = n
+    while j > 0:
+        i = choice[j]
+        runs.append((spans[i][0], spans[j - 1][1]))
+        j = i
+    runs.reverse()
+    return [[order[i] for i in range(lo, hi)] for lo, hi in runs]
+
+
+def partitioned_band_join(dataset, predicate, algorithm, strategy: str = "optimal"):
+    """Run a similarity join per band partition and merge the results.
+
+    The §5.3 alternative to in-merge filtering: partition on the
+    predicate's band filter, invoke the join algorithm within each
+    partition, and deduplicate pairs produced by overlapping partitions.
+    Requires the predicate to define a band filter.
+
+    Returns a :class:`~repro.core.results.JoinResult` whose counters sum
+    the per-partition work.
+    """
+    from repro.core.records import Dataset
+    from repro.core.results import JoinResult, MatchPair
+    from repro.utils.counters import CostCounters
+
+    bound = predicate.bind(dataset)
+    band = bound.band_filter()
+    if band is None:
+        raise ValueError(f"predicate {predicate.name!r} has no band filter")
+    makers = {
+        "simple": simple_partitions,
+        "greedy": greedy_partitions,
+        "optimal": optimal_partitions,
+    }
+    if strategy not in makers:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {sorted(makers)}")
+    partitions = makers[strategy](band.keys, band.radius)
+
+    counters = CostCounters()
+    seen: set[tuple[int, int]] = set()
+    pairs: list[MatchPair] = []
+    elapsed = 0.0
+    for partition in partitions:
+        if len(partition) < 2:
+            continue
+        sub = Dataset(
+            [dataset[rid] for rid in partition],
+            vocabulary=dataset.vocabulary,
+            payloads=(
+                [dataset.payloads[rid] for rid in partition]
+                if dataset.payloads is not None
+                else None
+            ),
+        )
+        result = algorithm.join(sub, predicate)
+        counters.merge(result.counters)
+        elapsed += result.elapsed_seconds
+        for pair in result.pairs:
+            rid_a = partition[pair.rid_a]
+            rid_b = partition[pair.rid_b]
+            key = (min(rid_a, rid_b), max(rid_a, rid_b))
+            if key not in seen:
+                seen.add(key)
+                pairs.append(MatchPair(key[0], key[1], pair.similarity))
+    counters.extra["partitions"] = len(partitions)
+    counters.pairs_output = len(pairs)
+    return JoinResult(
+        pairs=pairs,
+        algorithm=f"{algorithm.name}/band-{strategy}",
+        predicate=predicate.name,
+        counters=counters,
+        elapsed_seconds=elapsed,
+    )

@@ -1,0 +1,41 @@
+"""Cluster batch planning for ClusterMem's second phase (paper §4.2).
+
+"Partition Cs into batches Cs1 ... Csk such that full index of clusters
+in each batch will fit in memory." A cluster's full record-level index
+costs the sum of its members' record sizes (in word occurrences, the
+paper's memory unit); batches are packed greedily in cluster-id order so
+the split pInfo files keep a sane layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["plan_batches"]
+
+
+def plan_batches(cluster_index_sizes: Sequence[int], budget: int) -> list[int]:
+    """Assign each cluster to a batch under a memory budget.
+
+    Args:
+        cluster_index_sizes: per-cluster full-index size in word
+            occurrences.
+        budget: maximum total index size per batch.
+
+    Returns ``batch_of_cluster`` (cluster id -> batch index). A single
+    cluster larger than the budget gets a batch of its own — the paper
+    would recurse into it ("we can easily extend the algorithm to do
+    recursive partitioning"); we document the overshoot instead.
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    batch_of_cluster: list[int] = []
+    batch = 0
+    used = 0
+    for size in cluster_index_sizes:
+        if used > 0 and used + size > budget:
+            batch += 1
+            used = 0
+        batch_of_cluster.append(batch)
+        used += size
+    return batch_of_cluster

@@ -1,0 +1,123 @@
+"""The pInfo partition-information disk store (paper §4.1 step 4, §4.2).
+
+Phase 1 of ClusterMem appends, for every scanned record, its processing
+position, record id, home cluster ``h(r)`` and join clusters ``J(r)`` —
+"we store in pInfo only identifiers for records and clusters rather than
+the entire record. So, the file is not expected to be very large."
+
+Phase 2 splits the single file into per-batch files; an entry lands in
+every batch that owns its home cluster or any of its join clusters, with
+the cluster ids filtered down to that batch. Scan order is preserved in
+each split file, which is what makes the second phase's
+"insert-after-probe" bookkeeping correct.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+__all__ = ["PartitionEntry", "PartitionInfoStore"]
+
+
+@dataclass(frozen=True)
+class PartitionEntry:
+    """One record's partitioning decision."""
+
+    position: int
+    rid: int
+    home: int
+    joins: tuple[int, ...]
+
+    def to_line(self) -> str:
+        joined = " ".join(str(cid) for cid in self.joins)
+        return f"{self.position} {self.rid} {self.home} {joined}".rstrip() + "\n"
+
+    @staticmethod
+    def from_line(line: str) -> "PartitionEntry":
+        fields = line.split()
+        if len(fields) < 3:
+            raise ValueError(f"malformed pInfo line: {line!r}")
+        position, rid, home = int(fields[0]), int(fields[1]), int(fields[2])
+        joins = tuple(int(cid) for cid in fields[3:])
+        return PartitionEntry(position, rid, home, joins)
+
+
+class PartitionInfoStore:
+    """Append-only pInfo file with per-batch splitting."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "w", encoding="ascii")
+        self.n_entries = 0
+
+    def append(self, entry: PartitionEntry) -> None:
+        if self._handle is None:
+            raise ValueError("store is closed for appends")
+        self._handle.write(entry.to_line())
+        self.n_entries += 1
+
+    def finish(self) -> None:
+        """Close the append handle; the file becomes readable."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def scan(self) -> Iterator[PartitionEntry]:
+        """Iterate all entries in append (= scan) order."""
+        if self._handle is not None:
+            raise ValueError("finish() the store before scanning")
+        with open(self.path, "r", encoding="ascii") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield PartitionEntry.from_line(line)
+
+    def split(self, batch_of_cluster: Mapping[int, int], n_batches: int) -> list[str]:
+        """Split into per-batch files (paper §4.2).
+
+        Args:
+            batch_of_cluster: cluster id -> batch index.
+            n_batches: number of batches.
+
+        Each entry is written to every batch owning its home or one of
+        its join clusters, with ``joins`` filtered to that batch's
+        clusters and ``home`` replaced by -1 in batches that do not own
+        it. Returns the per-batch file paths.
+        """
+        paths = [f"{self.path}.batch{i}" for i in range(n_batches)]
+        handles = [open(path, "w", encoding="ascii") for path in paths]
+        try:
+            for entry in self.scan():
+                per_batch_joins: dict[int, list[int]] = {}
+                for cid in entry.joins:
+                    per_batch_joins.setdefault(batch_of_cluster[cid], []).append(cid)
+                home_batch = batch_of_cluster[entry.home]
+                touched = set(per_batch_joins) | {home_batch}
+                for batch in touched:
+                    sub = PartitionEntry(
+                        position=entry.position,
+                        rid=entry.rid,
+                        home=entry.home if batch == home_batch else -1,
+                        joins=tuple(per_batch_joins.get(batch, ())),
+                    )
+                    handles[batch].write(sub.to_line())
+        finally:
+            for handle in handles:
+                handle.close()
+        return paths
+
+    @staticmethod
+    def scan_file(path: str) -> Iterator[PartitionEntry]:
+        """Iterate one split batch file in scan order."""
+        with open(path, "r", encoding="ascii") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield PartitionEntry.from_line(line)
+
+    def unlink(self) -> None:
+        self.finish()
+        if os.path.exists(self.path):
+            os.remove(self.path)

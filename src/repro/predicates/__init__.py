@@ -1,0 +1,39 @@
+"""Similarity predicates in the paper's general framework (§5).
+
+A predicate supplies three things (paper §5):
+
+* a **word match score** ``score(w, r)`` — the contribution of word ``w``
+  in record ``r``; a matched word contributes the product
+  ``score(w, r) * score(w, s)``;
+* a **threshold function** ``T(r, s)``, any non-decreasing function of the
+  record norms ``||r|| = sum(score(w, r)^2)`` (Eq. 1);
+* optional **filters** of the band form ``|l(r) - l(s)| <= k`` that reject
+  pairs before their common words are counted (§5.3).
+
+All join algorithms in :mod:`repro.core` are written against this
+interface, so every optimization (MergeOpt, online probing, pre-sorting,
+clustering, limited memory) applies to every predicate — the paper's
+central generalization claim.
+"""
+
+from repro.predicates.base import BandFilter, BoundPredicate, SimilarityPredicate
+from repro.predicates.cosine import CosinePredicate
+from repro.predicates.dice import DicePredicate, OverlapCoefficientPredicate
+from repro.predicates.edit_distance import EditDistancePredicate
+from repro.predicates.hamming import HammingPredicate
+from repro.predicates.jaccard import JaccardPredicate
+from repro.predicates.overlap import OverlapPredicate, WeightedOverlapPredicate
+
+__all__ = [
+    "BandFilter",
+    "BoundPredicate",
+    "CosinePredicate",
+    "DicePredicate",
+    "EditDistancePredicate",
+    "HammingPredicate",
+    "JaccardPredicate",
+    "OverlapCoefficientPredicate",
+    "OverlapPredicate",
+    "SimilarityPredicate",
+    "WeightedOverlapPredicate",
+]

@@ -1,0 +1,193 @@
+"""Predicate protocol: the paper's general optimization framework (§5.1).
+
+An (unbound) :class:`SimilarityPredicate` describes a join condition; at
+join time it is bound to a :class:`~repro.core.records.Dataset`, producing
+a :class:`BoundPredicate` that precomputes per-record score vectors and
+norms. The join algorithms only ever talk to the bound form.
+
+Floating point discipline: candidate generation inside the merge
+algorithms accepts candidates whose *accumulated* match weight is within
+``WEIGHT_EPS`` of the threshold, and the final decision for every emitted
+pair is made by :meth:`BoundPredicate.verify`, which recomputes the match
+weight in a canonical token order. The naive baseline uses the same
+``verify``, so all algorithms agree bit-for-bit on the output set.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.records import Dataset
+
+__all__ = ["WEIGHT_EPS", "BandFilter", "BoundPredicate", "SimilarityPredicate"]
+
+# Accumulated-vs-canonical match weights differ only by float summation
+# order; this slack makes candidate generation a guaranteed superset.
+WEIGHT_EPS = 1e-7
+
+
+@dataclass(frozen=True)
+class BandFilter:
+    """A filter of the form ``|l(r) - l(s)| <= radius`` (§5.3).
+
+    ``keys[rid]`` holds ``l(rid)`` for every record. The same object
+    drives both the in-merge filter (applied when a frontier record is
+    pushed into the heap, §5 "Additional Filters") and the band-join
+    partitioning algorithms of §5.3.
+    """
+
+    keys: tuple[float, ...]
+    radius: float
+
+    def accepts(self, rid_a: int, rid_b: int) -> bool:
+        """True when the pair survives the filter."""
+        return abs(self.keys[rid_a] - self.keys[rid_b]) <= self.radius + 1e-12
+
+
+class BoundPredicate(ABC):
+    """A similarity predicate bound to a concrete dataset.
+
+    Subclasses implement :meth:`score_vector` and :meth:`threshold`; the
+    base class derives norms, canonical match weights, verification, and
+    the index-level threshold bound from those.
+    """
+
+    #: True when threshold satisfaction is necessary but not sufficient
+    #: (edit distance: q-gram count bound) and verify() needs payloads.
+    requires_payload_verification = False
+
+    #: True when score(w, r) depends only on w (overlap, Jaccard, ...).
+    #: Word-Groups requires this — a word group has one weight per word.
+    record_independent_scores = True
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        self._score_vectors: list[tuple[float, ...] | None] = [None] * len(dataset)
+        self._norms: list[float | None] = [None] * len(dataset)
+        self._score_maps: list[dict[int, float] | None] = [None] * len(dataset)
+
+    # ------------------------------------------------------------------
+    # Abstract surface
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def score_vector(self, rid: int) -> tuple[float, ...]:
+        """``score(w, r)`` for each token of record ``rid``, in token order."""
+
+    @abstractmethod
+    def threshold(self, norm_r: float, norm_s: float) -> float:
+        """``T(r, s)`` as a non-decreasing function of the two norms."""
+
+    @abstractmethod
+    def similarity_name(self) -> str:
+        """Human-readable name of the natural similarity value."""
+
+    def band_filter(self) -> BandFilter | None:
+        """Optional band filter; None when the predicate has no filter."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Derived machinery
+    # ------------------------------------------------------------------
+
+    def extend_to(self, n_records: int) -> None:
+        """Grow the per-record caches to cover a grown dataset.
+
+        Used by the incremental :class:`~repro.core.service.SimilarityIndex`
+        between appends; valid when scores of existing records are
+        unaffected by the new ones (corpus-statistic predicates like
+        TF-IDF cosine should rebind instead).
+        """
+        missing = n_records - len(self._score_vectors)
+        if missing > 0:
+            self._score_vectors.extend([None] * missing)
+            self._norms.extend([None] * missing)
+            self._score_maps.extend([None] * missing)
+
+    def cached_score_vector(self, rid: int) -> tuple[float, ...]:
+        """Memoized :meth:`score_vector`."""
+        vector = self._score_vectors[rid]
+        if vector is None:
+            vector = tuple(self.score_vector(rid))
+            self._score_vectors[rid] = vector
+        return vector
+
+    def score_map(self, rid: int) -> dict[int, float]:
+        """Memoized token -> score mapping for record ``rid``."""
+        mapping = self._score_maps[rid]
+        if mapping is None:
+            tokens = self.dataset[rid]
+            mapping = dict(zip(tokens, self.cached_score_vector(rid)))
+            self._score_maps[rid] = mapping
+        return mapping
+
+    def norm(self, rid: int) -> float:
+        """``||r|| = sum(score(w, r)^2)`` (paper Eq. 1), memoized."""
+        value = self._norms[rid]
+        if value is None:
+            value = sum(s * s for s in self.cached_score_vector(rid))
+            self._norms[rid] = value
+        return value
+
+    def index_threshold(self, norm_r: float, min_norm: float) -> float:
+        """``T(r, I) = min_s T(r, s) = T(r, minS)`` by monotonicity (§5.1.1)."""
+        return self.threshold(norm_r, min_norm)
+
+    def match_weight(self, rid_r: int, rid_s: int) -> float:
+        """Canonical ``sum(score(w, r) * score(w, s))`` over common words.
+
+        Iterates the smaller record against the larger one's score map so
+        the summation order is deterministic regardless of which algorithm
+        asks.
+        """
+        if len(self.dataset[rid_r]) > len(self.dataset[rid_s]):
+            rid_r, rid_s = rid_s, rid_r
+        other = self.score_map(rid_s)
+        total = 0.0
+        tokens = self.dataset[rid_r]
+        scores = self.cached_score_vector(rid_r)
+        for token, score in zip(tokens, scores):
+            score_s = other.get(token)
+            if score_s is not None:
+                total += score * score_s
+        return total
+
+    def satisfied(self, weight: float, norm_r: float, norm_s: float) -> bool:
+        """Threshold test with the canonical float tolerance."""
+        return weight >= self.threshold(norm_r, norm_s) - WEIGHT_EPS / 10
+
+    def verify(self, rid_r: int, rid_s: int) -> tuple[bool, float]:
+        """Exact decision for a candidate pair.
+
+        Returns ``(matches, natural_similarity)``. The default recomputes
+        the canonical match weight and applies threshold + band filter;
+        predicates with a necessary-but-insufficient bound (edit distance)
+        override this to run their exact verifier.
+        """
+        band = self.band_filter()
+        if band is not None and not band.accepts(rid_r, rid_s):
+            return False, 0.0
+        weight = self.match_weight(rid_r, rid_s)
+        ok = self.satisfied(weight, self.norm(rid_r), self.norm(rid_s))
+        return ok, self.natural_similarity(rid_r, rid_s, weight)
+
+    def natural_similarity(self, rid_r: int, rid_s: int, weight: float) -> float:
+        """Convert a match weight into the predicate's natural measure.
+
+        Default: the match weight itself (overlap-style predicates).
+        """
+        return weight
+
+
+class SimilarityPredicate(ABC):
+    """An unbound predicate: a join condition awaiting a dataset."""
+
+    @abstractmethod
+    def bind(self, dataset: Dataset) -> BoundPredicate:
+        """Bind to a dataset, precomputing whatever corpus stats we need."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier used in benchmark tables."""

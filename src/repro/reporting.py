@@ -1,0 +1,112 @@
+"""Benchmark-series parsing and ASCII chart rendering.
+
+The benchmark suite writes ``benchmarks/series_output.txt`` — grouped
+``key=value`` rows per experiment. This module parses that format back
+into data and renders horizontal bar charts, so the paper's figures can
+be eyeballed straight from a terminal::
+
+    python benchmarks/render_report.py benchmarks/series_output.txt
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["parse_series", "render_bars", "render_report"]
+
+
+def parse_series(text: str) -> "OrderedDict[str, list[tuple[str, dict]]]":
+    """Parse a series_output.txt payload.
+
+    Returns ``{experiment: [(series_label, {column: value}), ...]}`` in
+    file order. Values parse to int or float where possible.
+    """
+    experiments: "OrderedDict[str, list[tuple[str, dict]]]" = OrderedDict()
+    current: str | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if not line.strip():
+            continue
+        if line.startswith("=== ") and line.endswith(" ==="):
+            current = line[4:-4]
+            experiments.setdefault(current, [])
+            continue
+        if current is None or "=" not in line:
+            continue
+        fields = line.split()
+        columns: dict = {}
+        label_parts: list[str] = []
+        for field in fields:
+            if "=" in field:
+                key, _, value = field.partition("=")
+                columns[key] = _parse_value(value)
+            else:
+                label_parts.append(field)
+        experiments[current].append((" ".join(label_parts), columns))
+    return experiments
+
+
+def _parse_value(value: str):
+    for caster in (int, float):
+        try:
+            return caster(value)
+        except ValueError:
+            continue
+    return value
+
+
+def render_bars(
+    rows: list[tuple[str, dict]],
+    metric: str = "seconds",
+    width: int = 50,
+) -> list[str]:
+    """Horizontal ASCII bars for one experiment's rows.
+
+    Rows missing the metric (or with non-numeric values, e.g. DNF) are
+    shown without a bar.
+    """
+    numeric = [
+        columns[metric]
+        for _label, columns in rows
+        if isinstance(columns.get(metric), (int, float))
+    ]
+    top = max(numeric, default=0)
+    lines = []
+    for label, columns in rows:
+        value = columns.get(metric)
+        if isinstance(value, (int, float)) and top > 0:
+            bar = "#" * max(1, round(width * value / top))
+            rendered = f"{value:>12.3f}" if isinstance(value, float) else f"{value:>12d}"
+            lines.append(f"  {label:36s} {rendered} {bar}")
+        else:
+            shown = value if value is not None else "-"
+            lines.append(f"  {label:36s} {shown:>12} (no bar)")
+    return lines
+
+
+def render_report(text: str, metric: str = "seconds", width: int = 50) -> str:
+    """Full ASCII report for a series_output.txt payload."""
+    experiments = parse_series(text)
+    out: list[str] = []
+    for experiment, rows in experiments.items():
+        out.append(f"== {experiment} ({metric}) ==")
+        has_metric = any(metric in columns for _label, columns in rows)
+        if has_metric:
+            out.extend(render_bars(rows, metric=metric, width=width))
+        else:
+            fallback = next(
+                (
+                    key
+                    for _label, columns in rows
+                    for key, value in columns.items()
+                    if isinstance(value, (int, float))
+                ),
+                None,
+            )
+            if fallback is None:
+                out.append("  (no numeric columns)")
+            else:
+                out.append(f"  [falling back to metric {fallback!r}]")
+                out.extend(render_bars(rows, metric=fallback, width=width))
+        out.append("")
+    return "\n".join(out)

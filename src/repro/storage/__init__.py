@@ -1,0 +1,13 @@
+"""Disk-backed storage substrate.
+
+* :class:`DiskRecordStore` — the "database" ClusterMem's second phase
+  re-reads records from (§4.2), with fetch/seek accounting.
+* :class:`DiskInvertedIndex` / :class:`DiskProbeJoin` — a disk-resident
+  inverted index (the §6 Heinz & Zobel direction): varbyte-compressed
+  posting lists on disk, token directory in memory.
+"""
+
+from repro.storage.disk_index import DiskInvertedIndex, DiskProbeJoin
+from repro.storage.record_store import DiskRecordStore
+
+__all__ = ["DiskInvertedIndex", "DiskProbeJoin", "DiskRecordStore"]

@@ -1,0 +1,84 @@
+"""Offset-indexed flat-file record store.
+
+Stands in for the database that ClusterMem (paper §4.2) fetches records
+from during the second phase: "as a new record key is encountered we
+fetch the corresponding record from the database". Records are written
+once, sequentially, as length-delimited token-id lines; fetches seek via
+an in-memory offset table. Sequential access patterns (the paper
+optimizes for them) are naturally cheap.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+__all__ = ["DiskRecordStore"]
+
+
+class DiskRecordStore:
+    """Write-once, random-read store of token-id records."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._offsets: list[int] = []
+        self._handle = None
+        self.fetches = 0
+        #: fetches that were not sequential relative to the previous one
+        #: (a head seek on the paper's 2004 disks; free on a page cache).
+        #: Benchmarks use this to *model* disk time, since our physical
+        #: I/O cost is unrealistically low.
+        self.seeks = 0
+        self._last_rid = -1
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[tuple[int, ...]], path: str
+    ) -> "DiskRecordStore":
+        """Persist all records sequentially and open the store for reads."""
+        store = cls(path)
+        offset = 0
+        with open(path, "w", encoding="ascii") as handle:
+            for record in records:
+                line = " ".join(str(token) for token in record) + "\n"
+                store._offsets.append(offset)
+                handle.write(line)
+                offset += len(line)
+        store._handle = open(path, "r", encoding="ascii")
+        return store
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def fetch(self, rid: int) -> tuple[int, ...]:
+        """Read one record back from disk."""
+        if self._handle is None:
+            raise ValueError("store is not open")
+        if not 0 <= rid < len(self._offsets):
+            raise IndexError(f"rid {rid} out of range [0, {len(self._offsets)})")
+        self._handle.seek(self._offsets[rid])
+        line = self._handle.readline().strip()
+        self.fetches += 1
+        if rid != self._last_rid + 1:
+            self.seeks += 1
+        self._last_rid = rid
+        if not line:
+            return ()
+        return tuple(int(token) for token in line.split(" "))
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def unlink(self) -> None:
+        """Close and delete the backing file."""
+        self.close()
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    def __enter__(self) -> "DiskRecordStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

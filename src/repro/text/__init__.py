@@ -1,0 +1,22 @@
+"""Text substrate: tokenization, TF-IDF weighting, edit distance.
+
+The paper derives sets from text columns in two ways — whole words and
+letter q-grams (§2.4, Table 1) — and uses TF-IDF weights for the cosine
+predicate (§5.2.2) and q-gram counting bounds for the edit-distance
+predicate (§5.2.3). This subpackage implements those pieces from scratch.
+"""
+
+from repro.text.editdist import banded_edit_distance, edit_distance, edit_distance_within
+from repro.text.tfidf import CorpusStats, tf_idf
+from repro.text.tokenizers import qgrams, tokenize_qgrams, tokenize_words
+
+__all__ = [
+    "CorpusStats",
+    "banded_edit_distance",
+    "edit_distance",
+    "edit_distance_within",
+    "qgrams",
+    "tf_idf",
+    "tokenize_qgrams",
+    "tokenize_words",
+]

@@ -1,0 +1,73 @@
+"""Levenshtein edit distance: full DP and banded verification.
+
+The edit-distance join (paper §5.2.3) uses the q-gram count bound only to
+generate candidates; exactness requires verifying each candidate pair.
+``edit_distance`` is the textbook O(n·m) dynamic program; ``banded`` and
+``within`` restrict the DP to a diagonal band of width ``2k + 1`` which is
+O(k·n) and sufficient to decide ``distance <= k``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["banded_edit_distance", "edit_distance", "edit_distance_within"]
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Exact Levenshtein distance between ``a`` and ``b`` (unit costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def banded_edit_distance(a: str, b: str, k: int) -> int:
+    """Levenshtein distance if it is ``<= k``, else any value ``> k``.
+
+    Runs the DP inside a diagonal band of half-width ``k``; cells outside
+    the band cannot participate in an alignment of cost ``<= k``.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    len_a, len_b = len(a), len(b)
+    if abs(len_a - len_b) > k:
+        return k + 1
+    if a == b:
+        return 0
+    big = k + 1
+    previous = {0: 0}
+    for j in range(1, min(len_b, k) + 1):
+        previous[j] = j
+    for i in range(1, len_a + 1):
+        current: dict[int, int] = {}
+        lo = max(0, i - k)
+        hi = min(len_b, i + k)
+        for j in range(lo, hi + 1):
+            if j == 0:
+                current[j] = i
+                continue
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            best = previous.get(j - 1, big) + cost
+            up = previous.get(j, big) + 1
+            left = current.get(j - 1, big) + 1
+            current[j] = min(best, up, left)
+        if min(current.values()) > k:
+            return big
+        previous = current
+    return previous.get(len_b, big)
+
+
+def edit_distance_within(a: str, b: str, k: int) -> bool:
+    """True iff ``edit_distance(a, b) <= k`` (banded, O(k·max(n,m)))."""
+    return banded_edit_distance(a, b, k) <= k

@@ -1,0 +1,74 @@
+"""TF-IDF corpus statistics and scoring (paper §5.2.2).
+
+The paper's cosine predicate weights word ``w`` in record ``r`` as::
+
+    TF-IDF(w, r) = (1 + log fr(w, r)) * log(1 + N / fr(w))
+
+where ``N`` is the number of records and ``fr(w)`` the total frequency of
+``w`` over all records. Since records are sets in this package, the term
+frequency ``fr(w, r)`` is 1 and the first factor reduces to 1; the
+generator pipeline can nevertheless supply multiplicity counts, so the
+full formula is implemented.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+__all__ = ["CorpusStats", "tf_idf"]
+
+
+def tf_idf(term_freq: int, corpus_freq: int, n_records: int) -> float:
+    """The paper's TF-IDF formula for one word occurrence."""
+    if term_freq <= 0:
+        return 0.0
+    return (1.0 + math.log(term_freq)) * math.log(1.0 + n_records / corpus_freq)
+
+
+class CorpusStats:
+    """Corpus-level word frequencies needed for IDF weighting.
+
+    Built in one sequential pass over the tokenized records (the paper's
+    preprocessing pass). Provides TF-IDF scores and L2 norms per record.
+    """
+
+    def __init__(self, records: Iterable[Sequence[int]]):
+        freq: Counter[int] = Counter()
+        n = 0
+        for record in records:
+            n += 1
+            freq.update(record)
+        self.n_records = n
+        self.frequency: dict[int, int] = dict(freq)
+
+    def idf(self, token: int) -> float:
+        """IDF factor ``log(1 + N / fr(w))`` for a token."""
+        corpus_freq = self.frequency.get(token, 0)
+        if corpus_freq == 0:
+            # Unseen token: treat as occurring once, the standard smoothing.
+            corpus_freq = 1
+        return math.log(1.0 + self.n_records / corpus_freq)
+
+    def score(self, token: int, term_freq: int = 1) -> float:
+        """TF-IDF score of ``token`` appearing ``term_freq`` times."""
+        if term_freq <= 0:
+            return 0.0
+        return (1.0 + math.log(term_freq)) * self.idf(token)
+
+    def record_norm(self, record: Sequence[int]) -> float:
+        """L2 norm of the record's TF-IDF vector (set semantics, tf=1)."""
+        return math.sqrt(sum(self.score(token) ** 2 for token in record))
+
+    def normalized_scores(self, record: Sequence[int]) -> dict[int, float]:
+        """Unit-normalized TF-IDF weights, ``score(w, r) / ||r||``.
+
+        These are the ``score(w, s)`` values of §5.2.2: with them, the
+        cosine between two records is a plain dot product and the join
+        threshold is the constant ``f``.
+        """
+        norm = self.record_norm(record)
+        if norm == 0.0:
+            return {token: 0.0 for token in record}
+        return {token: self.score(token) / norm for token in record}

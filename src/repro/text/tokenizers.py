@@ -1,0 +1,63 @@
+"""Tokenizers that turn text records into element sets.
+
+Table 1 of the paper lists four "similarity functions" which are really
+four set derivations: all words of a citation, all 3-grams of a citation,
+all 3-grams of an address, and 3-grams of the name fields only. The
+functions here implement word splitting and letter q-gram extraction; the
+field selection lives with the dataset generators.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["normalize", "qgrams", "tokenize_qgrams", "tokenize_words"]
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize(text: str) -> str:
+    """Lowercase and collapse whitespace — the usual cleaning step."""
+    return " ".join(text.lower().split())
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Split ``text`` into lowercase alphanumeric words.
+
+    Duplicates are removed (the paper treats records as sets) while the
+    original order of first occurrence is preserved so tokenization is
+    deterministic.
+    """
+    seen: dict[str, None] = {}
+    for word in _WORD_RE.findall(text.lower()):
+        seen.setdefault(word, None)
+    return list(seen)
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Return the sequence of letter q-grams of ``text`` (with duplicates).
+
+    With ``pad=True`` the string is extended with ``q - 1`` boundary
+    markers on each side (``#`` prefix, ``$`` suffix), the convention of
+    Gravano et al. used by the paper's edit-distance bound: a string of
+    length ``n`` then yields exactly ``n + q - 1`` q-grams.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if pad:
+        text = "#" * (q - 1) + text + "$" * (q - 1)
+    if len(text) < q:
+        return [text] if text else []
+    return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+
+def tokenize_qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Return the *set* of q-grams of normalized ``text`` as a list.
+
+    Deduplicated, first-occurrence order. This is the set derivation used
+    for the All-3grams and Name-3grams functions of Table 1.
+    """
+    seen: dict[str, None] = {}
+    for gram in qgrams(normalize(text), q=q, pad=pad):
+        seen.setdefault(gram, None)
+    return list(seen)

@@ -1,0 +1,12 @@
+"""Low-level utilities shared by the join algorithms.
+
+Contains the galloping ("doubling") binary search primitive used by the
+MergeOpt algorithm (paper Algorithm 1, step 10) and the instrumentation
+counters that every join algorithm exposes so experiments can report
+machine-independent work metrics alongside wall-clock time.
+"""
+
+from repro.utils.counters import CostCounters
+from repro.utils.search import gallop_search, gallop_search_from
+
+__all__ = ["CostCounters", "gallop_search", "gallop_search_from"]

@@ -1,0 +1,89 @@
+"""Machine-independent work counters.
+
+The paper reports wall-clock seconds on 2004 hardware. A pure-Python
+reproduction cannot match those absolute numbers, so every algorithm in
+this package additionally counts the abstract work it performs. The
+counters below are the quantities the paper's complexity analysis is
+phrased in (heap pops for the merge, generated pairs for Pair-Count,
+candidate verifications, ...), which makes the *shape* of each experiment
+reproducible on any machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["CostCounters"]
+
+
+@dataclass
+class CostCounters:
+    """Work performed by one join execution.
+
+    Attributes:
+        probes: number of index probes (one per probing record).
+        heap_pops: RIDs popped from the merge heap.
+        heap_pushes: RIDs pushed into the merge heap.
+        list_items_touched: posting-list entries consumed by merging.
+        binary_searches: doubling binary searches into long lists.
+        candidates_checked: candidate records examined against the
+            threshold (after merging / searching).
+        pairs_generated: RID pairs materialized (Pair-Count) or implied
+            by word groups (Word-Groups).
+        pairs_verified: candidate pairs verified by an exact
+            overlap/similarity computation.
+        pairs_output: result pairs emitted.
+        index_entries: posting entries inserted into inverted indexes.
+        peak_pair_table: high-water mark of the Pair-Count aggregation
+            table (the paper's memory bottleneck for that algorithm).
+        itemsets_generated: candidate itemsets generated (Word-Groups).
+        clusters_created: clusters created (Probe-Cluster / ClusterMem).
+        cluster_probes: per-cluster fine-grained index probes.
+        disk_appends: records appended to the pInfo disk store.
+        disk_reads: records fetched back from the record store.
+    """
+
+    probes: int = 0
+    heap_pops: int = 0
+    heap_pushes: int = 0
+    list_items_touched: int = 0
+    binary_searches: int = 0
+    candidates_checked: int = 0
+    pairs_generated: int = 0
+    pairs_verified: int = 0
+    pairs_output: int = 0
+    index_entries: int = 0
+    peak_pair_table: int = 0
+    itemsets_generated: int = 0
+    clusters_created: int = 0
+    cluster_probes: int = 0
+    disk_appends: int = 0
+    disk_reads: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "CostCounters") -> None:
+        """Accumulate another counter set into this one (in place)."""
+        for f in fields(self):
+            if f.name == "extra":
+                for key, value in other.extra.items():
+                    self.extra[key] = self.extra.get(key, 0) + value
+            elif f.name == "peak_pair_table":
+                self.peak_pair_table = max(self.peak_pair_table, other.peak_pair_table)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        """Return a plain-dict snapshot (for reports and benchmarks)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"}
+        out.update(self.extra)
+        return out
+
+    def total_work(self) -> int:
+        """A single scalar summarizing merge work (used in bench tables)."""
+        return (
+            self.heap_pops
+            + self.list_items_touched
+            + self.binary_searches
+            + self.pairs_generated
+            + self.pairs_verified
+        )

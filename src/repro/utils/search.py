@@ -1,0 +1,53 @@
+"""Galloping (doubling) binary search over sorted RID lists.
+
+The MergeOpt algorithm (paper §3.1, Algorithm 1 step 10) probes each long
+list in ``L`` with a "doubling binary search": starting from the list's
+current frontier, the step size doubles until the probe overshoots the
+target, after which a plain binary search runs inside the final bracket.
+This costs ``O(log d)`` where ``d`` is the distance from the frontier to
+the target — much cheaper than ``O(log n)`` when consecutive probes are
+close together, which is exactly the access pattern of the merge loop
+(candidate RIDs arrive in increasing order).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+__all__ = ["gallop_search", "gallop_search_from"]
+
+
+def gallop_search(items: Sequence[int], target: int) -> int:
+    """Return the insertion point for ``target`` in sorted ``items``.
+
+    Equivalent to ``bisect.bisect_left(items, target)`` but gallops from
+    the left edge, so it is sub-logarithmic when the target sits near the
+    start of the list.
+    """
+    return gallop_search_from(items, target, 0)
+
+
+def gallop_search_from(items: Sequence[int], target: int, start: int) -> int:
+    """Galloping search for ``target`` in ``items[start:]``.
+
+    Returns the leftmost index ``i >= start`` with ``items[i] >= target``
+    (i.e. the bisect_left insertion point), or ``len(items)`` when every
+    remaining element is smaller. ``items[start:]`` must be sorted.
+    """
+    n = len(items)
+    if start >= n:
+        return n
+    if items[start] >= target:
+        return start
+    # Gallop: find a bracket (lo, hi] with items[lo] < target <= items[hi].
+    step = 1
+    lo = start
+    hi = start + step
+    while hi < n and items[hi] < target:
+        lo = hi
+        step <<= 1
+        hi = start + step
+    if hi >= n:
+        hi = n
+    return bisect_left(items, target, lo + 1, hi)

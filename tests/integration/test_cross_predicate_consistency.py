@@ -1,0 +1,96 @@
+"""Cross-predicate consistency checks.
+
+Relations that must hold *between* predicates — a different angle on
+correctness than per-predicate equivalence with the naive join.
+"""
+
+import pytest
+
+from repro import (
+    Dataset,
+    DicePredicate,
+    JaccardPredicate,
+    OverlapCoefficientPredicate,
+    OverlapPredicate,
+    similarity_join,
+)
+from repro.predicates.hamming import HammingPredicate
+from tests.conftest import random_dataset
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random_dataset(seed=101)
+
+
+class TestPredicateRelations:
+    def test_jaccard_implies_dice(self, data):
+        """J >= f implies Dice >= 2f/(1+f) > f: jaccard pairs ⊆ dice pairs."""
+        f = 0.6
+        jaccard = similarity_join(data, JaccardPredicate(f), algorithm="probe-count-sort")
+        dice = similarity_join(data, DicePredicate(f), algorithm="probe-count-sort")
+        assert jaccard.pair_set() <= dice.pair_set()
+
+    def test_dice_implies_overlap_coefficient(self, data):
+        f = 0.7
+        dice = similarity_join(data, DicePredicate(f), algorithm="probe-count-sort")
+        coefficient = similarity_join(
+            data, OverlapCoefficientPredicate(f), algorithm="probe-count-sort"
+        )
+        assert dice.pair_set() <= coefficient.pair_set()
+
+    def test_threshold_monotonicity_overlap(self, data):
+        low = similarity_join(data, OverlapPredicate(3), algorithm="probe-count-sort")
+        high = similarity_join(data, OverlapPredicate(5), algorithm="probe-count-sort")
+        assert high.pair_set() <= low.pair_set()
+
+    def test_threshold_monotonicity_jaccard(self, data):
+        low = similarity_join(data, JaccardPredicate(0.5), algorithm="probe-count-sort")
+        high = similarity_join(data, JaccardPredicate(0.8), algorithm="probe-count-sort")
+        assert high.pair_set() <= low.pair_set()
+
+    def test_hamming_zero_equals_jaccard_one(self, data):
+        from repro.core.join import hamming_join
+
+        identical = similarity_join(data, JaccardPredicate(1.0), algorithm="probe-count-sort")
+        hamming = hamming_join(data, 0, algorithm="probe-count-sort")
+        assert hamming.pair_set() == identical.pair_set()
+
+    def test_jaccard_similarity_consistent_with_overlap(self, data):
+        """For every jaccard pair, |r∩s|/|r∪s| recomputed from overlap
+        similarity matches the reported jaccard value."""
+        result = similarity_join(data, JaccardPredicate(0.6), algorithm="probe-count-sort")
+        for pair in result.pairs:
+            r = set(data[pair.rid_a])
+            s = set(data[pair.rid_b])
+            assert pair.similarity == pytest.approx(len(r & s) / len(r | s))
+
+
+class TestScaleInvariants:
+    def test_subset_results_are_subsets(self):
+        """Joining the first half of a dataset yields exactly the pairs
+        of the full join restricted to those rids (self-join locality)."""
+        full_data = random_dataset(seed=102)
+        half = len(full_data) // 2
+        half_data = full_data.head(half)
+        predicate = OverlapPredicate(4)
+        full = similarity_join(full_data, predicate, algorithm="probe-count-sort")
+        part = similarity_join(half_data, predicate, algorithm="probe-count-sort")
+        restricted = {
+            (a, b) for a, b in full.pair_set() if a < half and b < half
+        }
+        assert part.pair_set() == restricted
+
+    def test_permutation_invariance(self):
+        """Permuting records permutes the pairs, nothing else."""
+        data = random_dataset(seed=103)
+        n = len(data)
+        permutation = list(reversed(range(n)))
+        permuted = data.reorder(permutation)
+        predicate = JaccardPredicate(0.6)
+        original = similarity_join(data, predicate, algorithm="probe-cluster").pair_set()
+        mapped_back = set()
+        for a, b in similarity_join(permuted, predicate, algorithm="probe-cluster").pair_set():
+            old_a, old_b = permutation[a], permutation[b]
+            mapped_back.add((min(old_a, old_b), max(old_a, old_b)))
+        assert mapped_back == original

@@ -1,0 +1,74 @@
+"""Integration tests for the exact edit-distance join."""
+
+import pytest
+
+from repro import edit_distance_join
+from repro.text.editdist import edit_distance
+from tests.conftest import random_strings
+
+
+def brute_force(strings, k):
+    truth = set()
+    for i in range(len(strings)):
+        for j in range(i + 1, len(strings)):
+            if edit_distance(strings[i].lower(), strings[j].lower()) <= k:
+                truth.add((i, j))
+    return truth
+
+
+class TestEditDistanceJoin:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_random_short_strings(self, k):
+        strings = random_strings(seed=k + 1, n=35, alphabet="abc", max_len=8)
+        truth = brute_force(strings, k)
+        got = edit_distance_join(strings, k=k, algorithm="probe-count-optmerge")
+        assert got.pair_set() == truth
+
+    def test_includes_empty_and_tiny_strings(self):
+        strings = ["", "a", "b", "ab", "abcd", "abcde", "xyzxyz"]
+        truth = brute_force(strings, 2)
+        got = edit_distance_join(strings, k=2)
+        assert got.pair_set() == truth
+
+    def test_repeated_qgram_strings(self):
+        """Strings like 'aaaa' stress the bag-encoding correctness."""
+        strings = ["aaaa", "aaa", "aaaaa", "aaab", "bbbb", "abab"]
+        truth = brute_force(strings, 1)
+        got = edit_distance_join(strings, k=1)
+        assert got.pair_set() == truth
+
+    def test_realistic_names(self):
+        strings = [
+            "sunita sarawagi",
+            "sunita sarawagy",
+            "alok kirpal",
+            "alok kirpall",
+            "s sarawagi",
+            "jeffrey ullman",
+        ]
+        got = edit_distance_join(strings, k=1)
+        assert (0, 1) in got.pair_set()
+        assert (2, 3) in got.pair_set()
+        assert (0, 5) not in got.pair_set()
+
+    def test_similarity_is_distance(self):
+        got = edit_distance_join(["data", "date"], k=1)
+        [pair] = got.pairs
+        assert pair.similarity == 1.0
+
+    @pytest.mark.parametrize("q", [2, 3, 4])
+    def test_q_parameter(self, q):
+        strings = random_strings(seed=9, n=25, alphabet="ab", max_len=9)
+        truth = brute_force(strings, 2)
+        got = edit_distance_join(strings, k=2, q=q)
+        assert got.pair_set() == truth
+
+    def test_address_duplicates_found(self):
+        from repro.datagen import AddressGenerator
+
+        records = AddressGenerator(seed=3, duplicate_fraction=0.4).generate(60)
+        names = [record.name_text() for record in records]
+        truth = brute_force(names, 2)
+        got = edit_distance_join(names, k=2)
+        assert got.pair_set() == truth
+        assert len(truth) > 0

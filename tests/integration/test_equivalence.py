@@ -1,0 +1,117 @@
+"""The master invariant: every algorithm x every predicate == NaiveJoin.
+
+This is the end-to-end correctness net of the whole reproduction.
+"""
+
+import pytest
+
+from repro import (
+    ClusterMemJoin,
+    CosinePredicate,
+    DicePredicate,
+    JaccardPredicate,
+    MemoryBudget,
+    NaiveJoin,
+    OverlapCoefficientPredicate,
+    OverlapPredicate,
+    WeightedOverlapPredicate,
+    similarity_join,
+)
+from tests.conftest import random_dataset
+
+PREDICATES = [
+    OverlapPredicate(3),
+    OverlapPredicate(6),
+    WeightedOverlapPredicate(4.0),
+    JaccardPredicate(0.5),
+    JaccardPredicate(0.8),
+    CosinePredicate(0.7),
+    DicePredicate(0.7),
+    OverlapCoefficientPredicate(0.8),
+]
+
+ALL_ALGORITHMS = [
+    "probe-count",
+    "probe-count-stopwords",
+    "probe-count-optmerge",
+    "probe-count-online",
+    "probe-count-sort",
+    "pair-count",
+    "pair-count-optmerge",
+    "probe-cluster",
+]
+
+WORD_GROUP_SAFE = [p for p in PREDICATES if not p.name.startswith("cosine")]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_dataset(seed=77, n_base=80, universe=45)
+
+
+@pytest.fixture(scope="module")
+def truths(corpus):
+    return {
+        predicate.name: NaiveJoin().join(corpus, predicate).pair_set()
+        for predicate in PREDICATES
+    }
+
+
+class TestEverythingAgainstNaive:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    @pytest.mark.parametrize("predicate", PREDICATES, ids=lambda p: p.name)
+    def test_index_algorithms(self, corpus, truths, algorithm, predicate):
+        got = similarity_join(corpus, predicate, algorithm=algorithm).pair_set()
+        assert got == truths[predicate.name]
+
+    @pytest.mark.parametrize("algorithm", ["word-groups", "word-groups-optmerge"])
+    @pytest.mark.parametrize("predicate", WORD_GROUP_SAFE, ids=lambda p: p.name)
+    def test_word_groups(self, corpus, truths, algorithm, predicate):
+        got = similarity_join(corpus, predicate, algorithm=algorithm).pair_set()
+        assert got == truths[predicate.name]
+
+    @pytest.mark.parametrize("fraction", [1.0, 0.3, 0.05])
+    @pytest.mark.parametrize("predicate", PREDICATES, ids=lambda p: p.name)
+    def test_cluster_mem(self, corpus, truths, fraction, predicate):
+        algorithm = ClusterMemJoin(MemoryBudget.fraction_of_full(corpus, fraction))
+        got = algorithm.join(corpus, predicate).pair_set()
+        assert got == truths[predicate.name]
+
+
+class TestSimilarityValuesAgree:
+    """Not just the pair sets: the reported similarity values match."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["probe-count-optmerge", "probe-cluster", "pair-count-optmerge"]
+    )
+    def test_jaccard_values(self, corpus, algorithm):
+        predicate = JaccardPredicate(0.6)
+        truth = {
+            (p.rid_a, p.rid_b): p.similarity
+            for p in NaiveJoin().join(corpus, predicate).pairs
+        }
+        got = similarity_join(corpus, predicate, algorithm=algorithm)
+        for pair in got.pairs:
+            assert abs(pair.similarity - truth[(pair.rid_a, pair.rid_b)]) < 1e-12
+
+
+class TestRealisticCorpora:
+    """Equivalence holds on the synthetic paper-shaped datasets too."""
+
+    @pytest.mark.parametrize("algorithm", ["probe-count-optmerge", "probe-cluster"])
+    def test_citation_words(self, algorithm):
+        from repro.datagen import citation_all_words
+
+        data = citation_all_words(150, seed=5)
+        predicate = OverlapPredicate(15)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        assert similarity_join(data, predicate, algorithm=algorithm).pair_set() == truth
+
+    def test_address_3grams_cluster_mem(self):
+        from repro.datagen import address_all_3grams
+
+        data = address_all_3grams(120, seed=6)
+        predicate = JaccardPredicate(0.7)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        algorithm = ClusterMemJoin(MemoryBudget.fraction_of_full(data, 0.1))
+        assert algorithm.join(data, predicate).pair_set() == truth

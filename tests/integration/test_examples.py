@@ -1,0 +1,97 @@
+"""Smoke tests: every example script runs end to end.
+
+Module-level size constants are shrunk before calling main() so the
+suite stays fast; the examples' own defaults are exercised manually /
+in benchmarks.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def load_example(name: str):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "jaccard" in out
+        assert "work counters" in out
+
+    def test_citation_dedup(self, capsys):
+        module = load_example("citation_dedup")
+        module.N_RECORDS = 150
+        module.main()
+        out = capsys.readouterr().out
+        assert "duplicate pairs" in out
+        assert "cosine" in out
+
+    def test_address_matching(self, capsys):
+        module = load_example("address_matching")
+        module.N_RECORDS = 120
+        module.main()
+        out = capsys.readouterr().out
+        assert "jaccard-on-3grams" in out
+        assert "edit-distance-on-names" in out
+
+    def test_limited_memory(self, capsys):
+        module = load_example("limited_memory")
+        module.N_RECORDS = 300
+        module.FRACTIONS = [1.0, 0.2, 0.05]
+        module.main()
+        out = capsys.readouterr().out
+        assert "same pairs at every budget" in out
+
+    def test_structured_dedup(self, capsys):
+        module = load_example("structured_dedup")
+        module.N_RECORDS = 120
+        module.main()
+        out = capsys.readouterr().out
+        assert "conjunction" in out
+        assert "duplicate groups" in out
+
+    def test_top_pairs_and_dedupe(self, capsys):
+        module = load_example("top_pairs_and_dedupe")
+        module.N_RECORDS = 150
+        module.main()
+        out = capsys.readouterr().out
+        assert "top-10 most similar pairs" in out
+        assert "duplicate groups" in out
+
+    def test_threshold_tuning(self, capsys):
+        module = load_example("threshold_tuning")
+        module.N_RECORDS = 150
+        module.THRESHOLDS = [0.9, 0.6, 0.3]
+        module.main()
+        out = capsys.readouterr().out
+        assert "best F1" in out
+        assert "precision" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "citation_dedup",
+            "address_matching",
+            "limited_memory",
+            "top_pairs_and_dedupe",
+            "structured_dedup",
+            "threshold_tuning",
+        ],
+    )
+    def test_examples_have_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)

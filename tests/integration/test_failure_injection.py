@@ -1,0 +1,115 @@
+"""Failure-injection and robustness tests.
+
+Storage-layer corruption, hostile inputs, and resource-edge behaviour:
+a production library must fail loudly and precisely, not silently
+return wrong joins.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    Dataset,
+    JaccardPredicate,
+    MemoryBudget,
+    ClusterMemJoin,
+    OverlapPredicate,
+    similarity_join,
+)
+from repro.partition.pinfo import PartitionEntry, PartitionInfoStore
+from repro.storage.record_store import DiskRecordStore
+from tests.conftest import random_dataset
+
+
+class TestCorruptedStorage:
+    def test_pinfo_malformed_line(self, tmp_path):
+        path = tmp_path / "pinfo.dat"
+        path.write_text("1 2 3\nnot numbers at all\n")
+        store = PartitionInfoStore.__new__(PartitionInfoStore)
+        store.path = str(path)
+        store._handle = None
+        with pytest.raises(ValueError):
+            list(store.scan())
+
+    def test_pinfo_short_line(self, tmp_path):
+        with pytest.raises(ValueError):
+            PartitionEntry.from_line("1 2")
+
+    def test_record_store_truncated_file(self, tmp_path):
+        store = DiskRecordStore.from_records([(1, 2, 3), (4, 5)], str(tmp_path / "r.dat"))
+        store.close()
+        # Truncate the backing file behind the store's back.
+        with open(store.path, "w", encoding="ascii") as handle:
+            handle.write("1 2 3\n")
+        store._handle = open(store.path, "r", encoding="ascii")
+        assert store.fetch(0) == (1, 2, 3)
+        # Fetching past the truncation yields an empty record rather
+        # than garbage (offset points past EOF).
+        assert store.fetch(1) == ()
+        store.close()
+
+    def test_record_store_non_numeric_content(self, tmp_path):
+        path = tmp_path / "r.dat"
+        path.write_text("boom\n")
+        store = DiskRecordStore(str(path))
+        store._offsets = [0]
+        store._handle = open(path, "r", encoding="ascii")
+        with pytest.raises(ValueError):
+            store.fetch(0)
+        store.close()
+
+
+class TestHostileInputs:
+    def test_records_with_empty_sets(self):
+        data = Dataset([(), (1, 2, 3), (), (1, 2, 3)])
+        result = similarity_join(data, OverlapPredicate(3), algorithm="probe-cluster")
+        assert result.pair_set() == {(1, 3)}
+
+    def test_all_empty_records(self):
+        data = Dataset([(), (), ()])
+        for algorithm in ("probe-count-optmerge", "probe-cluster"):
+            result = similarity_join(data, OverlapPredicate(1), algorithm=algorithm)
+            assert result.pairs == []
+
+    def test_single_giant_record(self):
+        data = Dataset([tuple(range(5000)), (1, 2, 3)])
+        result = similarity_join(data, OverlapPredicate(3), algorithm="probe-count-sort")
+        assert result.pair_set() == {(0, 1)}
+
+    def test_huge_token_ids(self):
+        data = Dataset([(10**15, 10**15 + 1), (10**15, 10**15 + 1)])
+        result = similarity_join(data, OverlapPredicate(2), algorithm="probe-cluster")
+        assert result.pair_set() == {(0, 1)}
+
+    def test_unicode_text(self):
+        from repro import dedupe_texts
+        from repro.text.tokenizers import tokenize_qgrams
+
+        texts = ["ज्ञानेश्वर पाटील पुणे", "ज्ञानेश्वर पाटिल पुणे", "mumbai office"]
+        groups = dedupe_texts(texts, JaccardPredicate(0.5), tokenize_qgrams)
+        assert groups == [[0, 1]]
+
+
+class TestResourceEdges:
+    def test_cluster_mem_minimal_budget(self):
+        """Budget of a single word occurrence must still be exact."""
+        data = random_dataset(seed=80, n_base=25)
+        predicate = OverlapPredicate(4)
+        truth = similarity_join(data, predicate, algorithm="naive").pair_set()
+        algorithm = ClusterMemJoin(MemoryBudget(1))
+        assert algorithm.join(data, predicate).pair_set() == truth
+
+    def test_cluster_mem_budget_larger_than_needed(self):
+        data = random_dataset(seed=81, n_base=25)
+        predicate = OverlapPredicate(4)
+        truth = similarity_join(data, predicate, algorithm="naive").pair_set()
+        algorithm = ClusterMemJoin(MemoryBudget(10**9))
+        result = algorithm.join(data, predicate)
+        assert result.pair_set() == truth
+        assert result.counters.extra["batches"] == 1
+
+    def test_duplicate_records_en_masse(self):
+        data = Dataset([(1, 2, 3, 4)] * 60)
+        result = similarity_join(data, JaccardPredicate(1.0), algorithm="probe-cluster")
+        assert len(result.pairs) == 60 * 59 // 2

@@ -1,0 +1,82 @@
+"""Integration tests for non-self joins (R join S)."""
+
+import pytest
+
+from repro import (
+    Dataset,
+    JaccardPredicate,
+    OverlapPredicate,
+    ProbeClusterJoin,
+    ProbeCountJoin,
+)
+
+
+@pytest.fixture
+def sides():
+    vocab: dict = {}
+    left = Dataset.from_token_lists(
+        [["a", "b", "c"], ["x", "y"], ["a", "b", "q"]], vocabulary=vocab
+    )
+    right = Dataset.from_token_lists(
+        [["a", "b", "c", "d"], ["x", "y", "z"], ["m", "n"]], vocabulary=vocab
+    )
+    return left, right
+
+
+class TestJoinBetween:
+    def test_overlap(self, sides):
+        left, right = sides
+        result = ProbeCountJoin().join_between(left, right, OverlapPredicate(2))
+        assert result.pair_set() == {(0, 0), (1, 1), (2, 0)}
+
+    def test_jaccard(self, sides):
+        left, right = sides
+        result = ProbeCountJoin().join_between(left, right, JaccardPredicate(0.6))
+        assert result.pair_set() == {(0, 0), (1, 1)}
+
+    def test_pairs_reference_each_side(self, sides):
+        left, right = sides
+        result = ProbeCountJoin().join_between(left, right, OverlapPredicate(2))
+        for pair in result.pairs:
+            assert 0 <= pair.rid_a < len(left)
+            assert 0 <= pair.rid_b < len(right)
+
+    def test_mismatched_vocabulary_rejected(self):
+        left = Dataset.from_token_lists([["a"]])
+        right = Dataset.from_token_lists([["a"]])
+        with pytest.raises(ValueError):
+            ProbeCountJoin().join_between(left, right, OverlapPredicate(1))
+
+    def test_matches_brute_force(self):
+        import random
+
+        rng = random.Random(55)
+        vocab: dict = {}
+        left_tokens = [
+            [f"w{t}" for t in rng.sample(range(30), rng.randint(2, 8))] for _ in range(40)
+        ]
+        right_tokens = [
+            [f"w{t}" for t in rng.sample(range(30), rng.randint(2, 8))] for _ in range(40)
+        ]
+        left = Dataset.from_token_lists(left_tokens, vocabulary=vocab)
+        right = Dataset.from_token_lists(right_tokens, vocabulary=vocab)
+        predicate = OverlapPredicate(3)
+        expected = set()
+        for i, lrec in enumerate(left.records):
+            for j, rrec in enumerate(right.records):
+                if len(set(lrec) & set(rrec)) >= 3:
+                    expected.add((i, j))
+        result = ProbeClusterJoin().join_between(left, right, predicate)
+        assert result.pair_set() == expected
+
+    def test_empty_sides(self):
+        vocab: dict = {}
+        left = Dataset.from_token_lists([], vocabulary=vocab)
+        right = Dataset.from_token_lists([["a"]], vocabulary=vocab)
+        result = ProbeCountJoin().join_between(left, right, OverlapPredicate(1))
+        assert result.pairs == []
+
+    def test_algorithm_name_tagged(self, sides):
+        left, right = sides
+        result = ProbeCountJoin().join_between(left, right, OverlapPredicate(2))
+        assert result.algorithm.endswith("/between")

@@ -1,0 +1,60 @@
+"""Integration tests for the §5.3 partition-then-join evaluation path."""
+
+import pytest
+
+from repro import (
+    JaccardPredicate,
+    NaiveJoin,
+    OverlapPredicate,
+    ProbeCountJoin,
+)
+from repro.partition.bandjoin import partitioned_band_join
+from tests.conftest import random_dataset
+
+
+class TestPartitionedBandJoin:
+    @pytest.mark.parametrize("strategy", ["simple", "greedy", "optimal"])
+    def test_matches_direct_join(self, strategy):
+        data = random_dataset(seed=33)
+        predicate = JaccardPredicate(0.6)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        result = partitioned_band_join(
+            data, predicate, ProbeCountJoin(variant="optmerge"), strategy=strategy
+        )
+        assert result.pair_set() == truth
+
+    def test_requires_band_filter(self):
+        data = random_dataset(seed=34)
+        with pytest.raises(ValueError):
+            partitioned_band_join(data, OverlapPredicate(3), ProbeCountJoin())
+
+    def test_unknown_strategy(self):
+        data = random_dataset(seed=34)
+        with pytest.raises(ValueError):
+            partitioned_band_join(
+                data, JaccardPredicate(0.5), ProbeCountJoin(), strategy="psychic"
+            )
+
+    def test_counters_aggregate_partitions(self):
+        data = random_dataset(seed=35)
+        predicate = JaccardPredicate(0.7)
+        result = partitioned_band_join(data, predicate, ProbeCountJoin())
+        assert result.counters.extra["partitions"] >= 1
+        assert result.counters.pairs_output == len(result.pairs)
+
+    def test_no_duplicate_pairs_across_overlapping_partitions(self):
+        data = random_dataset(seed=36)
+        predicate = JaccardPredicate(0.5)
+        result = partitioned_band_join(data, predicate, ProbeCountJoin(), "simple")
+        assert len(result.pairs) == len(result.pair_set())
+
+    def test_edit_distance_band_partitioning(self):
+        from repro.predicates.edit_distance import EditDistancePredicate, qgram_dataset
+        from tests.conftest import random_strings
+
+        strings = [s for s in random_strings(seed=37, n=30, max_len=12) if len(s) >= 6]
+        data = qgram_dataset(strings)
+        predicate = EditDistancePredicate(k=1)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        result = partitioned_band_join(data, predicate, ProbeCountJoin(), "greedy")
+        assert result.pair_set() == truth

@@ -1,0 +1,84 @@
+"""Hypothesis properties for the extension layers (top-k, dedupe, service)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dataset,
+    JaccardPredicate,
+    NaiveJoin,
+    OverlapPredicate,
+    TopKJoin,
+    connected_components,
+)
+from repro.core.prefix_filter import PrefixFilterJoin
+
+records = st.lists(
+    st.lists(st.integers(0, 20), min_size=1, max_size=8, unique=True).map(
+        lambda r: tuple(sorted(r))
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+pairs_strategy = st.lists(
+    st.tuples(st.integers(0, 19), st.integers(0, 19)).filter(lambda p: p[0] != p[1]),
+    max_size=30,
+)
+
+
+class TestTopKProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(records, st.integers(min_value=1, max_value=8))
+    def test_topk_is_prefix_of_full_ranking(self, recs, k):
+        data = Dataset(recs)
+        floor = 0.3
+        full = NaiveJoin().join(data, JaccardPredicate(floor))
+        ranking = sorted(
+            ((p.similarity, p.rid_a, p.rid_b) for p in full.pairs), reverse=True
+        )
+        result = TopKJoin(k, JaccardPredicate, floor=floor).join(data)
+        got = [(p.similarity, p.rid_a, p.rid_b) for p in result.pairs]
+        assert got == ranking[:k]
+
+
+class TestConnectedComponentsProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(pairs_strategy)
+    def test_partition_properties(self, pairs):
+        groups = connected_components(pairs, 20)
+        seen: set[int] = set()
+        for group in groups:
+            assert len(group) >= 2
+            assert group == sorted(group)
+            assert not (seen & set(group))  # disjoint
+            seen.update(group)
+
+    @settings(max_examples=100, deadline=None)
+    @given(pairs_strategy)
+    def test_every_pair_lands_in_one_group(self, pairs):
+        groups = connected_components(pairs, 20)
+        group_of = {}
+        for idx, group in enumerate(groups):
+            for rid in group:
+                group_of[rid] = idx
+        for rid_a, rid_b in pairs:
+            assert group_of[rid_a] == group_of[rid_b]
+
+
+class TestPrefixFilterProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(records, st.integers(min_value=1, max_value=5))
+    def test_overlap_equivalence(self, recs, t):
+        data = Dataset(recs)
+        predicate = OverlapPredicate(t)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        assert PrefixFilterJoin().join(data, predicate).pair_set() == truth
+
+    @settings(max_examples=40, deadline=None)
+    @given(records, st.floats(min_value=0.3, max_value=1.0))
+    def test_jaccard_equivalence(self, recs, f):
+        data = Dataset(recs)
+        predicate = JaccardPredicate(f)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        assert PrefixFilterJoin().join(data, predicate).pair_set() == truth

@@ -1,0 +1,68 @@
+"""Hypothesis properties: band filters never reject a true match.
+
+The §5 framework allows filters precisely because they are *sound*:
+``filter(r, s)`` failing implies the pair cannot satisfy the predicate.
+If this broke, every optimized algorithm would silently drop pairs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, DicePredicate, JaccardPredicate
+from repro.predicates.edit_distance import EditDistancePredicate, qgram_dataset
+
+records = st.lists(
+    st.lists(st.integers(0, 30), min_size=1, max_size=12, unique=True).map(
+        lambda r: tuple(sorted(r))
+    ),
+    min_size=2,
+    max_size=25,
+)
+
+fractions = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+
+
+class TestSetFilterSoundness:
+    @settings(max_examples=150, deadline=None)
+    @given(records, fractions)
+    def test_jaccard_filter_sound(self, recs, f):
+        data = Dataset(recs)
+        bound = JaccardPredicate(f).bind(data)
+        band = bound.band_filter()
+        for a in range(len(recs)):
+            for b in range(a + 1, len(recs)):
+                overlap = len(set(recs[a]) & set(recs[b]))
+                union = len(set(recs[a]) | set(recs[b]))
+                if overlap / union >= f:
+                    assert band.accepts(a, b), (recs[a], recs[b], f)
+
+    @settings(max_examples=150, deadline=None)
+    @given(records, fractions)
+    def test_dice_filter_sound(self, recs, f):
+        data = Dataset(recs)
+        bound = DicePredicate(f).bind(data)
+        band = bound.band_filter()
+        for a in range(len(recs)):
+            for b in range(a + 1, len(recs)):
+                overlap = len(set(recs[a]) & set(recs[b]))
+                dice = 2 * overlap / (len(recs[a]) + len(recs[b]))
+                if dice >= f:
+                    assert band.accepts(a, b)
+
+
+strings = st.lists(st.text(alphabet="abc", max_size=10), min_size=2, max_size=15)
+
+
+class TestEditFilterSoundness:
+    @settings(max_examples=100, deadline=None)
+    @given(strings, st.integers(min_value=0, max_value=3))
+    def test_length_filter_sound(self, texts, k):
+        from repro.text.editdist import edit_distance
+
+        data = qgram_dataset(texts)
+        bound = EditDistancePredicate(k=k).bind(data)
+        band = bound.band_filter()
+        for a in range(len(texts)):
+            for b in range(a + 1, len(texts)):
+                if edit_distance(texts[a], texts[b]) <= k:
+                    assert band.accepts(a, b)

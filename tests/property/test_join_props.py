@@ -1,0 +1,92 @@
+"""Hypothesis end-to-end properties of the join algorithms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ClusterMemJoin,
+    JaccardPredicate,
+    MemoryBudget,
+    NaiveJoin,
+    OverlapPredicate,
+    ProbeClusterJoin,
+    ProbeCountJoin,
+    WordGroupsJoin,
+)
+from repro.core.records import Dataset
+
+records = st.lists(
+    st.lists(st.integers(0, 25), min_size=1, max_size=10, unique=True).map(
+        lambda r: tuple(sorted(r))
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def truth_pairs(data, predicate):
+    return NaiveJoin().join(data, predicate).pair_set()
+
+
+class TestJoinEquivalenceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(records, st.integers(min_value=1, max_value=6))
+    def test_probe_variants_match_naive_overlap(self, recs, t):
+        data = Dataset(recs)
+        predicate = OverlapPredicate(t)
+        expected = truth_pairs(data, predicate)
+        for variant in ("basic", "stopwords", "optmerge", "online", "sort"):
+            got = ProbeCountJoin(variant=variant).join(data, predicate).pair_set()
+            assert got == expected, variant
+
+    @settings(max_examples=40, deadline=None)
+    @given(records, st.floats(min_value=0.2, max_value=1.0))
+    def test_probe_cluster_matches_naive_jaccard(self, recs, f):
+        data = Dataset(recs)
+        predicate = JaccardPredicate(f)
+        expected = truth_pairs(data, predicate)
+        assert ProbeClusterJoin().join(data, predicate).pair_set() == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(records, st.integers(min_value=2, max_value=5))
+    def test_word_groups_matches_naive(self, recs, t):
+        data = Dataset(recs)
+        predicate = OverlapPredicate(t)
+        expected = truth_pairs(data, predicate)
+        assert WordGroupsJoin().join(data, predicate).pair_set() == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        records,
+        st.integers(min_value=2, max_value=5),
+        st.floats(min_value=0.02, max_value=1.0),
+    )
+    def test_cluster_mem_matches_naive_at_any_budget(self, recs, t, fraction):
+        data = Dataset(recs)
+        if len(data) == 0:
+            return
+        predicate = OverlapPredicate(t)
+        expected = truth_pairs(data, predicate)
+        algorithm = ClusterMemJoin(MemoryBudget.fraction_of_full(data, fraction))
+        assert algorithm.join(data, predicate).pair_set() == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(records, st.integers(min_value=1, max_value=6))
+    def test_output_is_canonical_and_duplicate_free(self, recs, t):
+        data = Dataset(recs)
+        result = ProbeCountJoin(variant="online").join(data, OverlapPredicate(t))
+        seen = set()
+        for pair in result.pairs:
+            assert pair.rid_a < pair.rid_b
+            key = (pair.rid_a, pair.rid_b)
+            assert key not in seen
+            seen.add(key)
+
+    @settings(max_examples=40, deadline=None)
+    @given(records, st.integers(min_value=1, max_value=6))
+    def test_similarity_equals_true_overlap(self, recs, t):
+        data = Dataset(recs)
+        result = ProbeClusterJoin().join(data, OverlapPredicate(t))
+        for pair in result.pairs:
+            true_overlap = len(set(data[pair.rid_a]) & set(data[pair.rid_b]))
+            assert pair.similarity == true_overlap

@@ -1,0 +1,45 @@
+"""Hypothesis property: Apriori and FP-growth find identical itemsets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.apriori import AprioriMiner
+from repro.mining.fpgrowth import fpgrowth
+
+transactions = st.lists(
+    st.lists(st.integers(0, 10), min_size=1, max_size=6, unique=True).map(tuple),
+    max_size=18,
+)
+
+
+class TestMinerEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(transactions, st.integers(min_value=1, max_value=5))
+    def test_same_itemsets_and_supports(self, txns, min_support):
+        apriori = AprioriMiner(min_support=min_support).mine(txns)
+        fp = fpgrowth(txns, min_support=min_support)
+        assert set(fp) == set(apriori)
+        for itemset, support in fp.items():
+            assert support == len(apriori[itemset])
+
+    @settings(max_examples=120, deadline=None)
+    @given(transactions)
+    def test_apriori_tidlists_are_correct(self, txns):
+        """Every reported tid-list is exactly the containing transactions."""
+        result = AprioriMiner(min_support=2).mine(txns)
+        for itemset, tids in result.items():
+            expected = [
+                tid for tid, txn in enumerate(txns) if set(itemset) <= set(txn)
+            ]
+            assert tids == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(transactions)
+    def test_downward_closure(self, txns):
+        """Every subset of a frequent itemset is frequent (Apriori property)."""
+        result = AprioriMiner(min_support=2).mine(txns)
+        for itemset in result:
+            if len(itemset) > 1:
+                for drop in range(len(itemset)):
+                    subset = itemset[:drop] + itemset[drop + 1 :]
+                    assert subset in result

@@ -1,0 +1,61 @@
+"""Hypothesis properties for the §5.3 band partitioners."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.bandjoin import (
+    greedy_partitions,
+    optimal_partitions,
+    partition_cost,
+    simple_partitions,
+)
+
+keys_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False), max_size=40
+)
+radius_strategy = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+
+
+def covered(keys, radius, partitions):
+    membership = [set() for _ in keys]
+    for pidx, partition in enumerate(partitions):
+        for rid in partition:
+            membership[rid].add(pidx)
+    for a in range(len(keys)):
+        for b in range(a + 1, len(keys)):
+            if abs(keys[a] - keys[b]) <= radius and not (membership[a] & membership[b]):
+                return False
+    return True
+
+
+class TestPartitionProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(keys_strategy, radius_strategy)
+    def test_simple_covers_all_band_pairs(self, keys, radius):
+        assert covered(keys, radius, simple_partitions(keys, radius))
+
+    @settings(max_examples=150, deadline=None)
+    @given(keys_strategy, radius_strategy)
+    def test_greedy_covers_all_band_pairs(self, keys, radius):
+        assert covered(keys, radius, greedy_partitions(keys, radius))
+
+    @settings(max_examples=150, deadline=None)
+    @given(keys_strategy, radius_strategy)
+    def test_optimal_covers_all_band_pairs(self, keys, radius):
+        assert covered(keys, radius, optimal_partitions(keys, radius))
+
+    @settings(max_examples=150, deadline=None)
+    @given(keys_strategy, radius_strategy)
+    def test_every_record_appears(self, keys, radius):
+        for maker in (simple_partitions, greedy_partitions, optimal_partitions):
+            partitions = maker(keys, radius)
+            assert sorted({r for p in partitions for r in p}) == sorted(range(len(keys)))
+
+    @settings(max_examples=150, deadline=None)
+    @given(keys_strategy, radius_strategy)
+    def test_optimal_is_cheapest(self, keys, radius):
+        cost_simple = partition_cost(simple_partitions(keys, radius))
+        cost_greedy = partition_cost(greedy_partitions(keys, radius))
+        cost_optimal = partition_cost(optimal_partitions(keys, radius))
+        assert cost_optimal <= cost_simple + 1e-9
+        assert cost_optimal <= cost_greedy + 1e-9

@@ -1,0 +1,47 @@
+"""Hypothesis property: the q-gram count lower bound (§5.2.3) is sound.
+
+For any strings within edit distance k, the number of matching numbered
+q-grams is at least ``max(len_r, len_s) - 1 - q(k - 1)``. If this failed
+the edit-distance join would miss pairs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates.edit_distance import numbered_qgrams
+from repro.text.editdist import edit_distance
+
+texts = st.text(alphabet="abc", max_size=12)
+
+
+class TestQgramBound:
+    @settings(max_examples=400, deadline=None)
+    @given(texts, texts, st.integers(min_value=2, max_value=4))
+    def test_bound_holds_for_actual_distance(self, a, b, q):
+        k = edit_distance(a, b)
+        shared = len(set(numbered_qgrams(a, q=q)) & set(numbered_qgrams(b, q=q)))
+        bound = max(len(a), len(b)) - 1 - q * (k - 1) if k >= 1 else len(a) + q - 1
+        if k == 0:
+            assert shared == len(a) + q - 1
+        else:
+            assert shared >= bound
+
+    @settings(max_examples=200, deadline=None)
+    @given(texts, st.integers(min_value=2, max_value=4))
+    def test_identical_strings_share_everything(self, a, q):
+        grams = set(numbered_qgrams(a, q=q))
+        assert len(grams) == len(a) + q - 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(texts, texts)
+    def test_numbered_encoding_is_bag_intersection(self, a, b):
+        """Set intersection of numbered grams == bag intersection."""
+        from collections import Counter
+
+        from repro.text.tokenizers import qgrams
+
+        bag_a = Counter(qgrams(a.lower(), q=3, pad=True))
+        bag_b = Counter(qgrams(b.lower(), q=3, pad=True))
+        bag_match = sum((bag_a & bag_b).values())
+        set_match = len(set(numbered_qgrams(a, q=3)) & set(numbered_qgrams(b, q=3)))
+        assert set_match == bag_match

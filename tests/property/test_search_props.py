@@ -1,0 +1,44 @@
+"""Hypothesis properties for the galloping search."""
+
+from bisect import bisect_left
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.search import gallop_search, gallop_search_from
+
+sorted_ints = st.lists(
+    st.integers(min_value=-1000, max_value=1000), max_size=200, unique=True
+).map(sorted)
+
+
+class TestGallopProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(sorted_ints, st.integers(min_value=-1100, max_value=1100))
+    def test_equals_bisect_left(self, items, target):
+        assert gallop_search(items, target) == bisect_left(items, target)
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        sorted_ints,
+        st.integers(min_value=-1100, max_value=1100),
+        st.integers(min_value=0, max_value=250),
+    )
+    def test_from_start_equals_bisect_on_suffix(self, items, target, start):
+        got = gallop_search_from(items, target, start)
+        expected = max(start, bisect_left(items, target, min(start, len(items))))
+        if start >= len(items):
+            assert got == len(items)
+        else:
+            assert got == max(bisect_left(items, target, start), start)
+
+    @settings(max_examples=200, deadline=None)
+    @given(sorted_ints, st.lists(st.integers(-1100, 1100), min_size=1, max_size=20))
+    def test_monotone_resume_scan(self, items, raw_targets):
+        """Resuming from the previous result matches fresh bisect for
+        monotonically increasing probes — the MergeOpt access pattern."""
+        targets = sorted(raw_targets)
+        position = 0
+        for target in targets:
+            position = gallop_search_from(items, target, position)
+            assert position == bisect_left(items, target)

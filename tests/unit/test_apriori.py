@@ -1,0 +1,87 @@
+"""Unit tests for the Apriori miner."""
+
+import pytest
+
+from repro.mining.apriori import AprioriMiner, generate_candidates, intersect_sorted
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        assert intersect_sorted([1, 3, 5], [3, 4, 5]) == [3, 5]
+
+    def test_disjoint(self):
+        assert intersect_sorted([1, 2], [3, 4]) == []
+
+    def test_empty(self):
+        assert intersect_sorted([], [1]) == []
+        assert intersect_sorted([1], []) == []
+
+    def test_identical(self):
+        assert intersect_sorted([1, 2, 3], [1, 2, 3]) == [1, 2, 3]
+
+
+class TestGenerateCandidates:
+    def test_joins_shared_prefix(self):
+        level = [(1, 2), (1, 3), (2, 3)]
+        candidates = {c for c, _a, _b in generate_candidates(level)}
+        assert candidates == {(1, 2, 3)}
+
+    def test_no_join_without_shared_prefix(self):
+        level = [(1, 2), (3, 4)]
+        assert list(generate_candidates(level)) == []
+
+    def test_singletons_pair_up(self):
+        level = [(1,), (2,), (3,)]
+        candidates = {c for c, _a, _b in generate_candidates(level)}
+        assert candidates == {(1, 2), (1, 3), (2, 3)}
+
+    def test_parents_reported(self):
+        level = [(1, 2), (1, 3)]
+        [(candidate, parent_a, parent_b)] = list(generate_candidates(level))
+        assert candidate == (1, 2, 3)
+        assert {parent_a, parent_b} == {(1, 2), (1, 3)}
+
+
+class TestAprioriMiner:
+    TRANSACTIONS = [
+        (1, 2, 3),
+        (1, 2),
+        (1, 3),
+        (2, 3),
+        (1, 2, 3),
+    ]
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            AprioriMiner(min_support=0)
+
+    def test_first_level(self):
+        level = AprioriMiner(min_support=3).first_level(self.TRANSACTIONS)
+        assert set(level) == {(1,), (2,), (3,)}
+        assert level[(1,)] == [0, 1, 2, 4]
+
+    def test_mine_with_support_three(self):
+        result = AprioriMiner(min_support=3).mine(self.TRANSACTIONS)
+        assert set(result) == {(1,), (2,), (3,), (1, 2), (1, 3), (2, 3)}
+        assert result[(1, 2)] == [0, 1, 4]
+
+    def test_mine_with_support_two_reaches_triple(self):
+        result = AprioriMiner(min_support=2).mine(self.TRANSACTIONS)
+        assert (1, 2, 3) in result
+        assert result[(1, 2, 3)] == [0, 4]
+
+    def test_max_items_caps_levels(self):
+        result = AprioriMiner(min_support=2, max_items=1).mine(self.TRANSACTIONS)
+        assert all(len(itemset) == 1 for itemset in result)
+
+    def test_tidlists_sorted(self):
+        result = AprioriMiner(min_support=2).mine(self.TRANSACTIONS)
+        for tids in result.values():
+            assert tids == sorted(tids)
+
+    def test_duplicate_items_in_transaction_counted_once(self):
+        result = AprioriMiner(min_support=2).mine([(1, 1, 2), (1, 2)])
+        assert result[(1,)] == [0, 1]
+
+    def test_empty_transactions(self):
+        assert AprioriMiner(min_support=2).mine([]) == {}

@@ -1,0 +1,127 @@
+"""Unit tests for the §5.3 band-join partitioners."""
+
+import random
+
+import pytest
+
+from repro.partition.bandjoin import (
+    greedy_partitions,
+    optimal_partitions,
+    partition_cost,
+    simple_partitions,
+)
+
+
+def covers_all_band_pairs(keys, radius, partitions):
+    """Every pair within the band must share at least one partition."""
+    membership = [set() for _ in keys]
+    for pidx, partition in enumerate(partitions):
+        for rid in partition:
+            membership[rid].add(pidx)
+    for a in range(len(keys)):
+        for b in range(a + 1, len(keys)):
+            if abs(keys[a] - keys[b]) <= radius:
+                if not (membership[a] & membership[b]):
+                    return False
+    return True
+
+
+KEYS_CASES = [
+    [1.0, 2.0, 3.0, 10.0, 11.0, 12.0],
+    [5.0] * 6,
+    [float(i) for i in range(20)],
+    [0.0, 100.0],
+    [3.0],
+    [],
+]
+
+
+class TestSimplePartitions:
+    @pytest.mark.parametrize("keys", KEYS_CASES)
+    def test_coverage(self, keys):
+        partitions = simple_partitions(keys, radius=2.0)
+        assert covers_all_band_pairs(keys, 2.0, partitions)
+
+    def test_all_records_present(self):
+        keys = [4.0, 1.0, 9.0, 2.0]
+        partitions = simple_partitions(keys, radius=1.5)
+        assert sorted({rid for p in partitions for rid in p}) == [0, 1, 2, 3]
+
+    def test_tight_radius_many_partitions(self):
+        keys = [float(i * 10) for i in range(5)]
+        partitions = simple_partitions(keys, radius=1.0)
+        assert len(partitions) == 5
+
+    def test_wide_radius_single_partition(self):
+        keys = [1.0, 2.0, 3.0]
+        partitions = simple_partitions(keys, radius=10.0)
+        assert len(partitions) == 1
+
+
+class TestGreedyPartitions:
+    @pytest.mark.parametrize("keys", KEYS_CASES)
+    def test_coverage(self, keys):
+        partitions = greedy_partitions(keys, radius=2.0)
+        assert covers_all_band_pairs(keys, 2.0, partitions)
+
+    def test_merges_heavily_overlapping_windows(self):
+        # Dense keys make adjacent windows nearly identical; merging wins.
+        keys = [i * 0.1 for i in range(30)]
+        simple = simple_partitions(keys, radius=1.0)
+        greedy = greedy_partitions(keys, radius=1.0)
+        assert len(greedy) <= len(simple)
+
+    def test_randomized_coverage(self):
+        rng = random.Random(17)
+        for _ in range(20):
+            keys = [rng.uniform(0, 30) for _ in range(rng.randint(0, 40))]
+            radius = rng.uniform(0.1, 8.0)
+            assert covers_all_band_pairs(keys, radius, greedy_partitions(keys, radius))
+
+
+class TestOptimalPartitions:
+    @pytest.mark.parametrize("keys", KEYS_CASES)
+    def test_coverage(self, keys):
+        partitions = optimal_partitions(keys, radius=2.0)
+        assert covers_all_band_pairs(keys, 2.0, partitions)
+
+    def test_cost_ordering(self):
+        """optimal <= greedy; both cover; simple covers too."""
+        rng = random.Random(18)
+        for _ in range(20):
+            keys = [rng.uniform(0, 20) for _ in range(rng.randint(2, 35))]
+            radius = rng.uniform(0.2, 6.0)
+            cost_simple = partition_cost(simple_partitions(keys, radius))
+            cost_greedy = partition_cost(greedy_partitions(keys, radius))
+            cost_optimal = partition_cost(optimal_partitions(keys, radius))
+            assert cost_optimal <= cost_greedy + 1e-9
+            assert cost_greedy <= cost_simple * 1.0 + 1e-9 or cost_greedy <= cost_simple + 1e-9
+
+    def test_optimal_beats_brute_force_enumeration(self):
+        """DP answer equals exhaustive search over window merges."""
+        import itertools
+
+        keys = [0.0, 1.0, 2.0, 5.0, 6.0, 10.0]
+        radius = 2.0
+        from repro.partition.bandjoin import _windows
+
+        order, spans = _windows(keys, radius)
+        n = len(spans)
+        best = float("inf")
+        # enumerate all ways to cut the window sequence into runs
+        for cuts in itertools.product([0, 1], repeat=n - 1):
+            boundaries = [0] + [i + 1 for i, c in enumerate(cuts) if c] + [n]
+            total = 0.0
+            for lo, hi in zip(boundaries, boundaries[1:]):
+                run = spans[hi - 1][1] - spans[lo][0]
+                total += float(run) ** 2
+            best = min(best, total)
+        assert partition_cost(optimal_partitions(keys, radius)) == pytest.approx(best)
+
+
+class TestPartitionCost:
+    def test_quadratic_default(self):
+        assert partition_cost([[1, 2, 3], [4]]) == 10.0
+
+    def test_custom_cost(self):
+        assert partition_cost([[1, 2], [3]], cost=lambda n: n) == 3.0

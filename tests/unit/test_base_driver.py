@@ -1,0 +1,70 @@
+"""Unit tests for the shared SetJoinAlgorithm driver machinery."""
+
+import pytest
+
+from repro import (
+    Dataset,
+    JaccardPredicate,
+    OverlapPredicate,
+    ProbeCountJoin,
+    similarity_join,
+)
+
+
+class TestJoinMetadata:
+    def test_result_records_names_and_time(self):
+        data = Dataset([(0, 1), (0, 1)])
+        result = ProbeCountJoin(variant="online").join(data, OverlapPredicate(2))
+        assert result.algorithm == "probe-count-online"
+        assert result.predicate == "overlap(T=2)"
+        assert result.elapsed_seconds >= 0.0
+
+    def test_counters_pairs_output_matches(self):
+        data = Dataset([(0, 1, 2)] * 5)
+        result = similarity_join(data, OverlapPredicate(3), algorithm="probe-count-sort")
+        assert result.counters.pairs_output == len(result.pairs) == 10
+
+    def test_verified_counter_at_least_output(self):
+        data = Dataset([(0, 1, 2), (0, 1, 3), (9,)])
+        result = similarity_join(data, JaccardPredicate(0.5), algorithm="probe-count-optmerge")
+        assert result.counters.pairs_verified >= len(result.pairs)
+
+
+class TestJoinBetweenEdges:
+    def test_band_filter_applied_across_sides(self):
+        vocab: dict = {}
+        left = Dataset.from_token_lists([["a", "b"]], vocabulary=vocab)
+        right = Dataset.from_token_lists(
+            [["a", "b"], ["a", "b", "c", "d", "e", "f", "g", "h"]], vocabulary=vocab
+        )
+        result = ProbeCountJoin().join_between(left, right, JaccardPredicate(0.9))
+        # Only the size-2 record passes; the size-8 one is band-filtered.
+        assert result.pair_set() == {(0, 0)}
+
+    def test_payloads_combined_for_verification(self):
+        from repro.predicates.edit_distance import EditDistancePredicate, qgram_dataset
+
+        vocab: dict = {}
+        left_strings = ["database", "unrelated"]
+        right_strings = ["databse"]
+        left = qgram_dataset(left_strings)
+        # Rebuild right over the same vocabulary object.
+        from repro.predicates.edit_distance import numbered_qgrams
+
+        right = Dataset.from_token_lists(
+            [numbered_qgrams(s) for s in right_strings],
+            payloads=right_strings,
+            vocabulary=left.vocabulary,
+        )
+        result = ProbeCountJoin().join_between(left, right, EditDistancePredicate(1))
+        assert result.pair_set() == {(0, 0)}
+
+    def test_right_side_self_pairs_not_produced(self):
+        vocab: dict = {}
+        left = Dataset.from_token_lists([["x", "y"]], vocabulary=vocab)
+        right = Dataset.from_token_lists(
+            [["a", "b", "c"], ["a", "b", "c"]], vocabulary=vocab
+        )
+        result = ProbeCountJoin().join_between(left, right, OverlapPredicate(2))
+        # The two identical right records must NOT pair with each other.
+        assert result.pairs == []

@@ -1,0 +1,42 @@
+"""Unit tests for the phase-2 batch planner."""
+
+import pytest
+
+from repro.partition.batching import plan_batches
+
+
+class TestPlanBatches:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            plan_batches([1], 0)
+
+    def test_everything_fits_one_batch(self):
+        assert plan_batches([3, 3, 3], 10) == [0, 0, 0]
+
+    def test_splits_when_full(self):
+        assert plan_batches([4, 4, 4], 8) == [0, 0, 1]
+
+    def test_single_oversized_cluster_gets_own_batch(self):
+        assert plan_batches([20, 1], 10) == [0, 1]
+
+    def test_oversized_in_middle(self):
+        assert plan_batches([5, 20, 5], 10) == [0, 1, 2]
+
+    def test_batches_respect_budget_except_oversized(self):
+        sizes = [3, 7, 2, 9, 1, 1, 4]
+        budget = 10
+        assignment = plan_batches(sizes, budget)
+        totals: dict[int, int] = {}
+        for size, batch in zip(sizes, assignment):
+            totals[batch] = totals.get(batch, 0) + size
+        for batch, total in totals.items():
+            members = [s for s, b in zip(sizes, assignment) if b == batch]
+            if len(members) > 1:
+                assert total <= budget
+
+    def test_batch_indices_contiguous(self):
+        assignment = plan_batches([5, 5, 5, 5], 10)
+        assert sorted(set(assignment)) == list(range(max(assignment) + 1))
+
+    def test_empty(self):
+        assert plan_batches([], 10) == []

@@ -1,0 +1,85 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SAMPLE = """efficient set joins on similarity predicates
+set joins on similarity predicates efficient
+gardening content totally different
+totally different gardening content
+nothing like the others here at all
+"""
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = tmp_path / "records.txt"
+    path.write_text(SAMPLE)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_join_requires_threshold(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "-i", "x.txt"])
+
+
+class TestJoinCommand:
+    def test_jaccard_join(self, sample_file, capsys):
+        code = main(["join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        pairs = {tuple(line.split("\t")[:2]) for line in out}
+        assert ("0", "1") in pairs
+        assert ("2", "3") in pairs
+        assert len(pairs) == 2
+
+    def test_overlap_join_with_algorithm(self, sample_file, capsys):
+        code = main(
+            ["join", "-i", sample_file, "--predicate", "overlap", "-t", "4",
+             "--algorithm", "probe-count-optmerge"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0\t1\t" in out
+
+    def test_3gram_tokenizer(self, sample_file, capsys):
+        code = main(
+            ["join", "-i", sample_file, "--tokenizer", "3grams",
+             "--predicate", "jaccard", "-t", "0.7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0\t1\t" in out
+
+
+class TestDedupeCommand:
+    def test_groups_printed(self, sample_file, capsys):
+        code = main(["dedupe", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["0\t1", "2\t3"]
+
+
+class TestEditJoinCommand:
+    def test_editjoin(self, tmp_path, capsys):
+        path = tmp_path / "names.txt"
+        path.write_text("sunita sarawagi\nsunita sarawagy\nalok kirpal\n")
+        code = main(["editjoin", "-i", str(path), "-k", "1"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["0\t1\t1"]
+
+
+class TestStatsCommand:
+    def test_stats(self, sample_file, capsys):
+        code = main(["stats", "-i", sample_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "records\t5" in out
+        assert "avg_set_size" in out

@@ -1,0 +1,207 @@
+"""Unit tests for the posting-compression substrate."""
+
+import random
+
+import pytest
+
+from repro.compression.elias import (
+    BitReader,
+    BitWriter,
+    elias_delta_decode,
+    elias_delta_encode,
+    elias_gamma_decode,
+    elias_gamma_encode,
+)
+from repro.compression.postings import CompressedPostingList
+from repro.compression.varbyte import (
+    varbyte_decode,
+    varbyte_decode_deltas,
+    varbyte_encode,
+)
+
+
+class TestVarbyte:
+    def test_roundtrip_small(self):
+        values = [0, 1, 127, 128, 129, 16383, 16384, 2**31]
+        assert varbyte_decode(varbyte_encode(values)) == values
+
+    def test_empty(self):
+        assert varbyte_encode([]) == b""
+        assert varbyte_decode(b"") == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            varbyte_encode([-1])
+
+    def test_truncated_stream_rejected(self):
+        data = varbyte_encode([300])
+        with pytest.raises(ValueError):
+            varbyte_decode(data[:-1])
+
+    def test_count_limited_decode(self):
+        data = varbyte_encode([5, 6, 7])
+        assert varbyte_decode(data, count=2) == [5, 6]
+
+    def test_small_values_one_byte(self):
+        assert len(varbyte_encode([0, 1, 100, 127])) == 4
+
+    def test_decode_deltas(self):
+        gaps = [0, 3, 1, 10]
+        data = varbyte_encode(gaps)
+        assert varbyte_decode_deltas(data, 0, 4, base=100) == [100, 103, 104, 114]
+
+    def test_roundtrip_random(self):
+        rng = random.Random(1)
+        values = [rng.randrange(0, 1 << 40) for _ in range(500)]
+        assert varbyte_decode(varbyte_encode(values)) == values
+
+
+class TestBitIO:
+    def test_roundtrip_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0b1, 1)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(4) == 0b1011
+        assert reader.read_bit() == 1
+
+    def test_exhausted_stream_raises(self):
+        reader = BitReader(b"")
+        with pytest.raises(ValueError):
+            reader.read_bit()
+
+
+class TestElias:
+    VALUES = [1, 2, 3, 4, 7, 8, 100, 1000, 2**20, 2**33]
+
+    def test_gamma_roundtrip(self):
+        data = elias_gamma_encode(self.VALUES)
+        assert elias_gamma_decode(data, len(self.VALUES)) == self.VALUES
+
+    def test_delta_roundtrip(self):
+        data = elias_delta_encode(self.VALUES)
+        assert elias_delta_decode(data, len(self.VALUES)) == self.VALUES
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            elias_gamma_encode([0])
+        with pytest.raises(ValueError):
+            elias_delta_encode([0])
+
+    def test_gamma_of_one_is_single_bit(self):
+        assert elias_gamma_encode([1] * 8) == b"\xff"
+
+    def test_delta_beats_gamma_for_large_values(self):
+        values = [2**20 + i for i in range(50)]
+        assert len(elias_delta_encode(values)) < len(elias_gamma_encode(values))
+
+    def test_roundtrip_random(self):
+        rng = random.Random(2)
+        values = [rng.randrange(1, 1 << 30) for _ in range(300)]
+        assert elias_gamma_decode(elias_gamma_encode(values), 300) == values
+        assert elias_delta_decode(elias_delta_encode(values), 300) == values
+
+
+class TestCompressedPostingList:
+    def test_roundtrip(self):
+        ids = [0, 1, 5, 100, 101, 1000, 10**6]
+        plist = CompressedPostingList(ids, block_size=3)
+        assert plist.decode() == ids
+        assert len(plist) == len(ids)
+
+    def test_empty(self):
+        plist = CompressedPostingList([])
+        assert len(plist) == 0
+        assert plist.decode() == []
+        assert plist.first_geq(5) is None
+        assert 3 not in plist
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedPostingList([1, 1])
+        with pytest.raises(ValueError):
+            CompressedPostingList([5, 3])
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            CompressedPostingList([1], block_size=0)
+
+    def test_contains(self):
+        ids = list(range(0, 500, 7))
+        plist = CompressedPostingList(ids, block_size=16)
+        for probe in range(510):
+            assert (probe in plist) == (probe in set(ids))
+
+    def test_first_geq(self):
+        ids = [10, 20, 30, 40]
+        plist = CompressedPostingList(ids, block_size=2)
+        assert plist.first_geq(0) == 10
+        assert plist.first_geq(10) == 10
+        assert plist.first_geq(11) == 20
+        assert plist.first_geq(35) == 40
+        assert plist.first_geq(41) is None
+
+    def test_first_geq_block_boundary(self):
+        ids = list(range(0, 100, 3))
+        plist = CompressedPostingList(ids, block_size=5)
+        from bisect import bisect_left
+
+        for probe in range(105):
+            position = bisect_left(ids, probe)
+            expected = ids[position] if position < len(ids) else None
+            assert plist.first_geq(probe) == expected
+
+    def test_compression_saves_space_on_dense_lists(self):
+        ids = list(range(10_000))
+        plist = CompressedPostingList(ids)
+        assert plist.size_in_bytes() < 8 * len(ids) / 3
+
+    def test_roundtrip_random(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            ids = sorted(rng.sample(range(100_000), rng.randint(0, 300)))
+            plist = CompressedPostingList(ids, block_size=rng.randint(1, 50))
+            assert plist.decode() == ids
+
+
+class TestCompressedProbeJoin:
+    def test_equivalence_with_naive(self):
+        from repro import NaiveJoin, OverlapPredicate
+        from repro.compression.compressed_join import CompressedProbeJoin
+        from tests.conftest import random_dataset
+
+        data = random_dataset(seed=60)
+        predicate = OverlapPredicate(4)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        result = CompressedProbeJoin().join(data, predicate)
+        assert result.pair_set() == truth
+        assert result.counters.extra["index_bytes_compressed"] > 0
+
+    def test_jaccard_equivalence(self):
+        from repro import JaccardPredicate, NaiveJoin
+        from repro.compression.compressed_join import CompressedProbeJoin
+        from tests.conftest import random_dataset
+
+        data = random_dataset(seed=61)
+        predicate = JaccardPredicate(0.6)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        assert CompressedProbeJoin().join(data, predicate).pair_set() == truth
+
+    def test_rejects_weighted(self):
+        from repro import WeightedOverlapPredicate
+        from repro.compression.compressed_join import CompressedProbeJoin
+        from tests.conftest import random_dataset
+
+        with pytest.raises(ValueError):
+            CompressedProbeJoin().join(random_dataset(seed=62), WeightedOverlapPredicate(2.0))
+
+    def test_reports_footprints(self):
+        from repro import OverlapPredicate
+        from repro.compression.compressed_join import CompressedProbeJoin
+        from tests.conftest import random_dataset
+
+        data = random_dataset(seed=63, n_base=100)
+        result = CompressedProbeJoin().join(data, OverlapPredicate(4))
+        compressed = result.counters.extra["index_bytes_compressed"]
+        plain = result.counters.extra["index_bytes_plain"]
+        assert compressed < plain

@@ -1,0 +1,46 @@
+"""Unit tests for the work counters."""
+
+from repro.utils.counters import CostCounters
+
+
+class TestCostCounters:
+    def test_defaults_are_zero(self):
+        counters = CostCounters()
+        assert counters.heap_pops == 0
+        assert counters.pairs_output == 0
+        assert counters.extra == {}
+
+    def test_merge_adds_fields(self):
+        a = CostCounters(heap_pops=3, pairs_output=1)
+        b = CostCounters(heap_pops=4, binary_searches=2)
+        a.merge(b)
+        assert a.heap_pops == 7
+        assert a.binary_searches == 2
+        assert a.pairs_output == 1
+
+    def test_merge_takes_max_of_peak(self):
+        a = CostCounters(peak_pair_table=10)
+        b = CostCounters(peak_pair_table=4)
+        a.merge(b)
+        assert a.peak_pair_table == 10
+        b.merge(a)
+        assert b.peak_pair_table == 10
+
+    def test_merge_accumulates_extra(self):
+        a = CostCounters(extra={"x": 1})
+        b = CostCounters(extra={"x": 2, "y": 5})
+        a.merge(b)
+        assert a.extra == {"x": 3, "y": 5}
+
+    def test_as_dict_includes_extra(self):
+        counters = CostCounters(probes=2, extra={"batches": 3})
+        snapshot = counters.as_dict()
+        assert snapshot["probes"] == 2
+        assert snapshot["batches"] == 3
+
+    def test_total_work_sums_merge_quantities(self):
+        counters = CostCounters(
+            heap_pops=1, list_items_touched=2, binary_searches=3,
+            pairs_generated=4, pairs_verified=5,
+        )
+        assert counters.total_work() == 15

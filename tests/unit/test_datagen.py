@@ -1,0 +1,146 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import random
+
+import pytest
+
+from repro.datagen import (
+    AddressGenerator,
+    CitationGenerator,
+    address_all_3grams,
+    address_name_3grams,
+    citation_all_3grams,
+    citation_all_words,
+)
+from repro.datagen.duplicates import make_typo, perturb_text
+from repro.datagen.zipf import ZipfVocabulary, pseudo_word
+
+
+class TestZipfVocabulary:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ZipfVocabulary(0)
+
+    def test_distinct_words(self):
+        vocab = ZipfVocabulary(200, rng=random.Random(1))
+        assert len(set(vocab.words)) == 200
+
+    def test_deterministic_per_seed(self):
+        a = ZipfVocabulary(50, rng=random.Random(2))
+        b = ZipfVocabulary(50, rng=random.Random(2))
+        assert a.words == b.words
+        assert [a.sample() for _ in range(20)] == [b.sample() for _ in range(20)]
+
+    def test_skewed_sampling(self):
+        vocab = ZipfVocabulary(500, exponent=1.1, rng=random.Random(3))
+        counts: dict[str, int] = {}
+        for _ in range(5000):
+            word = vocab.sample()
+            counts[word] = counts.get(word, 0) + 1
+        top_word_share = max(counts.values()) / 5000
+        assert top_word_share > 0.05  # heavy head
+
+    def test_sample_distinct(self):
+        vocab = ZipfVocabulary(30, rng=random.Random(4))
+        sample = vocab.sample_distinct(10)
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_sample_distinct_too_many(self):
+        vocab = ZipfVocabulary(5, rng=random.Random(4))
+        with pytest.raises(ValueError):
+            vocab.sample_distinct(6)
+
+
+class TestPerturbations:
+    def test_make_typo_single_edit(self):
+        rng = random.Random(5)
+        for _ in range(100):
+            word = "similarity"
+            typo = make_typo(word, rng)
+            assert abs(len(typo) - len(word)) <= 1
+
+    def test_make_typo_empty(self):
+        assert make_typo("", random.Random(0)) == ""
+
+    def test_perturb_text_changes_something_usually(self):
+        rng = random.Random(6)
+        text = "alpha beta gamma delta epsilon"
+        changed = sum(perturb_text(text, rng, 2) != text for _ in range(50))
+        assert changed > 40
+
+    def test_perturb_deterministic(self):
+        a = perturb_text("one two three four", random.Random(7), 2)
+        b = perturb_text("one two three four", random.Random(7), 2)
+        assert a == b
+
+
+class TestCitationGenerator:
+    def test_count(self):
+        assert len(CitationGenerator(seed=1).generate(100)) == 100
+
+    def test_deterministic(self):
+        a = CitationGenerator(seed=2).generate(50)
+        b = CitationGenerator(seed=2).generate(50)
+        assert [r.text() for r in a] == [r.text() for r in b]
+
+    def test_duplicate_fraction_validation(self):
+        with pytest.raises(ValueError):
+            CitationGenerator(duplicate_fraction=1.0)
+
+    def test_contains_near_duplicates(self):
+        from repro import Dataset, JaccardPredicate, NaiveJoin
+        from repro.text.tokenizers import tokenize_words
+
+        texts = [r.text() for r in CitationGenerator(seed=3).generate(120)]
+        data = Dataset.from_texts(texts, tokenize_words)
+        result = NaiveJoin().join(data, JaccardPredicate(0.6))
+        assert len(result.pairs) > 5
+
+    def test_text_has_expected_fields(self):
+        record = CitationGenerator(seed=4).generate(1)[0]
+        text = record.text()
+        assert str(record.year) in text
+        assert "pages" in text
+
+
+class TestAddressGenerator:
+    def test_count_and_determinism(self):
+        a = AddressGenerator(seed=1).generate(80)
+        b = AddressGenerator(seed=1).generate(80)
+        assert len(a) == 80
+        assert [r.text() for r in a] == [r.text() for r in b]
+
+    def test_name_text_is_subset_of_text(self):
+        record = AddressGenerator(seed=2).generate(1)[0]
+        assert record.name_text() in record.text()
+
+    def test_pin_format(self):
+        for record in AddressGenerator(seed=3).generate(20):
+            assert record.pin.startswith("4110")
+            assert len(record.pin) == 6
+
+
+class TestTable1Builders:
+    @pytest.mark.parametrize(
+        "builder,paper_avg,tolerance",
+        [
+            (citation_all_words, 24, 0.5),
+            (citation_all_3grams, 127, 0.5),
+            (address_all_3grams, 47, 0.5),
+            (address_name_3grams, 16, 0.5),
+        ],
+    )
+    def test_average_set_size_in_paper_ballpark(self, builder, paper_avg, tolerance):
+        data = builder(400, seed=1)
+        average = data.average_set_size()
+        assert paper_avg * (1 - tolerance) <= average <= paper_avg * (1 + tolerance)
+
+    def test_builders_are_deterministic(self):
+        a = citation_all_words(100, seed=9)
+        b = citation_all_words(100, seed=9)
+        assert a.records == b.records
+
+    def test_name_3grams_smaller_than_all_3grams(self):
+        names = address_name_3grams(200, seed=2)
+        full = address_all_3grams(200, seed=2)
+        assert names.average_set_size() < full.average_set_size()

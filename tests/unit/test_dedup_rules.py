@@ -1,0 +1,95 @@
+"""Unit tests for the rule-based structured-record matcher."""
+
+import pytest
+
+from repro import JaccardPredicate, OverlapPredicate
+from repro.dedup import EditDistanceRule, FieldRule, RuleBasedMatcher
+
+RECORDS = [
+    {"name": "sunita sarawagi", "title": "efficient set joins on similarity predicates"},
+    {"name": "sunita sarawagy", "title": "set joins on similarity predicates efficient"},
+    {"name": "alok kirpal", "title": "efficient set joins on similarity predicates"},
+    {"name": "jeff ullman", "title": "managing gigabytes compressing and indexing"},
+    {"name": "jeff ullmann", "title": "totally different topic here entirely"},
+]
+
+
+class TestValidation:
+    def test_needs_rules(self):
+        with pytest.raises(ValueError):
+            RuleBasedMatcher([])
+
+    def test_vote_bounds(self):
+        rule = FieldRule("title", JaccardPredicate(0.8))
+        with pytest.raises(ValueError):
+            RuleBasedMatcher([rule], combine=2)
+        with pytest.raises(ValueError):
+            RuleBasedMatcher([rule], combine=0)
+
+    def test_combine_values(self):
+        rule = FieldRule("title", JaccardPredicate(0.8))
+        with pytest.raises(ValueError):
+            RuleBasedMatcher([rule], combine="most")
+
+
+class TestSingleRule:
+    def test_title_rule(self):
+        matcher = RuleBasedMatcher([FieldRule("title", JaccardPredicate(0.8))])
+        result = matcher.match(RECORDS)
+        assert result.pair_set() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_edit_rule(self):
+        matcher = RuleBasedMatcher([EditDistanceRule("name", k=1)])
+        result = matcher.match(RECORDS)
+        assert result.pair_set() == {(0, 1), (3, 4)}
+
+
+class TestCombinators:
+    TITLE = FieldRule("title", JaccardPredicate(0.8))
+    NAME = EditDistanceRule("name", k=1)
+
+    def test_all_is_intersection(self):
+        matcher = RuleBasedMatcher([self.TITLE, self.NAME], combine="all")
+        result = matcher.match(RECORDS)
+        assert result.pair_set() == {(0, 1)}
+
+    def test_all_order_invariant(self):
+        forward = RuleBasedMatcher([self.TITLE, self.NAME], combine="all").match(RECORDS)
+        backward = RuleBasedMatcher([self.NAME, self.TITLE], combine="all").match(RECORDS)
+        assert forward.pair_set() == backward.pair_set()
+
+    def test_any_is_union(self):
+        matcher = RuleBasedMatcher([self.TITLE, self.NAME], combine="any")
+        result = matcher.match(RECORDS)
+        assert result.pair_set() == {(0, 1), (0, 2), (1, 2), (3, 4)}
+
+    def test_vote_one_equals_any(self):
+        any_pairs = RuleBasedMatcher([self.TITLE, self.NAME], combine="any").match(RECORDS)
+        vote_pairs = RuleBasedMatcher([self.TITLE, self.NAME], combine=1).match(RECORDS)
+        assert any_pairs.pair_set() == vote_pairs.pair_set()
+
+    def test_vote_n_equals_all(self):
+        all_pairs = RuleBasedMatcher([self.TITLE, self.NAME], combine="all").match(RECORDS)
+        vote_pairs = RuleBasedMatcher([self.TITLE, self.NAME], combine=2).match(RECORDS)
+        assert all_pairs.pair_set() == vote_pairs.pair_set()
+
+
+class TestGroups:
+    def test_groups(self):
+        matcher = RuleBasedMatcher([FieldRule("title", JaccardPredicate(0.8))])
+        assert matcher.groups(RECORDS) == [[0, 1, 2]]
+
+    def test_missing_field_treated_as_empty(self):
+        records = [{"title": "alpha beta gamma"}, {"other": "x"}, {"title": "alpha beta gamma"}]
+        matcher = RuleBasedMatcher([FieldRule("title", JaccardPredicate(0.9))])
+        assert matcher.match(records).pair_set() == {(0, 2)}
+
+    def test_predicate_description(self):
+        matcher = RuleBasedMatcher([self_rule()], combine="any")
+        result = matcher.match(RECORDS)
+        assert "title" in result.predicate
+        assert "combine=any" in result.predicate
+
+
+def self_rule():
+    return FieldRule("title", OverlapPredicate(4))

@@ -1,0 +1,68 @@
+"""Unit tests for the deduplication convenience layer."""
+
+from repro import JaccardPredicate, MatchPair, connected_components, dedupe_texts
+from repro.text.tokenizers import tokenize_words
+
+
+class TestConnectedComponents:
+    def test_empty(self):
+        assert connected_components([], 5) == []
+
+    def test_single_pair(self):
+        assert connected_components([(0, 3)], 4) == [[0, 3]]
+
+    def test_chain_merges(self):
+        groups = connected_components([(0, 1), (1, 2), (3, 4)], 6)
+        assert groups == [[0, 1, 2], [3, 4]]
+
+    def test_match_pair_objects_accepted(self):
+        pairs = [MatchPair(2, 5, 0.9), MatchPair(5, 7, 0.8)]
+        assert connected_components(pairs, 8) == [[2, 5, 7]]
+
+    def test_singletons_omitted(self):
+        groups = connected_components([(0, 1)], 10)
+        assert groups == [[0, 1]]
+
+    def test_order_by_smallest_member(self):
+        groups = connected_components([(8, 9), (0, 1)], 10)
+        assert groups == [[0, 1], [8, 9]]
+
+    def test_duplicate_pairs_idempotent(self):
+        groups = connected_components([(0, 1), (0, 1), (1, 0)], 3)
+        assert groups == [[0, 1]]
+
+
+class TestDedupeTexts:
+    TEXTS = [
+        "efficient set joins on similarity predicates",
+        "set joins on similarity predicates efficient",
+        "totally different content about gardening",
+        "gardening content totally different about",
+        "lone record with nothing similar",
+    ]
+
+    def test_groups_found(self):
+        groups = dedupe_texts(self.TEXTS, JaccardPredicate(0.8), tokenize_words)
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_algorithm_option(self):
+        groups = dedupe_texts(
+            self.TEXTS, JaccardPredicate(0.8), tokenize_words,
+            algorithm="probe-count-optmerge",
+        )
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_no_duplicates(self):
+        groups = dedupe_texts(
+            ["aaa bbb", "ccc ddd", "eee fff"], JaccardPredicate(0.5), tokenize_words
+        )
+        assert groups == []
+
+    def test_transitive_grouping(self):
+        texts = [
+            "a b c d e",
+            "a b c d f",   # close to 0
+            "a b c g f",   # close to 1, not to 0
+        ]
+        groups = dedupe_texts(texts, JaccardPredicate(0.6), tokenize_words)
+        assert groups == [[0, 1, 2]]

@@ -1,0 +1,110 @@
+"""Unit tests for the disk-resident inverted index."""
+
+import pytest
+
+from repro import (
+    Dataset,
+    JaccardPredicate,
+    NaiveJoin,
+    OverlapPredicate,
+    WeightedOverlapPredicate,
+)
+from repro.storage.disk_index import DiskInvertedIndex, DiskProbeJoin
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def data():
+    return Dataset([(0, 1, 2), (1, 2, 3), (0, 3), (5,)])
+
+
+class TestDiskInvertedIndex:
+    def test_build_and_read(self, data, tmp_path):
+        bound = OverlapPredicate(2).bind(data)
+        index = DiskInvertedIndex.build(data, bound, str(tmp_path / "ix.bin"))
+        assert index.read_posting(1) == [0, 1]
+        assert index.read_posting(0) == [0, 2]
+        assert index.read_posting(5) == [3]
+        assert index.read_posting(99) == []
+        index.close()
+
+    def test_n_entries_and_min_norm(self, data, tmp_path):
+        bound = OverlapPredicate(2).bind(data)
+        index = DiskInvertedIndex.build(data, bound, str(tmp_path / "ix.bin"))
+        assert index.n_entries == data.total_word_occurrences()
+        assert index.min_norm == 1.0
+        index.close()
+
+    def test_open_roundtrip(self, data, tmp_path):
+        path = str(tmp_path / "ix.bin")
+        bound = OverlapPredicate(2).bind(data)
+        DiskInvertedIndex.build(data, bound, path).close()
+        reopened = DiskInvertedIndex.open(path)
+        assert reopened.read_posting(1) == [0, 1]
+        assert reopened.min_norm == 1.0
+        assert reopened.n_entries == data.total_word_occurrences()
+        reopened.close()
+
+    def test_open_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"definitely not an index")
+        with pytest.raises(ValueError):
+            DiskInvertedIndex.open(str(path))
+
+    def test_probe_lists(self, data, tmp_path):
+        bound = OverlapPredicate(2).bind(data)
+        index = DiskInvertedIndex.build(data, bound, str(tmp_path / "ix.bin"))
+        lists = index.probe_lists((0, 1, 9), (1.0, 1.0, 1.0))
+        assert [plist.ids for plist, _score in lists] == [[0, 2], [0, 1]]
+        assert index.lists_read >= 2
+        assert index.bytes_read > 0
+        index.close()
+
+    def test_rejects_weighted(self, data, tmp_path):
+        bound = WeightedOverlapPredicate(2.0).bind(data)
+        with pytest.raises(ValueError):
+            DiskInvertedIndex.build(data, bound, str(tmp_path / "ix.bin"))
+
+    def test_unlink(self, data, tmp_path):
+        path = tmp_path / "ix.bin"
+        bound = OverlapPredicate(2).bind(data)
+        index = DiskInvertedIndex.build(data, bound, str(path))
+        index.unlink()
+        assert not path.exists()
+
+    def test_random_roundtrip(self, tmp_path):
+        data = random_dataset(seed=90)
+        bound = OverlapPredicate(2).bind(data)
+        index = DiskInvertedIndex.build(data, bound, str(tmp_path / "ix.bin"))
+        expected: dict[int, list[int]] = {}
+        for rid, record in enumerate(data.records):
+            for token in record:
+                expected.setdefault(token, []).append(rid)
+        for token, ids in expected.items():
+            assert index.read_posting(token) == ids
+        index.close()
+
+
+class TestDiskProbeJoin:
+    def test_equivalence_with_naive(self):
+        data = random_dataset(seed=91)
+        predicate = OverlapPredicate(4)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        result = DiskProbeJoin().join(data, predicate)
+        assert result.pair_set() == truth
+        assert result.counters.extra["disk_lists_read"] > 0
+
+    def test_jaccard_equivalence(self):
+        data = random_dataset(seed=92)
+        predicate = JaccardPredicate(0.6)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        assert DiskProbeJoin().join(data, predicate).pair_set() == truth
+
+    def test_explicit_path_kept(self, tmp_path):
+        data = random_dataset(seed=93, n_base=20)
+        path = tmp_path / "kept.bin"
+        DiskProbeJoin(path=str(path)).join(data, OverlapPredicate(3))
+        assert path.exists()
+        reopened = DiskInvertedIndex.open(str(path))
+        assert reopened.n_entries == data.total_word_occurrences()
+        reopened.close()

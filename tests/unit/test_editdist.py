@@ -1,0 +1,85 @@
+"""Unit tests for Levenshtein distance (full and banded)."""
+
+import pytest
+
+from repro.text.editdist import banded_edit_distance, edit_distance, edit_distance_within
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("abc", "abc", 0),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("saturday", "sunday", 3),
+            ("ab", "ba", 2),
+            ("intention", "execution", 5),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    def test_symmetry(self):
+        assert edit_distance("abcde", "xbcdz") == edit_distance("xbcdz", "abcde")
+
+    def test_triangle_inequality_spot(self):
+        a, b, c = "data", "date", "gate"
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestBandedEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,k",
+        [
+            ("kitten", "sitting", 3),
+            ("kitten", "sitting", 4),
+            ("abc", "abc", 0),
+            ("", "ab", 2),
+            ("abcd", "abcd", 1),
+        ],
+    )
+    def test_within_band_exact(self, a, b, k):
+        assert banded_edit_distance(a, b, k) == edit_distance(a, b)
+
+    def test_exceeding_band_reports_over_k(self):
+        assert banded_edit_distance("kitten", "sitting", 2) > 2
+
+    def test_length_gap_short_circuit(self):
+        assert banded_edit_distance("a", "abcdef", 2) == 3
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            banded_edit_distance("a", "b", -1)
+
+    def test_k_zero_equal_strings(self):
+        assert banded_edit_distance("same", "same", 0) == 0
+
+    def test_k_zero_different_strings(self):
+        assert banded_edit_distance("same", "sane", 0) == 1
+
+    def test_agrees_with_full_dp_on_random_pairs(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(200):
+            a = "".join(rng.choice("abc") for _ in range(rng.randint(0, 10)))
+            b = "".join(rng.choice("abc") for _ in range(rng.randint(0, 10)))
+            k = rng.randint(0, 4)
+            full = edit_distance(a, b)
+            banded = banded_edit_distance(a, b, k)
+            if full <= k:
+                assert banded == full
+            else:
+                assert banded > k
+
+
+class TestEditDistanceWithin:
+    def test_true_case(self):
+        assert edit_distance_within("databse", "database", 1)
+
+    def test_false_case(self):
+        assert not edit_distance_within("data", "warehouse", 3)

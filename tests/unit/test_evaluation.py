@@ -1,0 +1,114 @@
+"""Unit tests for match-quality evaluation."""
+
+import pytest
+
+from repro import Dataset, JaccardPredicate, MatchPair
+from repro.evaluation import MatchQuality, pair_quality, threshold_sweep, true_pairs_of
+
+
+class TestTruePairs:
+    def test_groups_to_pairs(self):
+        labels = [0, 0, 1, 0, 1, 2]
+        assert true_pairs_of(labels) == {(0, 1), (0, 3), (1, 3), (2, 4)}
+
+    def test_all_singletons(self):
+        assert true_pairs_of([0, 1, 2]) == set()
+
+    def test_empty(self):
+        assert true_pairs_of([]) == set()
+
+
+class TestMatchQuality:
+    def test_perfect(self):
+        quality = MatchQuality(true_positives=5, false_positives=0, false_negatives=0)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_precision_recall(self):
+        quality = MatchQuality(true_positives=3, false_positives=1, false_negatives=3)
+        assert quality.precision == pytest.approx(0.75)
+        assert quality.recall == pytest.approx(0.5)
+        assert quality.f1 == pytest.approx(0.6)
+
+    def test_degenerate_empty(self):
+        quality = MatchQuality(0, 0, 0)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_all_wrong(self):
+        quality = MatchQuality(0, 4, 2)
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+
+class TestPairQuality:
+    LABELS = [0, 0, 1, 1, 2]
+
+    def test_mixed_prediction(self):
+        predicted = [(0, 1), (0, 2), MatchPair(2, 3)]
+        quality = pair_quality(predicted, self.LABELS)
+        assert quality.true_positives == 2
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 0
+
+    def test_orientation_normalized(self):
+        quality = pair_quality([(1, 0)], self.LABELS)
+        assert quality.true_positives == 1
+
+
+class TestThresholdSweep:
+    def test_recall_monotone_in_threshold(self):
+        from repro.datagen import CitationGenerator
+        from repro.text.tokenizers import tokenize_words
+
+        records, labels = CitationGenerator(seed=5).generate_labeled(150)
+        data = Dataset.from_texts([r.text() for r in records], tokenize_words)
+        sweep = threshold_sweep(
+            data, labels, JaccardPredicate, [0.9, 0.7, 0.5]
+        )
+        recalls = [quality.recall for _t, quality in sweep]
+        assert recalls == sorted(recalls)  # lower threshold -> more recall
+
+    def test_reasonable_quality_on_labeled_corpus(self):
+        from repro.datagen import AddressGenerator
+        from repro.text.tokenizers import tokenize_qgrams
+
+        records, labels = AddressGenerator(seed=6, duplicate_fraction=0.3).generate_labeled(120)
+        data = Dataset.from_texts([r.text() for r in records], tokenize_qgrams)
+        [(threshold, quality)] = threshold_sweep(data, labels, JaccardPredicate, [0.75])
+        assert quality.f1 > 0.5
+
+
+class TestLabeledGenerators:
+    def test_citation_labels_align(self):
+        from repro.datagen import CitationGenerator
+
+        records, labels = CitationGenerator(seed=7).generate_labeled(100)
+        assert len(records) == len(labels) == 100
+        # generate() returns the same records.
+        assert [r.text() for r in CitationGenerator(seed=7).generate(100)] == [
+            r.text() for r in records
+        ]
+
+    def test_address_labels_align(self):
+        from repro.datagen import AddressGenerator
+
+        records, labels = AddressGenerator(seed=8).generate_labeled(80)
+        assert len(records) == len(labels) == 80
+
+    def test_label_groups_are_contiguous_duplicates(self):
+        from repro.datagen import CitationGenerator
+
+        records, labels = CitationGenerator(seed=9, duplicate_fraction=0.6).generate_labeled(60)
+        # members of one group share the venue (never perturbed)
+        by_group: dict[int, list[int]] = {}
+        for rid, label in enumerate(labels):
+            by_group.setdefault(label, []).append(rid)
+        multi = [members for members in by_group.values() if len(members) > 1]
+        assert multi, "expected duplicate groups at this rate"
+        for members in multi:
+            venues = {records[rid].venue for rid in members}
+            assert len(venues) == 1

@@ -1,0 +1,61 @@
+"""Unit tests for the FP-growth miner."""
+
+import pytest
+
+from repro.mining.apriori import AprioriMiner
+from repro.mining.fpgrowth import fpgrowth
+
+
+class TestFPGrowth:
+    TRANSACTIONS = [
+        (1, 2, 3),
+        (1, 2),
+        (1, 3),
+        (2, 3),
+        (1, 2, 3),
+    ]
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            fpgrowth([], min_support=0)
+
+    def test_known_supports(self):
+        result = fpgrowth(self.TRANSACTIONS, min_support=2)
+        assert result[(1,)] == 4
+        assert result[(1, 2)] == 3
+        assert result[(1, 2, 3)] == 2
+
+    def test_infrequent_excluded(self):
+        result = fpgrowth([(1, 2), (1, 3), (1, 4)], min_support=2)
+        assert (2,) not in result
+        assert (1,) in result
+
+    def test_matches_apriori_on_fixture(self):
+        apriori = AprioriMiner(min_support=2).mine(self.TRANSACTIONS)
+        fp = fpgrowth(self.TRANSACTIONS, min_support=2)
+        assert set(fp) == set(apriori)
+        for itemset, support in fp.items():
+            assert support == len(apriori[itemset])
+
+    def test_matches_apriori_randomized(self):
+        import random
+
+        rng = random.Random(31)
+        for trial in range(15):
+            transactions = [
+                tuple(rng.sample(range(8), rng.randint(1, 6)))
+                for _ in range(rng.randint(3, 15))
+            ]
+            support = rng.randint(2, 4)
+            apriori = AprioriMiner(min_support=support).mine(transactions)
+            fp = fpgrowth(transactions, min_support=support)
+            assert set(fp) == set(apriori), f"trial {trial}"
+            for itemset in fp:
+                assert fp[itemset] == len(apriori[itemset]), f"trial {trial}"
+
+    def test_empty(self):
+        assert fpgrowth([], min_support=2) == {}
+
+    def test_single_transaction_support_one(self):
+        result = fpgrowth([(1, 2)], min_support=1)
+        assert result == {(1,): 1, (2,): 1, (1, 2): 1}

@@ -1,0 +1,109 @@
+"""Unit tests for the scored inverted index."""
+
+import math
+
+import pytest
+
+from repro.core.inverted_index import PostingList, ScoredInvertedIndex
+from repro.utils.counters import CostCounters
+
+
+class TestPostingList:
+    def test_append_keeps_order_and_max(self):
+        plist = PostingList()
+        plist.append(1, 0.5)
+        plist.append(4, 2.0)
+        plist.append(9, 1.0)
+        assert plist.ids == [1, 4, 9]
+        assert plist.max_score == 2.0
+
+    def test_append_rejects_out_of_order(self):
+        plist = PostingList()
+        plist.append(5, 1.0)
+        with pytest.raises(ValueError):
+            plist.append(5, 1.0)
+        with pytest.raises(ValueError):
+            plist.append(3, 1.0)
+
+    def test_insert_sorted_middle(self):
+        plist = PostingList()
+        plist.append(1, 1.0)
+        plist.append(9, 1.0)
+        plist.insert_sorted(5, 3.0)
+        assert plist.ids == [1, 5, 9]
+        assert plist.scores == [1.0, 3.0, 1.0]
+        assert plist.max_score == 3.0
+
+    def test_insert_sorted_existing_raises_score(self):
+        plist = PostingList()
+        plist.append(5, 1.0)
+        plist.insert_sorted(5, 2.0)
+        assert plist.ids == [5]
+        assert plist.scores == [2.0]
+
+    def test_insert_sorted_existing_never_lowers_score(self):
+        plist = PostingList()
+        plist.append(5, 2.0)
+        plist.insert_sorted(5, 1.0)
+        assert plist.scores == [2.0]
+
+
+class TestScoredInvertedIndex:
+    def test_insert_builds_sorted_lists(self):
+        index = ScoredInvertedIndex()
+        index.insert(0, (1, 2), (1.0, 1.0), norm=2.0)
+        index.insert(1, (2, 3), (1.0, 1.0), norm=2.0)
+        assert index.get(2).ids == [0, 1]
+        assert index.get(1).ids == [0]
+        assert index.get(3).ids == [1]
+
+    def test_min_norm_tracks_minimum(self):
+        index = ScoredInvertedIndex()
+        assert index.min_norm == math.inf
+        index.insert(0, (1,), (1.0,), norm=5.0)
+        index.insert(1, (1,), (1.0,), norm=3.0)
+        index.insert(2, (1,), (1.0,), norm=9.0)
+        assert index.min_norm == 3.0
+
+    def test_entry_counting(self):
+        index = ScoredInvertedIndex()
+        counters = CostCounters()
+        index.insert(0, (1, 2, 3), (1.0,) * 3, norm=3.0, counters=counters)
+        assert index.n_entries == 3
+        assert index.n_entities == 1
+        assert counters.index_entries == 3
+
+    def test_probe_lists_skips_missing_and_zero_scores(self):
+        index = ScoredInvertedIndex()
+        index.insert(0, (1, 2), (1.0, 1.0), norm=2.0)
+        lists = index.probe_lists((1, 5, 2), (1.0, 1.0, 0.0))
+        assert len(lists) == 1
+        assert lists[0][0].ids == [0]
+
+    def test_add_entity_tokens_appends_new_words(self):
+        index = ScoredInvertedIndex()
+        index.insert(0, (1,), (1.0,), norm=1.0)
+        index.add_entity_tokens(0, (2,), (1.0,))
+        assert index.get(2).ids == [0]
+        assert index.n_entries == 2
+
+    def test_add_entity_tokens_raises_score_of_tail_entity(self):
+        index = ScoredInvertedIndex()
+        index.insert(0, (1,), (1.0,), norm=1.0)
+        index.add_entity_tokens(0, (1,), (4.0,))
+        assert index.get(1).scores == [4.0]
+        assert index.n_entries == 1
+
+    def test_get_or_create(self):
+        index = ScoredInvertedIndex()
+        plist = index.get_or_create(7)
+        assert len(plist) == 0
+        assert index.get_or_create(7) is plist
+
+    def test_len_counts_distinct_words(self):
+        index = ScoredInvertedIndex()
+        index.insert(0, (1, 2), (1.0, 1.0), norm=2.0)
+        index.insert(1, (2,), (1.0,), norm=1.0)
+        assert len(index) == 2
+        assert 1 in index
+        assert 9 not in index

@@ -1,0 +1,83 @@
+"""Unit tests for MinHash signatures and group compaction."""
+
+import random
+
+import pytest
+
+from repro.mining.minhash import MinHasher, compact_groups
+
+
+class TestMinHasher:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            MinHasher(k=0)
+
+    def test_signature_deterministic_per_seed(self):
+        a = MinHasher(k=8, seed=1).signature([1, 2, 3])
+        b = MinHasher(k=8, seed=1).signature([1, 2, 3])
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = MinHasher(k=8, seed=1).signature([1, 2, 3])
+        b = MinHasher(k=8, seed=2).signature([1, 2, 3])
+        assert a != b
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            MinHasher(k=4).signature([])
+
+    def test_identical_sets_identical_signature(self):
+        hasher = MinHasher(k=16, seed=3)
+        assert hasher.signature([5, 9, 11]) == hasher.signature([11, 9, 5])
+
+    def test_resemblance_estimate_extremes(self):
+        hasher = MinHasher(k=16, seed=4)
+        sig = hasher.signature([1, 2, 3])
+        assert hasher.estimate_resemblance(sig, sig) == 1.0
+
+    def test_resemblance_estimate_length_mismatch(self):
+        hasher = MinHasher(k=4)
+        with pytest.raises(ValueError):
+            hasher.estimate_resemblance((1, 2), (1, 2, 3))
+
+    def test_estimate_tracks_true_jaccard(self):
+        """Statistical sanity: estimates correlate with true resemblance."""
+        rng = random.Random(6)
+        hasher = MinHasher(k=128, seed=7)
+        for _ in range(10):
+            a = set(rng.sample(range(200), 50))
+            b = set(rng.sample(range(200), 50))
+            true = len(a & b) / len(a | b)
+            estimate = hasher.estimate_resemblance(
+                hasher.signature(sorted(a)), hasher.signature(sorted(b))
+            )
+            assert abs(true - estimate) < 0.2
+
+
+class TestCompactGroups:
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            compact_groups([[1]], p=0.0)
+
+    def test_identical_groups_merge(self):
+        groups = [[1, 2, 3], [1, 2, 3], [9, 10, 11]]
+        clusters = compact_groups(groups, k=16, p=0.9)
+        merged = {tuple(c) for c in clusters}
+        assert (0, 1) in merged
+        assert (2,) in merged
+
+    def test_disjoint_groups_stay_separate(self):
+        groups = [[1, 2], [10, 20], [30, 40]]
+        clusters = compact_groups(groups, k=16, p=0.9)
+        assert sorted(clusters) == [[0], [1], [2]]
+
+    def test_partition_property(self):
+        rng = random.Random(8)
+        groups = [sorted(rng.sample(range(50), rng.randint(2, 10))) for _ in range(12)]
+        clusters = compact_groups(groups, k=8, p=0.5)
+        flattened = sorted(i for cluster in clusters for i in cluster)
+        assert flattened == list(range(len(groups)))
+
+    def test_deterministic(self):
+        groups = [[1, 2, 3], [1, 2, 4], [7, 8]]
+        assert compact_groups(groups, seed=5) == compact_groups(groups, seed=5)

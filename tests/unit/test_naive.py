@@ -1,0 +1,42 @@
+"""Unit tests for the naive baseline itself."""
+
+import itertools
+
+from repro import Dataset, JaccardPredicate, NaiveJoin, OverlapPredicate
+from tests.conftest import random_dataset
+
+
+class TestNaive:
+    def test_overlap_semantics_by_hand(self):
+        data = Dataset([(0, 1, 2), (1, 2, 3), (4, 5, 6)])
+        result = NaiveJoin().join(data, OverlapPredicate(2))
+        assert result.pair_set() == {(0, 1)}
+
+    def test_all_pairs_when_threshold_one_and_shared(self):
+        data = Dataset([(0,), (0,), (0,)])
+        result = NaiveJoin().join(data, OverlapPredicate(1))
+        assert result.pair_set() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_band_filter_path_matches_unfiltered_semantics(self):
+        """The banded scan must find exactly the pairs a full scan does."""
+        data = random_dataset(seed=21)
+        predicate = JaccardPredicate(0.6)
+        bound = predicate.bind(data)
+        expected = set()
+        for rid_a, rid_b in itertools.combinations(range(len(data)), 2):
+            ok, _sim = bound.verify(rid_a, rid_b)
+            if ok:
+                expected.add((rid_a, rid_b))
+        assert NaiveJoin().join(data, predicate).pair_set() == expected
+
+    def test_similarity_values_reported(self):
+        data = Dataset([(0, 1, 2, 3), (0, 1, 2, 4)])
+        result = NaiveJoin().join(data, JaccardPredicate(0.5))
+        assert len(result.pairs) == 1
+        assert abs(result.pairs[0].similarity - 3 / 5) < 1e-12
+
+    def test_counters_count_verifications(self):
+        data = Dataset([(0,), (1,), (2,)])
+        result = NaiveJoin().join(data, OverlapPredicate(1))
+        assert result.counters.pairs_verified == 3
+        assert result.pairs == []

@@ -1,0 +1,62 @@
+"""Unit tests for Pair-Count (§2.2, §3.1)."""
+
+import pytest
+
+from repro import Dataset, NaiveJoin, OverlapPredicate, PairCountJoin, PairTableOverflow
+from tests.conftest import random_dataset
+
+
+class TestPairCount:
+    def test_basic_result(self, small_dataset):
+        result = PairCountJoin(optimized=False).join(small_dataset, OverlapPredicate(5))
+        assert result.pair_set() == {(0, 1)}
+
+    def test_optimized_result(self, small_dataset):
+        result = PairCountJoin(optimized=True).join(small_dataset, OverlapPredicate(5))
+        assert result.pair_set() == {(0, 1)}
+
+    def test_names(self):
+        assert PairCountJoin(optimized=False).name == "pair-count"
+        assert PairCountJoin(optimized=True).name == "pair-count-optmerge"
+
+    @pytest.mark.parametrize("optimized", [False, True])
+    @pytest.mark.parametrize("seed", [1, 4, 8])
+    def test_equivalence_with_naive(self, optimized, seed):
+        data = random_dataset(seed=seed)
+        predicate = OverlapPredicate(4)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        got = PairCountJoin(optimized=optimized).join(data, predicate).pair_set()
+        assert got == truth
+
+    def test_peak_pair_table_recorded(self):
+        data = random_dataset(seed=2, n_base=40)
+        result = PairCountJoin(optimized=False).join(data, OverlapPredicate(3))
+        assert result.counters.peak_pair_table > 0
+        assert result.counters.pairs_generated >= result.counters.peak_pair_table
+
+    def test_optimized_generates_fewer_pairs(self):
+        data = random_dataset(seed=3, n_base=120, universe=30)
+        plain = PairCountJoin(optimized=False).join(data, OverlapPredicate(5))
+        opt = PairCountJoin(optimized=True).join(data, OverlapPredicate(5))
+        assert opt.pair_set() == plain.pair_set()
+        assert opt.counters.pairs_generated < plain.counters.pairs_generated
+        assert opt.counters.peak_pair_table < plain.counters.peak_pair_table
+        assert opt.counters.extra["skipped_lists"] > 0
+
+    def test_pair_limit_overflow(self):
+        data = random_dataset(seed=3, n_base=120, universe=30)
+        with pytest.raises(PairTableOverflow) as excinfo:
+            PairCountJoin(optimized=False, pair_limit=50).join(data, OverlapPredicate(5))
+        assert excinfo.value.limit == 50
+        assert excinfo.value.n_pairs > 50
+
+    def test_pair_limit_not_hit_when_table_small(self):
+        data = Dataset([(0, 1), (0, 2), (3, 4)])
+        result = PairCountJoin(optimized=False, pair_limit=100).join(
+            data, OverlapPredicate(1)
+        )
+        assert result.pair_set() == {(0, 1)}
+
+    def test_empty_dataset(self):
+        result = PairCountJoin().join(Dataset([]), OverlapPredicate(1))
+        assert result.pairs == []

@@ -1,0 +1,87 @@
+"""Unit tests for the pInfo partition-information store."""
+
+import pytest
+
+from repro.partition.pinfo import PartitionEntry, PartitionInfoStore
+
+
+class TestPartitionEntry:
+    def test_roundtrip_with_joins(self):
+        entry = PartitionEntry(position=3, rid=7, home=2, joins=(1, 2, 5))
+        assert PartitionEntry.from_line(entry.to_line()) == entry
+
+    def test_roundtrip_without_joins(self):
+        entry = PartitionEntry(position=0, rid=0, home=0, joins=())
+        assert PartitionEntry.from_line(entry.to_line()) == entry
+
+    def test_home_minus_one_roundtrip(self):
+        entry = PartitionEntry(position=1, rid=2, home=-1, joins=(4,))
+        assert PartitionEntry.from_line(entry.to_line()) == entry
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionEntry.from_line("1 2")
+
+
+class TestPartitionInfoStore:
+    def make_store(self, tmp_path, entries):
+        store = PartitionInfoStore(str(tmp_path / "pinfo.dat"))
+        for entry in entries:
+            store.append(entry)
+        store.finish()
+        return store
+
+    def test_scan_preserves_order(self, tmp_path):
+        entries = [
+            PartitionEntry(0, 10, 0, (0,)),
+            PartitionEntry(1, 11, 1, ()),
+            PartitionEntry(2, 12, 0, (0, 1)),
+        ]
+        store = self.make_store(tmp_path, entries)
+        assert list(store.scan()) == entries
+
+    def test_scan_before_finish_rejected(self, tmp_path):
+        store = PartitionInfoStore(str(tmp_path / "pinfo.dat"))
+        store.append(PartitionEntry(0, 0, 0, ()))
+        with pytest.raises(ValueError):
+            list(store.scan())
+
+    def test_append_after_finish_rejected(self, tmp_path):
+        store = self.make_store(tmp_path, [])
+        with pytest.raises(ValueError):
+            store.append(PartitionEntry(0, 0, 0, ()))
+
+    def test_split_routes_by_home_and_joins(self, tmp_path):
+        entries = [
+            PartitionEntry(0, 10, 0, ()),        # home cluster 0 -> batch 0
+            PartitionEntry(1, 11, 1, (0,)),      # home 1 (batch 1), joins 0 (batch 0)
+            PartitionEntry(2, 12, 0, (1,)),      # home 0, joins 1
+        ]
+        store = self.make_store(tmp_path, entries)
+        paths = store.split({0: 0, 1: 1}, n_batches=2)
+        batch0 = list(PartitionInfoStore.scan_file(paths[0]))
+        batch1 = list(PartitionInfoStore.scan_file(paths[1]))
+        # batch 0 sees entry0 (home), entry1 (join-only, home masked),
+        # entry2 (home).
+        assert [e.rid for e in batch0] == [10, 11, 12]
+        assert batch0[1].home == -1
+        assert batch0[1].joins == (0,)
+        assert batch0[2].joins == ()
+        # batch 1 sees entry1 (home) and entry2 (join-only).
+        assert [e.rid for e in batch1] == [11, 12]
+        assert batch1[0].home == 1
+        assert batch1[1].home == -1
+        assert batch1[1].joins == (1,)
+
+    def test_split_preserves_scan_order_within_batches(self, tmp_path):
+        entries = [PartitionEntry(i, 100 + i, 0, ()) for i in range(10)]
+        store = self.make_store(tmp_path, entries)
+        [path] = store.split({0: 0}, n_batches=1)
+        positions = [e.position for e in PartitionInfoStore.scan_file(path)]
+        assert positions == sorted(positions)
+
+    def test_n_entries(self, tmp_path):
+        store = self.make_store(
+            tmp_path, [PartitionEntry(i, i, 0, ()) for i in range(5)]
+        )
+        assert store.n_entries == 5

@@ -1,0 +1,65 @@
+"""Unit tests for the cosine/TF-IDF predicate (§5.2.2)."""
+
+import math
+
+import pytest
+
+from repro import CosinePredicate, Dataset
+from repro.text.tfidf import CorpusStats
+
+
+@pytest.fixture
+def data():
+    return Dataset([(0, 1, 2), (0, 1, 2), (0, 3), (4, 5, 6)])
+
+
+class TestCosinePredicate:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            CosinePredicate(0.0)
+        with pytest.raises(ValueError):
+            CosinePredicate(1.0001)
+
+    def test_norms_are_one(self, data):
+        bound = CosinePredicate(0.5).bind(data)
+        for rid in range(len(data)):
+            assert bound.norm(rid) == pytest.approx(1.0)
+
+    def test_threshold_is_constant_f(self, data):
+        bound = CosinePredicate(0.7).bind(data)
+        assert bound.threshold(1.0, 1.0) == 0.7
+
+    def test_identical_records_cosine_one(self, data):
+        bound = CosinePredicate(0.9).bind(data)
+        ok, similarity = bound.verify(0, 1)
+        assert ok
+        assert similarity == pytest.approx(1.0)
+
+    def test_disjoint_records_cosine_zero(self, data):
+        bound = CosinePredicate(0.1).bind(data)
+        ok, similarity = bound.verify(0, 3)
+        assert not ok
+        assert similarity == pytest.approx(0.0)
+
+    def test_cosine_matches_direct_computation(self, data):
+        bound = CosinePredicate(0.1).bind(data)
+        stats = CorpusStats(data.records)
+        a = stats.normalized_scores(data[0])
+        b = stats.normalized_scores(data[2])
+        expected = sum(w * b[t] for t, w in a.items() if t in b)
+        assert bound.match_weight(0, 2) == pytest.approx(expected)
+
+    def test_external_stats_accepted(self, data):
+        stats = CorpusStats([(0,), (0,), (1,)])
+        bound = CosinePredicate(0.5, stats=stats).bind(data)
+        assert bound.stats is stats
+
+    def test_record_dependent_scores_flag(self, data):
+        bound = CosinePredicate(0.5).bind(data)
+        assert bound.record_independent_scores is False
+
+    def test_rare_words_dominate(self, data):
+        # In record (0, 3): token 0 appears in 3 records, token 3 in one.
+        bound = CosinePredicate(0.5).bind(data)
+        scores = dict(zip(data[2], bound.score_vector(2)))
+        assert scores[3] > scores[0]

@@ -1,0 +1,71 @@
+"""Unit tests for the Dice and overlap-coefficient extension predicates."""
+
+import pytest
+
+from repro import Dataset, DicePredicate, OverlapCoefficientPredicate
+
+
+@pytest.fixture
+def data():
+    return Dataset([(0, 1, 2, 3), (1, 2, 3, 4), (1, 2), (9,)])
+
+
+class TestDice:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            DicePredicate(0.0)
+        with pytest.raises(ValueError):
+            DicePredicate(1.2)
+
+    def test_threshold_formula(self, data):
+        bound = DicePredicate(0.5).bind(data)
+        assert bound.threshold(4.0, 4.0) == pytest.approx(2.0)
+
+    def test_threshold_tightness(self, data):
+        f = 0.7
+        bound = DicePredicate(f).bind(data)
+        for size_r in range(1, 7):
+            for size_s in range(1, 7):
+                for overlap in range(0, min(size_r, size_s) + 1):
+                    dice = 2 * overlap / (size_r + size_s)
+                    passes = overlap >= bound.threshold(size_r, size_s) - 1e-9
+                    assert passes == (dice >= f - 1e-9)
+
+    def test_verify_similarity_value(self, data):
+        bound = DicePredicate(0.5).bind(data)
+        ok, similarity = bound.verify(0, 1)
+        assert ok
+        assert similarity == pytest.approx(2 * 3 / 8)
+
+    def test_band_filter_soundness(self, data):
+        bound = DicePredicate(0.8).bind(data)
+        band = bound.band_filter()
+        # sizes 4 vs 2: max dice = 2*2/6 = 0.66 < 0.8, rejectable.
+        assert not band.accepts(0, 2)
+        assert band.accepts(0, 1)
+
+
+class TestOverlapCoefficient:
+    def test_threshold_uses_min_norm(self, data):
+        bound = OverlapCoefficientPredicate(0.5).bind(data)
+        assert bound.threshold(4.0, 2.0) == pytest.approx(1.0)
+        assert bound.threshold(2.0, 4.0) == pytest.approx(1.0)
+
+    def test_threshold_monotone(self, data):
+        bound = OverlapCoefficientPredicate(0.5).bind(data)
+        assert bound.threshold(2.0, 3.0) <= bound.threshold(2.0, 4.0)
+        assert bound.threshold(2.0, 3.0) <= bound.threshold(3.0, 3.0)
+
+    def test_contained_set_coefficient_one(self, data):
+        bound = OverlapCoefficientPredicate(1.0).bind(data)
+        ok, similarity = bound.verify(0, 2)
+        assert ok
+        assert similarity == pytest.approx(1.0)
+
+    def test_no_band_filter(self, data):
+        assert OverlapCoefficientPredicate(0.5).bind(data).band_filter() is None
+
+    def test_verify_rejects(self, data):
+        bound = OverlapCoefficientPredicate(0.9).bind(data)
+        ok, _sim = bound.verify(0, 1)  # overlap 3, min size 4 -> 0.75
+        assert not ok

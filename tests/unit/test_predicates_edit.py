@@ -1,0 +1,99 @@
+"""Unit tests for the edit-distance predicate (§5.2.3)."""
+
+import pytest
+
+from repro.predicates.edit_distance import (
+    EditDistancePredicate,
+    numbered_qgrams,
+    qgram_dataset,
+)
+
+
+class TestNumberedQgrams:
+    def test_repeated_grams_are_numbered(self):
+        grams = numbered_qgrams("aaaa", q=3)
+        # padded: ##a #aa aaa aaa aa$ a$$ -> 'aaa' twice, numbered 0 and 1
+        assert len(grams) == len(set(grams))
+        assert "aaa\x000" in grams
+        assert "aaa\x001" in grams
+
+    def test_count_is_length_plus_q_minus_one(self):
+        for text in ("a", "ab", "abcdef", "aaaa"):
+            assert len(numbered_qgrams(text, q=3)) == len(text) + 2
+
+    def test_bag_intersection_equals_set_intersection(self):
+        a = set(numbered_qgrams("aaaa", q=3))
+        b = set(numbered_qgrams("aaab", q=3))
+        # bag intersection of padded grams computed by hand:
+        # aaaa: ##a #aa aaa aaa aa$ a$$ ; aaab: ##a #aa aaa aab ab$ b$$
+        assert len(a & b) == 3
+
+
+class TestQgramDataset:
+    def test_payloads_kept(self):
+        data = qgram_dataset(["abc", "abd"])
+        assert data.payload(0) == "abc"
+        assert data.payload(1) == "abd"
+
+    def test_norm_equals_padded_gram_count(self):
+        data = qgram_dataset(["abc", "a"])
+        bound = EditDistancePredicate(1).bind(data)
+        assert bound.norm(0) == 5.0
+        assert bound.norm(1) == 3.0
+
+
+class TestEditDistancePredicate:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EditDistancePredicate(-1)
+        with pytest.raises(ValueError):
+            EditDistancePredicate(1, q=0)
+
+    def test_requires_payloads(self):
+        from repro import Dataset
+
+        with pytest.raises(ValueError):
+            EditDistancePredicate(1).bind(Dataset([(0, 1)]))
+
+    def test_threshold_formula(self):
+        data = qgram_dataset(["abcdef", "abcdeg"])
+        bound = EditDistancePredicate(k=2, q=3).bind(data)
+        # T = max(6, 6) - 1 - 3*(2-1) = 2
+        assert bound.threshold(bound.norm(0), bound.norm(1)) == pytest.approx(2.0)
+
+    def test_qgram_bound_soundness(self):
+        """Pairs within distance k share at least T(r, s) numbered grams."""
+        import random
+
+        from repro.text.editdist import edit_distance
+
+        rng = random.Random(9)
+        strings = ["".join(rng.choice("ab") for _ in range(rng.randint(3, 10))) for _ in range(40)]
+        data = qgram_dataset(strings, q=3)
+        predicate = EditDistancePredicate(k=2, q=3)
+        bound = predicate.bind(data)
+        for i in range(len(strings)):
+            for j in range(i + 1, len(strings)):
+                if edit_distance(strings[i], strings[j]) <= 2:
+                    shared = bound.match_weight(i, j)
+                    required = bound.threshold(bound.norm(i), bound.norm(j))
+                    assert shared >= required - 1e-9, (strings[i], strings[j])
+
+    def test_verify_runs_banded_dp(self):
+        data = qgram_dataset(["database", "databse", "warehouse"])
+        bound = EditDistancePredicate(k=1).bind(data)
+        ok, distance = bound.verify(0, 1)
+        assert ok and distance == 1.0
+        ok, distance = bound.verify(0, 2)
+        assert not ok
+
+    def test_band_filter_is_length_band(self):
+        data = qgram_dataset(["ab", "abcd", "abcde"])
+        bound = EditDistancePredicate(k=2).bind(data)
+        band = bound.band_filter()
+        assert band.accepts(0, 1)       # lengths 2, 4
+        assert not band.accepts(0, 2)   # lengths 2, 5
+
+    def test_short_string_cutoff(self):
+        assert EditDistancePredicate(k=2, q=3).short_string_cutoff() == 4
+        assert EditDistancePredicate(k=1, q=3).short_string_cutoff() == 1

@@ -1,0 +1,81 @@
+"""Unit tests for the Hamming / symmetric-difference predicate."""
+
+import pytest
+
+from repro import Dataset, NaiveJoin, similarity_join
+from repro.predicates.hamming import HammingPredicate
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def data():
+    return Dataset([(0, 1, 2, 3), (0, 1, 2, 4), (0, 1), (7, 8, 9)])
+
+
+class TestHammingPredicate:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            HammingPredicate(-1)
+
+    def test_threshold_formula(self, data):
+        bound = HammingPredicate(2).bind(data)
+        assert bound.threshold(4.0, 4.0) == pytest.approx(3.0)
+
+    def test_threshold_tightness(self, data):
+        k = 3
+        bound = HammingPredicate(k).bind(data)
+        for size_r in range(1, 8):
+            for size_s in range(1, 8):
+                for overlap in range(0, min(size_r, size_s) + 1):
+                    hamming = size_r + size_s - 2 * overlap
+                    passes = overlap >= bound.threshold(size_r, size_s) - 1e-9
+                    assert passes == (hamming <= k)
+
+    def test_verify_reports_distance(self, data):
+        bound = HammingPredicate(2).bind(data)
+        ok, distance = bound.verify(0, 1)  # differ in one element each way
+        assert ok and distance == 2.0
+        ok, distance = bound.verify(0, 2)  # sizes 4 vs 2, overlap 2
+        assert ok and distance == 2.0
+
+    def test_band_filter(self, data):
+        band = HammingPredicate(1).bind(data).band_filter()
+        assert not band.accepts(0, 2)  # sizes 4 vs 2, gap 2 > k=1
+        assert band.accepts(0, 1)
+
+    def test_filter_soundness(self):
+        data = random_dataset(seed=70)
+        bound = HammingPredicate(3).bind(data)
+        band = bound.band_filter()
+        for a in range(len(data)):
+            for b in range(a + 1, len(data)):
+                sym_diff = len(set(data[a]) ^ set(data[b]))
+                if sym_diff <= 3:
+                    assert band.accepts(a, b)
+
+    @pytest.mark.parametrize("k", [0, 2, 5, 9])
+    @pytest.mark.parametrize(
+        "algorithm", ["probe-count-optmerge", "probe-count-sort", "probe-cluster"]
+    )
+    def test_hamming_join_equivalence_with_naive(self, k, algorithm):
+        from repro.core.join import hamming_join
+
+        data = random_dataset(seed=71)
+        predicate = HammingPredicate(k)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        got = hamming_join(data, k, algorithm=algorithm).pair_set()
+        assert got == truth
+
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_bare_predicate_exact_for_small_k(self, k):
+        # Every record has > k elements -> no vacuous-threshold pairs.
+        data = random_dataset(seed=72, min_size=3)
+        predicate = HammingPredicate(k)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        got = similarity_join(data, predicate, algorithm="probe-count-optmerge").pair_set()
+        assert got == truth
+
+    def test_k_zero_means_equality(self):
+        data = Dataset([(1, 2), (1, 2), (1, 3)])
+        result = similarity_join(data, HammingPredicate(0), algorithm="probe-count-optmerge")
+        assert result.pair_set() == {(0, 1)}

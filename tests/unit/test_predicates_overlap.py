@@ -1,0 +1,84 @@
+"""Unit tests for the T-overlap predicates."""
+
+import math
+
+import pytest
+
+from repro import Dataset, OverlapPredicate, WeightedOverlapPredicate
+
+
+@pytest.fixture
+def data():
+    return Dataset([(0, 1, 2, 3), (1, 2, 3, 4), (5, 6), (0, 5)])
+
+
+class TestOverlapPredicate:
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            OverlapPredicate(0)
+
+    def test_name(self):
+        assert OverlapPredicate(3).name == "overlap(T=3)"
+
+    def test_scores_are_unit(self, data):
+        bound = OverlapPredicate(2).bind(data)
+        assert bound.score_vector(0) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_norm_is_set_size(self, data):
+        bound = OverlapPredicate(2).bind(data)
+        assert bound.norm(0) == 4.0
+        assert bound.norm(2) == 2.0
+
+    def test_threshold_constant(self, data):
+        bound = OverlapPredicate(2).bind(data)
+        assert bound.threshold(4.0, 2.0) == 2.0
+
+    def test_match_weight_counts_common_tokens(self, data):
+        bound = OverlapPredicate(2).bind(data)
+        assert bound.match_weight(0, 1) == 3.0
+        assert bound.match_weight(0, 2) == 0.0
+        assert bound.match_weight(0, 3) == 1.0
+
+    def test_verify(self, data):
+        bound = OverlapPredicate(3).bind(data)
+        ok, similarity = bound.verify(0, 1)
+        assert ok and similarity == 3.0
+        ok, _similarity = bound.verify(0, 3)
+        assert not ok
+
+    def test_no_band_filter(self, data):
+        assert OverlapPredicate(2).bind(data).band_filter() is None
+
+
+class TestWeightedOverlapPredicate:
+    def test_mapping_weights(self, data):
+        predicate = WeightedOverlapPredicate(2.0, weights={1: 4.0, 2: 9.0})
+        bound = predicate.bind(data)
+        # score = sqrt(weight); matched-word product = weight.
+        assert bound.match_weight(0, 1) == pytest.approx(4.0 + 9.0 + 1.0)
+
+    def test_norm_is_total_weight(self, data):
+        predicate = WeightedOverlapPredicate(2.0, weights={0: 2.0, 1: 3.0, 2: 4.0, 3: 5.0})
+        bound = predicate.bind(data)
+        assert bound.norm(0) == pytest.approx(2.0 + 3.0 + 4.0 + 5.0)
+
+    def test_idf_weights_favour_rare_tokens(self, data):
+        bound = WeightedOverlapPredicate(1.0, weights="idf").bind(data)
+        # Token 4 appears once, token 1 twice: rare token scores higher.
+        scores_r1 = dict(zip(data[1], bound.score_vector(1)))
+        assert scores_r1[4] > scores_r1[1]
+
+    def test_callable_weights(self, data):
+        bound = WeightedOverlapPredicate(1.0, weights=lambda t: float(t + 1)).bind(data)
+        assert bound.match_weight(2, 3) == pytest.approx(6.0)  # shared token 5
+
+    def test_negative_weights_rejected(self, data):
+        with pytest.raises(ValueError):
+            WeightedOverlapPredicate(1.0, weights=lambda t: -1.0).bind(data)
+
+    def test_idf_formula(self, data):
+        bound = WeightedOverlapPredicate(1.0, weights="idf").bind(data)
+        # Token 0 appears in 2 of 4 records.
+        expected = math.log(1.0 + 4 / 2)
+        scores_r0 = dict(zip(data[0], bound.score_vector(0)))
+        assert scores_r0[0] ** 2 == pytest.approx(expected)

@@ -1,0 +1,90 @@
+"""Unit tests for Probe-Cluster (§3.4)."""
+
+import pytest
+
+from repro import (
+    Dataset,
+    JaccardPredicate,
+    NaiveJoin,
+    OverlapPredicate,
+    ProbeClusterJoin,
+)
+from tests.conftest import random_dataset
+
+
+class TestProbeCluster:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ProbeClusterJoin(home_similarity=-0.1)
+        with pytest.raises(ValueError):
+            ProbeClusterJoin(home_similarity=1.1)
+
+    def test_basic_result(self, small_dataset):
+        result = ProbeClusterJoin().join(small_dataset, OverlapPredicate(5))
+        assert result.pair_set() == {(0, 1)}
+
+    @pytest.mark.parametrize("sort", [False, True])
+    @pytest.mark.parametrize("home_similarity", [0.3, 0.5, 0.8])
+    @pytest.mark.parametrize("seed", [1, 3, 7])
+    def test_equivalence_with_naive(self, sort, home_similarity, seed):
+        data = random_dataset(seed=seed)
+        predicate = OverlapPredicate(4)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        algorithm = ProbeClusterJoin(sort=sort, home_similarity=home_similarity)
+        assert algorithm.join(data, predicate).pair_set() == truth
+
+    def test_jaccard_equivalence(self):
+        data = random_dataset(seed=10)
+        predicate = JaccardPredicate(0.6)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        assert ProbeClusterJoin().join(data, predicate).pair_set() == truth
+
+    def test_assignment_covers_all_records(self):
+        data = random_dataset(seed=2)
+        algorithm = ProbeClusterJoin()
+        algorithm.join(data, OverlapPredicate(4))
+        assert set(algorithm.last_assignment) == set(range(len(data)))
+
+    def test_clusters_are_disjoint(self):
+        data = random_dataset(seed=2)
+        algorithm = ProbeClusterJoin()
+        algorithm.join(data, OverlapPredicate(4))
+        # each record maps to exactly one cluster by construction;
+        # cluster ids must be contiguous from 0
+        cids = set(algorithm.last_assignment.values())
+        assert cids == set(range(len(cids)))
+
+    def test_duplicate_heavy_data_builds_few_clusters(self):
+        # Identical records should pile into shared clusters.
+        data = Dataset([(1, 2, 3, 4)] * 20)
+        algorithm = ProbeClusterJoin(home_similarity=0.5)
+        result = algorithm.join(data, OverlapPredicate(3))
+        assert len(result.pairs) == 190
+        assert result.counters.clusters_created < 20
+
+    def test_cluster_cap_forces_assignment(self):
+        data = random_dataset(seed=4)
+        algorithm = ProbeClusterJoin(max_clusters=3)
+        truth = NaiveJoin().join(data, OverlapPredicate(4)).pair_set()
+        result = algorithm.join(data, OverlapPredicate(4))
+        assert result.pair_set() == truth
+        assert result.counters.clusters_created <= 3
+
+    def test_cluster_size_cap_respected(self):
+        data = Dataset([(1, 2, 3, 4)] * 30)
+        algorithm = ProbeClusterJoin(max_cluster_records=5)
+        result = algorithm.join(data, OverlapPredicate(3))
+        assert len(result.pairs) == 30 * 29 // 2
+        from collections import Counter
+
+        sizes = Counter(algorithm.last_assignment.values())
+        assert max(sizes.values()) <= 5
+
+    def test_empty_dataset(self):
+        result = ProbeClusterJoin().join(Dataset([]), OverlapPredicate(1))
+        assert result.pairs == []
+
+    def test_counts_cluster_probes(self):
+        data = random_dataset(seed=5)
+        result = ProbeClusterJoin().join(data, OverlapPredicate(3))
+        assert result.counters.cluster_probes >= len(result.pairs) / max(len(data), 1)

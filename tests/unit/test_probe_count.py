@@ -1,0 +1,97 @@
+"""Unit tests for the Probe-Count family."""
+
+import pytest
+
+from repro import Dataset, JaccardPredicate, NaiveJoin, OverlapPredicate, ProbeCountJoin
+from tests.conftest import random_dataset
+
+
+class TestVariants:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeCountJoin(variant="nope")
+
+    def test_names(self):
+        assert ProbeCountJoin(variant="basic").name == "probe-count-basic"
+        assert ProbeCountJoin(variant="sort").name == "probe-count-sort"
+
+
+class TestBasics:
+    @pytest.fixture
+    def data(self, small_dataset):
+        return small_dataset
+
+    @pytest.mark.parametrize("variant", ["basic", "stopwords", "optmerge", "online", "sort"])
+    def test_finds_expected_pairs(self, data, variant):
+        result = ProbeCountJoin(variant=variant).join(data, OverlapPredicate(5))
+        assert result.pair_set() == {(0, 1)}
+
+    @pytest.mark.parametrize("variant", ["basic", "stopwords", "optmerge", "online", "sort"])
+    def test_lower_threshold_more_pairs(self, data, variant):
+        result = ProbeCountJoin(variant=variant).join(data, OverlapPredicate(3))
+        assert result.pair_set() == {(0, 1), (2, 3)}
+
+    def test_pairs_canonical_and_unique(self, data):
+        result = ProbeCountJoin(variant="basic").join(data, OverlapPredicate(3))
+        pairs = result.pair_set()
+        assert len(pairs) == len(result.pairs)
+        for rid_a, rid_b in pairs:
+            assert rid_a < rid_b
+
+    def test_empty_dataset(self):
+        result = ProbeCountJoin().join(Dataset([]), OverlapPredicate(1))
+        assert result.pairs == []
+
+    def test_single_record(self):
+        result = ProbeCountJoin().join(Dataset([(1, 2, 3)]), OverlapPredicate(1))
+        assert result.pairs == []
+
+    def test_identical_records(self):
+        data = Dataset([(1, 2, 3)] * 4)
+        result = ProbeCountJoin(variant="online").join(data, OverlapPredicate(3))
+        assert len(result.pairs) == 6  # all C(4,2) pairs
+
+    def test_no_self_pairs(self, data):
+        result = ProbeCountJoin(variant="basic").join(data, OverlapPredicate(1))
+        for pair in result.pairs:
+            assert pair.rid_a != pair.rid_b
+
+
+class TestWorkSavings:
+    def test_optmerge_does_less_merge_work_than_basic(self):
+        data = random_dataset(seed=5, n_base=150, universe=40)
+        basic = ProbeCountJoin(variant="basic").join(data, OverlapPredicate(6))
+        opt = ProbeCountJoin(variant="optmerge").join(data, OverlapPredicate(6))
+        assert opt.pair_set() == basic.pair_set()
+        assert opt.counters.heap_pops < basic.counters.heap_pops
+
+    def test_online_halves_merge_work(self):
+        data = random_dataset(seed=6, n_base=150, universe=40)
+        two_pass = ProbeCountJoin(variant="optmerge").join(data, OverlapPredicate(6))
+        online = ProbeCountJoin(variant="online").join(data, OverlapPredicate(6))
+        assert online.pair_set() == two_pass.pair_set()
+        assert online.counters.heap_pops < two_pass.counters.heap_pops
+
+    def test_stopwords_counter_reports_removed_words(self):
+        data = random_dataset(seed=7, n_base=100, universe=30)
+        result = ProbeCountJoin(variant="stopwords").join(data, OverlapPredicate(5))
+        assert result.counters.extra["stopwords"] == 4  # T - 1 for unit weights
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("variant", ["basic", "stopwords", "optmerge", "online", "sort"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_overlap_equivalence(self, variant, seed):
+        data = random_dataset(seed=seed)
+        predicate = OverlapPredicate(4)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        got = ProbeCountJoin(variant=variant).join(data, predicate).pair_set()
+        assert got == truth
+
+    @pytest.mark.parametrize("variant", ["basic", "optmerge", "online", "sort"])
+    def test_jaccard_equivalence(self, variant):
+        data = random_dataset(seed=9)
+        predicate = JaccardPredicate(0.6)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        got = ProbeCountJoin(variant=variant).join(data, predicate).pair_set()
+        assert got == truth

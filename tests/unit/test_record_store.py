@@ -1,0 +1,60 @@
+"""Unit tests for the disk record store."""
+
+import pytest
+
+from repro.storage.record_store import DiskRecordStore
+
+
+class TestDiskRecordStore:
+    RECORDS = [(1, 2, 3), (), (42,), (7, 8)]
+
+    def test_roundtrip(self, tmp_path):
+        store = DiskRecordStore.from_records(self.RECORDS, str(tmp_path / "r.dat"))
+        for rid, record in enumerate(self.RECORDS):
+            assert store.fetch(rid) == record
+        store.close()
+
+    def test_random_access_order(self, tmp_path):
+        store = DiskRecordStore.from_records(self.RECORDS, str(tmp_path / "r.dat"))
+        assert store.fetch(2) == (42,)
+        assert store.fetch(0) == (1, 2, 3)
+        assert store.fetch(3) == (7, 8)
+        store.close()
+
+    def test_fetch_counter(self, tmp_path):
+        store = DiskRecordStore.from_records(self.RECORDS, str(tmp_path / "r.dat"))
+        store.fetch(0)
+        store.fetch(1)
+        assert store.fetches == 2
+        store.close()
+
+    def test_out_of_range(self, tmp_path):
+        store = DiskRecordStore.from_records(self.RECORDS, str(tmp_path / "r.dat"))
+        with pytest.raises(IndexError):
+            store.fetch(99)
+        with pytest.raises(IndexError):
+            store.fetch(-1)
+        store.close()
+
+    def test_fetch_after_close_rejected(self, tmp_path):
+        store = DiskRecordStore.from_records(self.RECORDS, str(tmp_path / "r.dat"))
+        store.close()
+        with pytest.raises(ValueError):
+            store.fetch(0)
+
+    def test_unlink_removes_file(self, tmp_path):
+        path = tmp_path / "r.dat"
+        store = DiskRecordStore.from_records(self.RECORDS, str(path))
+        store.unlink()
+        assert not path.exists()
+
+    def test_len(self, tmp_path):
+        store = DiskRecordStore.from_records(self.RECORDS, str(tmp_path / "r.dat"))
+        assert len(store) == 4
+        store.close()
+
+    def test_context_manager(self, tmp_path):
+        with DiskRecordStore.from_records(self.RECORDS, str(tmp_path / "r.dat")) as store:
+            assert store.fetch(0) == (1, 2, 3)
+        with pytest.raises(ValueError):
+            store.fetch(0)

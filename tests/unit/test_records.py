@@ -1,0 +1,94 @@
+"""Unit tests for the Dataset container."""
+
+import pytest
+
+from repro import Dataset
+from repro.text.tokenizers import tokenize_words
+
+
+class TestConstruction:
+    def test_from_token_lists_assigns_ids_in_first_appearance_order(self):
+        data = Dataset.from_token_lists([["b", "a"], ["a", "c"]])
+        assert data.vocabulary == {"b": 0, "a": 1, "c": 2}
+        assert data.records == [(0, 1), (1, 2)]
+
+    def test_from_token_lists_dedupes_within_record(self):
+        data = Dataset.from_token_lists([["x", "x", "y"]])
+        assert data.records == [(0, 1)]
+
+    def test_records_are_sorted_tuples(self):
+        data = Dataset.from_token_lists([["z", "a", "m"]])
+        assert data.records[0] == tuple(sorted(data.records[0]))
+
+    def test_shared_vocabulary(self):
+        vocab: dict = {}
+        left = Dataset.from_token_lists([["a", "b"]], vocabulary=vocab)
+        right = Dataset.from_token_lists([["b", "c"]], vocabulary=vocab)
+        assert left.vocabulary is right.vocabulary
+        assert right.records == [(1, 2)]
+
+    def test_from_texts_keeps_payloads(self):
+        data = Dataset.from_texts(["a b", "b c"], tokenize_words)
+        assert data.payload(0) == "a b"
+        assert data.payload(1) == "b c"
+
+    def test_payload_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset([(0,)], payloads=["a", "b"])
+
+
+class TestStats:
+    @pytest.fixture
+    def data(self):
+        return Dataset([(0, 1, 2), (0, 1), (3,)])
+
+    def test_total_word_occurrences(self, data):
+        assert data.total_word_occurrences() == 6
+
+    def test_average_set_size(self, data):
+        assert data.average_set_size() == pytest.approx(2.0)
+
+    def test_average_set_size_empty(self):
+        assert Dataset([]).average_set_size() == 0.0
+
+    def test_n_distinct_tokens(self, data):
+        assert data.n_distinct_tokens() == 4
+
+    def test_frequency(self, data):
+        assert data.frequency == {0: 2, 1: 2, 2: 1, 3: 1}
+
+
+class TestTransforms:
+    def test_head(self):
+        data = Dataset([(0,), (1,), (2,)], payloads=["a", "b", "c"])
+        head = data.head(2)
+        assert len(head) == 2
+        assert head.payloads == ["a", "b"]
+
+    def test_reorder(self):
+        data = Dataset([(0,), (1,), (2,)], payloads=["a", "b", "c"])
+        reordered = data.reorder([2, 0, 1])
+        assert reordered.records == [(2,), (0,), (1,)]
+        assert reordered.payloads == ["c", "a", "b"]
+
+    def test_reorder_rejects_bad_permutation(self):
+        data = Dataset([(0,), (1,)])
+        with pytest.raises(ValueError):
+            data.reorder([0, 0])
+
+    def test_sort_permutation_by_size_desc(self):
+        data = Dataset([(0,), (1, 2, 3), (4, 5)])
+        assert data.sort_permutation_by_size_desc() == [1, 2, 0]
+
+    def test_sort_permutation_tie_broken_by_rid(self):
+        data = Dataset([(1, 2), (3, 4)])
+        assert data.sort_permutation_by_size_desc() == [0, 1]
+
+    def test_token_string_roundtrip(self):
+        data = Dataset.from_token_lists([["alpha", "beta"]])
+        assert data.token_string(0) == "alpha"
+        assert data.token_string(1) == "beta"
+
+    def test_token_string_without_vocab(self):
+        with pytest.raises(ValueError):
+            Dataset([(0,)]).token_string(0)

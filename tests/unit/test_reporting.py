@@ -1,0 +1,74 @@
+"""Unit tests for the benchmark-series reporting module."""
+
+from repro.reporting import parse_series, render_bars, render_report
+
+SAMPLE = """\
+=== fig1 demo ===
+  algo-a n=100                       n=100  seconds=0.500  pairs=3
+  algo-b n=100                       n=100  seconds=1.000  pairs=3
+  algo-c n=100                       seconds=DNF  note=overflow
+
+=== stats only ===
+  corpus x                           elements=42
+"""
+
+
+class TestParseSeries:
+    def test_groups_by_experiment(self):
+        experiments = parse_series(SAMPLE)
+        assert list(experiments) == ["fig1 demo", "stats only"]
+        assert len(experiments["fig1 demo"]) == 3
+
+    def test_labels_and_values(self):
+        experiments = parse_series(SAMPLE)
+        label, columns = experiments["fig1 demo"][0]
+        assert label == "algo-a n=100".split("=")[0].split()[0] + " n=100" or label
+        assert columns["seconds"] == 0.5
+        assert columns["pairs"] == 3
+
+    def test_non_numeric_values_kept(self):
+        experiments = parse_series(SAMPLE)
+        _label, columns = experiments["fig1 demo"][2]
+        assert columns["seconds"] == "DNF"
+
+    def test_empty_text(self):
+        assert parse_series("") == {}
+
+
+class TestRenderBars:
+    def test_bars_scale_to_max(self):
+        experiments = parse_series(SAMPLE)
+        lines = render_bars(experiments["fig1 demo"], metric="seconds", width=10)
+        # 0.5 of max 1.0 -> 5 hashes; 1.0 -> 10 hashes.
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_dnf_row_has_no_bar(self):
+        experiments = parse_series(SAMPLE)
+        lines = render_bars(experiments["fig1 demo"], metric="seconds")
+        assert "(no bar)" in lines[2]
+
+    def test_missing_metric(self):
+        lines = render_bars([("x", {"other": 1})], metric="seconds")
+        assert "(no bar)" in lines[0]
+
+
+class TestRenderReport:
+    def test_contains_all_experiments(self):
+        report = render_report(SAMPLE)
+        assert "fig1 demo" in report
+        assert "stats only" in report
+
+    def test_fallback_metric(self):
+        report = render_report(SAMPLE)
+        assert "falling back to metric 'elements'" in report
+
+    def test_roundtrip_with_real_conftest_format(self):
+        # Build a payload exactly the way benchmarks/conftest.py does.
+        rows = [("series-x", {"seconds": 1.25, "work": 100})]
+        text = "=== exp ===\n" + "\n".join(
+            f"  {label:34s} " + "  ".join(f"{k}={v}" for k, v in cols.items())
+            for label, cols in rows
+        )
+        experiments = parse_series(text)
+        assert experiments["exp"][0][1] == {"seconds": 1.25, "work": 100}

@@ -1,0 +1,79 @@
+"""Unit tests for the galloping binary search."""
+
+from bisect import bisect_left
+
+import pytest
+
+from repro.utils.search import gallop_search, gallop_search_from
+
+
+class TestGallopSearch:
+    def test_empty_list(self):
+        assert gallop_search([], 5) == 0
+
+    def test_target_before_all(self):
+        assert gallop_search([10, 20, 30], 5) == 0
+
+    def test_target_after_all(self):
+        assert gallop_search([10, 20, 30], 99) == 3
+
+    def test_target_present_first(self):
+        assert gallop_search([10, 20, 30], 10) == 0
+
+    def test_target_present_middle(self):
+        assert gallop_search([10, 20, 30], 20) == 1
+
+    def test_target_present_last(self):
+        assert gallop_search([10, 20, 30], 30) == 2
+
+    def test_target_between(self):
+        assert gallop_search([10, 20, 30], 25) == 2
+
+    def test_single_element_hit(self):
+        assert gallop_search([7], 7) == 0
+
+    def test_single_element_miss_low(self):
+        assert gallop_search([7], 3) == 0
+
+    def test_single_element_miss_high(self):
+        assert gallop_search([7], 9) == 1
+
+    def test_long_list_matches_bisect(self):
+        items = list(range(0, 1000, 3))
+        for target in (0, 1, 2, 3, 500, 501, 997, 998, 1200, -5):
+            assert gallop_search(items, target) == bisect_left(items, target)
+
+
+class TestGallopSearchFrom:
+    def test_start_beyond_end(self):
+        assert gallop_search_from([1, 2, 3], 2, 5) == 3
+
+    def test_start_at_end(self):
+        assert gallop_search_from([1, 2, 3], 2, 3) == 3
+
+    def test_start_exactly_at_target(self):
+        assert gallop_search_from([1, 5, 9], 5, 1) == 1
+
+    def test_start_past_target_position(self):
+        # The caller guarantees the target is not before `start`;
+        # searching past it just returns the next >= position.
+        assert gallop_search_from([1, 5, 9], 1, 1) == 1
+
+    def test_resumed_scans_are_consistent(self):
+        items = list(range(0, 200, 2))
+        position = 0
+        for target in (0, 3, 50, 51, 120, 199, 300):
+            position = gallop_search_from(items, target, position)
+            assert position == bisect_left(items, target)
+
+    def test_gallop_bracket_at_list_end(self):
+        # Gallop overshoot past the end must clamp correctly.
+        items = [1, 2, 3, 4, 5, 6, 7, 100]
+        assert gallop_search_from(items, 100, 0) == 7
+        assert gallop_search_from(items, 99, 0) == 7
+        assert gallop_search_from(items, 101, 0) == 8
+
+    def test_duplicate_free_sorted_required(self):
+        # Works on any sorted list, including with gaps.
+        items = [2, 4, 4, 4, 8]
+        assert gallop_search_from(items, 4, 0) == bisect_left(items, 4)

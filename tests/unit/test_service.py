@@ -1,0 +1,99 @@
+"""Unit tests for the incremental SimilarityIndex service."""
+
+import pytest
+
+from repro import JaccardPredicate, OverlapPredicate
+from repro.core.service import SimilarityIndex
+from repro.text.tokenizers import tokenize_words
+
+
+class TestAddAndQuery:
+    def test_empty_index_query(self):
+        service = SimilarityIndex(OverlapPredicate(2), tokenizer=tokenize_words)
+        assert service.query("anything at all") == []
+
+    def test_basic_match(self):
+        service = SimilarityIndex(OverlapPredicate(3), tokenizer=tokenize_words)
+        rid = service.add("efficient set joins on similarity predicates")
+        service.add("completely different words here")
+        matches = service.query("set joins similarity")
+        assert [m.rid_a for m in matches] == [rid]
+
+    def test_query_does_not_insert(self):
+        service = SimilarityIndex(OverlapPredicate(1), tokenizer=tokenize_words)
+        service.add("alpha beta")
+        service.query("alpha beta")
+        assert len(service) == 1
+        # Same query again: still exactly one match.
+        assert len(service.query("alpha beta")) == 1
+
+    def test_incremental_adds_visible(self):
+        service = SimilarityIndex(JaccardPredicate(0.6), tokenizer=tokenize_words)
+        assert service.query("set joins predicates") == []
+        service.add("set joins predicates")
+        assert len(service.query("set joins predicates")) == 1
+
+    def test_token_list_input(self):
+        service = SimilarityIndex(OverlapPredicate(2))
+        service.add(["a", "b", "c"])
+        matches = service.query(["b", "c", "d"])
+        assert len(matches) == 1
+        assert matches[0].similarity == 2.0
+
+    def test_jaccard_similarity_values(self):
+        service = SimilarityIndex(JaccardPredicate(0.4), tokenizer=tokenize_words)
+        service.add("one two three four")
+        [match] = service.query("one two three nope")
+        assert match.similarity == pytest.approx(3 / 5)
+
+    def test_payload_roundtrip(self):
+        service = SimilarityIndex(OverlapPredicate(1), tokenizer=tokenize_words)
+        rid = service.add("alpha beta", payload={"id": 17})
+        assert service.payload(rid) == {"id": 17}
+
+    def test_matches_batch_join(self):
+        """Service queries agree with the batch self-join."""
+        from repro import Dataset, NaiveJoin
+
+        texts = [
+            "set joins on similarity predicates",
+            "similarity predicates for set joins",
+            "unrelated gardening article",
+            "gardening article unrelated content",
+        ]
+        predicate = JaccardPredicate(0.6)
+        data = Dataset.from_texts(texts, tokenize_words)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+
+        service = SimilarityIndex(predicate, tokenizer=tokenize_words)
+        online_pairs = set()
+        for rid, text in enumerate(texts):
+            for match in service.query(text):
+                online_pairs.add((match.rid_a, rid))
+            service.add(text)
+        assert online_pairs == truth
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "index.json")
+        service = SimilarityIndex(OverlapPredicate(2), tokenizer=tokenize_words)
+        service.add("efficient set joins")
+        service.add("unrelated gardening text")
+        service.save(path)
+
+        restored = SimilarityIndex.load(
+            path, OverlapPredicate(2), tokenizer=tokenize_words
+        )
+        assert len(restored) == 2
+        matches = restored.query("set joins today")
+        assert [m.rid_a for m in matches] == [0]
+
+    def test_loaded_index_accepts_new_records(self, tmp_path):
+        path = str(tmp_path / "index.json")
+        service = SimilarityIndex(OverlapPredicate(1), tokenizer=tokenize_words)
+        service.add("alpha beta")
+        service.save(path)
+        restored = SimilarityIndex.load(path, OverlapPredicate(1), tokenizer=tokenize_words)
+        restored.add("beta gamma")
+        assert len(restored.query("beta")) == 2

@@ -1,0 +1,56 @@
+"""Unit tests for TF-IDF corpus statistics."""
+
+import math
+
+import pytest
+
+from repro.text.tfidf import CorpusStats, tf_idf
+
+
+class TestTfIdfFunction:
+    def test_single_occurrence(self):
+        # tf=1 -> first factor is 1.
+        assert tf_idf(1, 10, 100) == pytest.approx(math.log(1 + 100 / 10))
+
+    def test_zero_term_freq(self):
+        assert tf_idf(0, 10, 100) == 0.0
+
+    def test_higher_tf_scores_more(self):
+        assert tf_idf(5, 10, 100) > tf_idf(1, 10, 100)
+
+    def test_rarer_words_score_more(self):
+        assert tf_idf(1, 2, 100) > tf_idf(1, 50, 100)
+
+
+class TestCorpusStats:
+    @pytest.fixture
+    def stats(self):
+        return CorpusStats([(1, 2, 3), (1, 2), (1,)])
+
+    def test_counts(self, stats):
+        assert stats.n_records == 3
+        assert stats.frequency == {1: 3, 2: 2, 3: 1}
+
+    def test_idf_ordering(self, stats):
+        # Rarer token -> higher IDF.
+        assert stats.idf(3) > stats.idf(2) > stats.idf(1)
+
+    def test_idf_unseen_token_smoothed(self, stats):
+        assert stats.idf(99) == pytest.approx(math.log(1 + 3 / 1))
+
+    def test_record_norm(self, stats):
+        expected = math.sqrt(stats.score(1) ** 2 + stats.score(3) ** 2)
+        assert stats.record_norm((1, 3)) == pytest.approx(expected)
+
+    def test_normalized_scores_unit_norm(self, stats):
+        weights = stats.normalized_scores((1, 2, 3))
+        assert sum(w * w for w in weights.values()) == pytest.approx(1.0)
+
+    def test_normalized_scores_empty_record(self, stats):
+        assert stats.normalized_scores(()) == {}
+
+    def test_cosine_identity(self, stats):
+        # A record has cosine 1 with itself under normalized scores.
+        weights = stats.normalized_scores((1, 2, 3))
+        dot = sum(w * w for w in weights.values())
+        assert dot == pytest.approx(1.0)

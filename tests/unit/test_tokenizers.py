@@ -1,0 +1,71 @@
+"""Unit tests for word and q-gram tokenizers."""
+
+import pytest
+
+from repro.text.tokenizers import normalize, qgrams, tokenize_qgrams, tokenize_words
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("Hello WORLD") == "hello world"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  a \t b \n c ") == "a b c"
+
+
+class TestTokenizeWords:
+    def test_basic_split(self):
+        assert tokenize_words("efficient set joins") == ["efficient", "set", "joins"]
+
+    def test_deduplicates_preserving_order(self):
+        assert tokenize_words("set a set b set") == ["set", "a", "b"]
+
+    def test_strips_punctuation(self):
+        assert tokenize_words("joins, sets; (predicates)") == ["joins", "sets", "predicates"]
+
+    def test_keeps_numbers(self):
+        assert tokenize_words("sigmod 2004 pages 743-754") == ["sigmod", "2004", "pages", "743", "754"]
+
+    def test_empty_string(self):
+        assert tokenize_words("") == []
+
+
+class TestQgrams:
+    def test_padded_count_is_n_plus_q_minus_1(self):
+        for text in ("a", "ab", "abcdef"):
+            assert len(qgrams(text, q=3, pad=True)) == len(text) + 2
+
+    def test_padded_content(self):
+        assert qgrams("ab", q=3, pad=True) == ["##a", "#ab", "ab$", "b$$"]
+
+    def test_unpadded(self):
+        assert qgrams("abcd", q=3, pad=False) == ["abc", "bcd"]
+
+    def test_unpadded_short_string(self):
+        assert qgrams("ab", q=3, pad=False) == ["ab"]
+
+    def test_empty_string_padded(self):
+        # Padding alone still produces boundary grams.
+        grams = qgrams("", q=3, pad=True)
+        assert grams == ["##$", "#$$"]
+
+    def test_empty_string_unpadded(self):
+        assert qgrams("", q=3, pad=False) == []
+
+    def test_q1(self):
+        assert qgrams("abc", q=1, pad=False) == ["a", "b", "c"]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+
+class TestTokenizeQgrams:
+    def test_normalizes_and_dedupes(self):
+        grams = tokenize_qgrams("AAA aaa", q=3)
+        assert len(grams) == len(set(grams))
+        assert "aaa" in grams
+
+    def test_matches_qgram_set(self):
+        text = "pune 411001"
+        assert set(tokenize_qgrams(text)) == set(qgrams(normalize(text), q=3, pad=True))

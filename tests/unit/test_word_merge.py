@@ -1,0 +1,60 @@
+"""Unit tests for the word-merged index join (§4.1 discarded option)."""
+
+import pytest
+
+from repro import Dataset, JaccardPredicate, NaiveJoin, OverlapPredicate, WeightedOverlapPredicate
+from repro.core.word_merge import WordMergedIndexJoin, merge_words
+from tests.conftest import random_dataset
+
+
+class TestMergeWords:
+    def test_every_token_mapped(self):
+        data = random_dataset(seed=50, n_base=30)
+        mapping = merge_words(data)
+        assert set(mapping) == set(data.frequency)
+
+    def test_identical_rid_lists_merge(self):
+        # Tokens 0 and 1 appear in exactly the same records.
+        data = Dataset([(0, 1, 2), (0, 1, 3), (0, 1), (4,)])
+        mapping = merge_words(data, p=0.9)
+        assert mapping[0] == mapping[1]
+        assert mapping[0] != mapping[4]
+
+    def test_deterministic(self):
+        data = random_dataset(seed=51, n_base=20)
+        assert merge_words(data, seed=3) == merge_words(data, seed=3)
+
+
+class TestWordMergedIndexJoin:
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_overlap_equivalence_with_naive(self, seed):
+        data = random_dataset(seed=seed)
+        predicate = OverlapPredicate(4)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        got = WordMergedIndexJoin().join(data, predicate).pair_set()
+        assert got == truth
+
+    def test_jaccard_equivalence(self):
+        data = random_dataset(seed=52)
+        predicate = JaccardPredicate(0.6)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        got = WordMergedIndexJoin().join(data, predicate).pair_set()
+        assert got == truth
+
+    def test_rejects_weighted_predicates(self):
+        data = random_dataset(seed=53)
+        with pytest.raises(ValueError):
+            WordMergedIndexJoin().join(data, WeightedOverlapPredicate(3.0))
+
+    def test_reports_compression(self):
+        data = random_dataset(seed=54)
+        result = WordMergedIndexJoin().join(data, OverlapPredicate(4))
+        assert result.counters.extra["superwords"] <= result.counters.extra["words"]
+
+    def test_aggressive_merging_still_exact(self):
+        """Low p merges unrelated words -> more candidates, same pairs."""
+        data = random_dataset(seed=55)
+        predicate = OverlapPredicate(4)
+        truth = NaiveJoin().join(data, predicate).pair_set()
+        sloppy = WordMergedIndexJoin(minhash_p=0.3).join(data, predicate)
+        assert sloppy.pair_set() == truth
