@@ -50,21 +50,47 @@ from repro.predicates import (
     OverlapPredicate,
     WeightedOverlapPredicate,
 )
+from repro.runtime import (
+    CancellationToken,
+    CheckpointMismatch,
+    ConcurrentMutation,
+    JoinCancelled,
+    JoinCheckpointer,
+    JoinContext,
+    JoinInterrupted,
+    JoinRuntimeError,
+    JoinTimeout,
+    MemoryBudgetExceeded,
+    SnapshotCorrupted,
+    SnapshotEncodingError,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "CancellationToken",
+    "CheckpointMismatch",
     "ClusterMemJoin",
+    "ConcurrentMutation",
     "CosinePredicate",
     "Dataset",
     "DicePredicate",
     "EditDistancePredicate",
     "JaccardPredicate",
+    "JoinCancelled",
+    "JoinCheckpointer",
+    "JoinContext",
+    "JoinInterrupted",
     "JoinResult",
+    "JoinRuntimeError",
+    "JoinTimeout",
     "MatchPair",
     "MemoryBudget",
+    "MemoryBudgetExceeded",
     "NaiveJoin",
+    "SnapshotCorrupted",
+    "SnapshotEncodingError",
     "OverlapCoefficientPredicate",
     "OverlapPredicate",
     "PairCountJoin",

@@ -10,15 +10,26 @@ Each input line is one record. Subcommands::
 ``join`` prints TSV ``rid_a  rid_b  similarity``; ``dedupe`` prints one
 duplicate group per line; ``stats`` prints the Table-1 statistics of
 the tokenized corpus.
+
+Hardened runtime (``join``/``dedupe``): ``--checkpoint DIR`` makes the
+join resumable — an interrupted run (SIGINT, ``--deadline`` expiry)
+flushes its progress there and the same command picks up where it left
+off. ``--memory-budget N`` caps live index entries, degrading to the
+ClusterMem algorithm when exceeded. Operational errors exit with a
+one-line message (never a traceback): status 2 for bad input/usage,
+124 on deadline expiry, 130 on interruption.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
+from contextlib import contextmanager
 
 from repro.core.dedupe import connected_components
-from repro.core.join import edit_distance_join, similarity_join
+from repro.core.join import ALGORITHMS, edit_distance_join, make_algorithm, similarity_join
 from repro.core.records import Dataset
 from repro.predicates import (
     CosinePredicate,
@@ -26,6 +37,14 @@ from repro.predicates import (
     JaccardPredicate,
     OverlapPredicate,
     WeightedOverlapPredicate,
+)
+from repro.runtime import (
+    CancellationToken,
+    JoinCancelled,
+    JoinCheckpointer,
+    JoinContext,
+    JoinRuntimeError,
+    JoinTimeout,
 )
 from repro.text.tokenizers import tokenize_qgrams, tokenize_words
 
@@ -45,12 +64,25 @@ _PREDICATES = {
     "dice": DicePredicate,
 }
 
+#: Exit statuses (join/dedupe): usage & input errors / deadline / interrupt.
+EXIT_USAGE = 2
+EXIT_TIMEOUT = 124
+EXIT_INTERRUPTED = 130
+
+
+class _CLIError(Exception):
+    """An operational error reported as one line on stderr, exit 2."""
+
 
 def _read_lines(path: str) -> list[str]:
-    if path == "-":
-        return [line.rstrip("\n") for line in sys.stdin if line.strip()]
-    with open(path, "r", encoding="utf-8") as handle:
-        return [line.rstrip("\n") for line in handle if line.strip()]
+    try:
+        if path == "-":
+            return [line.rstrip("\n") for line in sys.stdin if line.strip()]
+        with open(path, "r", encoding="utf-8") as handle:
+            return [line.rstrip("\n") for line in handle if line.strip()]
+    except OSError as exc:
+        detail = exc.strerror or str(exc)
+        raise _CLIError(f"cannot read {path}: {detail}") from exc
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -71,6 +103,24 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         help="T for overlap predicates, fraction for the others",
     )
     parser.add_argument("--algorithm", default="probe-cluster")
+    runtime = parser.add_argument_group("hardened runtime")
+    runtime.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="checkpoint directory; an interrupted run resumes from it",
+    )
+    runtime.add_argument(
+        "--checkpoint-interval", metavar="N", type=int, default=1000,
+        help="records between checkpoints (default 1000)",
+    )
+    runtime.add_argument(
+        "--deadline", metavar="SECONDS", type=float, default=None,
+        help="abort (exit 124) when the join exceeds this wall-clock budget",
+    )
+    runtime.add_argument(
+        "--memory-budget", metavar="ENTRIES", type=int, default=None,
+        help="cap live index entries (word occurrences); exceeding it"
+        " degrades the join to the cluster-mem algorithm",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,11 +150,101 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+# ----------------------------------------------------------------------
+# Runtime context plumbing
+# ----------------------------------------------------------------------
+
+
+def _build_context(args) -> JoinContext | None:
+    """A JoinContext for the flags given, or None when none were."""
+    wanted = (
+        getattr(args, "checkpoint", None) is not None
+        or getattr(args, "deadline", None) is not None
+        or getattr(args, "memory_budget", None) is not None
+    )
+    if not wanted:
+        return None
+    checkpointer = None
+    if args.checkpoint is not None:
+        try:
+            checkpointer = JoinCheckpointer(
+                args.checkpoint, interval_records=args.checkpoint_interval
+            )
+        except (OSError, ValueError) as exc:
+            raise _CLIError(f"bad --checkpoint: {exc}") from exc
+    try:
+        return JoinContext(
+            deadline_seconds=args.deadline,
+            cancel_token=CancellationToken(),
+            memory_budget_entries=args.memory_budget,
+            checkpointer=checkpointer,
+        )
+    except ValueError as exc:
+        raise _CLIError(str(exc)) from exc
+
+
+@contextmanager
+def _sigint_cancels(context: JoinContext | None):
+    """Route Ctrl-C into cooperative cancellation while a join runs.
+
+    The driver then flushes the checkpoint (when one is configured)
+    before raising JoinCancelled, so SIGINT never loses progress.
+    Outside the main thread (or without a context) this is a no-op and
+    the default KeyboardInterrupt applies.
+    """
+    if context is None or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGINT)
+
+    def handler(signum, frame):
+        context.cancel("SIGINT")
+
+    signal.signal(signal.SIGINT, handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
+
+
+def _make_cli_algorithm(args):
+    """Instantiate the requested algorithm with CLI-friendly errors."""
+    if args.algorithm == "cluster-mem":
+        if args.memory_budget is None:
+            raise _CLIError(
+                "--algorithm cluster-mem needs --memory-budget ENTRIES"
+            )
+        from repro.core.cluster_mem import MemoryBudget
+
+        return make_algorithm("cluster-mem", budget=MemoryBudget(args.memory_budget))
+    try:
+        return make_algorithm(args.algorithm)
+    except ValueError as exc:
+        raise _CLIError(str(exc)) from exc
+
+
+def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
+    algorithm = _make_cli_algorithm(args)
+    with _sigint_cancels(context):
+        return algorithm.join(dataset, predicate, context=context)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+
+def _dispatch(args) -> int:
     lines = _read_lines(args.input)
+    if not lines:
+        raise _CLIError(f"no records in {args.input} (empty input)")
 
     if args.command == "editjoin":
+        if args.algorithm not in ALGORITHMS and args.algorithm != "cluster-mem":
+            raise _CLIError(
+                f"unknown algorithm {args.algorithm!r};"
+                f" expected one of {sorted(ALGORITHMS) + ['cluster-mem']}"
+            )
         result = edit_distance_join(lines, k=args.k, q=args.q, algorithm=args.algorithm)
         for pair in result.sorted_pairs():
             print(f"{pair.rid_a}\t{pair.rid_b}\t{int(pair.similarity)}")
@@ -123,15 +263,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"word_occurrences\t{dataset.total_word_occurrences()}")
         return 0
 
-    predicate = _PREDICATES[args.predicate](args.threshold)
-    result = similarity_join(dataset, predicate, algorithm=args.algorithm)
+    try:
+        predicate = _PREDICATES[args.predicate](args.threshold)
+    except ValueError as exc:
+        raise _CLIError(f"bad --threshold for {args.predicate}: {exc}") from exc
+    context = _build_context(args)
+    result = _run_join(args, dataset, predicate, context)
 
     if args.command == "join":
         for pair in result.sorted_pairs():
             print(f"{pair.rid_a}\t{pair.rid_b}\t{pair.similarity:.4f}")
+        degraded = (
+            f", degraded from {result.degraded_from} to cluster-mem"
+            if result.degraded
+            else ""
+        )
         print(
             f"# {len(result.pairs)} pairs, {result.elapsed_seconds:.2f}s,"
-            f" algorithm={result.algorithm}",
+            f" algorithm={result.algorithm}{degraded}",
             file=sys.stderr,
         )
         return 0
@@ -142,6 +291,35 @@ def main(argv: list[str] | None = None) -> int:
         print("\t".join(str(rid) for rid in members))
     print(f"# {len(groups)} duplicate groups", file=sys.stderr)
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    checkpoint = getattr(args, "checkpoint", None)
+    resume_hint = (
+        f"; progress saved under {checkpoint}, rerun the same command to resume"
+        if checkpoint is not None
+        else ""
+    )
+    try:
+        return _dispatch(args)
+    except _CLIError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except JoinTimeout as exc:
+        print(f"repro: {exc}{resume_hint}", file=sys.stderr)
+        return EXIT_TIMEOUT
+    except JoinCancelled as exc:
+        print(f"repro: {exc}{resume_hint}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except JoinRuntimeError as exc:
+        # Snapshot corruption, checkpoint mismatch, memory budget in
+        # strict mode, ... — operational failures, not tracebacks.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

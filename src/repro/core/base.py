@@ -9,6 +9,14 @@ naive baseline) agree exactly on the output set.
 
 ``join_between`` implements the non-self join ("the extension to
 non-self-joins is obvious", §2): index one side, probe with the other.
+
+Runtime hardening lives here so every algorithm inherits it. ``join``
+accepts an optional :class:`~repro.runtime.context.JoinContext`; the
+:meth:`_drive` / :meth:`_tick` helpers run its record-granularity
+checks (deadline, cancellation, memory budget) inside each algorithm's
+scan loop, handle checkpoint writes and resume-replay, and — when the
+memory budget trips under the default policy — degrade the join to the
+budget-respecting ClusterMem algorithm instead of dying.
 """
 
 from __future__ import annotations
@@ -21,22 +29,71 @@ from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
 from repro.core.results import JoinResult, MatchPair
 from repro.predicates.base import BoundPredicate, SimilarityPredicate
+from repro.runtime.errors import JoinInterrupted, MemoryBudgetExceeded
 from repro.utils.counters import CostCounters
 
 __all__ = ["SetJoinAlgorithm"]
 
 
 class SetJoinAlgorithm(ABC):
-    """Base class: timing, binding, verification, non-self joins."""
+    """Base class: timing, binding, verification, non-self joins, and
+    the hardened-runtime driver (deadline/cancel/memory checks,
+    checkpoint/resume, graceful degradation)."""
 
     name: str = "abstract"
 
-    def join(self, dataset: Dataset, predicate: SimilarityPredicate) -> JoinResult:
-        """Exact similarity self-join; pairs are canonical (a < b)."""
+    #: Algorithms that structurally honour a memory budget (ClusterMem)
+    #: set this True; the context then skips the runtime memory check,
+    #: whose cumulative insert counters would misfire on them.
+    respects_memory_budget: bool = False
+
+    # Per-run driver state, installed by join() for the duration of one
+    # execution and consumed by _drive()/_tick().
+    _context = None
+    _checkpointer = None
+    _checkpoint_meta: dict | None = None
+    _resume_position: int = -1
+    _restored_pairs: list[MatchPair] = []
+
+    def join(
+        self,
+        dataset: Dataset,
+        predicate: SimilarityPredicate,
+        context=None,
+    ) -> JoinResult:
+        """Exact similarity self-join; pairs are canonical (a < b).
+
+        Args:
+            dataset: the tokenized records.
+            predicate: the join condition.
+            context: optional :class:`~repro.runtime.context.JoinContext`
+                carrying a deadline, cancellation token, memory budget,
+                and/or checkpointer. Interruptions raise the structured
+                errors of :mod:`repro.runtime.errors`; with a
+                checkpointer attached, progress is flushed first so the
+                invocation can be resumed.
+        """
         bound = predicate.bind(dataset)
         counters = CostCounters()
+        restored = self._install_runtime(dataset, predicate, context, counters)
+        if context is not None:
+            context.start()
         start = time.perf_counter()
-        pairs = self._run(dataset, bound, counters)
+        degraded_from = None
+        degradation_reason = None
+        try:
+            try:
+                pairs = restored + self._run(dataset, bound, counters)
+            except MemoryBudgetExceeded as exc:
+                if context is None or context.on_memory_exceeded != "degrade":
+                    raise
+                pairs = self._degraded_fallback(dataset, predicate, context, counters)
+                degraded_from = self.name
+                degradation_reason = str(exc)
+        finally:
+            self._uninstall_runtime()
+        if context is not None and context.checkpointer is not None:
+            context.checkpointer.clear()
         elapsed = time.perf_counter() - start
         counters.pairs_output = len(pairs)
         return JoinResult(
@@ -45,6 +102,8 @@ class SetJoinAlgorithm(ABC):
             predicate=predicate.name,
             counters=counters,
             elapsed_seconds=elapsed,
+            degraded_from=degraded_from,
+            degradation_reason=degradation_reason,
         )
 
     @abstractmethod
@@ -52,6 +111,138 @@ class SetJoinAlgorithm(ABC):
         self, dataset: Dataset, bound: BoundPredicate, counters: CostCounters
     ) -> list[MatchPair]:
         """Produce the verified match pairs."""
+
+    # ------------------------------------------------------------------
+    # Hardened-runtime driver
+    # ------------------------------------------------------------------
+
+    def _install_runtime(
+        self, dataset: Dataset, predicate, context, counters: CostCounters
+    ) -> list[MatchPair]:
+        """Arm the per-run driver state; returns pairs restored from a
+        checkpoint (empty when starting fresh)."""
+        self._context = context
+        self._checkpointer = None
+        self._checkpoint_meta = None
+        self._resume_position = -1
+        self._restored_pairs = []
+        if context is None or context.checkpointer is None:
+            return []
+        from repro.runtime.checkpoint import dataset_fingerprint
+
+        checkpointer = context.checkpointer
+        meta = {
+            "algorithm": self.name,
+            "predicate": predicate.name,
+            "fingerprint": dataset_fingerprint(dataset),
+            "n_records": len(dataset),
+        }
+        self._checkpointer = checkpointer
+        self._checkpoint_meta = meta
+        state = checkpointer.load()
+        if state is None:
+            return []
+        checkpointer.validate(state, **meta)
+        self._resume_position = state.position
+        self._restored_pairs = state.match_pairs()
+        counters.merge(state.cost_counters())
+        return list(self._restored_pairs)
+
+    def _uninstall_runtime(self) -> None:
+        self._context = None
+        self._checkpointer = None
+        self._checkpoint_meta = None
+        self._resume_position = -1
+        self._restored_pairs = []
+
+    def _tick(self, counters: CostCounters) -> None:
+        """Record-granularity runtime check (no checkpoint handling).
+
+        For state-building loops that emit no pairs (index construction,
+        ClusterMem phase 1): an interruption here leaves any existing
+        checkpoint untouched — replay is idempotent, so the previous
+        checkpoint stays valid.
+        """
+        if self._context is not None:
+            self._context.tick(
+                counters, check_memory=not self.respects_memory_budget
+            )
+
+    def _drive(self, order, counters: CostCounters, pairs: list[MatchPair]):
+        """The shared scan loop: yields ``(position, rid, replay)``.
+
+        Wraps each algorithm's pair-emitting record loop with the full
+        runtime protocol:
+
+        * runs :meth:`_tick` before each record;
+        * yields ``replay=True`` for positions already covered by a
+          restored checkpoint — the algorithm must rebuild its state
+          (index inserts, cluster assignment) for them but skip pair
+          emission, which the checkpoint already holds;
+        * checkpoints after every ``interval_records`` completed
+          positions, and flushes a final checkpoint when a deadline,
+          cancellation, or (strict-mode) memory trip interrupts the
+          scan, so the invocation is resumable.
+
+        ``pairs`` must be the same list object the algorithm appends
+        emitted pairs to.
+        """
+        context = self._context
+        checkpointer = self._checkpointer
+        resume_position = self._resume_position
+        for position, rid in enumerate(order):
+            if context is not None:
+                try:
+                    context.tick(
+                        counters, check_memory=not self.respects_memory_budget
+                    )
+                except (JoinInterrupted, MemoryBudgetExceeded):
+                    self._flush_checkpoint(position - 1, counters, pairs)
+                    raise
+            replay = position <= resume_position
+            yield position, rid, replay
+            if (
+                checkpointer is not None
+                and not replay
+                and checkpointer.due(position)
+            ):
+                self._flush_checkpoint(position, counters, pairs)
+
+    def _flush_checkpoint(
+        self, position: int, counters: CostCounters, pairs: list[MatchPair]
+    ) -> None:
+        """Persist progress through ``position`` (no-op when it would
+        lose ground against the restored checkpoint)."""
+        if self._checkpointer is None or position < 0:
+            return
+        if position <= self._resume_position:
+            return  # interrupted mid-replay: the old checkpoint stands
+        counters.checkpoint_writes += 1
+        self._checkpointer.write(
+            position=position,
+            pairs=self._restored_pairs + pairs,
+            counters=counters,
+            **self._checkpoint_meta,
+        )
+
+    def _degraded_fallback(
+        self, dataset: Dataset, predicate, context, counters: CostCounters
+    ) -> list[MatchPair]:
+        """Finish the join under the memory budget via ClusterMem.
+
+        The partial run's pairs are discarded (ClusterMem re-derives the
+        complete set exactly); its work counters are kept, so the final
+        counters account for everything actually performed.
+        """
+        from repro.core.cluster_mem import ClusterMemJoin, MemoryBudget
+
+        fallback = ClusterMemJoin(MemoryBudget(context.memory_budget_entries))
+        result = fallback.join(
+            dataset, predicate, context=context.for_degraded_run()
+        )
+        counters.merge(result.counters)
+        counters.extra["degradations"] = counters.extra.get("degradations", 0) + 1
+        return result.pairs
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -73,13 +264,20 @@ class SetJoinAlgorithm(ABC):
         return ok
 
     def join_between(
-        self, left: Dataset, right: Dataset, predicate: SimilarityPredicate
+        self,
+        left: Dataset,
+        right: Dataset,
+        predicate: SimilarityPredicate,
+        context=None,
     ) -> JoinResult:
         """Non-self join: index ``right``, probe with ``left``.
 
         Returned pairs use ``rid_a`` = left RID and ``rid_b`` = right RID
         (both in their own dataset's numbering; ``rid_a < rid_b`` is not
         enforced here since the id spaces differ).
+
+        ``context`` enables deadline/cancellation/memory checks per
+        probed record; checkpoint/resume is not supported here.
         """
         if left.vocabulary is not None and left.vocabulary is not right.vocabulary:
             raise ValueError(
@@ -96,41 +294,49 @@ class SetJoinAlgorithm(ABC):
         )
         bound = predicate.bind(combined)
         counters = CostCounters()
+        self._context = context
+        if context is not None:
+            context.start()
         start = time.perf_counter()
-        offset = len(left)
-        index = ScoredInvertedIndex()
-        for rid in range(offset, len(combined)):
-            index.insert(
-                rid,
-                combined[rid],
-                bound.cached_score_vector(rid),
-                bound.norm(rid),
-                counters,
-            )
-        band = bound.band_filter()
-        pairs: list[MatchPair] = []
-        for rid in range(len(left)):
-            counters.probes += 1
-            lists = index.probe_lists(combined[rid], bound.cached_score_vector(rid))
-            if not lists:
-                continue
-            norm_r = bound.norm(rid)
-            index_threshold = bound.index_threshold(norm_r, index.min_norm)
-            accept = None
-            if band is not None:
-                accept = _band_accept(band, rid)
-            candidates = merge_opt(
-                lists,
-                index_threshold,
-                lambda sid, _n=norm_r, _b=bound: _b.threshold(_n, _b.norm(sid)),
-                counters,
-                accept=accept,
-            )
-            for sid, _weight in candidates:
-                counters.pairs_verified += 1
-                ok, similarity = bound.verify(rid, sid)
-                if ok:
-                    pairs.append(MatchPair(rid, sid - offset, similarity))
+        try:
+            offset = len(left)
+            index = ScoredInvertedIndex()
+            for rid in range(offset, len(combined)):
+                self._tick(counters)
+                index.insert(
+                    rid,
+                    combined[rid],
+                    bound.cached_score_vector(rid),
+                    bound.norm(rid),
+                    counters,
+                )
+            band = bound.band_filter()
+            pairs: list[MatchPair] = []
+            for rid in range(len(left)):
+                self._tick(counters)
+                counters.probes += 1
+                lists = index.probe_lists(combined[rid], bound.cached_score_vector(rid))
+                if not lists:
+                    continue
+                norm_r = bound.norm(rid)
+                index_threshold = bound.index_threshold(norm_r, index.min_norm)
+                accept = None
+                if band is not None:
+                    accept = _band_accept(band, rid)
+                candidates = merge_opt(
+                    lists,
+                    index_threshold,
+                    lambda sid, _n=norm_r, _b=bound: _b.threshold(_n, _b.norm(sid)),
+                    counters,
+                    accept=accept,
+                )
+                for sid, _weight in candidates:
+                    counters.pairs_verified += 1
+                    ok, similarity = bound.verify(rid, sid)
+                    if ok:
+                        pairs.append(MatchPair(rid, sid - offset, similarity))
+        finally:
+            self._context = None
         elapsed = time.perf_counter() - start
         counters.pairs_output = len(pairs)
         return JoinResult(

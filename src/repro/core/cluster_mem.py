@@ -87,6 +87,11 @@ class ClusterMemJoin(SetJoinAlgorithm):
             (a temporary directory is used and cleaned up by default).
     """
 
+    #: ClusterMem honours its memory budget structurally; the runtime
+    #: memory check (which compares *cumulative* insert counters) is
+    #: disabled for it — see JoinContext.tick.
+    respects_memory_budget = True
+
     def __init__(
         self,
         budget: MemoryBudget,
@@ -183,6 +188,10 @@ class ClusterMemJoin(SetJoinAlgorithm):
         index_cap = self.budget.max_index_entries
         index_sizes: list[int] = []
         for position, rid in enumerate(order):
+            # Phase 1 emits no pairs: an interruption here leaves any
+            # prior checkpoint valid (phase 1 is replayed in full on
+            # resume; it is deterministic for a fixed dataset/config).
+            self._tick(counters)
             tokens = dataset[rid]
             scores = bound.cached_score_vector(rid)
             norm_r = bound.norm(rid)
@@ -310,12 +319,29 @@ class ClusterMemJoin(SetJoinAlgorithm):
 
         band = bound.band_filter()
         pairs: list[MatchPair] = []
-        for batch_idx, path in enumerate(batch_files):
-            indexes: dict[int, ScoredInvertedIndex] = {}
-            for entry in PartitionInfoStore.scan_file(path):
-                tokens = store.fetch(entry.rid)
-                scores = bound.cached_score_vector(entry.rid)
-                norm_r = bound.norm(entry.rid)
+
+        def scan_entries():
+            """Flat (batch, entry) stream: phase 2's scan positions.
+
+            Phase 1 is deterministic, so these positions line up across
+            runs — the driver's checkpoint/resume replay keys on them.
+            """
+            for batch_idx, path in enumerate(batch_files):
+                for entry in PartitionInfoStore.scan_file(path):
+                    yield batch_idx, entry
+
+        current_batch = -1
+        indexes: dict[int, ScoredInvertedIndex] = {}
+        for _position, (batch_idx, entry), replay in self._drive(
+            scan_entries(), counters, pairs
+        ):
+            if batch_idx != current_batch:
+                indexes = {}
+                current_batch = batch_idx
+            tokens = store.fetch(entry.rid)
+            scores = bound.cached_score_vector(entry.rid)
+            norm_r = bound.norm(entry.rid)
+            if not replay:
                 for cid in entry.joins:
                     if batch_of_cluster[cid] != batch_idx:
                         continue
@@ -326,13 +352,13 @@ class ClusterMemJoin(SetJoinAlgorithm):
                         cluster_index, entry.rid, tokens, scores, norm_r,
                         bound, band, order, counters, pairs,
                     )
-                if entry.home >= 0:
-                    home_index = indexes.get(entry.home)
-                    if home_index is None:
-                        home_index = ScoredInvertedIndex()
-                        indexes[entry.home] = home_index
-                    home_index.insert(entry.position, tokens, scores, norm_r)
-                    counters.index_entries += len(tokens)
+            if entry.home >= 0:
+                home_index = indexes.get(entry.home)
+                if home_index is None:
+                    home_index = ScoredInvertedIndex()
+                    indexes[entry.home] = home_index
+                home_index.insert(entry.position, tokens, scores, norm_r)
+                counters.index_entries += len(tokens)
         return pairs
 
     def _probe_batch_cluster(

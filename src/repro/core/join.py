@@ -72,12 +72,13 @@ def make_algorithm(name: str, **kwargs):
                 """Budget resolved against the dataset at join time."""
 
                 name = "cluster-mem"
+                respects_memory_budget = True
 
-                def join(self, dataset, predicate):
+                def join(self, dataset, predicate, context=None):
                     resolved = ClusterMemJoin(
                         MemoryBudget.fraction_of_full(dataset, fraction), **kwargs
                     )
-                    return resolved.join(dataset, predicate)
+                    return resolved.join(dataset, predicate, context=context)
 
             return _Deferred()
         return ClusterMemJoin(budget, **kwargs)
@@ -95,6 +96,7 @@ def similarity_join(
     dataset: Dataset,
     predicate: SimilarityPredicate,
     algorithm: str = "probe-cluster",
+    context=None,
     **kwargs,
 ) -> JoinResult:
     """Exact similarity self-join with the named algorithm.
@@ -103,17 +105,21 @@ def similarity_join(
         dataset: the tokenized records.
         predicate: the join condition (see :mod:`repro.predicates`).
         algorithm: a key of :data:`ALGORITHMS` or ``"cluster-mem"``.
+        context: optional :class:`~repro.runtime.context.JoinContext`
+            carrying a deadline, cancellation token, memory budget,
+            and/or checkpointer (see ``docs/operations.md``).
         kwargs: algorithm construction options.
 
     Returns a :class:`~repro.core.results.JoinResult`.
     """
-    return make_algorithm(algorithm, **kwargs).join(dataset, predicate)
+    return make_algorithm(algorithm, **kwargs).join(dataset, predicate, context=context)
 
 
 def hamming_join(
     dataset: Dataset,
     k: int,
     algorithm: str = "probe-cluster",
+    context=None,
     **kwargs,
 ) -> JoinResult:
     """Exact symmetric-difference join ``|r Δ s| <= k``.
@@ -127,7 +133,9 @@ def hamming_join(
     from repro.predicates.hamming import HammingPredicate
 
     predicate = HammingPredicate(k)
-    result = similarity_join(dataset, predicate, algorithm=algorithm, **kwargs)
+    result = similarity_join(
+        dataset, predicate, algorithm=algorithm, context=context, **kwargs
+    )
     small = [rid for rid in range(len(dataset)) if len(dataset[rid]) <= k]
     if small:
         bound = predicate.bind(dataset)
@@ -151,6 +159,7 @@ def edit_distance_join(
     k: int,
     q: int = 3,
     algorithm: str = "probe-cluster",
+    context=None,
     **kwargs,
 ) -> JoinResult:
     """Exact edit-distance self-join over raw strings (§5.2.3).
@@ -163,7 +172,9 @@ def edit_distance_join(
     """
     predicate = EditDistancePredicate(k=k, q=q)
     dataset = qgram_dataset(strings, q=q)
-    result = similarity_join(dataset, predicate, algorithm=algorithm, **kwargs)
+    result = similarity_join(
+        dataset, predicate, algorithm=algorithm, context=context, **kwargs
+    )
     cutoff = predicate.short_string_cutoff()
     bound = predicate.bind(dataset)
     short = [

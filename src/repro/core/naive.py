@@ -29,7 +29,9 @@ class NaiveJoin(SetJoinAlgorithm):
         band = bound.band_filter()
         pairs: list[MatchPair] = []
         if band is None:
-            for rid_a in range(n):
+            for _position, rid_a, replay in self._drive(range(n), counters, pairs):
+                if replay:
+                    continue
                 for rid_b in range(rid_a + 1, n):
                     self._verify_pair(bound, rid_a, rid_b, counters, pairs)
             return pairs
@@ -39,11 +41,12 @@ class NaiveJoin(SetJoinAlgorithm):
         order = sorted(range(n), key=lambda rid: band.keys[rid])
         radius = band.radius + 1e-12
         start = 0
-        for pos_b in range(n):
-            rid_b = order[pos_b]
+        for pos_b, rid_b, replay in self._drive(order, counters, pairs):
             key_b = band.keys[rid_b]
             while start < pos_b and key_b - band.keys[order[start]] > radius:
                 start += 1
+            if replay:
+                continue
             for pos_a in range(start, pos_b):
                 rid_a = order[pos_a]
                 self._verify_pair(

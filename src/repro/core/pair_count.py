@@ -64,6 +64,7 @@ class PairCountJoin(SetJoinAlgorithm):
     ) -> list[MatchPair]:
         index = ScoredInvertedIndex()
         for rid in range(len(dataset)):
+            self._tick(counters)
             index.insert(
                 rid, dataset[rid], bound.cached_score_vector(rid), bound.norm(rid), counters
             )
@@ -88,6 +89,12 @@ class PairCountJoin(SetJoinAlgorithm):
 
         table: dict[tuple[int, int], float] = {}
         for plist, _token in lists[k:]:
+            # Per-list runtime check: the memory budget sees the growing
+            # aggregation table through peak_pair_table (the paper's
+            # memory bottleneck for this algorithm), so a budgeted
+            # context degrades to ClusterMem right when Pair-Count
+            # starts to blow up.
+            self._tick(counters)
             ids = plist.ids
             scores = plist.scores
             n = len(ids)
@@ -111,6 +118,8 @@ class PairCountJoin(SetJoinAlgorithm):
         pairs: list[MatchPair] = []
         for (rid_a, rid_b), weight in table.items():
             counters.candidates_checked += 1
+            if counters.candidates_checked % 512 == 0:
+                self._tick(counters)
             pair_threshold = bound.threshold(bound.norm(rid_a), bound.norm(rid_b))
             if self.optimized:
                 # Complete the weight from the skipped long lists,

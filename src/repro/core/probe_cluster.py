@@ -86,19 +86,25 @@ class ProbeClusterJoin(SetJoinAlgorithm):
         pairs: list[MatchPair] = []
         self.last_assignment = {}
 
-        for position, rid in enumerate(order):
+        for position, rid, replay in self._drive(order, counters, pairs):
             tokens = dataset[rid]
             scores = bound.cached_score_vector(rid)
             norm_r = bound.norm(rid)
-            counters.probes += 1
+            if not replay:
+                counters.probes += 1
+            # The cluster probe must run even on resume-replay: the home
+            # assignment below depends on it and rebuilds the cluster
+            # state deterministically. Only the pair-emitting fine joins
+            # are skipped (their pairs were restored from the checkpoint).
             join_clusters, home = self._probe_clusters(
                 clusters, tokens, scores, norm_r, bound, counters
             )
-            for cid in join_clusters:
-                self._fine_join(
-                    clusters[cid], rid, tokens, scores, norm_r, bound, band,
-                    order, counters, pairs,
-                )
+            if not replay:
+                for cid in join_clusters:
+                    self._fine_join(
+                        clusters[cid], rid, tokens, scores, norm_r, bound, band,
+                        order, counters, pairs,
+                    )
             target = self._assign_home(
                 clusters, home, position, rid, tokens, scores, norm_r, counters
             )

@@ -78,13 +78,16 @@ class ProbeCountJoin(SetJoinAlgorithm):
     ) -> list[MatchPair]:
         index = ScoredInvertedIndex()
         for rid in range(len(dataset)):
+            self._tick(counters)
             index.insert(
                 rid, dataset[rid], bound.cached_score_vector(rid), bound.norm(rid), counters
             )
         band = bound.band_filter()
         pairs: list[MatchPair] = []
         use_optmerge = self.variant == "optmerge"
-        for rid in range(len(dataset)):
+        for _position, rid, replay in self._drive(range(len(dataset)), counters, pairs):
+            if replay:
+                continue
             counters.probes += 1
             lists = index.probe_lists(dataset[rid], bound.cached_score_vector(rid))
             if not lists:
@@ -115,6 +118,7 @@ class ProbeCountJoin(SetJoinAlgorithm):
         counters.extra["stopwords"] = len(stopwords)
         index = ScoredInvertedIndex()
         for rid in range(len(dataset)):
+            self._tick(counters)
             tokens = dataset[rid]
             scores = bound.cached_score_vector(rid)
             kept_tokens = []
@@ -126,7 +130,9 @@ class ProbeCountJoin(SetJoinAlgorithm):
             index.insert(rid, kept_tokens, kept_scores, bound.norm(rid), counters)
         band = bound.band_filter()
         pairs: list[MatchPair] = []
-        for rid in range(len(dataset)):
+        for _position, rid, replay in self._drive(range(len(dataset)), counters, pairs):
+            if replay:
+                continue
             counters.probes += 1
             tokens = dataset[rid]
             scores = bound.cached_score_vector(rid)
@@ -208,12 +214,16 @@ class ProbeCountJoin(SetJoinAlgorithm):
         # stay id-sorted even when records are processed out of RID order.
         index = ScoredInvertedIndex()
         pairs: list[MatchPair] = []
-        for position, rid in enumerate(order):
+        for position, rid, replay in self._drive(order, counters, pairs):
             tokens = dataset[rid]
             scores = bound.cached_score_vector(rid)
             norm_r = bound.norm(rid)
-            counters.probes += 1
-            lists = index.probe_lists(tokens, scores)
+            # On resume-replay the record is only re-inserted into the
+            # index; its probe already ran (pairs restored from the
+            # checkpoint).
+            if not replay:
+                counters.probes += 1
+            lists = index.probe_lists(tokens, scores) if not replay else None
             if lists:
 
                 def threshold_of(pos: int, _n=norm_r) -> float:

@@ -42,13 +42,29 @@ class MatchPair:
 
 @dataclass
 class JoinResult:
-    """Output of one join execution."""
+    """Output of one join execution.
+
+    ``degraded_from`` / ``degradation_reason`` record graceful
+    degradation: when a join running under a
+    :class:`~repro.runtime.context.JoinContext` memory budget tripped
+    the budget and was completed by the budget-respecting ClusterMem
+    algorithm instead, ``degraded_from`` names the original algorithm
+    (and ``algorithm`` keeps that requested name). The pair set is
+    unaffected — every algorithm is exact.
+    """
 
     pairs: list[MatchPair]
     algorithm: str
     predicate: str
     counters: CostCounters = field(default_factory=CostCounters)
     elapsed_seconds: float = 0.0
+    degraded_from: str | None = None
+    degradation_reason: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the join fell back to ClusterMem mid-run."""
+        return self.degraded_from is not None
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -62,7 +78,8 @@ class JoinResult:
         return sorted(self.pairs, key=lambda p: (p.rid_a, p.rid_b))
 
     def __repr__(self) -> str:
+        degraded = ", degraded=cluster-mem" if self.degraded else ""
         return (
             f"JoinResult(algorithm={self.algorithm!r}, predicate={self.predicate!r},"
-            f" pairs={len(self.pairs)}, elapsed={self.elapsed_seconds:.3f}s)"
+            f" pairs={len(self.pairs)}, elapsed={self.elapsed_seconds:.3f}s{degraded})"
         )

@@ -10,17 +10,26 @@ same MergeOpt machinery the batch joins use.
 
 from __future__ import annotations
 
-import json
 from collections.abc import Sequence
+from contextlib import contextmanager
 
 from repro.core.inverted_index import ScoredInvertedIndex
 from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
 from repro.core.results import MatchPair
 from repro.predicates.base import SimilarityPredicate
+from repro.runtime.errors import (
+    ConcurrentMutation,
+    SnapshotCorrupted,
+    SnapshotEncodingError,
+)
+from repro.runtime.snapshot import canonical_json, read_snapshot, write_snapshot
 from repro.utils.counters import CostCounters
 
 __all__ = ["SimilarityIndex"]
+
+#: Snapshot ``kind`` tag for persisted indexes.
+_SNAPSHOT_KIND = "similarity-index"
 
 
 class SimilarityIndex:
@@ -36,6 +45,16 @@ class SimilarityIndex:
         cosine) are rebound as the corpus grows only when ``rebind()``
         is called; for streaming use, prefer corpus-independent
         predicates or pass precomputed ``stats``.
+
+    Concurrency:
+        This class is **not thread-safe and not re-entrant**. Queries
+        temporarily extend the shared dataset with the probe record and
+        restore it afterwards, so overlapping operations would corrupt
+        the index. Re-entry (e.g. a tokenizer or codec that calls back
+        into the service, or interleaved calls from another thread that
+        happen to be observed) raises
+        :class:`~repro.runtime.errors.ConcurrentMutation` instead of
+        corrupting state. Wrap the instance in a lock for threaded use.
     """
 
     def __init__(self, predicate: SimilarityPredicate, tokenizer=None):
@@ -48,6 +67,18 @@ class SimilarityIndex:
         self._bound = None
         self._index = ScoredInvertedIndex()
         self.counters = CostCounters()
+        self._in_flight: str | None = None
+
+    @contextmanager
+    def _exclusive(self, operation: str):
+        """Re-entrancy guard around every state-touching operation."""
+        if self._in_flight is not None:
+            raise ConcurrentMutation(operation, self._in_flight)
+        self._in_flight = operation
+        try:
+            yield
+        finally:
+            self._in_flight = None
 
     def __len__(self) -> int:
         return len(self._dataset)
@@ -72,12 +103,37 @@ class SimilarityIndex:
         return tuple(sorted(ids))
 
     def rebind(self) -> None:
-        """Recompute predicate statistics over the current corpus."""
+        """Recompute predicate statistics over the current corpus.
+
+        Also rebuilds the inverted index with the refreshed scores:
+        entries inserted before the rebind carry the statistics that
+        were current *at insert time*, and probing them with a freshly
+        bound predicate could silently drop true matches for
+        corpus-dependent predicates (TF-IDF cosine, weighted overlap).
+        """
+        with self._exclusive("rebind"):
+            self._rebind()
+            self._rebuild_index()
+
+    def _rebind(self) -> None:
         self._bound = self.predicate.bind(self._dataset)
+
+    def _rebuild_index(self) -> None:
+        """Re-insert every record under the current bound's scores."""
+        index = ScoredInvertedIndex()
+        for rid in range(len(self._dataset)):
+            index.insert(
+                rid,
+                self._dataset[rid],
+                self._bound.cached_score_vector(rid),
+                self._bound.norm(rid),
+                self.counters,
+            )
+        self._index = index
 
     def _ensure_bound(self):
         if self._bound is None:
-            self.rebind()
+            self._rebind()
         else:
             self._bound.extend_to(len(self._dataset))
         return self._bound
@@ -86,18 +142,19 @@ class SimilarityIndex:
 
     def add(self, item, payload=None) -> int:
         """Insert a record; returns its rid."""
-        tokens = self._tokens_of(item)
-        record = self._record_of(tokens, extend_vocab=True)
-        rid = len(self._dataset)
-        self._token_lists.append(tokens)
-        self._dataset.records.append(record)
-        self._dataset.payloads.append(payload if payload is not None else item)
-        self._dataset._frequency = None  # invalidate cached stats
-        bound = self._ensure_bound()
-        self._index.insert(
-            rid, record, bound.cached_score_vector(rid), bound.norm(rid), self.counters
-        )
-        return rid
+        with self._exclusive("add"):
+            tokens = self._tokens_of(item)
+            record = self._record_of(tokens, extend_vocab=True)
+            rid = len(self._dataset)
+            self._token_lists.append(tokens)
+            self._dataset.records.append(record)
+            self._dataset.payloads.append(payload if payload is not None else item)
+            self._dataset._frequency = None  # invalidate cached stats
+            bound = self._ensure_bound()
+            self._index.insert(
+                rid, record, bound.cached_score_vector(rid), bound.norm(rid), self.counters
+            )
+            return rid
 
     def query(self, item) -> list[MatchPair]:
         """All indexed records matching ``item`` under the predicate.
@@ -106,6 +163,10 @@ class SimilarityIndex:
         inserted); returned pairs carry ``rid_a`` = matched record and
         ``rid_b`` = that temporary rid.
         """
+        with self._exclusive("query"):
+            return self._query(item)
+
+    def _query(self, item) -> list[MatchPair]:
         tokens = self._tokens_of(item)
         record = self._record_of(tokens, extend_vocab=True)
         probe_rid = len(self._dataset)
@@ -166,43 +227,122 @@ class SimilarityIndex:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, path: str) -> None:
-        """Serialize the indexed records (the index is rebuilt on load)."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(
-                {
-                    "token_lists": self._token_lists,
-                    "payloads": [
-                        payload if isinstance(payload, (str, int, float, list)) else str(payload)
-                        for payload in self._dataset.payloads
-                    ],
-                },
-                handle,
+    def save(self, path: str, codec=None, fs=None) -> None:
+        """Crash-safely serialize the indexed records to ``path``.
+
+        The snapshot is versioned, checksummed, and written with
+        write-to-temp + atomic rename (see :mod:`repro.runtime.snapshot`):
+        a crash at any point leaves the previous snapshot loadable.
+        Only the records and payloads are stored; the inverted index is
+        rebuilt on load.
+
+        Args:
+            codec: optional payload codec with ``encode(payload) -> str``
+                and ``decode(text) -> payload`` for payloads JSON cannot
+                represent. Without one, a non-JSON payload raises
+                :class:`~repro.runtime.errors.SnapshotEncodingError`
+                instead of being silently coerced (and lost) as ``str``.
+            fs: filesystem shim for fault injection in tests.
+        """
+        with self._exclusive("save"):
+            payloads = []
+            for rid, payload in enumerate(self._dataset.payloads):
+                try:
+                    canonical_json(payload)
+                except SnapshotEncodingError:
+                    if codec is None:
+                        raise SnapshotEncodingError(
+                            f"payload of record {rid} ({type(payload).__name__})"
+                            " is not JSON-representable; pass codec= to"
+                            " SimilarityIndex.save/load to round-trip it"
+                        ) from None
+                    encoded = codec.encode(payload)
+                    if not isinstance(encoded, str):
+                        raise SnapshotEncodingError(
+                            f"codec.encode must return str, got"
+                            f" {type(encoded).__name__} for record {rid}"
+                        )
+                    payloads.append(["codec", encoded])
+                else:
+                    payloads.append(["json", payload])
+            write_snapshot(
+                path,
+                {"token_lists": self._token_lists, "payloads": payloads},
+                kind=_SNAPSHOT_KIND,
+                fs=fs,
             )
 
     @classmethod
     def load(
-        cls, path: str, predicate: SimilarityPredicate, tokenizer=None
+        cls,
+        path: str,
+        predicate: SimilarityPredicate,
+        tokenizer=None,
+        codec=None,
+        fs=None,
     ) -> "SimilarityIndex":
-        """Restore an index saved with :meth:`save`."""
-        with open(path, "r", encoding="utf-8") as handle:
-            state = json.load(handle)
+        """Restore an index saved with :meth:`save`.
+
+        Raises :class:`~repro.runtime.errors.SnapshotCorrupted` when the
+        file is damaged, tampered with, of a foreign format, or its state
+        shape is malformed — never a bare ``KeyError``. A snapshot whose
+        payloads were written with a codec requires the same ``codec``
+        here (:class:`~repro.runtime.errors.SnapshotEncodingError`
+        otherwise).
+        """
+        state = read_snapshot(path, kind=_SNAPSHOT_KIND, fs=fs)
+        token_lists, payload_entries = cls._validate_state(path, state)
         service = cls(predicate, tokenizer=tokenizer)
-        for tokens, payload in zip(state["token_lists"], state["payloads"]):
+        for tokens, entry in zip(token_lists, payload_entries):
+            tag, value = entry
+            if tag == "codec":
+                if codec is None:
+                    raise SnapshotEncodingError(
+                        f"snapshot {path!r} contains codec-encoded payloads;"
+                        " pass the codec used at save time"
+                    )
+                value = codec.decode(value)
             record = service._record_of(tokens, extend_vocab=True)
-            rid = len(service._dataset)
             service._token_lists.append(tokens)
             service._dataset.records.append(record)
-            service._dataset.payloads.append(payload)
+            service._dataset.payloads.append(value)
         service._dataset._frequency = None
-        service.rebind()
-        bound = service._bound
-        for rid in range(len(service._dataset)):
-            service._index.insert(
-                rid,
-                service._dataset[rid],
-                bound.cached_score_vector(rid),
-                bound.norm(rid),
-                service.counters,
-            )
+        service._rebind()
+        service._rebuild_index()
         return service
+
+    @staticmethod
+    def _validate_state(path: str, state) -> tuple[list, list]:
+        """Shape-check a loaded snapshot payload (no KeyErrors)."""
+        if not isinstance(state, dict):
+            raise SnapshotCorrupted(path, "state is not an object")
+        token_lists = state.get("token_lists")
+        payload_entries = state.get("payloads")
+        if not isinstance(token_lists, list) or not isinstance(payload_entries, list):
+            raise SnapshotCorrupted(
+                path, "state needs 'token_lists' and 'payloads' lists"
+            )
+        if len(token_lists) != len(payload_entries):
+            raise SnapshotCorrupted(
+                path,
+                f"{len(token_lists)} token lists vs"
+                f" {len(payload_entries)} payloads",
+            )
+        for i, tokens in enumerate(token_lists):
+            if not isinstance(tokens, list) or not all(
+                isinstance(t, str) for t in tokens
+            ):
+                raise SnapshotCorrupted(
+                    path, f"token list {i} is not a list of strings"
+                )
+        for i, entry in enumerate(payload_entries):
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or entry[0] not in ("json", "codec")
+                or (entry[0] == "codec" and not isinstance(entry[1], str))
+            ):
+                raise SnapshotCorrupted(
+                    path, f"payload entry {i} is not a tagged [kind, value] pair"
+                )
+        return token_lists, payload_entries

@@ -108,6 +108,7 @@ class WordGroupsJoin(SetJoinAlgorithm):
         # Level 1: item -> tid-list, support >= 2.
         tidlists: dict[int, list[int]] = {}
         for rid, record in enumerate(dataset.records):
+            self._tick(counters)
             for token in record:
                 tidlists.setdefault(item_of_token[token], []).append(rid)
         level: dict[tuple[int, ...], list[int]] = {
@@ -120,6 +121,9 @@ class WordGroupsJoin(SetJoinAlgorithm):
             counters.itemsets_generated += len(level)
             survivors: dict[tuple[int, ...], list[int]] = {}
             for itemset, tids in level.items():
+                # Per-group runtime check (deadline/cancel/memory); the
+                # lattice can vastly outnumber the records.
+                self._tick(counters)
                 weight = sum(item_weight[item] for item in itemset)
                 if weight >= min_threshold - WEIGHT_EPS:
                     # Qualifying group: output all implied pairs, prune.

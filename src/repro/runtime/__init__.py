@@ -1,0 +1,59 @@
+"""Hardened join runtime: deadlines, cancellation, checkpoint/resume,
+crash-safe persistence, and graceful degradation.
+
+The pieces:
+
+* :class:`~repro.runtime.context.JoinContext` /
+  :class:`~repro.runtime.context.CancellationToken` — per-join deadline,
+  cooperative cancellation, and memory budget, enforced at record
+  granularity by the shared driver loop.
+* :class:`~repro.runtime.checkpoint.JoinCheckpointer` — periodic
+  progress snapshots; an interrupted batch join resumes instead of
+  restarting.
+* :mod:`~repro.runtime.snapshot` — versioned, checksummed,
+  atomically-renamed snapshot files (used by checkpoints and
+  :class:`~repro.core.service.SimilarityIndex` persistence).
+* :mod:`~repro.runtime.errors` — the structured exception hierarchy.
+* :mod:`~repro.runtime.faults` — deterministic fault injection
+  (fake clock, failing filesystem, countdown cancellation) for tests.
+
+See ``docs/operations.md`` for the operational guide.
+"""
+
+from repro.runtime.checkpoint import (
+    CheckpointState,
+    JoinCheckpointer,
+    dataset_fingerprint,
+)
+from repro.runtime.context import CancellationToken, JoinContext
+from repro.runtime.errors import (
+    CheckpointMismatch,
+    ConcurrentMutation,
+    JoinCancelled,
+    JoinInterrupted,
+    JoinRuntimeError,
+    JoinTimeout,
+    MemoryBudgetExceeded,
+    SnapshotCorrupted,
+    SnapshotEncodingError,
+)
+from repro.runtime.snapshot import read_snapshot, write_snapshot
+
+__all__ = [
+    "CancellationToken",
+    "CheckpointMismatch",
+    "CheckpointState",
+    "ConcurrentMutation",
+    "JoinCancelled",
+    "JoinCheckpointer",
+    "JoinContext",
+    "JoinInterrupted",
+    "JoinRuntimeError",
+    "JoinTimeout",
+    "MemoryBudgetExceeded",
+    "SnapshotCorrupted",
+    "SnapshotEncodingError",
+    "dataset_fingerprint",
+    "read_snapshot",
+    "write_snapshot",
+]

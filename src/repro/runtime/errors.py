@@ -1,0 +1,116 @@
+"""Structured exception hierarchy for the hardened join runtime.
+
+Every failure mode the runtime can surface has a dedicated type so
+callers can distinguish "ran out of time" from "the operator asked us to
+stop" from "a snapshot on disk is damaged" without string-matching.
+All types derive from :class:`JoinRuntimeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CheckpointMismatch",
+    "ConcurrentMutation",
+    "JoinCancelled",
+    "JoinInterrupted",
+    "JoinRuntimeError",
+    "JoinTimeout",
+    "MemoryBudgetExceeded",
+    "SnapshotCorrupted",
+    "SnapshotEncodingError",
+]
+
+
+class JoinRuntimeError(Exception):
+    """Base class for all hardened-runtime failures."""
+
+
+class JoinInterrupted(JoinRuntimeError):
+    """Base for interruptions that stop a join before completion.
+
+    When the join was running with a checkpointer, the last completed
+    progress has been flushed to disk before this was raised, so the
+    same invocation can be resumed.
+    """
+
+
+class JoinTimeout(JoinInterrupted):
+    """The context's deadline expired mid-join."""
+
+    def __init__(self, elapsed: float, deadline: float):
+        super().__init__(
+            f"join deadline of {deadline:.3f}s expired after {elapsed:.3f}s"
+        )
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class JoinCancelled(JoinInterrupted):
+    """The context's cancellation token was triggered mid-join."""
+
+    def __init__(self, reason: str = "cancelled"):
+        super().__init__(f"join cancelled: {reason}")
+        self.reason = reason
+
+
+class MemoryBudgetExceeded(JoinRuntimeError):
+    """The context's memory budget (in index entries) was exceeded.
+
+    Only raised when the context was built with
+    ``on_memory_exceeded="raise"``; the default policy degrades to the
+    budget-respecting ClusterMem join instead.
+    """
+
+    def __init__(self, entries: int, budget: int):
+        super().__init__(
+            f"index memory reached {entries} entries, budget is {budget}"
+        )
+        self.entries = entries
+        self.budget = budget
+
+
+class SnapshotCorrupted(JoinRuntimeError):
+    """A persisted snapshot failed validation (checksum, shape, version).
+
+    Carries the offending ``path`` and a human-readable ``detail``.
+    """
+
+    def __init__(self, path: str, detail: str):
+        super().__init__(f"snapshot {path!r} is corrupt or unreadable: {detail}")
+        self.path = path
+        self.detail = detail
+
+
+class SnapshotEncodingError(JoinRuntimeError):
+    """A payload cannot be represented in the snapshot format.
+
+    Raised instead of silently coercing non-JSON payloads to ``str``
+    (which loses data on round-trip); pass a codec to handle custom
+    payload types.
+    """
+
+
+class CheckpointMismatch(JoinRuntimeError):
+    """A checkpoint on disk belongs to a different join invocation.
+
+    Resuming is only sound when the algorithm, predicate, and dataset
+    are byte-identical to the interrupted run; anything else would
+    silently produce wrong pairs.
+    """
+
+
+class ConcurrentMutation(JoinRuntimeError):
+    """The similarity-index service was re-entered mid-operation.
+
+    The service temporarily mutates shared state during queries; it is
+    not thread-safe and not re-entrant. This error is raised instead of
+    corrupting the index.
+    """
+
+    def __init__(self, attempted: str, in_flight: str):
+        super().__init__(
+            f"cannot {attempted} while a {in_flight} is in flight:"
+            " SimilarityIndex is not re-entrant (nor thread-safe)"
+        )
+        self.attempted = attempted
+        self.in_flight = in_flight

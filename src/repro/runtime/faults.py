@@ -1,0 +1,153 @@
+"""Deterministic fault injection for the hardened runtime tests.
+
+Nothing here touches production behaviour; these are the seams the
+runtime exposes (injectable clock, filesystem shim, cancellation token)
+filled with controllable failure doubles:
+
+* :class:`FakeClock` — a manual/auto-advancing monotonic clock, so
+  deadline expiry is exact and instant under test.
+* :class:`FailingFilesystem` — a :class:`RealFilesystem` that raises
+  :class:`InjectedFault` at the N-th chosen operation, simulating a
+  crash mid-write / mid-rename.
+* :class:`CountdownCancellation` — a cancellation token that trips
+  itself after N observations, simulating a kill at an exact record
+  boundary.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.context import CancellationToken
+from repro.runtime.snapshot import RealFilesystem
+
+__all__ = [
+    "CountdownCancellation",
+    "FailingFilesystem",
+    "FakeClock",
+    "InjectedFault",
+]
+
+
+class InjectedFault(OSError):
+    """The error every injected filesystem failure raises."""
+
+    def __init__(self, operation: str, call_number: int):
+        super().__init__(f"injected fault at {operation} call #{call_number}")
+        self.operation = operation
+        self.call_number = call_number
+
+
+class FakeClock:
+    """Injectable monotonic clock.
+
+    Args:
+        start: initial reading.
+        auto_advance: seconds added on *every* read — with the default
+            0.0 the clock only moves via :meth:`advance`.
+    """
+
+    def __init__(self, start: float = 0.0, auto_advance: float = 0.0):
+        self.now = start
+        self.auto_advance = auto_advance
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        reading = self.now
+        self.now += self.auto_advance
+        return reading
+
+
+class CountdownCancellation(CancellationToken):
+    """Token that cancels itself after ``after_checks`` observations.
+
+    The driver loop polls ``cancelled`` once per record, so
+    ``CountdownCancellation(after_checks=25)`` kills a join at exactly
+    the 25th record boundary — a deterministic stand-in for an operator
+    hitting Ctrl-C mid-run.
+    """
+
+    def __init__(self, after_checks: int, reason: str = "injected kill"):
+        super().__init__()
+        if after_checks < 1:
+            raise ValueError(f"after_checks must be >= 1, got {after_checks}")
+        self.after_checks = after_checks
+        self.checks = 0
+        self._reason_on_trip = reason
+
+    @property
+    def cancelled(self) -> bool:
+        if self._cancelled:
+            return True
+        self.checks += 1
+        if self.checks >= self.after_checks:
+            self.cancel(self._reason_on_trip)
+        return self._cancelled
+
+
+class FailingFilesystem(RealFilesystem):
+    """Filesystem shim that fails deterministically at one operation.
+
+    Args:
+        fail_operation: which call to sabotage — ``"open"``,
+            ``"write"``, ``"fsync"``, or ``"replace"``.
+        fail_at_call: 1-based index of the sabotaged call among calls
+            to that operation (so the second ``replace`` can succeed
+            while the first fails, etc.).
+
+    Counts every operation (``calls`` dict) so tests can assert the
+    failure actually happened where intended.
+    """
+
+    def __init__(self, fail_operation: str, fail_at_call: int = 1):
+        operations = ("open", "write", "fsync", "replace")
+        if fail_operation not in operations:
+            raise ValueError(
+                f"fail_operation must be one of {operations}, got {fail_operation!r}"
+            )
+        if fail_at_call < 1:
+            raise ValueError(f"fail_at_call must be >= 1, got {fail_at_call}")
+        self.fail_operation = fail_operation
+        self.fail_at_call = fail_at_call
+        self.calls = {name: 0 for name in operations}
+        self.faults_injected = 0
+
+    def _trip(self, operation: str) -> None:
+        self.calls[operation] += 1
+        if (
+            operation == self.fail_operation
+            and self.calls[operation] == self.fail_at_call
+        ):
+            self.faults_injected += 1
+            raise InjectedFault(operation, self.calls[operation])
+
+    def open(self, path: str, mode: str):
+        self._trip("open")
+        handle = super().open(path, mode)
+        if "w" in mode:
+            return _WriteTrippingHandle(handle, self)
+        return handle
+
+    def fsync(self, handle) -> None:
+        self._trip("fsync")
+        inner = getattr(handle, "_inner", handle)
+        super().fsync(inner)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._trip("replace")
+        super().replace(src, dst)
+
+
+class _WriteTrippingHandle:
+    """File-handle proxy that routes ``write`` through the fault seam."""
+
+    def __init__(self, inner, fs: FailingFilesystem):
+        self._inner = inner
+        self._fs = fs
+
+    def write(self, data):
+        self._fs._trip("write")
+        return self._inner.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)

@@ -41,6 +41,10 @@ class CostCounters:
         cluster_probes: per-cluster fine-grained index probes.
         disk_appends: records appended to the pInfo disk store.
         disk_reads: records fetched back from the record store.
+        records_scanned: record-granularity runtime checks performed by
+            the driver loop (one per scanned record under a
+            :class:`~repro.runtime.context.JoinContext`).
+        checkpoint_writes: progress checkpoints flushed to disk.
     """
 
     probes: int = 0
@@ -59,6 +63,8 @@ class CostCounters:
     cluster_probes: int = 0
     disk_appends: int = 0
     disk_reads: int = 0
+    records_scanned: int = 0
+    checkpoint_writes: int = 0
     extra: dict = field(default_factory=dict)
 
     def merge(self, other: "CostCounters") -> None:

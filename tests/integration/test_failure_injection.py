@@ -10,14 +10,20 @@ import os
 import pytest
 
 from repro import (
+    ConcurrentMutation,
     Dataset,
     JaccardPredicate,
+    JoinContext,
     MemoryBudget,
     ClusterMemJoin,
     OverlapPredicate,
+    SimilarityIndex,
+    SnapshotCorrupted,
+    SnapshotEncodingError,
     similarity_join,
 )
 from repro.partition.pinfo import PartitionEntry, PartitionInfoStore
+from repro.runtime.faults import FailingFilesystem, InjectedFault
 from repro.storage.record_store import DiskRecordStore
 from tests.conftest import random_dataset
 
@@ -113,3 +119,133 @@ class TestResourceEdges:
         data = Dataset([(1, 2, 3, 4)] * 60)
         result = similarity_join(data, JaccardPredicate(1.0), algorithm="probe-cluster")
         assert len(result.pairs) == 60 * 59 // 2
+
+    def test_memory_budget_degradation_stays_exact(self):
+        data = random_dataset(seed=82, n_base=30)
+        predicate = OverlapPredicate(3)
+        truth = similarity_join(data, predicate, algorithm="naive").pair_set()
+        result = similarity_join(
+            data, predicate, context=JoinContext(memory_budget_entries=25)
+        )
+        assert result.degraded
+        assert result.pair_set() == truth
+
+
+def _service(n=8):
+    service = SimilarityIndex(OverlapPredicate(2))
+    for i in range(n):
+        service.add([f"w{i}", f"w{i + 1}", f"w{i + 2}"])
+    return service
+
+
+class TestCrashSafePersistence:
+    """Acceptance: a crash during SimilarityIndex.save() never leaves an
+    unloadable snapshot."""
+
+    @pytest.mark.parametrize("operation", ["open", "write", "fsync", "replace"])
+    @pytest.mark.parametrize("fail_at_call", [1, 2])
+    def test_crash_mid_save_keeps_previous_snapshot_loadable(
+        self, tmp_path, operation, fail_at_call
+    ):
+        path = str(tmp_path / "index.snap")
+        service = _service()
+        service.save(path)
+        service.add(["extra", "record", "here"])
+        fs = FailingFilesystem(fail_operation=operation, fail_at_call=fail_at_call)
+        try:
+            service.save(path, fs=fs)
+        except InjectedFault:
+            pass  # simulated crash; fall through to the load below
+        # Whether or not the write survived, the snapshot must load.
+        loaded = SimilarityIndex.load(path, OverlapPredicate(2))
+        assert len(loaded) in (len(service) - 1, len(service))
+        assert not os.path.exists(path + ".tmp")
+
+    def test_crash_mid_save_leaves_service_usable(self, tmp_path):
+        path = str(tmp_path / "index.snap")
+        service = _service()
+        with pytest.raises(InjectedFault):
+            service.save(path, fs=FailingFilesystem(fail_operation="fsync"))
+        # The failed save must release the re-entrancy guard.
+        service.add(["after", "the", "crash"])
+        service.save(path)
+        assert len(SimilarityIndex.load(path, OverlapPredicate(2))) == len(service)
+
+    def test_corrupted_snapshot_is_rejected_not_misloaded(self, tmp_path):
+        path = str(tmp_path / "index.snap")
+        _service().save(path)
+        with open(path, "r+") as handle:
+            raw = handle.read()
+            handle.seek(0)
+            handle.write(raw.replace("w1", "wX", 1))
+        with pytest.raises(SnapshotCorrupted):
+            SimilarityIndex.load(path, OverlapPredicate(2))
+
+    def test_legacy_plain_json_file_is_rejected(self, tmp_path):
+        path = str(tmp_path / "index.json")
+        with open(path, "w") as handle:
+            handle.write('{"token_lists": [["a"]], "payloads": [["a"]]}')
+        with pytest.raises(SnapshotCorrupted):
+            SimilarityIndex.load(path, OverlapPredicate(2))
+
+
+class _ReprCodec:
+    """Round-trips the non-JSON payloads used in the tests below."""
+
+    def encode(self, payload) -> str:
+        return repr(payload)
+
+    def decode(self, text: str):
+        return eval(text)  # noqa: S307 — test-only codec
+
+
+class TestPayloadEncoding:
+    def test_non_json_payload_raises_instead_of_str_coercion(self, tmp_path):
+        service = SimilarityIndex(OverlapPredicate(1))
+        service.add(["a", "b"], payload={"ok": "json"})
+        service.add(["b", "c"], payload={1, 2, 3})  # sets are not JSON
+        with pytest.raises(SnapshotEncodingError, match="record 1"):
+            service.save(str(tmp_path / "index.snap"))
+
+    def test_codec_round_trips_non_json_payloads(self, tmp_path):
+        path = str(tmp_path / "index.snap")
+        service = SimilarityIndex(OverlapPredicate(1))
+        service.add(["a", "b"], payload={"ok": "json"})
+        service.add(["b", "c"], payload={1, 2, 3})
+        service.save(path, codec=_ReprCodec())
+        loaded = SimilarityIndex.load(path, OverlapPredicate(1), codec=_ReprCodec())
+        assert loaded.payload(0) == {"ok": "json"}
+        assert loaded.payload(1) == {1, 2, 3}
+
+    def test_codec_snapshot_requires_codec_at_load(self, tmp_path):
+        path = str(tmp_path / "index.snap")
+        service = SimilarityIndex(OverlapPredicate(1))
+        service.add(["a", "b"], payload={1, 2})
+        service.save(path, codec=_ReprCodec())
+        with pytest.raises(SnapshotEncodingError, match="codec"):
+            SimilarityIndex.load(path, OverlapPredicate(1))
+
+
+class TestReentrancyGuard:
+    def test_tokenizer_calling_back_into_the_service_is_refused(self):
+        service = SimilarityIndex(
+            OverlapPredicate(1), tokenizer=lambda text: _reenter(service, text)
+        )
+        service.add(["seed", "tokens"])  # list input skips the tokenizer
+        with pytest.raises(ConcurrentMutation) as err:
+            service.query("probe text")
+        assert "query" in str(err.value)
+
+    def test_guard_releases_after_refusal(self):
+        service = SimilarityIndex(
+            OverlapPredicate(1), tokenizer=lambda text: _reenter(service, text)
+        )
+        with pytest.raises(ConcurrentMutation):
+            service.add("re-entrant add")
+        rid = service.add(["plain", "tokens"])  # guard released
+        assert rid == 0
+
+
+def _reenter(service, text):
+    service.query(["anything"])
+    return text.split()

@@ -1,0 +1,85 @@
+"""Hypothesis property: SimilarityIndex.save/load is lossless.
+
+For random corpora and every predicate family, a loaded index must hold
+identical payloads and answer every query identically to the original.
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CosinePredicate,
+    DicePredicate,
+    JaccardPredicate,
+    OverlapPredicate,
+    SimilarityIndex,
+    WeightedOverlapPredicate,
+)
+
+WORDS = ["join", "set", "index", "probe", "cluster", "merge", "count", "word"]
+
+corpora = st.lists(
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=6, unique=True),
+    min_size=1,
+    max_size=15,
+)
+
+predicates = st.sampled_from(
+    [
+        OverlapPredicate(1),
+        OverlapPredicate(2),
+        WeightedOverlapPredicate(1),
+        JaccardPredicate(0.4),
+        CosinePredicate(0.4),
+        DicePredicate(0.4),
+    ]
+)
+
+
+def _query_key(matches):
+    return {(p.rid_a, p.rid_b, round(p.similarity, 9)) for p in matches}
+
+
+class TestSaveLoadRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(corpora, predicates)
+    def test_loaded_index_is_indistinguishable(self, corpus, predicate):
+        original = SimilarityIndex(predicate)
+        for i, tokens in enumerate(corpus):
+            original.add(tokens, payload={"row": i, "tokens": tokens})
+        # Freeze corpus-dependent statistics (cosine IDF) over the full
+        # corpus — load() binds over the full corpus too.
+        original.rebind()
+        with tempfile.TemporaryDirectory() as tmp:
+            path = tmp + "/index.snap"
+            original.save(path)
+            loaded = SimilarityIndex.load(path, predicate)
+        assert len(loaded) == len(original)
+        for rid in range(len(original)):
+            assert loaded.payload(rid) == original.payload(rid)
+        for tokens in corpus:
+            assert _query_key(loaded.query(tokens)) == _query_key(
+                original.query(tokens)
+            )
+        # A probe with unseen tokens must behave identically too.
+        probe = ["unseen-token", corpus[0][0]]
+        assert _query_key(loaded.query(probe)) == _query_key(original.query(probe))
+
+    @settings(max_examples=25, deadline=None)
+    @given(corpora)
+    def test_saved_then_loaded_index_keeps_growing(self, corpus):
+        """load() returns a fully functional service, not a read-only view."""
+        predicate = OverlapPredicate(1)
+        original = SimilarityIndex(predicate)
+        for tokens in corpus:
+            original.add(tokens)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = tmp + "/index.snap"
+            original.save(path)
+            loaded = SimilarityIndex.load(path, predicate)
+        rid = loaded.add(corpus[0])
+        assert rid == len(corpus)
+        matches = {p.rid_a for p in loaded.query(corpus[0])}
+        assert rid in matches  # the post-load record is queryable

@@ -1,0 +1,134 @@
+"""JoinCheckpointer: persistence, cadence, and invocation matching."""
+
+import os
+
+import pytest
+
+from repro import Dataset, MatchPair
+from repro.runtime.checkpoint import (
+    CHECKPOINT_FILENAME,
+    JoinCheckpointer,
+    dataset_fingerprint,
+)
+from repro.runtime.errors import CheckpointMismatch, SnapshotCorrupted
+from repro.utils.counters import CostCounters
+
+IDENTITY = dict(
+    algorithm="probe-count",
+    predicate="Overlap(T=3)",
+    fingerprint="abc123",
+    n_records=50,
+)
+
+
+def _write(ckpt, position=9, pairs=(), **overrides):
+    counters = CostCounters()
+    counters.records_scanned = position + 1
+    ckpt.write(
+        **{**IDENTITY, **overrides},
+        position=position,
+        pairs=list(pairs),
+        counters=counters,
+    )
+
+
+class TestPersistence:
+    def test_load_missing_returns_none(self, tmp_path):
+        assert JoinCheckpointer(str(tmp_path)).load() is None
+
+    def test_write_load_round_trip(self, tmp_path):
+        ckpt = JoinCheckpointer(str(tmp_path))
+        pairs = [MatchPair(0, 3, 5.0), MatchPair(1, 7, 4.0)]
+        _write(ckpt, position=9, pairs=pairs)
+        state = ckpt.load()
+        assert state.algorithm == "probe-count"
+        assert state.predicate == "Overlap(T=3)"
+        assert state.position == 9
+        assert state.match_pairs() == pairs
+        assert state.cost_counters().records_scanned == 10
+        assert ckpt.writes == 1
+
+    def test_counters_round_trip_extra_keys(self, tmp_path):
+        ckpt = JoinCheckpointer(str(tmp_path))
+        counters = CostCounters()
+        counters.extra["degradations"] = 1
+        ckpt.write(**IDENTITY, position=0, pairs=[], counters=counters)
+        assert ckpt.load().cost_counters().extra["degradations"] == 1
+
+    def test_clear_removes_file(self, tmp_path):
+        ckpt = JoinCheckpointer(str(tmp_path))
+        _write(ckpt)
+        assert os.path.exists(ckpt.path)
+        ckpt.clear()
+        assert not os.path.exists(ckpt.path)
+        assert ckpt.load() is None
+        ckpt.clear()  # idempotent
+
+    def test_creates_directory(self, tmp_path):
+        nested = str(tmp_path / "a" / "b")
+        ckpt = JoinCheckpointer(nested)
+        assert os.path.isdir(nested)
+        assert ckpt.path == os.path.join(nested, CHECKPOINT_FILENAME)
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        ckpt = JoinCheckpointer(str(tmp_path))
+        _write(ckpt)
+        with open(ckpt.path, "r+") as handle:
+            raw = handle.read()
+            handle.seek(0)
+            handle.write(raw.replace("probe-count", "probe-couNt", 1))
+        with pytest.raises(SnapshotCorrupted):
+            ckpt.load()
+
+    def test_rejects_bad_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            JoinCheckpointer(str(tmp_path), interval_records=0)
+
+
+class TestCadence:
+    def test_due_every_interval(self, tmp_path):
+        ckpt = JoinCheckpointer(str(tmp_path), interval_records=5)
+        due = [position for position in range(20) if ckpt.due(position)]
+        assert due == [4, 9, 14, 19]
+
+    def test_interval_one_is_every_record(self, tmp_path):
+        ckpt = JoinCheckpointer(str(tmp_path), interval_records=1)
+        assert all(ckpt.due(position) for position in range(5))
+
+
+class TestValidate:
+    def _state(self, tmp_path, **overrides):
+        ckpt = JoinCheckpointer(str(tmp_path))
+        _write(ckpt, **overrides)
+        return ckpt.load()
+
+    def test_matching_identity_passes(self, tmp_path):
+        JoinCheckpointer.validate(self._state(tmp_path), **IDENTITY)
+
+    @pytest.mark.parametrize(
+        "field,changed",
+        [
+            ("algorithm", "naive"),
+            ("predicate", "Jaccard(0.5)"),
+            ("fingerprint", "zzz999"),
+            ("n_records", 51),
+        ],
+    )
+    def test_any_identity_drift_is_refused(self, tmp_path, field, changed):
+        state = self._state(tmp_path)
+        with pytest.raises(CheckpointMismatch):
+            JoinCheckpointer.validate(state, **{**IDENTITY, field: changed})
+
+
+class TestFingerprint:
+    def test_depends_on_content_not_identity(self):
+        a = Dataset([(1, 2, 3), (4, 5)])
+        b = Dataset([(1, 2, 3), (4, 5)])
+        c = Dataset([(1, 2, 3), (4, 6)])
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+        assert dataset_fingerprint(a) != dataset_fingerprint(c)
+
+    def test_sensitive_to_record_order(self):
+        a = Dataset([(1, 2), (3, 4)])
+        b = Dataset([(3, 4), (1, 2)])
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)

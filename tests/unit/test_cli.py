@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+import repro.cli as cli
+from repro.cli import EXIT_INTERRUPTED, EXIT_TIMEOUT, EXIT_USAGE, build_parser, main
+from repro.runtime.faults import CountdownCancellation
 
 SAMPLE = """efficient set joins on similarity predicates
 set joins on similarity predicates efficient
@@ -83,3 +85,104 @@ class TestStatsCommand:
         out = capsys.readouterr().out
         assert "records\t5" in out
         assert "avg_set_size" in out
+
+
+def _one_error_line(capsys) -> str:
+    """Assert stderr is exactly one repro-prefixed line (no traceback)."""
+    err = capsys.readouterr().err.strip().splitlines()
+    assert len(err) == 1
+    assert err[0].startswith("repro:")
+    return err[0]
+
+
+class TestOperationalErrors:
+    def test_missing_input_exits_2_with_one_line(self, tmp_path, capsys):
+        code = main(["join", "-i", str(tmp_path / "nope.txt"), "-t", "0.5"])
+        assert code == EXIT_USAGE
+        assert "cannot read" in _one_error_line(capsys)
+
+    def test_empty_input_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "blank.txt"
+        path.write_text("\n   \n\n")
+        code = main(["join", "-i", str(path), "-t", "0.5"])
+        assert code == EXIT_USAGE
+        assert "empty input" in _one_error_line(capsys)
+
+    def test_unknown_algorithm_exits_2(self, sample_file, capsys):
+        code = main(
+            ["join", "-i", sample_file, "-t", "0.5", "--algorithm", "quantum"]
+        )
+        assert code == EXIT_USAGE
+        assert "quantum" in _one_error_line(capsys)
+
+    def test_non_numeric_threshold_is_an_argparse_error(self, sample_file, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["join", "-i", sample_file, "-t", "quite-similar"])
+        assert err.value.code == EXIT_USAGE
+
+    def test_out_of_range_threshold_exits_2(self, sample_file, capsys):
+        code = main(
+            ["join", "-i", sample_file, "--predicate", "jaccard", "-t", "5.0"]
+        )
+        assert code == EXIT_USAGE
+        assert "threshold" in _one_error_line(capsys)
+
+    def test_nonpositive_deadline_exits_2(self, sample_file, capsys):
+        code = main(["join", "-i", sample_file, "-t", "0.5", "--deadline", "0"])
+        assert code == EXIT_USAGE
+        _one_error_line(capsys)
+
+    def test_cluster_mem_needs_memory_budget(self, sample_file, capsys):
+        code = main(
+            ["join", "-i", sample_file, "-t", "0.5", "--algorithm", "cluster-mem"]
+        )
+        assert code == EXIT_USAGE
+        assert "--memory-budget" in _one_error_line(capsys)
+
+
+class TestHardenedRuntimeFlags:
+    def test_expired_deadline_exits_124_with_resume_hint(
+        self, sample_file, tmp_path, capsys
+    ):
+        code = main(
+            ["join", "-i", sample_file, "-t", "0.5", "--deadline", "1e-9",
+             "--checkpoint", str(tmp_path / "ckpt")]
+        )
+        assert code == EXIT_TIMEOUT
+        assert "resume" in _one_error_line(capsys)
+
+    def test_interrupted_run_resumes_to_identical_pairs(
+        self, sample_file, tmp_path, capsys, monkeypatch
+    ):
+        """The CLI acceptance path: killed run exits 130 with progress
+        saved; rerunning the same command completes with the exact pair
+        set of an uninterrupted run."""
+        args = [
+            "join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+            "--checkpoint", str(tmp_path / "ckpt"), "--checkpoint-interval", "2",
+        ]
+        assert main(list(args)) == 0
+        truth = capsys.readouterr().out
+        assert main(list(args)) == 0  # checkpoint was cleared; reruns fine
+        capsys.readouterr()
+
+        # Simulate Ctrl-C three records in: the CLI's own token, wired
+        # to SIGINT, is replaced by a countdown that trips mid-scan.
+        monkeypatch.setattr(
+            cli, "CancellationToken", lambda: CountdownCancellation(after_checks=3)
+        )
+        code = main(list(args))
+        assert code == EXIT_INTERRUPTED
+        captured = capsys.readouterr()
+        assert "rerun the same command to resume" in captured.err
+        monkeypatch.undo()
+
+        assert main(list(args)) == 0
+        assert capsys.readouterr().out == truth
+
+    def test_memory_budget_degradation_is_reported(self, sample_file, capsys):
+        code = main(
+            ["join", "-i", sample_file, "-t", "0.5", "--memory-budget", "3"]
+        )
+        assert code == 0
+        assert "degraded" in capsys.readouterr().err

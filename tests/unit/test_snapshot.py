@@ -1,0 +1,137 @@
+"""Crash-safe snapshot format: atomicity, checksums, versioning."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.errors import SnapshotCorrupted, SnapshotEncodingError
+from repro.runtime.faults import FailingFilesystem, InjectedFault
+from repro.runtime.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    read_snapshot,
+    write_snapshot,
+)
+
+PAYLOAD = {"numbers": [1, 2, 3], "nested": {"a": "x", "b": 2.5}, "flag": True}
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, PAYLOAD, kind="test-state")
+        assert read_snapshot(path, kind="test-state") == PAYLOAD
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, {"v": 1}, kind="test-state")
+        write_snapshot(path, {"v": 2}, kind="test-state")
+        assert read_snapshot(path, kind="test-state") == {"v": 2}
+        assert not os.path.exists(path + ".tmp")
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_snapshot(str(tmp_path / "nope.snap"), kind="test-state")
+
+    def test_non_json_payload_rejected(self, tmp_path):
+        with pytest.raises(SnapshotEncodingError):
+            write_snapshot(
+                str(tmp_path / "bad.snap"), {"obj": object()}, kind="test-state"
+            )
+        with pytest.raises(SnapshotEncodingError):
+            write_snapshot(
+                str(tmp_path / "nan.snap"), {"x": float("nan")}, kind="test-state"
+            )
+
+
+class TestCorruptionDetection:
+    def _snap(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, PAYLOAD, kind="test-state")
+        return path
+
+    def test_flipped_payload_byte(self, tmp_path):
+        path = self._snap(tmp_path)
+        with open(path) as handle:
+            raw = handle.read()
+        with open(path, "w") as handle:
+            handle.write(raw.replace('"numbers"', '"numbersX"', 1))
+        with pytest.raises(SnapshotCorrupted, match="checksum"):
+            read_snapshot(path, kind="test-state")
+
+    def test_truncated_file(self, tmp_path):
+        path = self._snap(tmp_path)
+        with open(path) as handle:
+            raw = handle.read()
+        with open(path, "w") as handle:
+            handle.write(raw[: len(raw) // 2])
+        with pytest.raises(SnapshotCorrupted, match="JSON"):
+            read_snapshot(path, kind="test-state")
+
+    def test_foreign_json_file(self, tmp_path):
+        path = str(tmp_path / "foreign.json")
+        with open(path, "w") as handle:
+            json.dump({"token_lists": [], "payloads": []}, handle)
+        with pytest.raises(SnapshotCorrupted, match="magic"):
+            read_snapshot(path, kind="test-state")
+
+    def test_wrong_kind(self, tmp_path):
+        path = self._snap(tmp_path)
+        with pytest.raises(SnapshotCorrupted, match="kind"):
+            read_snapshot(path, kind="other-state")
+
+    def test_future_version(self, tmp_path):
+        path = str(tmp_path / "future.snap")
+        with open(path, "w") as handle:
+            json.dump(
+                {
+                    "magic": SNAPSHOT_MAGIC,
+                    "version": SNAPSHOT_VERSION + 1,
+                    "kind": "test-state",
+                    "checksum": "sha256:0",
+                    "payload": {},
+                },
+                handle,
+            )
+        with pytest.raises(SnapshotCorrupted, match="version"):
+            read_snapshot(path, kind="test-state")
+
+    def test_non_object_envelope(self, tmp_path):
+        path = str(tmp_path / "list.snap")
+        with open(path, "w") as handle:
+            handle.write("[1, 2, 3]")
+        with pytest.raises(SnapshotCorrupted, match="object"):
+            read_snapshot(path, kind="test-state")
+
+
+class TestCrashAtomicity:
+    """A crash at ANY write step must leave the old snapshot loadable."""
+
+    @pytest.mark.parametrize("operation", ["open", "write", "fsync", "replace"])
+    def test_crash_mid_overwrite_preserves_old(self, tmp_path, operation):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, {"generation": 1}, kind="test-state")
+        fs = FailingFilesystem(fail_operation=operation)
+        with pytest.raises(InjectedFault):
+            write_snapshot(path, {"generation": 2}, kind="test-state", fs=fs)
+        assert fs.faults_injected == 1
+        # The old snapshot is byte-for-byte intact and loads cleanly.
+        assert read_snapshot(path, kind="test-state") == {"generation": 1}
+        assert not os.path.exists(path + ".tmp")
+
+    def test_crash_on_first_save_leaves_nothing(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        fs = FailingFilesystem(fail_operation="fsync")
+        with pytest.raises(InjectedFault):
+            write_snapshot(path, {"generation": 1}, kind="test-state", fs=fs)
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_second_attempt_succeeds_after_injected_crash(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        fs = FailingFilesystem(fail_operation="replace", fail_at_call=1)
+        with pytest.raises(InjectedFault):
+            write_snapshot(path, {"generation": 1}, kind="test-state", fs=fs)
+        write_snapshot(path, {"generation": 2}, kind="test-state", fs=fs)
+        assert read_snapshot(path, kind="test-state") == {"generation": 2}
