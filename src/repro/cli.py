@@ -18,6 +18,13 @@ off. ``--memory-budget N`` caps live index entries, degrading to the
 ClusterMem algorithm when exceeded. Operational errors exit with a
 one-line message (never a traceback): status 2 for bad input/usage,
 124 on deadline expiry, 130 on interruption.
+
+Serving (``serve``): index the input corpus, then answer similarity
+queries read line-by-line from ``--queries`` (default stdin) through a
+bounded worker pool with load shedding, per-query deadlines, retries,
+and a circuit breaker. Prints ``qid  rid  similarity`` per match;
+SIGINT/SIGTERM drains in-flight queries gracefully before exiting and
+a health summary always goes to stderr.
 """
 
 from __future__ import annotations
@@ -26,11 +33,14 @@ import argparse
 import signal
 import sys
 import threading
+from collections import deque
+from concurrent.futures import TimeoutError as FuturesTimeout
 from contextlib import contextmanager
 
 from repro.core.dedupe import connected_components
 from repro.core.join import ALGORITHMS, edit_distance_join, make_algorithm, similarity_join
 from repro.core.records import Dataset
+from repro.core.service import SimilarityIndex
 from repro.predicates import (
     CosinePredicate,
     DicePredicate,
@@ -45,7 +55,9 @@ from repro.runtime import (
     JoinContext,
     JoinRuntimeError,
     JoinTimeout,
+    ServerOverloaded,
 )
+from repro.serving import CircuitBreaker, IndexServer, RetryPolicy
 from repro.text.tokenizers import tokenize_qgrams, tokenize_words
 
 __all__ = ["main"]
@@ -147,6 +159,50 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser = commands.add_parser("stats", help="corpus statistics (Table 1)")
     _add_common(stats_parser)
 
+    serve_parser = commands.add_parser(
+        "serve", help="serve similarity queries over the indexed input"
+    )
+    _add_common(serve_parser)
+    serve_parser.add_argument(
+        "--predicate", choices=sorted(_PREDICATES), default="jaccard"
+    )
+    serve_parser.add_argument(
+        "--threshold", "-t", type=float, required=True,
+        help="T for overlap predicates, fraction for the others",
+    )
+    serve_parser.add_argument(
+        "--queries", metavar="FILE", default="-",
+        help="file of query lines ('-' = stdin, the default)",
+    )
+    serving = serve_parser.add_argument_group("serving")
+    serving.add_argument(
+        "--workers", type=int, default=4, help="query worker threads (default 4)"
+    )
+    serving.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission queue bound; a full queue sheds (default 64)",
+    )
+    serving.add_argument(
+        "--query-deadline", metavar="SECONDS", type=float, default=None,
+        help="per-query wall-clock budget, queue wait included",
+    )
+    serving.add_argument(
+        "--retries", type=int, default=3,
+        help="attempts per query for transient faults (default 3; 1 = off)",
+    )
+    serving.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive failures that open the circuit breaker (default 5)",
+    )
+    serving.add_argument(
+        "--breaker-cooldown", metavar="SECONDS", type=float, default=5.0,
+        help="seconds the breaker stays open before half-opening (default 5)",
+    )
+    serving.add_argument(
+        "--drain-timeout", metavar="SECONDS", type=float, default=10.0,
+        help="grace period for in-flight queries on shutdown (default 10)",
+    )
+
     return parser
 
 
@@ -230,6 +286,167 @@ def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
 
 
 # ----------------------------------------------------------------------
+# Serving
+# ----------------------------------------------------------------------
+
+
+class _DrainRequested(Exception):
+    """SIGINT/SIGTERM arrived while serving; shut down gracefully."""
+
+
+@contextmanager
+def _drain_signals():
+    """Turn SIGINT/SIGTERM into :class:`_DrainRequested` while serving.
+
+    Raising from the handler aborts even a ``readline`` blocked on
+    stdin (PEP 475 only retries the call when the handler returns
+    normally), so the serve loop wakes up immediately. Outside the main
+    thread this is a no-op and default signal behaviour applies.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = {
+        sig: signal.getsignal(sig) for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+
+    def handler(signum, frame):
+        raise _DrainRequested(signal.Signals(signum).name)
+
+    for sig in previous:
+        signal.signal(sig, handler)
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
+def _emit_query_result(qid: int, future, timeout: float) -> bool:
+    """Print one query's matches as TSV; returns False on failure."""
+    try:
+        matches = future.result(timeout=timeout)
+    except JoinRuntimeError as exc:
+        print(f"repro: query {qid}: {exc}", file=sys.stderr)
+        return False
+    except FuturesTimeout:
+        print(f"repro: query {qid}: no result after {timeout:.1f}s", file=sys.stderr)
+        return False
+    for pair in matches:
+        print(f"{qid}\t{pair.rid_a}\t{pair.similarity:.4f}")
+    return True
+
+
+def _print_serve_health(server: IndexServer) -> None:
+    health = server.health()
+
+    def _ms(seconds: float | None) -> str:
+        return "-" if seconds is None else f"{seconds * 1000.0:.1f}ms"
+
+    latency = health["latency"]
+    breaker = health["breaker"]
+    counters = health["index"]["counters"]
+    print(
+        f"# serve: {health['completed']} completed, {health['failed']} failed,"
+        f" {health['shed']} shed, {health['retried']} retried,"
+        f" p50 {_ms(latency['p50_seconds'])}, p99 {_ms(latency['p99_seconds'])},"
+        f" breaker={breaker['state'] if breaker else 'off'},"
+        f" unknown_query_tokens={counters.get('unknown_query_tokens', 0)}",
+        file=sys.stderr,
+    )
+
+
+def _serve(args, corpus: list[str]) -> int:
+    """The ``serve`` subcommand: index the corpus, answer query lines."""
+    if args.queries == "-" and args.input == "-":
+        raise _CLIError("--input and --queries cannot both read stdin")
+    if args.workers < 1:
+        raise _CLIError(f"--workers must be >= 1, got {args.workers}")
+    if args.queue_limit < 1:
+        raise _CLIError(f"--queue-limit must be >= 1, got {args.queue_limit}")
+    if args.retries < 1:
+        raise _CLIError(f"--retries must be >= 1, got {args.retries}")
+    try:
+        predicate = _PREDICATES[args.predicate](args.threshold)
+    except ValueError as exc:
+        raise _CLIError(f"bad --threshold for {args.predicate}: {exc}") from exc
+
+    index = SimilarityIndex(predicate, tokenizer=_TOKENIZERS[args.tokenizer])
+    for line in corpus:
+        index.add(line)
+    server = IndexServer(
+        index,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline=args.query_deadline,
+        retry_policy=(
+            RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+        ),
+        breaker=CircuitBreaker(
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown,
+        ),
+    )
+
+    if args.queries == "-":
+        stream = sys.stdin
+    else:
+        try:
+            stream = open(args.queries, "r", encoding="utf-8")
+        except OSError as exc:
+            detail = exc.strerror or str(exc)
+            raise _CLIError(f"cannot read {args.queries}: {detail}") from exc
+
+    # Emission stays in submission order through a sliding window of
+    # futures, sized to keep every worker busy without buffering the
+    # whole query stream.
+    window = 2 * args.workers
+    result_timeout = args.drain_timeout + 1.0
+    pending: deque[tuple[int, object]] = deque()
+    qid = 0
+    failures = 0
+    interrupted = None
+    server.start()
+    try:
+        with _drain_signals():
+            try:
+                for line in stream:
+                    text = line.rstrip("\n")
+                    if not text.strip():
+                        continue
+                    this_qid, qid = qid, qid + 1
+                    try:
+                        pending.append((this_qid, server.submit(text)))
+                    except ServerOverloaded as exc:
+                        print(f"repro: query {this_qid}: {exc}", file=sys.stderr)
+                        failures += 1
+                        continue
+                    while len(pending) > window:
+                        if not _emit_query_result(*pending.popleft(), result_timeout):
+                            failures += 1
+            except _DrainRequested as exc:
+                interrupted = str(exc)
+                print(
+                    f"repro: {interrupted}: draining"
+                    f" ({len(pending)} queries in flight)",
+                    file=sys.stderr,
+                )
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    # Handlers are restored: a second Ctrl-C raises KeyboardInterrupt
+    # and aborts the drain through main()'s generic exit-130 path.
+    while pending:
+        if not _emit_query_result(*pending.popleft(), result_timeout):
+            failures += 1
+    server.drain(timeout=args.drain_timeout)
+    _print_serve_health(server)
+    if interrupted:
+        return EXIT_INTERRUPTED
+    return 0 if failures == 0 else 1
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
@@ -253,6 +470,9 @@ def _dispatch(args) -> int:
             file=sys.stderr,
         )
         return 0
+
+    if args.command == "serve":
+        return _serve(args, lines)
 
     dataset = Dataset.from_texts(lines, _TOKENIZERS[args.tokenizer])
 

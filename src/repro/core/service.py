@@ -10,6 +10,8 @@ same MergeOpt machinery the batch joins use.
 
 from __future__ import annotations
 
+import copy
+import threading
 from collections.abc import Sequence
 from contextlib import contextmanager
 
@@ -23,6 +25,7 @@ from repro.runtime.errors import (
     SnapshotCorrupted,
     SnapshotEncodingError,
 )
+from repro.runtime.rwlock import RWLock
 from repro.runtime.snapshot import canonical_json, read_snapshot, write_snapshot
 from repro.utils.counters import CostCounters
 
@@ -32,6 +35,137 @@ __all__ = ["SimilarityIndex"]
 _SNAPSHOT_KIND = "similarity-index"
 
 
+class _TailSequence:
+    """Read-only view of a list with one extra trailing element.
+
+    Freezes the base length at construction, so concurrent growth of the
+    underlying list (which cannot happen under the service's lock, but
+    could under :class:`~repro.runtime.rwlock.NullRWLock`) never leaks
+    into an in-flight probe.
+    """
+
+    __slots__ = ("_base", "_tail", "_n")
+
+    def __init__(self, base: list, tail, n: int):
+        self._base = base
+        self._tail = tail
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n + 1
+
+    def __getitem__(self, i: int):
+        if i == self._n or i == -1:
+            return self._tail
+        return self._base[i]
+
+    def __iter__(self):
+        for i in range(self._n):
+            yield self._base[i]
+        yield self._tail
+
+
+class _ProbeView:
+    """Read-only :class:`Dataset` facade: shared records plus one probe.
+
+    Queries score the probe record as if it were record ``len(base)``
+    without ever touching the shared dataset; corpus statistics
+    (``frequency``, and anything predicates captured at bind time) stay
+    those of the indexed corpus — the documented frozen-stats service
+    semantics.
+    """
+
+    __slots__ = ("_base", "_record", "_payload", "_n")
+
+    def __init__(self, base: Dataset, record: tuple[int, ...], payload):
+        self._base = base
+        self._record = record
+        self._payload = payload
+        self._n = len(base)
+
+    def __len__(self) -> int:
+        return self._n + 1
+
+    def __getitem__(self, rid: int) -> tuple[int, ...]:
+        if rid == self._n:
+            return self._record
+        return self._base.records[rid]
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def records(self) -> _TailSequence:
+        return _TailSequence(self._base.records, self._record, self._n)
+
+    @property
+    def vocabulary(self):
+        return self._base.vocabulary
+
+    @property
+    def frequency(self):
+        return self._base.frequency
+
+    def payload(self, rid: int):
+        if rid == self._n:
+            return self._payload
+        return self._base.payload(rid)
+
+
+class _CacheOverlay:
+    """Per-record cache list with a private slot for the probe record.
+
+    Reads and (idempotent, memoizing) writes for indexed records go to
+    the shared list — concurrent queries memoize identical values, so
+    those races are benign — while the probe's slot lives only in this
+    overlay and dies with the query.
+    """
+
+    __slots__ = ("_base", "_n", "_tail")
+
+    def __init__(self, base: list):
+        self._base = base
+        self._n = len(base)
+        self._tail = [None]
+
+    def __len__(self) -> int:
+        return self._n + 1
+
+    def __getitem__(self, i: int):
+        if i >= self._n:
+            return self._tail[i - self._n]
+        return self._base[i]
+
+    def __setitem__(self, i: int, value) -> None:
+        if i >= self._n:
+            self._tail[i - self._n] = value
+        else:
+            self._base[i] = value
+
+    def extend(self, items) -> None:
+        self._tail.extend(items)
+
+
+def _probe_bound(base_bound, record: tuple[int, ...], payload):
+    """A disposable bound-predicate clone covering the probe record.
+
+    Shares the base bound's bind-time statistics and memoized caches by
+    reference (reads of indexed records stay cached across queries) but
+    redirects the dataset to a :class:`_ProbeView` and the probe's cache
+    slot to a private overlay, so scoring the probe mutates nothing
+    shared. Band filters are rebuilt per clone: their key tuples must
+    cover the probe rid.
+    """
+    clone = copy.copy(base_bound)
+    clone.dataset = _ProbeView(base_bound.dataset, record, payload)
+    clone._score_vectors = _CacheOverlay(base_bound._score_vectors)
+    clone._norms = _CacheOverlay(base_bound._norms)
+    clone._score_maps = _CacheOverlay(base_bound._score_maps)
+    if hasattr(clone, "_band"):
+        clone._band = None
+    return clone
+
+
 class SimilarityIndex:
     """A growable index answering similarity queries exactly.
 
@@ -39,6 +173,11 @@ class SimilarityIndex:
         predicate: the join condition queries are evaluated under.
         tokenizer: optional callable turning raw strings into token
             lists; when given, ``add``/``query`` accept strings.
+        lock: reader–writer lock guarding the shared state; the default
+            :class:`~repro.runtime.rwlock.RWLock` makes the instance
+            thread-safe. Pass
+            :class:`~repro.runtime.rwlock.NullRWLock` only for
+            single-threaded use where lock overhead matters.
 
     Notes:
         Predicates whose scores depend on corpus statistics (TF-IDF
@@ -47,17 +186,20 @@ class SimilarityIndex:
         predicates or pass precomputed ``stats``.
 
     Concurrency:
-        This class is **not thread-safe and not re-entrant**. Queries
-        temporarily extend the shared dataset with the probe record and
-        restore it afterwards, so overlapping operations would corrupt
-        the index. Re-entry (e.g. a tokenizer or codec that calls back
-        into the service, or interleaved calls from another thread that
-        happen to be observed) raises
-        :class:`~repro.runtime.errors.ConcurrentMutation` instead of
-        corrupting state. Wrap the instance in a lock for threaded use.
+        ``query`` never mutates shared state — the probe record is
+        scored against a read-only dataset view — so any number of
+        queries run in parallel under the lock's read side, while
+        ``add``/``rebind`` (and ``save``'s consistent read) coordinate
+        through it. Re-entry from the same thread (e.g. a tokenizer or
+        codec that calls back into the service) cannot be served without
+        deadlock or corruption and raises
+        :class:`~repro.runtime.errors.ConcurrentMutation`; the same
+        error doubles as a last-resort invariant check that trips when
+        overlapping operations are *observed* despite a missing lock
+        (see ``NullRWLock``).
     """
 
-    def __init__(self, predicate: SimilarityPredicate, tokenizer=None):
+    def __init__(self, predicate: SimilarityPredicate, tokenizer=None, lock=None):
         self.predicate = predicate
         self.tokenizer = tokenizer
         self._token_lists: list[list[str]] = []
@@ -67,18 +209,52 @@ class SimilarityIndex:
         self._bound = None
         self._index = ScoredInvertedIndex()
         self.counters = CostCounters()
+        self._rwlock = lock if lock is not None else RWLock()
+        self._local = threading.local()
+        self._counters_lock = threading.Lock()
+        #: Name of the mutation currently holding the write side, if any
+        #: — the invariant the ConcurrentMutation guard checks.
         self._in_flight: str | None = None
 
     @contextmanager
-    def _exclusive(self, operation: str):
-        """Re-entrancy guard around every state-touching operation."""
-        if self._in_flight is not None:
-            raise ConcurrentMutation(operation, self._in_flight)
-        self._in_flight = operation
+    def _no_reentry(self, operation: str):
+        """Reject same-thread re-entry before it can touch the lock."""
+        prior = getattr(self._local, "operation", None)
+        if prior is not None:
+            raise ConcurrentMutation(operation, prior)
+        self._local.operation = operation
         try:
             yield
         finally:
-            self._in_flight = None
+            self._local.operation = None
+
+    @contextmanager
+    def _read_locked(self, operation: str):
+        """Shared-mode guard for operations that only read state."""
+        with self._no_reentry(operation):
+            with self._rwlock.read_locked():
+                in_flight = self._in_flight
+                if in_flight is not None:
+                    # Unreachable under a real RWLock; trips when a
+                    # missing lock lets a mutation overlap this read.
+                    raise ConcurrentMutation(operation, in_flight)
+                yield
+
+    @contextmanager
+    def _write_locked(self, operation: str):
+        """Exclusive-mode guard for operations that mutate state."""
+        with self._no_reentry(operation):
+            with self._rwlock.write_locked():
+                in_flight = self._in_flight
+                if in_flight is not None:
+                    raise ConcurrentMutation(operation, in_flight)
+                if self._rwlock.active_readers:
+                    raise ConcurrentMutation(operation, "query")
+                self._in_flight = operation
+                try:
+                    yield
+                finally:
+                    self._in_flight = None
 
     def __len__(self) -> int:
         return len(self._dataset)
@@ -90,16 +266,43 @@ class SimilarityIndex:
             return list(self.tokenizer(item))
         return [str(token) for token in item]
 
-    def _record_of(self, tokens: Sequence[str], extend_vocab: bool) -> tuple[int, ...]:
+    def _record_of(self, tokens: Sequence[str]) -> tuple[int, ...]:
+        """Token ids for an *inserted* record, extending the vocabulary."""
         ids = set()
         for token in tokens:
             token_id = self._vocabulary.get(token)
             if token_id is None:
-                if not extend_vocab:
-                    continue  # unseen token cannot match anything anyway
                 token_id = len(self._vocabulary)
                 self._vocabulary[token] = token_id
             ids.add(token_id)
+        return tuple(sorted(ids))
+
+    def _probe_record_of(
+        self, tokens: Sequence[str], counters: CostCounters
+    ) -> tuple[int, ...]:
+        """Token ids for a *probe* record, without touching the vocabulary.
+
+        Tokens the index has never seen are **not** silently dropped:
+        each distinct unknown token gets an ephemeral id past the end of
+        the vocabulary, so it still contributes to the probe's norm
+        (set size / total weight) exactly as an indexed-but-unmatched
+        token would — dropping them would inflate Jaccard/Dice scores.
+        Ephemeral ids have no posting lists and can never match.
+        The number of distinct unknown tokens is recorded in
+        ``counters.unknown_query_tokens`` so operators can observe
+        vocabulary drift between the indexed corpus and live queries.
+        """
+        ids = set()
+        ephemeral: dict[str, int] = {}
+        for token in tokens:
+            token_id = self._vocabulary.get(token)
+            if token_id is None:
+                token_id = ephemeral.get(token)
+                if token_id is None:
+                    token_id = len(self._vocabulary) + len(ephemeral)
+                    ephemeral[token] = token_id
+            ids.add(token_id)
+        counters.unknown_query_tokens += len(ephemeral)
         return tuple(sorted(ids))
 
     def rebind(self) -> None:
@@ -111,7 +314,7 @@ class SimilarityIndex:
         bound predicate could silently drop true matches for
         corpus-dependent predicates (TF-IDF cosine, weighted overlap).
         """
-        with self._exclusive("rebind"):
+        with self._write_locked("rebind"):
             self._rebind()
             self._rebuild_index()
 
@@ -142,9 +345,9 @@ class SimilarityIndex:
 
     def add(self, item, payload=None) -> int:
         """Insert a record; returns its rid."""
-        with self._exclusive("add"):
+        with self._write_locked("add"):
             tokens = self._tokens_of(item)
-            record = self._record_of(tokens, extend_vocab=True)
+            record = self._record_of(tokens)
             rid = len(self._dataset)
             self._token_lists.append(tokens)
             self._dataset.records.append(record)
@@ -156,72 +359,90 @@ class SimilarityIndex:
             )
             return rid
 
-    def query(self, item) -> list[MatchPair]:
+    def query(self, item, context=None) -> list[MatchPair]:
         """All indexed records matching ``item`` under the predicate.
 
         The probe item gets the temporary rid ``len(self)`` (it is not
         inserted); returned pairs carry ``rid_a`` = matched record and
-        ``rid_b`` = that temporary rid.
+        ``rid_b`` = that temporary rid. Shared state is never mutated,
+        so queries from many threads run concurrently.
+
+        Args:
+            context: optional
+                :class:`~repro.runtime.context.JoinContext` checked at
+                query start and then once per verified candidate, so a
+                deadline or cancellation interrupts even a pathological
+                probe mid-merge (:class:`JoinTimeout` /
+                :class:`JoinCancelled`).
         """
-        with self._exclusive("query"):
-            return self._query(item)
+        with self._read_locked("query"):
+            counters = CostCounters()
+            try:
+                return self._query(item, counters, context)
+            finally:
+                with self._counters_lock:
+                    self.counters.merge(counters)
 
-    def _query(self, item) -> list[MatchPair]:
+    def _query(self, item, counters: CostCounters, context) -> list[MatchPair]:
+        if context is not None:
+            context.start()
+            context.tick(counters, check_memory=False)
         tokens = self._tokens_of(item)
-        record = self._record_of(tokens, extend_vocab=True)
+        record = self._probe_record_of(tokens, counters)
+        counters.probes += 1
         probe_rid = len(self._dataset)
-        # Temporarily extend the dataset so the bound predicate can
-        # score the probe record. Corpus statistics (cosine IDF) stay
-        # frozen at the last rebind() — the documented service semantics.
-        self._dataset.records.append(record)
-        self._dataset.payloads.append(item)
-        self._dataset._frequency = None
-        try:
-            bound = self._ensure_bound()
-            bound.extend_to(probe_rid + 1)
-            self.counters.probes += 1
-            lists = self._index.probe_lists(record, bound.cached_score_vector(probe_rid))
-            if not lists:
-                return []
-            norm_r = bound.norm(probe_rid)
-            band = bound.band_filter()
-            accept = None
-            if band is not None:
-                keys = band.keys
-                radius = band.radius + 1e-12
-                key_r = keys[probe_rid]
+        if probe_rid == 0:
+            return []
+        base_bound = self._bound
+        if base_bound is None:
+            # Cold path: records exist but no bound yet (cannot happen
+            # through the public API). Bind locally; do not publish —
+            # the read side must stay mutation-free.
+            base_bound = self.predicate.bind(self._dataset)
+        bound = _probe_bound(base_bound, record, item)
+        lists = self._index.probe_lists(record, bound.cached_score_vector(probe_rid))
+        if not lists:
+            return []
+        norm_r = bound.norm(probe_rid)
+        band = bound.band_filter()
+        accept = None
+        if band is not None:
+            keys = band.keys
+            radius = band.radius + 1e-12
+            key_r = keys[probe_rid]
 
-                def accept(sid: int) -> bool:
-                    return abs(keys[sid] - key_r) <= radius
+            def accept(sid: int) -> bool:
+                return abs(keys[sid] - key_r) <= radius
 
-            matches = []
-            for sid, _weight in merge_opt(
-                lists,
-                bound.index_threshold(norm_r, self._index.min_norm),
-                lambda sid: bound.threshold(norm_r, bound.norm(sid)),
-                self.counters,
-                accept,
-            ):
-                self.counters.pairs_verified += 1
-                ok, similarity = bound.verify(sid, probe_rid)
-                if ok:
-                    matches.append(MatchPair(sid, probe_rid, similarity))
-            return matches
-        finally:
-            self._dataset.records.pop()
-            self._dataset.payloads.pop()
-            self._dataset._frequency = None
-            if self._bound is not None:
-                # Drop the probe's cache slot so a future record at this
-                # rid cannot see stale scores.
-                del self._bound._score_vectors[probe_rid:]
-                del self._bound._norms[probe_rid:]
-                del self._bound._score_maps[probe_rid:]
-                if getattr(self._bound, "_band", None) is not None:
-                    self._bound._band = None
+        matches = []
+        for sid, _weight in merge_opt(
+            lists,
+            bound.index_threshold(norm_r, self._index.min_norm),
+            lambda sid: bound.threshold(norm_r, bound.norm(sid)),
+            counters,
+            accept,
+        ):
+            if context is not None:
+                context.tick(counters, check_memory=False)
+            counters.pairs_verified += 1
+            ok, similarity = bound.verify(sid, probe_rid)
+            if ok:
+                matches.append(MatchPair(sid, probe_rid, similarity))
+        return matches
 
     def payload(self, rid: int):
         return self._dataset.payload(rid)
+
+    def counters_snapshot(self) -> dict:
+        """A consistent plain-dict copy of the cost counters.
+
+        Taken under the read lock (excludes writers) and the counters
+        lock (excludes in-flight query merges), so the numbers are a
+        coherent point-in-time view — the health endpoint's source.
+        """
+        with self._read_locked("stats"):
+            with self._counters_lock:
+                return self.counters.as_dict()
 
     # ------------------------------------------------------------------
     # Persistence
@@ -234,7 +455,8 @@ class SimilarityIndex:
         write-to-temp + atomic rename (see :mod:`repro.runtime.snapshot`):
         a crash at any point leaves the previous snapshot loadable.
         Only the records and payloads are stored; the inverted index is
-        rebuilt on load.
+        rebuilt on load. Runs under the read lock: concurrent queries
+        proceed, concurrent ``add``/``rebind`` wait.
 
         Args:
             codec: optional payload codec with ``encode(payload) -> str``
@@ -244,7 +466,7 @@ class SimilarityIndex:
                 instead of being silently coerced (and lost) as ``str``.
             fs: filesystem shim for fault injection in tests.
         """
-        with self._exclusive("save"):
+        with self._read_locked("save"):
             payloads = []
             for rid, payload in enumerate(self._dataset.payloads):
                 try:
@@ -280,6 +502,7 @@ class SimilarityIndex:
         tokenizer=None,
         codec=None,
         fs=None,
+        lock=None,
     ) -> "SimilarityIndex":
         """Restore an index saved with :meth:`save`.
 
@@ -288,11 +511,12 @@ class SimilarityIndex:
         shape is malformed — never a bare ``KeyError``. A snapshot whose
         payloads were written with a codec requires the same ``codec``
         here (:class:`~repro.runtime.errors.SnapshotEncodingError`
-        otherwise).
+        otherwise). The restored instance is not shared until this
+        returns, so restoration itself needs no locking.
         """
         state = read_snapshot(path, kind=_SNAPSHOT_KIND, fs=fs)
         token_lists, payload_entries = cls._validate_state(path, state)
-        service = cls(predicate, tokenizer=tokenizer)
+        service = cls(predicate, tokenizer=tokenizer, lock=lock)
         for tokens, entry in zip(token_lists, payload_entries):
             tag, value = entry
             if tag == "codec":
@@ -302,7 +526,7 @@ class SimilarityIndex:
                         " pass the codec used at save time"
                     )
                 value = codec.decode(value)
-            record = service._record_of(tokens, extend_vocab=True)
+            record = service._record_of(tokens)
             service._token_lists.append(tokens)
             service._dataset.records.append(record)
             service._dataset.payloads.append(value)

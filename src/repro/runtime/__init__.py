@@ -13,6 +13,9 @@ The pieces:
 * :mod:`~repro.runtime.snapshot` — versioned, checksummed,
   atomically-renamed snapshot files (used by checkpoints and
   :class:`~repro.core.service.SimilarityIndex` persistence).
+* :mod:`~repro.runtime.rwlock` — reader–writer lock behind the
+  thread-safe :class:`~repro.core.service.SimilarityIndex` (many
+  concurrent queries, exclusive mutations).
 * :mod:`~repro.runtime.errors` — the structured exception hierarchy.
 * :mod:`~repro.runtime.faults` — deterministic fault injection
   (fake clock, failing filesystem, countdown cancellation) for tests.
@@ -28,21 +31,25 @@ from repro.runtime.checkpoint import (
 from repro.runtime.context import CancellationToken, JoinContext
 from repro.runtime.errors import (
     CheckpointMismatch,
+    CircuitOpen,
     ConcurrentMutation,
     JoinCancelled,
     JoinInterrupted,
     JoinRuntimeError,
     JoinTimeout,
     MemoryBudgetExceeded,
+    ServerOverloaded,
     SnapshotCorrupted,
     SnapshotEncodingError,
 )
+from repro.runtime.rwlock import NullRWLock, RWLock
 from repro.runtime.snapshot import read_snapshot, write_snapshot
 
 __all__ = [
     "CancellationToken",
     "CheckpointMismatch",
     "CheckpointState",
+    "CircuitOpen",
     "ConcurrentMutation",
     "JoinCancelled",
     "JoinCheckpointer",
@@ -51,6 +58,9 @@ __all__ = [
     "JoinRuntimeError",
     "JoinTimeout",
     "MemoryBudgetExceeded",
+    "NullRWLock",
+    "RWLock",
+    "ServerOverloaded",
     "SnapshotCorrupted",
     "SnapshotEncodingError",
     "dataset_fingerprint",

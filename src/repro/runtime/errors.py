@@ -10,12 +10,14 @@ from __future__ import annotations
 
 __all__ = [
     "CheckpointMismatch",
+    "CircuitOpen",
     "ConcurrentMutation",
     "JoinCancelled",
     "JoinInterrupted",
     "JoinRuntimeError",
     "JoinTimeout",
     "MemoryBudgetExceeded",
+    "ServerOverloaded",
     "SnapshotCorrupted",
     "SnapshotEncodingError",
 ]
@@ -99,18 +101,59 @@ class CheckpointMismatch(JoinRuntimeError):
     """
 
 
-class ConcurrentMutation(JoinRuntimeError):
-    """The similarity-index service was re-entered mid-operation.
+class ServerOverloaded(JoinRuntimeError):
+    """The serving layer shed this request instead of queueing it.
 
-    The service temporarily mutates shared state during queries; it is
-    not thread-safe and not re-entrant. This error is raised instead of
-    corrupting the index.
+    Raised at admission time when the server's bounded queue is full
+    (or the server is draining), so overload surfaces as an immediate
+    typed error rather than unbounded latency. Retry against another
+    replica or back off; the request was never executed.
+    """
+
+    def __init__(self, reason: str, queue_depth: int, queue_limit: int):
+        super().__init__(
+            f"request shed: {reason} (queue {queue_depth}/{queue_limit})"
+        )
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+
+
+class CircuitOpen(JoinRuntimeError):
+    """The circuit breaker is open; the request failed fast.
+
+    After ``failure_threshold`` consecutive failures the breaker stops
+    dispatching work for ``cooldown_seconds``, then lets a limited
+    number of trial requests through (half-open). The request was never
+    executed; ``retry_after`` is the cooldown remaining (0.0 when the
+    breaker is half-open but its trial slots are taken).
+    """
+
+    def __init__(self, state: str, retry_after: float):
+        super().__init__(
+            f"circuit breaker is {state}; retry in {max(retry_after, 0.0):.3f}s"
+        )
+        self.state = state
+        self.retry_after = retry_after
+
+
+class ConcurrentMutation(JoinRuntimeError):
+    """An overlapping similarity-index operation was observed.
+
+    Raised when an operation re-enters the service from the same thread
+    (a tokenizer or codec calling back in — unservable without deadlock
+    or corruption), or — as a last-resort invariant check — when a
+    mutation is caught overlapping another operation because the index
+    was built with a no-op lock. Under the default
+    :class:`~repro.runtime.rwlock.RWLock` cross-thread overlap cannot
+    happen: queries share the read side, mutations take the write side.
     """
 
     def __init__(self, attempted: str, in_flight: str):
         super().__init__(
             f"cannot {attempted} while a {in_flight} is in flight:"
-            " SimilarityIndex is not re-entrant (nor thread-safe)"
+            " SimilarityIndex operations must not overlap a mutation"
+            " (re-entrant call, or missing lock?)"
         )
         self.attempted = attempted
         self.in_flight = in_flight

@@ -1,0 +1,127 @@
+"""Reader–writer lock for the concurrent SimilarityIndex.
+
+The online service has a classic read-mostly profile: queries only read
+shared state (the dataset, the bound predicate's caches, the inverted
+index), while ``add``/``rebind``/``load`` mutate it. A mutex would
+serialize every query behind every other; this lock lets any number of
+queries proceed in parallel and gives writers exclusive access.
+
+Writer preference: once a writer is waiting, new readers block until
+all queued writers have run, so a steady query stream cannot starve
+``add`` indefinitely.
+
+:class:`NullRWLock` is the deliberate opt-out — same interface, no
+synchronization — used by single-threaded callers that want zero lock
+overhead and by tests that demonstrate what the
+:class:`~repro.runtime.errors.ConcurrentMutation` invariant guard
+catches when the lock is absent.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["NullRWLock", "RWLock"]
+
+
+class RWLock:
+    """A writer-preferring reader–writer lock.
+
+    Not re-entrant: a thread holding the lock (in either mode) must not
+    re-acquire it — callers are expected to reject re-entrant calls
+    before touching the lock (the service's thread-local guard does).
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the service's invariant checks and health)
+    # ------------------------------------------------------------------
+
+    @property
+    def active_readers(self) -> int:
+        """Number of threads currently holding the read side."""
+        return self._active_readers
+
+    @property
+    def writer_active(self) -> bool:
+        """Whether a thread currently holds the write side."""
+        return self._writer_active
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        """Hold the lock in shared (read) mode."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        """Hold the lock in exclusive (write) mode."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+
+class NullRWLock:
+    """The same interface as :class:`RWLock` with no synchronization.
+
+    Tracks (unsynchronized, racy) reader/writer tallies so the
+    service's ``ConcurrentMutation`` invariant checks can still observe
+    overlap — which is exactly what the unlocked-stress regression test
+    asserts. Never use this with shared instances in real deployments.
+    """
+
+    def __init__(self) -> None:
+        self._active_readers = 0
+        self._writer_active = False
+
+    @property
+    def active_readers(self) -> int:
+        return self._active_readers
+
+    @property
+    def writer_active(self) -> bool:
+        return self._writer_active
+
+    @contextmanager
+    def read_locked(self):
+        self._active_readers += 1
+        try:
+            yield
+        finally:
+            self._active_readers -= 1
+
+    @contextmanager
+    def write_locked(self):
+        self._writer_active = True
+        try:
+            yield
+        finally:
+            self._writer_active = False

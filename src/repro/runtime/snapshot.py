@@ -101,18 +101,24 @@ def write_snapshot(path: str, payload, *, kind: str, fs: RealFilesystem | None =
         "checksum": _checksum(body),
         "payload": payload,
     }
+    # Encode the whole envelope before the temp file exists, so an
+    # encoding failure can never leave a partial file behind.
+    encoded = json.dumps(envelope, sort_keys=True)
     tmp = path + ".tmp"
     try:
         handle = fs.open(tmp, "w")
         try:
-            handle.write(json.dumps(envelope, sort_keys=True))
+            handle.write(encoded)
             fs.fsync(handle)
         finally:
             handle.close()
         fs.replace(tmp, path)
-    except Exception:
-        # Best-effort cleanup of the partial temp file; the real
-        # snapshot at `path` has not been touched.
+    except BaseException:
+        # Cleanup of the partial temp file (best-effort); the real
+        # snapshot at `path` has not been touched. BaseException, not
+        # Exception: a KeyboardInterrupt mid-write (operator hammering
+        # Ctrl-C during a checkpoint flush) must not leak the temp
+        # file into the checkpoint directory either.
         try:
             if fs.exists(tmp):
                 fs.remove(tmp)

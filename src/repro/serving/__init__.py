@@ -1,0 +1,37 @@
+"""Robust concurrent query serving over :class:`SimilarityIndex`.
+
+The paper frames set joins as a DBMS-resident operator that also
+answers online similarity queries; this package is the online half
+grown into a service fit for real traffic:
+
+* :class:`~repro.serving.server.IndexServer` — bounded worker pool,
+  bounded admission queue with load shedding
+  (:class:`~repro.runtime.errors.ServerOverloaded`), per-query
+  deadlines, health reporting, graceful drain.
+* :class:`~repro.serving.retry.RetryPolicy` — exponential backoff with
+  jitter for transient faults.
+* :class:`~repro.serving.breaker.CircuitBreaker` — fail fast while the
+  index (or its storage) is down
+  (:class:`~repro.runtime.errors.CircuitOpen`).
+* :class:`~repro.serving.stats.LatencyTracker` — p50/p95/p99 over a
+  bounded window of recent queries.
+
+Thread safety of the underlying index lives in
+:mod:`repro.core.service` (non-mutating probes) and
+:mod:`repro.runtime.rwlock` (reader–writer lock); this layer assumes it
+and adds operability. See the "Serving" section of
+``docs/operations.md`` and the ``repro serve`` CLI subcommand.
+"""
+
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.retry import RetryPolicy, default_retryable
+from repro.serving.server import IndexServer
+from repro.serving.stats import LatencyTracker
+
+__all__ = [
+    "CircuitBreaker",
+    "IndexServer",
+    "LatencyTracker",
+    "RetryPolicy",
+    "default_retryable",
+]

@@ -1,0 +1,145 @@
+"""Circuit breaker: fail fast while a dependency is down.
+
+When the index (or its storage) fails repeatedly, continuing to dispatch
+queries wastes worker time, holds queue slots, and hammers whatever is
+broken. The breaker counts *consecutive* failures; at the threshold it
+**opens** and every request fails immediately with
+:class:`~repro.runtime.errors.CircuitOpen`. After a cooldown it
+**half-opens**, letting a bounded number of trial requests probe the
+dependency: one success closes the circuit, one failure re-opens it and
+restarts the cooldown.
+
+The clock is injectable (:class:`repro.runtime.faults.FakeClock`), so
+every state transition — closed → open → half-open → closed/open — is
+deterministically testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.runtime.errors import CircuitOpen
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Args:
+        failure_threshold: consecutive failures that open the circuit.
+        cooldown_seconds: how long the circuit stays open before
+            half-opening.
+        half_open_max_calls: trial requests admitted while half-open;
+            further requests fail fast until a trial resolves.
+        clock: monotonic-seconds callable; injectable for tests.
+
+    Thread-safe; all transitions happen under one mutex. Usage::
+
+        breaker.admit()            # raises CircuitOpen, or returns
+        try:
+            result = do_work()
+        except Exception:
+            breaker.record_failure()
+            raise
+        else:
+            breaker.record_success()
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 30.0,
+        half_open_max_calls: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
+        if half_open_max_calls < 1:
+            raise ValueError(
+                f"half_open_max_calls must be >= 1, got {half_open_max_calls}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.half_open_max_calls = half_open_max_calls
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._half_open_in_flight = 0
+        #: Lifetime transition tally for the health report.
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, observing cooldown expiry (open → half-open)."""
+        with self._lock:
+            self._refresh_locked()
+            return self._state
+
+    def _refresh_locked(self) -> None:
+        if self._state == OPEN:
+            elapsed = self.clock() - self._opened_at
+            if elapsed >= self.cooldown_seconds:
+                self._state = HALF_OPEN
+                self._half_open_in_flight = 0
+
+    # ------------------------------------------------------------------
+
+    def admit(self) -> None:
+        """Admit one request or raise :class:`CircuitOpen`.
+
+        Every admitted request **must** later call exactly one of
+        :meth:`record_success` / :meth:`record_failure` (the half-open
+        trial slot is held until it does).
+        """
+        with self._lock:
+            self._refresh_locked()
+            if self._state == OPEN:
+                remaining = self.cooldown_seconds - (self.clock() - self._opened_at)
+                raise CircuitOpen(OPEN, remaining)
+            if self._state == HALF_OPEN:
+                if self._half_open_in_flight >= self.half_open_max_calls:
+                    raise CircuitOpen(HALF_OPEN, 0.0)
+                self._half_open_in_flight += 1
+
+    def record_success(self) -> None:
+        """The admitted request succeeded; half-open trials close the circuit."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._half_open_in_flight = max(0, self._half_open_in_flight - 1)
+                self._state = CLOSED
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        """The admitted request failed; may open (or re-open) the circuit."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._half_open_in_flight = max(0, self._half_open_in_flight - 1)
+                self._trip_locked()
+                return
+            self._consecutive_failures += 1
+            if self._state == CLOSED and (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self._consecutive_failures = 0
+        self.times_opened += 1

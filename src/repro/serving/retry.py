@@ -1,0 +1,110 @@
+"""Retry policy: exponential backoff with jitter.
+
+Transient faults (a snapshot filesystem hiccup, a briefly-tripped
+resource) deserve another attempt; persistent faults and interruptions
+do not. The policy is explicit about which is which via ``retryable``,
+and every source of nondeterminism (the sleep, the jitter RNG) is
+injectable so backoff schedules are exactly testable.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+
+from repro.runtime.errors import JoinInterrupted
+
+__all__ = ["RetryPolicy", "default_retryable"]
+
+
+def default_retryable(exc: BaseException) -> bool:
+    """The default transient-fault classifier.
+
+    ``OSError`` (filesystem/network hiccups, including the test suite's
+    ``InjectedFault``) is retryable. Interruptions
+    (:class:`~repro.runtime.errors.JoinInterrupted`: deadline expiry,
+    cancellation) are not — retrying against a spent deadline only adds
+    load. Everything else (programming errors, corrupt snapshots) is
+    not retryable either.
+    """
+    if isinstance(exc, JoinInterrupted):
+        return False
+    return isinstance(exc, OSError)
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Attempt ``i`` (0-based) failing retryably sleeps
+    ``min(max_delay, base_delay * multiplier**i) * uniform(1 - jitter, 1)``
+    before attempt ``i + 1``; after ``max_attempts`` attempts the last
+    exception propagates. Jitter spreads retry storms: with ``jitter=1``
+    the sleep is uniform over (0, delay] (AWS "full jitter").
+
+    Args:
+        max_attempts: total attempts including the first (>= 1).
+        base_delay: backoff before the first retry, in seconds.
+        multiplier: backoff growth factor per retry.
+        max_delay: cap on the un-jittered backoff.
+        jitter: fraction of the delay randomized away, in [0, 1].
+        retryable: transient-fault classifier; default
+            :func:`default_retryable`.
+        sleep: injectable sleep (fake in tests).
+        rng: injectable ``random.Random`` for the jitter.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+        retryable: Callable[[BaseException], bool] = default_retryable,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retryable = retryable
+        self.sleep = sleep
+        self.rng = rng if rng is not None else random.Random()
+
+    def backoff(self, attempt: int) -> float:
+        """Jittered sleep before retrying after 0-based ``attempt``."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter:
+            delay *= 1.0 - self.jitter * self.rng.random()
+        return delay
+
+    def run(self, fn: Callable[[], object], on_retry: Callable | None = None):
+        """Call ``fn`` under the policy; returns its result.
+
+        ``on_retry(attempt, exc, delay)`` is invoked before each sleep —
+        the server uses it to count retries. Non-retryable exceptions
+        and the final failed attempt propagate unchanged.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 — classifier decides
+                if attempt + 1 >= self.max_attempts or not self.retryable(exc):
+                    raise
+                delay = self.backoff(attempt)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                self.sleep(delay)
+                attempt += 1

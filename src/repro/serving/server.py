@@ -1,0 +1,369 @@
+"""IndexServer: robust concurrent query serving over SimilarityIndex.
+
+The thread-safe :class:`~repro.core.service.SimilarityIndex` makes
+concurrent queries *correct*; this server makes them *operable* under
+load:
+
+* **Bounded worker pool** — a fixed number of query threads, so a
+  traffic spike cannot fork the process to death.
+* **Bounded admission queue with load shedding** — when the queue is
+  full, requests fail immediately with
+  :class:`~repro.runtime.errors.ServerOverloaded` instead of stacking
+  up unbounded latency (clients can back off or try a replica).
+* **Per-query deadlines** — a
+  :class:`~repro.runtime.context.JoinContext` per request, anchored at
+  submission so queue wait counts; expiry raises
+  :class:`~repro.runtime.errors.JoinTimeout`, checked both before
+  dispatch and inside the probe.
+* **Retries** — transient faults re-attempted under a
+  :class:`~repro.serving.retry.RetryPolicy` (exponential backoff +
+  jitter) within the request's deadline.
+* **Circuit breaker** — consecutive failures trip a
+  :class:`~repro.serving.breaker.CircuitBreaker`; while open, requests
+  fail fast with :class:`~repro.runtime.errors.CircuitOpen`.
+* **Health** — :meth:`IndexServer.health` reports queue depth,
+  in-flight count, shed/completed/failed/retried tallies, breaker
+  state, p50/p95/p99 latency, and the index's cost counters.
+
+Every clock in the stack is injectable
+(:class:`repro.runtime.faults.FakeClock`), so overload, timeout, and
+breaker behaviour are deterministically testable.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Callable
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.runtime.context import JoinContext
+from repro.runtime.errors import JoinTimeout, ServerOverloaded
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.retry import RetryPolicy
+from repro.serving.stats import LatencyTracker
+
+__all__ = ["IndexServer"]
+
+#: Worker-loop sentinel: stop.
+_STOP = object()
+
+SERVING = "serving"
+DRAINING = "draining"
+CLOSED = "closed"
+
+
+@dataclass
+class _Request:
+    """One admitted query: payload, runtime envelope, result slot."""
+
+    item: object
+    context: JoinContext | None
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = 0.0
+
+
+class IndexServer:
+    """A bounded, self-protecting query server over a SimilarityIndex.
+
+    Args:
+        index: the (thread-safe) :class:`SimilarityIndex` to serve.
+        workers: query worker threads.
+        queue_limit: admission queue bound; a full queue sheds.
+        default_deadline: per-query deadline in seconds applied when
+            ``submit`` gets none; ``None`` = unbounded.
+        retry_policy: transient-fault retry policy; ``None`` disables
+            retries.
+        breaker: circuit breaker; ``None`` disables breaking.
+        clock: monotonic-seconds callable used for deadlines and
+            latency; injectable for tests.
+        latency_capacity: latency reservoir size (see
+            :class:`LatencyTracker`).
+
+    Start with :meth:`start` (or use as a context manager); stop with
+    :meth:`drain`. ``submit`` returns a ``concurrent.futures.Future``
+    resolving to the query's ``list[MatchPair]``.
+    """
+
+    def __init__(
+        self,
+        index,
+        workers: int = 4,
+        queue_limit: int = 64,
+        default_deadline: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        latency_capacity: int = 2048,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.index = index
+        self.n_workers = workers
+        self.queue_limit = queue_limit
+        self.default_deadline = default_deadline
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.clock = clock
+        self.latency = LatencyTracker(latency_capacity)
+
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._threads: list[threading.Thread] = []
+        self._state = CLOSED
+        self._pending = 0  # admitted but not yet finished
+        self._in_flight = 0  # currently executing in a worker
+        self._shed = 0
+        self._completed = 0
+        self._failed = 0
+        self._retried = 0
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "IndexServer":
+        """Spawn the worker pool and begin accepting queries."""
+        with self._cond:
+            if self._state != CLOSED:
+                raise RuntimeError(f"cannot start a {self._state} server")
+            self._state = SERVING
+        for i in range(self.n_workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"index-server-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Gracefully stop: reject new work, finish admitted work.
+
+        Returns True when every admitted request finished within
+        ``timeout`` (measured in real time, independent of the injected
+        clock); False on timeout — workers are still stopped, and any
+        requests left behind fail with ``ServerOverloaded``.
+        """
+        started = time.monotonic()
+        with self._cond:
+            if self._state == CLOSED and not self._threads:
+                return True
+            self._state = DRAINING
+            drained = self._cond.wait_for(
+                lambda: self._pending == 0, timeout=timeout
+            )
+        if not drained:
+            # Fail whatever the timed-out drain left queued, rather than
+            # leaving its callers blocked on futures forever (and to
+            # guarantee the stop sentinels below fit in the queue).
+            self._fail_queued("draining")
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            if drained or timeout is None:
+                thread.join()
+            else:
+                # A worker wedged mid-query must not wedge the drain too;
+                # it is a daemon thread and dies with the process.
+                budget = started + timeout - time.monotonic()
+                thread.join(timeout=max(budget, 0.0) + 0.1)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        with self._cond:
+            self._state = CLOSED
+        return drained
+
+    def _fail_queued(self, reason: str) -> None:
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if request is not _STOP and request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    ServerOverloaded(reason, self._queue.qsize(), self.queue_limit)
+                )
+                self._finish(shed=True)
+
+    def __enter__(self) -> "IndexServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        item,
+        deadline: float | None = None,
+        context: JoinContext | None = None,
+    ) -> Future:
+        """Admit one query; returns its Future.
+
+        Args:
+            item: what to query (same forms ``SimilarityIndex.query``
+                accepts).
+            deadline: per-query wall-clock budget in seconds, measured
+                from now (queue wait included); defaults to the server's
+                ``default_deadline``.
+            context: bring-your-own
+                :class:`~repro.runtime.context.JoinContext` (e.g. with a
+                shared cancellation token); mutually exclusive with
+                ``deadline``.
+
+        Raises:
+            ServerOverloaded: queue full, or the server is not serving.
+        """
+        if deadline is not None and context is not None:
+            raise ValueError("pass either deadline or context, not both")
+        with self._cond:
+            if self._state != SERVING:
+                self._shed += 1
+                raise ServerOverloaded(
+                    self._state if self._state != CLOSED else "not started",
+                    self._queue.qsize(),
+                    self.queue_limit,
+                )
+        if context is None:
+            budget = deadline if deadline is not None else self.default_deadline
+            if budget is not None:
+                context = JoinContext(deadline_seconds=budget, clock=self.clock)
+        if context is not None:
+            context.start()  # anchor the deadline at admission
+        request = _Request(item=item, context=context, enqueued_at=self.clock())
+        with self._cond:
+            self._pending += 1
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._cond:
+                self._pending -= 1
+                self._shed += 1
+                self._cond.notify_all()
+            raise ServerOverloaded(
+                "queue full", self._queue.qsize(), self.queue_limit
+            ) from None
+        return request.future
+
+    def query(self, item, deadline: float | None = None, timeout: float | None = None):
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(item, deadline=deadline).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is _STOP:
+                return
+            if not request.future.set_running_or_notify_cancel():
+                self._finish(shed=True)  # client cancelled while queued
+                continue
+            with self._cond:
+                self._in_flight += 1
+            try:
+                result = self._execute(request)
+            except BaseException as exc:  # noqa: BLE001 — delivered via future
+                request.future.set_exception(exc)
+                self._finish(failed=True)
+            else:
+                self.latency.observe(self.clock() - request.enqueued_at)
+                request.future.set_result(result)
+                self._finish(completed=True)
+
+    def _execute(self, request: _Request):
+        context = request.context
+        if context is not None:
+            remaining = context.remaining()
+            if remaining is not None and remaining <= 0:
+                # Expired while queued: don't touch the index or the
+                # breaker — this is overload, not dependency failure.
+                raise JoinTimeout(context.elapsed(), context.deadline_seconds)
+        if self.breaker is not None:
+            self.breaker.admit()  # raises CircuitOpen
+
+        def attempt():
+            return self.index.query(request.item, context=context)
+
+        try:
+            if self.retry_policy is not None:
+                result = self.retry_policy.run(attempt, on_retry=self._count_retry)
+            else:
+                result = attempt()
+        except BaseException:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        else:
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
+
+    def _count_retry(self, attempt: int, exc: BaseException, delay: float) -> None:
+        with self._cond:
+            self._retried += 1
+
+    def _finish(
+        self, completed: bool = False, failed: bool = False, shed: bool = False
+    ) -> None:
+        with self._cond:
+            if completed:
+                self._completed += 1
+            elif failed:
+                self._failed += 1
+            elif shed:
+                self._shed += 1
+            if self._in_flight and not shed:
+                self._in_flight -= 1
+            self._pending -= 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._cond:
+            return self._state
+
+    def health(self) -> dict:
+        """Point-in-time operational snapshot (cheap; safe to poll).
+
+        Keys: ``state``, ``workers``, ``queue_depth``, ``queue_limit``,
+        ``in_flight``, ``shed``, ``completed``, ``failed``, ``retried``,
+        ``breaker`` (state + times_opened, or None), ``latency``
+        (count/p50/p95/p99 seconds), ``index`` (record count + cost
+        counters, including ``unknown_query_tokens``).
+        """
+        with self._cond:
+            snapshot = {
+                "state": self._state,
+                "workers": self.n_workers,
+                "queue_depth": self._queue.qsize(),
+                "queue_limit": self.queue_limit,
+                "in_flight": self._in_flight,
+                "shed": self._shed,
+                "completed": self._completed,
+                "failed": self._failed,
+                "retried": self._retried,
+            }
+        snapshot["breaker"] = (
+            {"state": self.breaker.state, "times_opened": self.breaker.times_opened}
+            if self.breaker is not None
+            else None
+        )
+        snapshot["latency"] = self.latency.summary()
+        snapshot["index"] = {
+            "records": len(self.index),
+            "counters": self.index.counters_snapshot(),
+        }
+        return snapshot

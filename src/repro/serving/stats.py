@@ -1,0 +1,73 @@
+"""Latency tracking for the serving layer.
+
+A fixed-capacity reservoir of the most recent query latencies; health
+reports read p50/p99 from it. Bounded memory, O(capacity log capacity)
+per percentile read (sorting a copy), thread-safe. The clock lives in
+the server — this module only sees durations, so it is trivially
+deterministic under test.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["LatencyTracker"]
+
+
+class LatencyTracker:
+    """Ring buffer of recent operation latencies with percentile reads.
+
+    Args:
+        capacity: number of most-recent samples retained. Percentiles
+            are computed over this window, not all-time history — the
+            operational quantity dashboards want.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._samples: list[float] = []
+        self._next = 0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one operation's latency."""
+        with self._lock:
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._next] = seconds
+                self._next = (self._next + 1) % self.capacity
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded (not just the window)."""
+        return self._count
+
+    def percentile(self, p: float) -> float | None:
+        """The ``p``-th percentile (0..100) of the window, None if empty.
+
+        Nearest-rank definition: the smallest sample >= p% of the
+        window, so the value is always one actually observed.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            window = sorted(self._samples)
+        if not window:
+            return None
+        rank = max(1, math.ceil(p / 100.0 * len(window)))
+        return window[rank - 1]
+
+    def summary(self) -> dict:
+        """The health-report view: count plus p50/p95/p99."""
+        return {
+            "count": self.count,
+            "p50_seconds": self.percentile(50),
+            "p95_seconds": self.percentile(95),
+            "p99_seconds": self.percentile(99),
+        }

@@ -45,6 +45,10 @@ class CostCounters:
             the driver loop (one per scanned record under a
             :class:`~repro.runtime.context.JoinContext`).
         checkpoint_writes: progress checkpoints flushed to disk.
+        unknown_query_tokens: probe tokens outside the index vocabulary
+            observed by :meth:`~repro.core.service.SimilarityIndex.query`.
+            A rising rate signals vocabulary drift between the indexed
+            corpus and live query traffic (time to re-index or rebind).
     """
 
     probes: int = 0
@@ -65,6 +69,7 @@ class CostCounters:
     disk_reads: int = 0
     records_scanned: int = 0
     checkpoint_writes: int = 0
+    unknown_query_tokens: int = 0
     extra: dict = field(default_factory=dict)
 
     def merge(self, other: "CostCounters") -> None:

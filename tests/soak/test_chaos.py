@@ -1,0 +1,306 @@
+"""Chaos/soak suite: the serving stack under concurrent, faulty traffic.
+
+Three escalating assaults, all time-bounded (every blocking wait has a
+deadline, so a regression shows up as a failed assertion, not a hung
+CI job) and all marked ``soak`` so they can run in their own CI lane:
+
+* **Parity**: 8+ threads querying concurrently between write phases
+  produce byte-identical results to a serial replay of the same
+  schedule — the non-mutating probe path leaks nothing across threads.
+* **Invariants**: free-running mixed add/query/rebind traffic with
+  injected faults (flaky tokenizer, instant deadlines, cancellations)
+  finishes without deadlock, without corruption, and with every
+  admitted request accounted for.
+* **Bounded shed**: overload sheds exactly the requests that exceed
+  ``workers + queue_limit``, each with a typed error, and the server
+  stays fully functional afterwards.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.service import SimilarityIndex
+from repro.predicates import JaccardPredicate
+from repro.runtime.context import JoinContext
+from repro.runtime.errors import JoinCancelled, JoinTimeout, ServerOverloaded
+from repro.runtime.faults import CountdownCancellation
+from repro.serving import IndexServer, RetryPolicy
+from repro.text.tokenizers import tokenize_words
+
+pytestmark = pytest.mark.soak
+
+#: Every blocking wait in this module is bounded by this; it is only
+#: ever reached when something deadlocked.
+WAIT = 30.0
+
+N_THREADS = 8
+
+
+def _line(round_no: int, i: int) -> str:
+    flavour = "gamma delta" if i % 2 else "delta epsilon"
+    return f"round {round_no} record {i} alpha beta {flavour}"
+
+
+def _fingerprint(matches) -> list:
+    return [(m.rid_a, round(m.similarity, 12)) for m in matches]
+
+
+class TestSerialParity:
+    """Concurrent execution must be indistinguishable from serial."""
+
+    ROUNDS = 5
+    BATCH = 8
+    QUERIES = [
+        "alpha beta gamma delta",
+        "alpha beta delta epsilon",
+        "round record alpha",
+        "gamma delta epsilon",
+        "record alpha beta",
+        "beta gamma",
+        "epsilon alpha",
+        "no such tokens anywhere",
+    ]
+
+    def _run_schedule(self, concurrent: bool) -> dict:
+        """Adds in fixed rounds; queries between rounds, maybe in parallel."""
+        assert len(self.QUERIES) == N_THREADS
+        index = SimilarityIndex(JaccardPredicate(0.3), tokenizer=tokenize_words)
+        results: dict = {}
+        for round_no in range(self.ROUNDS):
+            for i in range(self.BATCH):
+                index.add(_line(round_no, i))
+            if round_no % 2 == 1:
+                index.rebind()  # exercise the full-rebuild write path too
+            if concurrent:
+                barrier = threading.Barrier(N_THREADS, timeout=WAIT)
+                errors = []
+
+                def probe(slot, query_text):
+                    try:
+                        barrier.wait()  # maximize real overlap
+                        results[(round_no, slot)] = _fingerprint(
+                            index.query(query_text)
+                        )
+                    except Exception as exc:  # noqa: BLE001 — fail the test
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=probe, args=(s, q), daemon=True)
+                    for s, q in enumerate(self.QUERIES)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(WAIT)
+                    assert not thread.is_alive(), "query thread deadlocked"
+                assert errors == []
+            else:
+                for slot, query_text in enumerate(self.QUERIES):
+                    results[(round_no, slot)] = _fingerprint(
+                        index.query(query_text)
+                    )
+        results["final_records"] = len(index)
+        results["final_counters_keys"] = sorted(index.counters_snapshot())
+        return results
+
+    def test_concurrent_equals_serial_exactly(self):
+        concurrent = self._run_schedule(concurrent=True)
+        serial = self._run_schedule(concurrent=False)
+        assert concurrent == serial
+
+
+class _FlakyTokenizer:
+    """Fails the first attempt of every text marked ``FLAKY`` with OSError.
+
+    Deterministic per text, so a retrying server always succeeds on the
+    second attempt while a non-retrying path would surface the fault.
+    """
+
+    def __init__(self):
+        self._seen: set[str] = set()
+        self._lock = threading.Lock()
+
+    def __call__(self, text: str):
+        if text.startswith("FLAKY"):
+            with self._lock:
+                first_time = text not in self._seen
+                self._seen.add(text)
+            if first_time:
+                raise OSError(f"injected tokenizer fault for {text!r}")
+        return tokenize_words(text)
+
+
+class TestChaosInvariants:
+    """Mixed faulty traffic: no deadlock, no corruption, full accounting."""
+
+    def test_faulty_mixed_traffic_leaves_a_consistent_server(self):
+        tokenizer = _FlakyTokenizer()
+        index = SimilarityIndex(JaccardPredicate(0.3), tokenizer=tokenizer)
+        for i in range(10):
+            index.add(_line(0, i))
+
+        server = IndexServer(
+            index,
+            workers=N_THREADS,
+            queue_limit=256,
+            retry_policy=RetryPolicy(max_attempts=3, sleep=lambda s: None),
+        ).start()
+        try:
+            futures = []
+            for i in range(40):
+                text = f"alpha beta gamma delta {i % 4}"
+                if i % 5 == 0:
+                    # Transient fault: first attempt's tokenizer call
+                    # raises OSError; the retry policy must absorb it.
+                    futures.append(
+                        ("ok", server.submit(f"FLAKY alpha beta {i}"))
+                    )
+                elif i % 7 == 0:
+                    # Already-expired deadline: deterministic JoinTimeout
+                    # before the index is ever touched.
+                    futures.append(
+                        ("timeout", server.submit(text, deadline=1e-9))
+                    )
+                elif i % 11 == 0:
+                    # Cancellation token that trips at its first check.
+                    context = JoinContext(
+                        cancel_token=CountdownCancellation(after_checks=1)
+                    )
+                    futures.append(
+                        ("cancelled", server.submit(text, context=context))
+                    )
+                else:
+                    futures.append(("ok", server.submit(text)))
+
+            # Concurrent mutations while the queries are in flight: the
+            # write side must interleave with the worker pool's reads.
+            for i in range(8):
+                index.add(_line(1, i))
+            index.rebind()
+
+            outcomes = {"ok": 0, "timeout": 0, "cancelled": 0}
+            for expected, future in futures:
+                try:
+                    matches = future.result(timeout=WAIT)
+                except JoinTimeout:
+                    assert expected == "timeout"
+                    outcomes["timeout"] += 1
+                except JoinCancelled:
+                    assert expected == "cancelled"
+                    outcomes["cancelled"] += 1
+                else:
+                    assert expected == "ok", f"expected {expected}, got a result"
+                    for match in matches:
+                        assert 0 <= match.rid_a < len(index)
+                    outcomes["ok"] += 1
+
+            assert outcomes["ok"] > 0
+            assert outcomes["timeout"] > 0
+            assert outcomes["cancelled"] > 0
+            health = server.health()
+            # Full accounting: every admitted request resolved, exactly once.
+            assert health["completed"] == outcomes["ok"]
+            assert health["failed"] == outcomes["timeout"] + outcomes["cancelled"]
+            assert health["retried"] > 0  # the FLAKY faults were retried
+            assert health["queue_depth"] == 0
+            assert health["in_flight"] == 0
+        finally:
+            assert server.drain(timeout=WAIT) is True
+
+        # No corruption: the index still answers, and a serial rebuild
+        # of the same corpus agrees exactly.
+        serial = SimilarityIndex(JaccardPredicate(0.3), tokenizer=tokenize_words)
+        for i in range(10):
+            serial.add(_line(0, i))
+        for i in range(8):
+            serial.add(_line(1, i))
+        serial.rebind()
+        probe = "alpha beta gamma delta"
+        assert _fingerprint(index.query(probe)) == _fingerprint(serial.query(probe))
+
+    def test_sustained_reader_writer_hammering(self):
+        """Free-running soak: 8 reader threads vs. one mutating writer."""
+        index = SimilarityIndex(JaccardPredicate(0.3), tokenizer=tokenize_words)
+        index.add(_line(0, 0))
+        stop = threading.Event()
+        failures = []
+        queries_run = [0] * N_THREADS
+
+        def reader(slot):
+            query_text = self_queries[slot % len(self_queries)]
+            while not stop.is_set():
+                try:
+                    for match in index.query(query_text):
+                        assert 0 <= match.rid_a < len(index)
+                    queries_run[slot] += 1
+                except Exception as exc:  # noqa: BLE001 — fail the test
+                    failures.append(exc)
+                    return
+
+        self_queries = TestSerialParity.QUERIES
+        threads = [
+            threading.Thread(target=reader, args=(slot,), daemon=True)
+            for slot in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for round_no in range(1, 4):
+            for i in range(25):
+                index.add(_line(round_no, i))
+            index.rebind()
+        stop.set()
+        for thread in threads:
+            thread.join(WAIT)
+            assert not thread.is_alive(), "reader deadlocked against the writer"
+        assert failures == []
+        assert len(index) == 1 + 3 * 25
+        # Writer preference must not have starved the readers entirely.
+        assert sum(queries_run) > 0
+
+
+class TestBoundedShed:
+    """Overload sheds exactly the excess, then recovers completely."""
+
+    def test_shed_count_is_exact_and_server_recovers(self):
+        gate = threading.Event()
+        started = threading.Semaphore(0)
+
+        class _WedgedIndex:
+            def query(self, item, context=None):
+                started.release()
+                assert gate.wait(WAIT)
+                return []
+
+            def __len__(self):
+                return 0
+
+            def counters_snapshot(self):
+                return {}
+
+        server = IndexServer(_WedgedIndex(), workers=2, queue_limit=4).start()
+        try:
+            accepted = [server.submit("w1"), server.submit("w2")]
+            for _ in range(2):
+                assert started.acquire(timeout=WAIT)  # both workers parked
+            shed = 0
+            for i in range(18):
+                try:
+                    accepted.append(server.submit(f"q{i}"))
+                except ServerOverloaded as exc:
+                    assert exc.queue_limit == 4
+                    shed += 1
+            # Capacity is exactly workers(2, parked) + queue(4).
+            assert len(accepted) == 6
+            assert shed == 14
+            gate.set()
+            for future in accepted:
+                assert future.result(timeout=WAIT) == []
+            health = server.health()
+            assert health["shed"] == 14
+            assert health["completed"] == 6
+            # Fully recovered: the next request is served immediately.
+            assert server.query("after", timeout=WAIT) == []
+        finally:
+            gate.set()
+            server.drain(timeout=WAIT)

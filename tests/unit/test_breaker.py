@@ -1,0 +1,122 @@
+"""Circuit breaker: every transition, deterministically, on a fake clock."""
+
+import pytest
+
+from repro.runtime.errors import CircuitOpen
+from repro.runtime.faults import FakeClock
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown_seconds=10.0, clock=clock)
+
+
+def _fail(breaker: CircuitBreaker, times: int) -> None:
+    for _ in range(times):
+        breaker.admit()
+        breaker.record_failure()
+
+
+class TestClosedToOpen:
+    def test_trips_at_threshold(self, breaker):
+        _fail(breaker, 2)
+        assert breaker.state == CLOSED
+        _fail(breaker, 1)
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        _fail(breaker, 2)
+        breaker.admit()
+        breaker.record_success()
+        _fail(breaker, 2)  # only 2 consecutive now — not enough
+        assert breaker.state == CLOSED
+
+    def test_open_rejects_with_retry_after(self, breaker, clock):
+        _fail(breaker, 3)
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpen) as err:
+            breaker.admit()
+        assert err.value.state == OPEN
+        assert err.value.retry_after == pytest.approx(6.0)
+
+
+class TestHalfOpen:
+    def test_cooldown_expiry_half_opens(self, breaker, clock):
+        _fail(breaker, 3)
+        clock.advance(9.999)
+        assert breaker.state == OPEN
+        clock.advance(0.001)
+        assert breaker.state == HALF_OPEN
+
+    def test_trial_success_closes(self, breaker, clock):
+        _fail(breaker, 3)
+        clock.advance(10.0)
+        breaker.admit()  # the trial request
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # The circuit is fully healthy again: it takes a full threshold
+        # of new consecutive failures to re-open.
+        _fail(breaker, 2)
+        assert breaker.state == CLOSED
+
+    def test_trial_failure_reopens_and_restarts_cooldown(self, breaker, clock):
+        _fail(breaker, 3)
+        clock.advance(10.0)
+        breaker.admit()
+        breaker.record_failure()  # one failed trial re-opens immediately
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 2
+        clock.advance(9.0)
+        assert breaker.state == OPEN  # cooldown restarted at the re-open
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_trial_slots_are_bounded(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0,
+            half_open_max_calls=1, clock=clock,
+        )
+        _fail(breaker, 1)
+        clock.advance(5.0)
+        breaker.admit()  # takes the only trial slot
+        with pytest.raises(CircuitOpen) as err:
+            breaker.admit()
+        assert err.value.state == HALF_OPEN
+        assert err.value.retry_after == 0.0
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+
+class TestFullCycle:
+    def test_closed_open_half_open_closed(self, breaker, clock):
+        """The acceptance-criteria walk, every hop asserted."""
+        assert breaker.state == CLOSED
+        _fail(breaker, 3)
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.times_opened == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"cooldown_seconds": -1.0},
+            {"half_open_max_calls": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

@@ -1,9 +1,14 @@
 """Unit tests for the command-line interface."""
 
+import os
+import signal
+
 import pytest
 
 import repro.cli as cli
 from repro.cli import EXIT_INTERRUPTED, EXIT_TIMEOUT, EXIT_USAGE, build_parser, main
+from repro.runtime.checkpoint import JoinCheckpointer
+from repro.runtime.context import JoinContext
 from repro.runtime.faults import CountdownCancellation
 
 SAMPLE = """efficient set joins on similarity predicates
@@ -85,6 +90,51 @@ class TestStatsCommand:
         out = capsys.readouterr().out
         assert "records\t5" in out
         assert "avg_set_size" in out
+
+
+class TestServeCommand:
+    def test_serve_answers_queries_from_file(self, sample_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "efficient set joins on similarity\n"
+            "\n"
+            "no overlap with anything here whatsoever\n"
+        )
+        code = main(
+            ["serve", "-i", sample_file, "--predicate", "jaccard", "-t", "0.7",
+             "--queries", str(queries)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        rows = [line.split("\t") for line in captured.out.strip().splitlines()]
+        # Query 0 matches records 0 and 1; the blank line is skipped and
+        # the no-overlap query (qid 1) matches nothing.
+        assert [(qid, rid) for qid, rid, _ in rows] == [("0", "0"), ("0", "1")]
+        assert "# serve:" in captured.err
+        assert "breaker=closed" in captured.err
+
+    def test_serve_health_reports_unknown_query_tokens(
+        self, sample_file, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("similarity chimera xylophone\n")
+        code = main(
+            ["serve", "-i", sample_file, "-t", "0.9", "--queries", str(queries)]
+        )
+        assert code == 0
+        assert "unknown_query_tokens=2" in capsys.readouterr().err
+
+    def test_serve_rejects_double_stdin(self, capsys):
+        code = main(["serve", "-i", "-", "-t", "0.5", "--queries", "-"])
+        assert code == EXIT_USAGE
+        assert "stdin" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_worker_count(self, sample_file, capsys):
+        code = main(
+            ["serve", "-i", sample_file, "-t", "0.5", "--workers", "0"]
+        )
+        assert code == EXIT_USAGE
+        assert "--workers" in capsys.readouterr().err
 
 
 def _one_error_line(capsys) -> str:
@@ -186,3 +236,59 @@ class TestHardenedRuntimeFlags:
         )
         assert code == 0
         assert "degraded" in capsys.readouterr().err
+
+    def test_double_sigint_during_flush_exits_130_checkpoint_intact(
+        self, sample_file, tmp_path, capsys, monkeypatch
+    ):
+        """Regression: a second Ctrl-C landing while the interrupt flush
+        is writing the checkpoint must neither corrupt the checkpoint
+        directory nor change the exit status.
+
+        Both SIGINTs are real signals (``os.kill``), delivered at exact
+        deterministic points: the first at the third progress tick
+        (operator interrupts mid-scan), the second from inside the
+        checkpoint write it triggers (operator hammering Ctrl-C during
+        the flush). The ``_sigint_cancels`` handler must absorb both —
+        default behaviour would raise KeyboardInterrupt mid-write and
+        tear the flush.
+        """
+        ckpt = tmp_path / "ckpt"
+        args = [
+            "join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+            "--checkpoint", str(ckpt), "--checkpoint-interval", "1000",
+        ]
+        assert main(list(args)) == 0
+        truth = capsys.readouterr().out
+
+        real_tick = JoinContext.tick
+        ticks = {"n": 0}
+
+        def tick_firing_sigint(self, counters, check_memory=True):
+            ticks["n"] += 1
+            if ticks["n"] == 3:
+                os.kill(os.getpid(), signal.SIGINT)
+            return real_tick(self, counters, check_memory=check_memory)
+
+        real_write = JoinCheckpointer.write
+        writes = {"n": 0}
+
+        def write_under_sigint(self, *wargs, **wkwargs):
+            writes["n"] += 1
+            os.kill(os.getpid(), signal.SIGINT)
+            return real_write(self, *wargs, **wkwargs)
+
+        monkeypatch.setattr(JoinContext, "tick", tick_firing_sigint)
+        monkeypatch.setattr(JoinCheckpointer, "write", write_under_sigint)
+        code = main(list(args))
+        assert code == EXIT_INTERRUPTED
+        assert "rerun the same command to resume" in capsys.readouterr().err
+        # Interval 1000 >> 5 records: the only write was the interrupt
+        # flush, and the second SIGINT did not abort it.
+        assert writes["n"] == 1
+        monkeypatch.undo()
+
+        # No torn temp files, and the checkpoint is genuinely loadable:
+        # the resumed run completes with the uninterrupted pair set.
+        assert [p.name for p in ckpt.iterdir() if p.name.endswith(".tmp")] == []
+        assert main(list(args)) == 0
+        assert capsys.readouterr().out == truth

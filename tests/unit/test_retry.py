@@ -1,0 +1,122 @@
+"""Retry policy: classification, backoff schedule, injectable everything."""
+
+import random
+
+import pytest
+
+from repro.runtime.errors import JoinCancelled, JoinTimeout, SnapshotCorrupted
+from repro.runtime.faults import InjectedFault
+from repro.serving.retry import RetryPolicy, default_retryable
+
+
+class TestDefaultRetryable:
+    def test_os_errors_are_transient(self):
+        assert default_retryable(OSError("disk hiccup"))
+        assert default_retryable(InjectedFault("fsync", 1))
+
+    def test_interruptions_are_not(self):
+        assert not default_retryable(JoinTimeout(1.0, 1.0))
+        assert not default_retryable(JoinCancelled("operator"))
+
+    def test_programming_and_corruption_errors_are_not(self):
+        assert not default_retryable(ValueError("bug"))
+        assert not default_retryable(SnapshotCorrupted("p", "torn"))
+
+
+class _Flaky:
+    """Callable failing the first ``failures`` calls with ``exc``."""
+
+    def __init__(self, failures: int, exc: BaseException):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return "ok"
+
+
+def _policy(**kwargs) -> tuple[RetryPolicy, list]:
+    sleeps: list[float] = []
+    kwargs.setdefault("rng", random.Random(42))
+    policy = RetryPolicy(sleep=sleeps.append, **kwargs)
+    return policy, sleeps
+
+
+class TestRun:
+    def test_transient_fault_retried_to_success(self):
+        policy, sleeps = _policy(max_attempts=3)
+        flaky = _Flaky(2, OSError("hiccup"))
+        assert policy.run(flaky) == "ok"
+        assert flaky.calls == 3
+        assert len(sleeps) == 2
+
+    def test_attempts_are_bounded(self):
+        policy, sleeps = _policy(max_attempts=3)
+        flaky = _Flaky(99, OSError("persistent"))
+        with pytest.raises(OSError, match="persistent"):
+            policy.run(flaky)
+        assert flaky.calls == 3
+        assert len(sleeps) == 2
+
+    def test_non_retryable_fails_immediately_without_sleeping(self):
+        policy, sleeps = _policy(max_attempts=5)
+        flaky = _Flaky(99, JoinTimeout(1.0, 1.0))
+        with pytest.raises(JoinTimeout):
+            policy.run(flaky)
+        assert flaky.calls == 1
+        assert sleeps == []
+
+    def test_on_retry_sees_each_attempt(self):
+        policy, _ = _policy(max_attempts=3)
+        seen = []
+        flaky = _Flaky(2, OSError("hiccup"))
+        policy.run(flaky, on_retry=lambda a, e, d: seen.append((a, type(e), d)))
+        assert [(a, t) for a, t, _ in seen] == [(0, OSError), (1, OSError)]
+        assert all(delay >= 0 for _, _, delay in seen)
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_without_jitter(self):
+        policy, _ = _policy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=10.0,
+            jitter=0.0,
+        )
+        assert [policy.backoff(i) for i in range(4)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.8]
+        )
+
+    def test_max_delay_caps_the_schedule(self):
+        policy, _ = _policy(
+            max_attempts=9, base_delay=1.0, multiplier=10.0, max_delay=3.0,
+            jitter=0.0,
+        )
+        assert policy.backoff(5) == pytest.approx(3.0)
+
+    def test_jitter_stays_in_band_and_is_seed_deterministic(self):
+        make = lambda: RetryPolicy(
+            base_delay=1.0, multiplier=1.0, jitter=0.5,
+            rng=random.Random(7), sleep=lambda s: None,
+        )
+        first = [make().backoff(i) for i in range(20)]
+        second = [make().backoff(i) for i in range(20)]
+        assert first == second  # same seed, same schedule
+        # jitter=0.5 over base 1.0: every delay in [0.5, 1.0]
+        assert all(0.5 <= delay <= 1.0 for delay in first)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)

@@ -1,0 +1,124 @@
+"""Reader–writer lock semantics: sharing, exclusion, writer preference."""
+
+import threading
+import time
+
+from repro.runtime.rwlock import NullRWLock, RWLock
+
+#: Generous bound for "a thread that should finish promptly" — the
+#: tests never sleep this long unless something deadlocked.
+JOIN_TIMEOUT = 10.0
+
+
+def _start(fn) -> threading.Thread:
+    thread = threading.Thread(target=fn, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestSharedReads:
+    def test_two_readers_hold_simultaneously(self):
+        lock = RWLock()
+        both_in = threading.Barrier(2, timeout=JOIN_TIMEOUT)
+        peak = []
+
+        def reader():
+            with lock.read_locked():
+                both_in.wait()  # deadlocks unless reads really share
+                peak.append(lock.active_readers)
+
+        threads = [_start(reader), _start(reader)]
+        for thread in threads:
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive(), "readers failed to share the lock"
+        assert max(peak) == 2
+
+    def test_counts_return_to_zero(self):
+        lock = RWLock()
+        with lock.read_locked():
+            assert lock.active_readers == 1
+        assert lock.active_readers == 0
+        with lock.write_locked():
+            assert lock.writer_active
+        assert not lock.writer_active
+
+
+class TestExclusion:
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        writer_in = threading.Event()
+        release_writer = threading.Event()
+        observed = []
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+                release_writer.wait(JOIN_TIMEOUT)
+
+        def reader():
+            with lock.read_locked():
+                observed.append(("reader", lock.writer_active))
+
+        def second_writer():
+            with lock.write_locked():
+                observed.append(("writer", lock.active_readers))
+
+        writer_thread = _start(writer)
+        assert writer_in.wait(JOIN_TIMEOUT)
+        contenders = [_start(reader), _start(second_writer)]
+        time.sleep(0.05)
+        # Both contenders are blocked while the writer holds the lock.
+        assert observed == []
+        release_writer.set()
+        for thread in [writer_thread] + contenders:
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive()
+        # Each contender saw no overlapping writer/readers once it ran.
+        assert ("reader", False) in observed
+        assert ("writer", 0) in observed
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: a queued writer runs before later readers."""
+        lock = RWLock()
+        first_reader_in = threading.Event()
+        release_first_reader = threading.Event()
+        order = []
+
+        def first_reader():
+            with lock.read_locked():
+                first_reader_in.set()
+                release_first_reader.wait(JOIN_TIMEOUT)
+
+        def writer():
+            with lock.write_locked():
+                order.append("writer")
+
+        def late_reader():
+            with lock.read_locked():
+                order.append("late-reader")
+
+        holder = _start(first_reader)
+        assert first_reader_in.wait(JOIN_TIMEOUT)
+        writer_thread = _start(writer)
+        time.sleep(0.05)  # let the writer queue up
+        late = _start(late_reader)
+        time.sleep(0.05)
+        assert order == []  # late reader must not sneak past the writer
+        release_first_reader.set()
+        for thread in (holder, writer_thread, late):
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive()
+        assert order[0] == "writer"
+
+
+class TestNullRWLock:
+    def test_no_blocking_and_racy_tallies(self):
+        lock = NullRWLock()
+        with lock.read_locked():
+            # A null lock never blocks: the "conflicting" write side is
+            # freely acquirable, and the tallies expose the overlap.
+            with lock.write_locked():
+                assert lock.active_readers == 1
+                assert lock.writer_active
+        assert lock.active_readers == 0
+        assert not lock.writer_active

@@ -10,6 +10,7 @@ from repro.runtime.faults import FailingFilesystem, InjectedFault
 from repro.runtime.snapshot import (
     SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
+    RealFilesystem,
     read_snapshot,
     write_snapshot,
 )
@@ -135,3 +136,91 @@ class TestCrashAtomicity:
             write_snapshot(path, {"generation": 1}, kind="test-state", fs=fs)
         write_snapshot(path, {"generation": 2}, kind="test-state", fs=fs)
         assert read_snapshot(path, kind="test-state") == {"generation": 2}
+
+
+class _InterruptingFilesystem(RealFilesystem):
+    """Raises KeyboardInterrupt at one chosen operation.
+
+    Models an operator's Ctrl-C landing mid-checkpoint-flush — a
+    BaseException, which an ``except Exception`` cleanup clause would
+    miss entirely.
+    """
+
+    def __init__(self, interrupt_at: str):
+        self.interrupt_at = interrupt_at
+
+    def _maybe_interrupt(self, operation: str) -> None:
+        if operation == self.interrupt_at:
+            raise KeyboardInterrupt(f"injected at {operation}")
+
+    def open(self, path: str, mode: str):
+        handle = super().open(path, mode)
+        if "w" in mode:
+            outer = self
+
+            class _Handle:
+                def write(self, data):
+                    outer._maybe_interrupt("write")
+                    return handle.write(data)
+
+                def __getattr__(self, name):
+                    return getattr(handle, name)
+
+            return _Handle()
+        return handle
+
+    def fsync(self, handle) -> None:
+        self._maybe_interrupt("fsync")
+        super().fsync(getattr(handle, "_inner", handle))
+
+    def replace(self, src: str, dst: str) -> None:
+        self._maybe_interrupt("replace")
+        super().replace(src, dst)
+
+
+class TestTempFileCleanup:
+    """Regression: a leaked ``.tmp`` poisons the checkpoint directory.
+
+    The cleanup clause must catch BaseException, not Exception — the
+    realistic trigger is KeyboardInterrupt landing mid-write while an
+    operator hammers Ctrl-C during a checkpoint flush.
+    """
+
+    @pytest.mark.parametrize("operation", ["write", "fsync", "replace"])
+    def test_keyboard_interrupt_cleans_temp(self, tmp_path, operation):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, {"generation": 1}, kind="test-state")
+        fs = _InterruptingFilesystem(interrupt_at=operation)
+        with pytest.raises(KeyboardInterrupt):
+            write_snapshot(path, {"generation": 2}, kind="test-state", fs=fs)
+        assert not os.path.exists(path + ".tmp")
+        assert read_snapshot(path, kind="test-state") == {"generation": 1}
+
+    def test_encoding_failure_never_creates_temp(self, tmp_path):
+        # The envelope is encoded before the temp file is opened, so an
+        # unencodable payload cannot leave a partial file behind.
+        path = str(tmp_path / "state.snap")
+
+        class _CountingFilesystem(RealFilesystem):
+            opens = 0
+
+            def open(self, p, mode):
+                type(self).opens += 1
+                return super().open(p, mode)
+
+        fs = _CountingFilesystem()
+        with pytest.raises(SnapshotEncodingError):
+            write_snapshot(path, {"obj": object()}, kind="test-state", fs=fs)
+        assert fs.opens == 0
+        assert not os.path.exists(path + ".tmp")
+
+    def test_cleanup_failure_does_not_mask_original_error(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+
+        class _StickyTempFilesystem(FailingFilesystem):
+            def remove(self, p: str) -> None:
+                raise OSError("injected: temp file is undeletable")
+
+        fs = _StickyTempFilesystem(fail_operation="replace")
+        with pytest.raises(InjectedFault):
+            write_snapshot(path, {"generation": 1}, kind="test-state", fs=fs)
