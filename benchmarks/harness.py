@@ -22,6 +22,16 @@ from repro.datagen import (
     citation_all_3grams,
     citation_all_words,
 )
+from repro.runtime.checkpoint import dataset_fingerprint
+
+#: The one seed every pinned benchmark dataset is generated from.
+#: Generation must be a pure function of ``(builder, n, seed)`` — no
+#: dependence on hash randomization, process start method, or import
+#: order — because parallel-join workers rebuild datasets in forked or
+#: spawned processes and compare results pair-for-pair against a serial
+#: baseline built in the parent. ``tests/integration/test_bench_datasets.py``
+#: regression-tests this by fingerprinting across subprocesses.
+BENCHMARK_SEED = 42
 
 # Scaled-down stand-ins for the paper's x-axes.
 CITATION_SIZES = [500, 1000, 2000, 4000]
@@ -37,22 +47,58 @@ ADDRESS_MID_THRESHOLDS = [30, 35, 40]
 
 @lru_cache(maxsize=None)
 def citation_words(n: int) -> Dataset:
-    return citation_all_words(n, seed=42)
+    return citation_all_words(n, seed=BENCHMARK_SEED)
 
 
 @lru_cache(maxsize=None)
 def citation_3grams(n: int) -> Dataset:
-    return citation_all_3grams(n, seed=42)
+    return citation_all_3grams(n, seed=BENCHMARK_SEED)
 
 
 @lru_cache(maxsize=None)
 def address_3grams(n: int) -> Dataset:
-    return address_all_3grams(n, seed=42)
+    return address_all_3grams(n, seed=BENCHMARK_SEED)
 
 
 @lru_cache(maxsize=None)
 def address_names(n: int) -> Dataset:
-    return address_name_3grams(n, seed=42)
+    return address_name_3grams(n, seed=BENCHMARK_SEED)
+
+
+#: Registry of the pinned benchmark datasets, by stable name. The
+#: ``lru_cache`` on each builder is a per-process convenience only;
+#: cross-process identity is guaranteed by the builders being pure
+#: functions of ``(name, n)`` under :data:`BENCHMARK_SEED`.
+DATASET_BUILDERS = {
+    "citation-words": citation_words,
+    "citation-3grams": citation_3grams,
+    "address-3grams": address_3grams,
+    "address-names": address_names,
+}
+
+
+def dataset_by_name(name: str, n: int) -> Dataset:
+    """Build (or fetch from the process-local cache) a pinned dataset."""
+    builder = DATASET_BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown benchmark dataset {name!r};"
+            f" expected one of {sorted(DATASET_BUILDERS)}"
+        )
+    return builder(n)
+
+
+def dataset_fingerprints(n: int = 500) -> dict[str, str]:
+    """Content hash of every pinned dataset at size ``n``.
+
+    The cross-process regression currency: any two processes — parent,
+    forked worker, spawned worker, CI runner — must produce identical
+    fingerprints for the same ``(name, n)``.
+    """
+    return {
+        name: dataset_fingerprint(dataset_by_name(name, n))
+        for name in sorted(DATASET_BUILDERS)
+    }
 
 
 def run_join(algorithm_name: str, dataset: Dataset, predicate, **kwargs):
@@ -103,9 +149,13 @@ __all__ = [
     "ADDRESS_MID_THRESHOLDS",
     "ADDRESS_SIZES",
     "ADDRESS_THRESHOLDS",
+    "BENCHMARK_SEED",
     "CITATION_MID_THRESHOLDS",
     "CITATION_SIZES",
     "CITATION_THRESHOLDS",
+    "DATASET_BUILDERS",
+    "dataset_by_name",
+    "dataset_fingerprints",
     "address_3grams",
     "address_names",
     "citation_3grams",

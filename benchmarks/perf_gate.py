@@ -1,0 +1,223 @@
+"""Perf-regression gate over machine-independent ``work`` counters.
+
+Runs a pinned matrix of (dataset, predicate, algorithm) cases covering
+every hot path the micro-optimization work touches — the MergeOpt heap
+(``heap_merge``), the two-pass probe, the prefix-filter candidate scan,
+and the compressed-postings decode loop — and records each case's
+``work`` counter (heap pops + list touches + searches + generated and
+verified pairs) plus wall-clock into ``BENCH_serial.json`` at the repo
+root.
+
+The baseline file holds two profiles: ``quick`` (n=500, the subset CI
+re-runs on every push) and ``full`` (n=2000, the whole matrix). With
+``--check`` the gate re-runs one profile and fails on any ``work``
+regression above 10% versus the committed numbers. Only counters gate:
+they are a pure function of (dataset, predicate, algorithm) and
+therefore identical on every machine, so the committed baseline is
+valid on any CI runner. Wall-clock is recorded for trend-watching but
+never fails the gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py                 # rewrite baseline (both profiles)
+    PYTHONPATH=src python benchmarks/perf_gate.py --check         # gate full profile
+    PYTHONPATH=src python benchmarks/perf_gate.py --quick --check # gate quick profile (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import BENCHMARK_SEED, dataset_by_name  # noqa: E402
+
+from repro import JaccardPredicate, OverlapPredicate, similarity_join  # noqa: E402
+from repro.compression.compressed_join import CompressedProbeJoin  # noqa: E402
+from repro.core.prefix_filter import PrefixFilterJoin  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_serial.json")
+
+#: Allowed relative growth of a case's ``work`` counter before the gate
+#: fails. Counters are deterministic, so any growth is a real algorithmic
+#: regression; 10% of headroom absorbs intentional small trade-offs that
+#: a PR should call out explicitly by re-baselining.
+TOLERANCE = 0.10
+
+_PREDICATES = {
+    "overlap": OverlapPredicate,
+    "jaccard": JaccardPredicate,
+}
+
+#: (case-name, dataset, predicate, threshold, algorithm). Names are the
+#: join keys between baseline and fresh runs — never rename casually.
+_CASES = [
+    ("heap-merge/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count-optmerge"),
+    ("heap-merge/citation-3grams/jaccard-0.7", "citation-3grams", "jaccard", 0.7, "probe-count-optmerge"),
+    ("two-pass/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count"),
+    ("online/address-3grams/overlap-30", "address-3grams", "overlap", 30, "probe-count-online"),
+    ("cluster/citation-words/overlap-15", "citation-words", "overlap", 15, "probe-cluster"),
+    ("prefix-filter/citation-words/overlap-12", "citation-words", "overlap", 12, "prefix-filter"),
+    ("compressed/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count-compressed"),
+]
+
+#: Subset exercised under ``--quick`` (CI): one case per optimized module.
+_QUICK_CASES = {
+    "heap-merge/citation-words/overlap-12",
+    "two-pass/citation-words/overlap-12",
+    "prefix-filter/citation-words/overlap-12",
+    "compressed/citation-words/overlap-12",
+}
+
+_PROFILES = {"quick": 500, "full": 2000}
+
+
+def _run_case(dataset_name, predicate_name, threshold, algorithm, n):
+    dataset = dataset_by_name(dataset_name, n)
+    predicate = _PREDICATES[predicate_name](threshold)
+    if algorithm == "prefix-filter":
+        result = PrefixFilterJoin().join(dataset, predicate)
+    elif algorithm == "probe-count-compressed":
+        result = CompressedProbeJoin().join(dataset, predicate)
+    else:
+        result = similarity_join(dataset, predicate, algorithm=algorithm)
+    return {
+        "work": result.counters.total_work(),
+        "pairs": len(result.pairs),
+        "seconds": round(result.elapsed_seconds, 4),
+    }
+
+
+def run_profile(profile: str) -> dict:
+    n = _PROFILES[profile]
+    cases = {}
+    started = time.perf_counter()
+    print(f"perf matrix [{profile}] n={n}:")
+    for name, dataset_name, predicate_name, threshold, algorithm in _CASES:
+        if profile == "quick" and name not in _QUICK_CASES:
+            continue
+        cases[name] = _run_case(dataset_name, predicate_name, threshold, algorithm, n)
+        print(
+            f"  {name:<45} work={cases[name]['work']:<12}"
+            f" pairs={cases[name]['pairs']:<6} {cases[name]['seconds']:.3f}s"
+        )
+    return {
+        "n": n,
+        "cases": cases,
+        "total_seconds": round(time.perf_counter() - started, 3),
+    }
+
+
+def _report_shell(profiles: dict) -> dict:
+    return {
+        "schema": 1,
+        "kind": "serial-perf-baseline",
+        "seed": BENCHMARK_SEED,
+        "tolerance": TOLERANCE,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "profiles": profiles,
+    }
+
+
+def check(fresh: dict, baseline: dict, profile: str) -> list[str]:
+    """Return gate failures; empty means the gate passes."""
+    base_profile = baseline.get("profiles", {}).get(profile)
+    if base_profile is None:
+        return [f"baseline has no {profile!r} profile; re-generate it"]
+    if base_profile.get("n") != fresh["n"]:
+        return [
+            f"baseline {profile} n={base_profile.get('n')} != run n={fresh['n']};"
+            " re-generate the baseline"
+        ]
+    failures = []
+    base_cases = base_profile.get("cases", {})
+    for name, row in fresh["cases"].items():
+        base = base_cases.get(name)
+        if base is None:
+            print(f"  NEW CASE (not gated): {name}")
+            continue
+        if row["pairs"] != base["pairs"]:
+            failures.append(
+                f"{name}: pair count changed {base['pairs']} -> {row['pairs']}"
+                " (correctness, not perf — investigate before re-baselining)"
+            )
+        allowed = base["work"] * (1 + TOLERANCE)
+        if row["work"] > allowed:
+            ratio = row["work"] / base["work"]
+            failures.append(
+                f"{name}: work regressed {base['work']} -> {row['work']}"
+                f" ({ratio:.2%} of baseline, tolerance {1 + TOLERANCE:.0%})"
+            )
+        elif row["work"] != base["work"]:
+            print(
+                f"  work drift within tolerance: {name}"
+                f" {base['work']} -> {row['work']}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="quick profile only (n=500, CI)"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate against the baseline instead of rewriting it",
+    )
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--output", default=None,
+        help="where to write the fresh report when checking"
+        " (default: BENCH_serial.fresh.json beside the baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        profile = "quick" if args.quick else "full"
+        fresh = run_profile(profile)
+        if not os.path.exists(args.baseline):
+            print(f"FAIL: no committed baseline at {args.baseline}", file=sys.stderr)
+            return 2
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        output = args.output or os.path.join(
+            os.path.dirname(args.baseline) or ".", "BENCH_serial.fresh.json"
+        )
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(_report_shell({profile: fresh}), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        failures = check(fresh, baseline, profile)
+        if failures:
+            print(
+                f"PERF GATE FAILED ({len(failures)} regression(s)):", file=sys.stderr
+            )
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("perf gate passed: work counters at or below committed baseline")
+        return 0
+
+    # Baseline (re)generation: quick-only if asked, else both profiles.
+    names = ["quick"] if args.quick else ["quick", "full"]
+    report = _report_shell({name: run_profile(name) for name in names})
+    output = args.output or args.baseline
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"baseline written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

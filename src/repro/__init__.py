@@ -39,6 +39,7 @@ from repro.core.records import Dataset
 from repro.core.results import JoinResult, MatchPair
 from repro.core.word_groups import WordGroupsJoin
 from repro.core.service import SimilarityIndex
+from repro.parallel import PARALLEL_ALGORITHMS, parallel_join
 from repro.evaluation import MatchQuality, pair_quality, threshold_sweep
 from repro.predicates import (
     CosinePredicate,
@@ -93,6 +94,7 @@ __all__ = [
     "SnapshotEncodingError",
     "OverlapCoefficientPredicate",
     "OverlapPredicate",
+    "PARALLEL_ALGORITHMS",
     "PairCountJoin",
     "PairTableOverflow",
     "HammingPredicate",
@@ -109,6 +111,7 @@ __all__ = [
     "hamming_join",
     "make_algorithm",
     "pair_quality",
+    "parallel_join",
     "similarity_join",
     "threshold_sweep",
     "__version__",

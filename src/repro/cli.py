@@ -115,6 +115,11 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         help="T for overlap predicates, fraction for the others",
     )
     parser.add_argument("--algorithm", default="probe-cluster")
+    parser.add_argument(
+        "--workers", "-w", type=int, default=1, metavar="N",
+        help="shard the join over N worker processes (default 1 = serial);"
+        " the result is identical to the serial join",
+    )
     runtime = parser.add_argument_group("hardened runtime")
     runtime.add_argument(
         "--checkpoint", metavar="DIR", default=None,
@@ -181,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--queue-limit", type=int, default=64,
         help="admission queue bound; a full queue sheds (default 64)",
+    )
+    serving.add_argument(
+        "--process-pool", action="store_true",
+        help="run probes on a forked process pool (GIL-free CPU-bound"
+        " serving); the pool serves the corpus as indexed at startup",
     )
     serving.add_argument(
         "--query-deadline", metavar="SECONDS", type=float, default=None,
@@ -280,6 +290,30 @@ def _make_cli_algorithm(args):
 
 
 def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        raise _CLIError(f"--workers must be >= 1, got {workers}")
+    if workers > 1:
+        from repro.parallel import PARALLEL_ALGORITHMS, parallel_join
+
+        if args.algorithm not in PARALLEL_ALGORITHMS:
+            raise _CLIError(
+                f"--workers > 1 needs a shardable algorithm;"
+                f" {args.algorithm!r} is not one of"
+                f" {sorted(PARALLEL_ALGORITHMS)}"
+            )
+        if context is None:
+            # A bare context so Ctrl-C still cancels the worker pool
+            # cooperatively instead of killing it mid-stream.
+            context = JoinContext(cancel_token=CancellationToken())
+        with _sigint_cancels(context):
+            return parallel_join(
+                dataset,
+                predicate,
+                algorithm=args.algorithm,
+                workers=workers,
+                context=context,
+            )
     algorithm = _make_cli_algorithm(args)
     with _sigint_cancels(context):
         return algorithm.join(dataset, predicate, context=context)
@@ -346,9 +380,11 @@ def _print_serve_health(server: IndexServer) -> None:
     latency = health["latency"]
     breaker = health["breaker"]
     counters = health["index"]["counters"]
+    pool = health["pool"]
     print(
         f"# serve: {health['completed']} completed, {health['failed']} failed,"
         f" {health['shed']} shed, {health['retried']} retried,"
+        f" pool={pool['mode']} {pool['busy']}/{pool['total']} busy,"
         f" p50 {_ms(latency['p50_seconds'])}, p99 {_ms(latency['p99_seconds'])},"
         f" breaker={breaker['state'] if breaker else 'off'},"
         f" unknown_query_tokens={counters.get('unknown_query_tokens', 0)}",
@@ -374,19 +410,24 @@ def _serve(args, corpus: list[str]) -> int:
     index = SimilarityIndex(predicate, tokenizer=_TOKENIZERS[args.tokenizer])
     for line in corpus:
         index.add(line)
-    server = IndexServer(
-        index,
-        workers=args.workers,
-        queue_limit=args.queue_limit,
-        default_deadline=args.query_deadline,
-        retry_policy=(
-            RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
-        ),
-        breaker=CircuitBreaker(
-            failure_threshold=args.breaker_threshold,
-            cooldown_seconds=args.breaker_cooldown,
-        ),
-    )
+    try:
+        server = IndexServer(
+            index,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            default_deadline=args.query_deadline,
+            executor="process" if args.process_pool else "thread",
+            retry_policy=(
+                RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+            ),
+            breaker=CircuitBreaker(
+                failure_threshold=args.breaker_threshold,
+                cooldown_seconds=args.breaker_cooldown,
+            ),
+        )
+    except ValueError as exc:
+        # e.g. executor='process' on a platform without fork
+        raise _CLIError(str(exc)) from exc
 
     if args.queries == "-":
         stream = sys.stdin

@@ -70,11 +70,16 @@ class CompressedPostingList:
 
     def _decode_block(self, block: int) -> list[int]:
         count = min(self._block_size, self._length - block * self._block_size)
+        offsets = self._block_offset
+        # Passing the block's exact byte extent lets the decoder iterate
+        # one small slice instead of indexing into the whole payload.
+        end = offsets[block + 1] if block + 1 < len(offsets) else len(self._data)
         return varbyte_decode_deltas(
             self._data,
-            self._block_offset[block],
+            offsets[block],
             count,
             self._block_first[block],
+            end,
         )
 
     def __iter__(self) -> Iterator[int]:

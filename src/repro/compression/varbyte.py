@@ -33,49 +33,57 @@ def varbyte_encode(values: Iterable[int]) -> bytes:
 def varbyte_decode(data: bytes, start: int = 0, count: int | None = None) -> list[int]:
     """Decode ``count`` integers (or all) from ``data`` at ``start``."""
     out: list[int] = []
+    append = out.append
     value = 0
     shift = 0
-    position = start
-    end = len(data)
-    while position < end:
-        byte = data[position]
-        position += 1
-        value |= (byte & 0x7F) << shift
+    for byte in data[start:] if start else data:
         if byte & 0x80:
-            out.append(value)
+            append(value | ((byte & 0x7F) << shift))
             value = 0
             shift = 0
             if count is not None and len(out) == count:
-                break
+                return out
         else:
+            value |= (byte & 0x7F) << shift
             shift += 7
-    else:
-        if shift != 0:
-            raise ValueError("truncated variable-byte stream")
+    if shift != 0:
+        raise ValueError("truncated variable-byte stream")
     return out
 
 
 def varbyte_decode_deltas(
-    data: bytes, start: int, count: int, base: int
+    data: bytes, start: int, count: int, base: int, end: int | None = None
 ) -> list[int]:
-    """Decode ``count`` deltas starting from ``base`` into absolute ids."""
+    """Decode ``count`` deltas starting from ``base`` into absolute ids.
+
+    ``end`` bounds the bytes examined (default: end of ``data``); block
+    decoders pass the next block's offset so the loop can run over a
+    single sliced ``bytes`` object — iterating the slice yields ints at
+    C speed, where indexing ``data[position]`` costs a Python-level
+    bound check and index arithmetic per byte. This is the hottest
+    decompression loop (every compressed probe runs it), hence the
+    flat shape.
+    """
+    if end is None:
+        end = len(data)
     out: list[int] = []
+    append = out.append
     value = 0
     shift = 0
-    position = start
     current = base
-    end = len(data)
-    while position < end and len(out) < count:
-        byte = data[position]
-        position += 1
-        value |= (byte & 0x7F) << shift
+    remaining = count
+    if remaining <= 0:
+        return out
+    for byte in data[start:end]:
         if byte & 0x80:
-            current += value
-            out.append(current)
+            current += value | ((byte & 0x7F) << shift)
+            append(current)
+            remaining -= 1
+            if not remaining:
+                return out
             value = 0
             shift = 0
         else:
+            value |= (byte & 0x7F) << shift
             shift += 7
-    if len(out) < count:
-        raise ValueError("truncated variable-byte stream")
-    return out
+    raise ValueError("truncated variable-byte stream")

@@ -28,7 +28,7 @@ from repro.core.inverted_index import ScoredInvertedIndex
 from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
 from repro.core.results import JoinResult, MatchPair
-from repro.predicates.base import BoundPredicate, SimilarityPredicate
+from repro.predicates.base import WEIGHT_EPS, BoundPredicate, SimilarityPredicate
 from repro.runtime.errors import JoinInterrupted, MemoryBudgetExceeded
 from repro.utils.counters import CostCounters
 
@@ -46,6 +46,15 @@ class SetJoinAlgorithm(ABC):
     #: set this True; the context then skips the runtime memory check,
     #: whose cumulative insert counters would misfire on them.
     respects_memory_budget: bool = False
+
+    # Shard window over the driven scan, set by set_shard_window() and
+    # consumed by _drive(). Positions before the window are replayed
+    # (state rebuilt, no pair emission, same as checkpoint replay);
+    # positions past the window end the scan. The parallel engine gives
+    # each worker a disjoint window, so the shard pair sets partition
+    # the serial pair set exactly.
+    _shard_lo: int = 0
+    _shard_hi: int | None = None
 
     # Per-run driver state, installed by join() for the duration of one
     # execution and consumed by _drive()/_tick().
@@ -111,6 +120,25 @@ class SetJoinAlgorithm(ABC):
         self, dataset: Dataset, bound: BoundPredicate, counters: CostCounters
     ) -> list[MatchPair]:
         """Produce the verified match pairs."""
+
+    def set_shard_window(self, lo: int, hi: int | None) -> None:
+        """Restrict pair emission to scan positions ``[lo, hi)``.
+
+        Positions before ``lo`` are processed in replay mode — all state
+        (index inserts, cluster assignment) is rebuilt deterministically
+        but no pairs are emitted; positions at or past ``hi`` are not
+        scanned at all. Emitted pairs are exactly those the serial run
+        emits at positions inside the window, so disjoint windows
+        partition the serial pair set. Used by
+        :func:`repro.parallel.parallel_join`; ``(0, None)`` restores the
+        unsharded behaviour.
+        """
+        if lo < 0:
+            raise ValueError(f"shard window start must be >= 0, got {lo}")
+        if hi is not None and hi < lo:
+            raise ValueError(f"shard window end {hi} precedes start {lo}")
+        self._shard_lo = lo
+        self._shard_hi = hi
 
     # ------------------------------------------------------------------
     # Hardened-runtime driver
@@ -190,7 +218,11 @@ class SetJoinAlgorithm(ABC):
         context = self._context
         checkpointer = self._checkpointer
         resume_position = self._resume_position
+        shard_lo = self._shard_lo
+        shard_hi = self._shard_hi
         for position, rid in enumerate(order):
+            if shard_hi is not None and position >= shard_hi:
+                return
             if context is not None:
                 try:
                     context.tick(
@@ -199,7 +231,7 @@ class SetJoinAlgorithm(ABC):
                 except (JoinInterrupted, MemoryBudgetExceeded):
                     self._flush_checkpoint(position - 1, counters, pairs)
                     raise
-            replay = position <= resume_position
+            replay = position <= resume_position or position < shard_lo
             yield position, rid, replay
             if (
                 checkpointer is not None
@@ -256,8 +288,24 @@ class SetJoinAlgorithm(ABC):
         counters: CostCounters,
         out: list[MatchPair],
     ) -> bool:
-        """Run exact verification and emit the pair if it matches."""
+        """Run exact verification and emit the pair if it matches.
+
+        When the bound predicate supports it, a 64-bit word-signature
+        prefilter (Bloom-style OR of token bits) rejects pairs sharing
+        no tokens without computing the full match weight — sound
+        whenever the pair threshold is positive, because zero common
+        tokens means zero match weight. ``pairs_verified`` counts the
+        pair either way, so work counters stay comparable.
+        """
         counters.pairs_verified += 1
+        if (
+            bound.use_signature_prefilter
+            and not bound.signature(rid_a) & bound.signature(rid_b)
+            and bound.threshold(bound.norm(rid_a), bound.norm(rid_b)) > WEIGHT_EPS
+        ):
+            extra = counters.extra
+            extra["signature_skips"] = extra.get("signature_skips", 0) + 1
+            return False
         ok, similarity = bound.verify(rid_a, rid_b)
         if ok:
             out.append(MatchPair.make(rid_a, rid_b, similarity))

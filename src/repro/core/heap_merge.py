@@ -8,6 +8,14 @@ threshold are returned.
 
 This is the unoptimized baseline that MergeOpt (``merge_opt.py``)
 improves on; it merges *all* lists regardless of the threshold.
+
+The inner loop is the hottest code in the two-pass Probe-Count variants,
+so it is written flat: per-list ids/scores/probe-score are hoisted into
+parallel locals, the pop/advance/push step is inlined rather than calling
+helpers per popped entry, and the work counters are accumulated in local
+integers that are added to ``counters`` once per merge. The counter
+totals and the returned candidate list are bit-identical to the
+straightforward formulation (tests pin this).
 """
 
 from __future__ import annotations
@@ -43,72 +51,77 @@ def heap_merge(
     Returns candidates with ``weight >= T(r, s) - eps`` in increasing id
     order.
     """
+    n_lists = len(lists)
+    ids_of: list = [None] * n_lists
+    scores_of: list = [None] * n_lists
+    probe_of: list = [0.0] * n_lists
+    frontiers: list[int] = [0] * n_lists
     heap: list[tuple[int, int]] = []
-    frontiers: list[int] = []
-    for list_idx, (plist, _probe_score) in enumerate(lists):
+    pushes = 0
+    for list_idx, (plist, probe_score) in enumerate(lists):
+        ids = plist.ids
+        ids_of[list_idx] = ids
+        scores_of[list_idx] = plist.scores
+        probe_of[list_idx] = probe_score
         position = 0
+        n = len(ids)
         if accept is not None:
-            ids = plist.ids
-            n = len(ids)
             while position < n and not accept(ids[position]):
                 position += 1
-        if position < len(plist.ids):
-            heap.append((plist.ids[position], list_idx))
-            frontiers.append(position + 1)
-            counters.heap_pushes += 1
+        if position < n:
+            heap.append((ids[position], list_idx))
+            frontiers[list_idx] = position + 1
+            pushes += 1
         else:
-            frontiers.append(position)
+            frontiers[list_idx] = position
     heapq.heapify(heap)
 
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    pops = 0
+    touched = 0
+    checked = 0
     candidates: list[tuple[int, float]] = []
+    append = candidates.append
     while heap:
-        current, list_idx = heapq.heappop(heap)
-        counters.heap_pops += 1
-        weight = _contribution(lists, list_idx, frontiers, counters)
-        _advance(heap, lists, list_idx, frontiers, accept, counters)
+        current, list_idx = heappop(heap)
+        pops += 1
+        position = frontiers[list_idx]
+        weight = probe_of[list_idx] * scores_of[list_idx][position - 1]
+        touched += 1
+        ids = ids_of[list_idx]
+        n = len(ids)
+        if accept is not None:
+            while position < n and not accept(ids[position]):
+                position += 1
+        if position < n:
+            heappush(heap, (ids[position], list_idx))
+            pushes += 1
+            frontiers[list_idx] = position + 1
+        else:
+            frontiers[list_idx] = position
         while heap and heap[0][0] == current:
-            _, list_idx = heapq.heappop(heap)
-            counters.heap_pops += 1
-            weight += _contribution(lists, list_idx, frontiers, counters)
-            _advance(heap, lists, list_idx, frontiers, accept, counters)
-        counters.candidates_checked += 1
+            _, list_idx = heappop(heap)
+            pops += 1
+            position = frontiers[list_idx]
+            weight += probe_of[list_idx] * scores_of[list_idx][position - 1]
+            touched += 1
+            ids = ids_of[list_idx]
+            n = len(ids)
+            if accept is not None:
+                while position < n and not accept(ids[position]):
+                    position += 1
+            if position < n:
+                heappush(heap, (ids[position], list_idx))
+                pushes += 1
+                frontiers[list_idx] = position + 1
+            else:
+                frontiers[list_idx] = position
+        checked += 1
         if weight >= threshold_of(current) - WEIGHT_EPS:
-            candidates.append((current, weight))
+            append((current, weight))
+    counters.heap_pops += pops
+    counters.heap_pushes += pushes
+    counters.list_items_touched += touched
+    counters.candidates_checked += checked
     return candidates
-
-
-def _contribution(
-    lists: list[tuple[PostingList, float]],
-    list_idx: int,
-    frontiers: list[int],
-    counters: CostCounters,
-) -> float:
-    """Weight contributed by the entry just popped from ``list_idx``."""
-    plist, probe_score = lists[list_idx]
-    position = frontiers[list_idx] - 1
-    counters.list_items_touched += 1
-    return probe_score * plist.scores[position]
-
-
-def _advance(
-    heap: list[tuple[int, int]],
-    lists: list[tuple[PostingList, float]],
-    list_idx: int,
-    frontiers: list[int],
-    accept: Callable[[int], bool] | None,
-    counters: CostCounters,
-) -> None:
-    """Push the next (accepted) entry of ``list_idx`` into the heap."""
-    plist, _probe_score = lists[list_idx]
-    ids = plist.ids
-    n = len(ids)
-    position = frontiers[list_idx]
-    if accept is not None:
-        while position < n and not accept(ids[position]):
-            position += 1
-    if position < n:
-        heapq.heappush(heap, (ids[position], list_idx))
-        counters.heap_pushes += 1
-        frontiers[list_idx] = position + 1
-    else:
-        frontiers[list_idx] = position

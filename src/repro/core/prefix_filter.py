@@ -63,7 +63,13 @@ class PrefixFilterJoin(SetJoinAlgorithm):
         band = bound.band_filter()
 
         index: dict[int, list[int]] = {}
+        index_get = index.get
         pairs: list[MatchPair] = []
+        # One candidate set for the whole scan, cleared per record:
+        # allocating a fresh set per probe was measurable on large
+        # corpora (this loop runs once per record).
+        candidates: set[int] = set()
+        candidates_update = candidates.update
         for rid, ordered in enumerate(ordered_records):
             counters.probes += 1
             size = len(ordered)
@@ -76,12 +82,14 @@ class PrefixFilterJoin(SetJoinAlgorithm):
             prefix_length = size - t + 1
             prefix = ordered[:prefix_length]
 
-            candidates: set[int] = set()
+            candidates.clear()
+            touched = 0
             for token in prefix:
-                plist = index.get(token)
+                plist = index_get(token)
                 if plist is not None:
-                    counters.list_items_touched += len(plist)
-                    candidates.update(plist)
+                    touched += len(plist)
+                    candidates_update(plist)
+            counters.list_items_touched += touched
             counters.candidates_checked += len(candidates)
             key_r = None
             if band is not None:

@@ -161,6 +161,7 @@ def _probe_bound(base_bound, record: tuple[int, ...], payload):
     clone._score_vectors = _CacheOverlay(base_bound._score_vectors)
     clone._norms = _CacheOverlay(base_bound._norms)
     clone._score_maps = _CacheOverlay(base_bound._score_maps)
+    clone._signatures = _CacheOverlay(base_bound._signatures)
     if hasattr(clone, "_band"):
         clone._band = None
     return clone

@@ -61,11 +61,19 @@ class BoundPredicate(ABC):
     #: Word-Groups requires this — a word group has one weight per word.
     record_independent_scores = True
 
+    #: Whether :meth:`SetJoinAlgorithm._verify_pair` may use the 64-bit
+    #: word-signature prefilter. Sound only for predicates whose verify
+    #: is the match-weight threshold test (zero common tokens => weight
+    #: zero => fails any positive threshold); predicates that verify on
+    #: payloads (edit distance) opt out.
+    use_signature_prefilter = True
+
     def __init__(self, dataset: Dataset):
         self.dataset = dataset
         self._score_vectors: list[tuple[float, ...] | None] = [None] * len(dataset)
         self._norms: list[float | None] = [None] * len(dataset)
         self._score_maps: list[dict[int, float] | None] = [None] * len(dataset)
+        self._signatures: list[int | None] = [None] * len(dataset)
 
     # ------------------------------------------------------------------
     # Abstract surface
@@ -104,6 +112,7 @@ class BoundPredicate(ABC):
             self._score_vectors.extend([None] * missing)
             self._norms.extend([None] * missing)
             self._score_maps.extend([None] * missing)
+            self._signatures.extend([None] * missing)
 
     def cached_score_vector(self, rid: int) -> tuple[float, ...]:
         """Memoized :meth:`score_vector`."""
@@ -121,6 +130,22 @@ class BoundPredicate(ABC):
             mapping = dict(zip(tokens, self.cached_score_vector(rid)))
             self._score_maps[rid] = mapping
         return mapping
+
+    def signature(self, rid: int) -> int:
+        """64-bit Bloom-style word signature of record ``rid``, memoized.
+
+        Bit ``token % 64`` is set for every token; two records with a
+        common token therefore always share a signature bit, so a
+        disjoint AND proves an empty intersection (the converse does not
+        hold — collisions only cost a wasted full verification).
+        """
+        value = self._signatures[rid]
+        if value is None:
+            value = 0
+            for token in self.dataset[rid]:
+                value |= 1 << (token & 63)
+            self._signatures[rid] = value
+        return value
 
     def norm(self, rid: int) -> float:
         """``||r|| = sum(score(w, r)^2)`` (paper Eq. 1), memoized."""

@@ -59,6 +59,10 @@ def qgram_dataset(strings: Sequence[str], q: int = 3) -> Dataset:
 
 class _BoundEditDistance(BoundPredicate):
     requires_payload_verification = True
+    # verify() decides on the payload strings, not the q-gram match
+    # weight; the signature prefilter's zero-weight reasoning does not
+    # apply, so it must stay off.
+    use_signature_prefilter = False
 
     def __init__(self, dataset: Dataset, k: int, q: int):
         super().__init__(dataset)

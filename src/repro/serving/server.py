@@ -32,6 +32,7 @@ breaker behaviour are deterministically testable.
 
 from __future__ import annotations
 
+import multiprocessing
 import queue
 import threading
 import time
@@ -53,6 +54,20 @@ _STOP = object()
 SERVING = "serving"
 DRAINING = "draining"
 CLOSED = "closed"
+
+#: The forked pool worker's index, installed by :func:`_pool_init`.
+#: Module-level because pool tasks must reference it without pickling
+#: the index (its locks are unpicklable; fork shares it by memory).
+_POOL_INDEX = None
+
+
+def _pool_init(index) -> None:
+    global _POOL_INDEX
+    _POOL_INDEX = index
+
+
+def _pool_query(item):
+    return _POOL_INDEX.query(item)
 
 
 @dataclass
@@ -81,6 +96,15 @@ class IndexServer:
             latency; injectable for tests.
         latency_capacity: latency reservoir size (see
             :class:`LatencyTracker`).
+        executor: ``"thread"`` (default) runs probes on the worker
+            threads; ``"process"`` dispatches each probe to a forked
+            process pool of the same size, sidestepping the GIL for
+            CPU-bound query bursts. Process mode serves the index as it
+            was at :meth:`start` (later ``add``/``extend`` calls are
+            not visible to the forked pool), enforces deadlines at the
+            dispatch boundary (an expired probe keeps burning its pool
+            slot until it finishes), and needs a platform with the
+            ``fork`` start method.
 
     Start with :meth:`start` (or use as a context manager); stop with
     :meth:`drain`. ``submit`` returns a ``concurrent.futures.Future``
@@ -97,11 +121,26 @@ class IndexServer:
         breaker: CircuitBreaker | None = None,
         clock: Callable[[], float] = time.monotonic,
         latency_capacity: int = 2048,
+        executor: str = "thread",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if (
+            executor == "process"
+            and "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            raise ValueError(
+                "executor='process' needs the fork start method (the index"
+                " is shared with pool workers by forked memory); this"
+                " platform only offers"
+                f" {multiprocessing.get_all_start_methods()}"
+            )
         self.index = index
         self.n_workers = workers
         self.queue_limit = queue_limit
@@ -110,6 +149,8 @@ class IndexServer:
         self.breaker = breaker
         self.clock = clock
         self.latency = LatencyTracker(latency_capacity)
+        self.executor = executor
+        self._pool = None
 
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
         self._threads: list[threading.Thread] = []
@@ -132,6 +173,17 @@ class IndexServer:
             if self._state != CLOSED:
                 raise RuntimeError(f"cannot start a {self._state} server")
             self._state = SERVING
+        if self.executor == "process":
+            # Fork-only: workers inherit the index by memory, so the
+            # unpicklable lock state never crosses a pipe. Each query
+            # worker thread then blocks on its pool slot, keeping the
+            # admission/deadline/breaker path identical to thread mode.
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(
+                processes=self.n_workers,
+                initializer=_pool_init,
+                initargs=(self.index,),
+            )
         for i in range(self.n_workers):
             thread = threading.Thread(
                 target=self._worker, name=f"index-server-{i}", daemon=True
@@ -172,6 +224,12 @@ class IndexServer:
                 budget = started + timeout - time.monotonic()
                 thread.join(timeout=max(budget, 0.0) + 0.1)
         self._threads = [t for t in self._threads if t.is_alive()]
+        if self._pool is not None:
+            # Admitted queries have already resolved (or been failed);
+            # anything still on a pool slot belongs to a wedged worker.
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
         with self._cond:
             self._state = CLOSED
         return drained
@@ -290,8 +348,22 @@ class IndexServer:
         if self.breaker is not None:
             self.breaker.admit()  # raises CircuitOpen
 
-        def attempt():
-            return self.index.query(request.item, context=context)
+        if self._pool is not None:
+
+            def attempt():
+                handle = self._pool.apply_async(_pool_query, (request.item,))
+                timeout = context.remaining() if context is not None else None
+                try:
+                    return handle.get(timeout=timeout)
+                except multiprocessing.TimeoutError:
+                    raise JoinTimeout(
+                        context.elapsed(), context.deadline_seconds
+                    ) from None
+
+        else:
+
+            def attempt():
+                return self.index.query(request.item, context=context)
 
         try:
             if self.retry_policy is not None:
@@ -340,11 +412,14 @@ class IndexServer:
 
         Keys: ``state``, ``workers``, ``queue_depth``, ``queue_limit``,
         ``in_flight``, ``shed``, ``completed``, ``failed``, ``retried``,
-        ``breaker`` (state + times_opened, or None), ``latency``
-        (count/p50/p95/p99 seconds), ``index`` (record count + cost
-        counters, including ``unknown_query_tokens``).
+        ``pool`` (executor mode + busy/total/saturation of the worker
+        pool — saturation pinned at 1.0 is the signal to add capacity
+        or shed earlier), ``breaker`` (state + times_opened, or None),
+        ``latency`` (count/p50/p95/p99 seconds), ``index`` (record
+        count + cost counters, including ``unknown_query_tokens``).
         """
         with self._cond:
+            busy = min(self._in_flight, self.n_workers)
             snapshot = {
                 "state": self._state,
                 "workers": self.n_workers,
@@ -355,6 +430,12 @@ class IndexServer:
                 "completed": self._completed,
                 "failed": self._failed,
                 "retried": self._retried,
+                "pool": {
+                    "mode": self.executor,
+                    "busy": busy,
+                    "total": self.n_workers,
+                    "saturation": busy / self.n_workers,
+                },
             }
         snapshot["breaker"] = (
             {"state": self.breaker.state, "times_opened": self.breaker.times_opened}

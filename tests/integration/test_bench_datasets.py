@@ -1,0 +1,101 @@
+"""Cross-process stability of the pinned benchmark datasets.
+
+The parallel join engine rebuilds nothing in workers — the dataset is
+forked/pickled from the parent — but the *benchmark harness* builds
+datasets independently in whatever process runs it, and its numbers are
+only comparable across machines and CI runs if generation is a pure
+function of ``(builder, n, BENCHMARK_SEED)``. The classic way this
+breaks in Python is hash randomization leaking into iteration order, so
+the tests below fingerprint the datasets under different
+``PYTHONHASHSEED`` values and in fresh subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+
+_FINGERPRINT_SNIPPET = (
+    "import json, sys\n"
+    "from harness import dataset_fingerprints\n"
+    "print(json.dumps(dataset_fingerprints(n=200)))\n"
+)
+
+
+def _fingerprints_in_subprocess(hash_seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), BENCH_DIR]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SNIPPET],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=120,
+    ).stdout
+    return json.loads(output)
+
+
+class TestBenchmarkDatasetStability:
+    def test_fingerprints_stable_across_hash_seeds(self):
+        """PYTHONHASHSEED must not influence dataset content."""
+        baseline = _fingerprints_in_subprocess("0")
+        assert set(baseline) == {
+            "address-3grams",
+            "address-names",
+            "citation-3grams",
+            "citation-words",
+        }
+        assert _fingerprints_in_subprocess("12345") == baseline
+
+    def test_fingerprints_match_current_process(self):
+        """A fresh interpreter agrees with this (pytest) process."""
+        sys.path.insert(0, BENCH_DIR)
+        try:
+            from harness import dataset_fingerprints
+        finally:
+            sys.path.remove(BENCH_DIR)
+        assert dataset_fingerprints(n=200) == _fingerprints_in_subprocess("random")
+
+    def test_builders_are_seed_stable_within_process(self):
+        """Clearing the lru_cache and rebuilding yields identical data."""
+        sys.path.insert(0, BENCH_DIR)
+        try:
+            import harness
+        finally:
+            sys.path.remove(BENCH_DIR)
+        from repro.runtime.checkpoint import dataset_fingerprint
+
+        before = {
+            name: dataset_fingerprint(builder(150))
+            for name, builder in harness.DATASET_BUILDERS.items()
+        }
+        for builder in harness.DATASET_BUILDERS.values():
+            builder.cache_clear()
+        after = {
+            name: dataset_fingerprint(builder(150))
+            for name, builder in harness.DATASET_BUILDERS.items()
+        }
+        assert before == after
+
+    def test_dataset_by_name_rejects_unknown(self):
+        sys.path.insert(0, BENCH_DIR)
+        try:
+            from harness import dataset_by_name
+        finally:
+            sys.path.remove(BENCH_DIR)
+        try:
+            dataset_by_name("no-such-dataset", 10)
+        except ValueError as err:
+            assert "no-such-dataset" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")

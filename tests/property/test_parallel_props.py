@@ -1,0 +1,170 @@
+"""Equivalence properties of the parallel sharded join engine.
+
+The contract under test: ``parallel_join(dataset, predicate, algorithm,
+workers=k)`` is pair-for-pair identical to the serial
+``similarity_join`` for every supported algorithm, every predicate
+family, and every worker count — including runs interrupted by a
+mid-run deadline and resumed from per-shard checkpoints.
+
+These spawn real worker processes, so the datasets are deliberately
+small and seeded (not hypothesis-driven): the shard-window replay
+logic these properties exercise is deterministic, and the expensive
+axis is the (predicate x workers x algorithm) matrix itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CosinePredicate,
+    EditDistancePredicate,
+    JaccardPredicate,
+    OverlapPredicate,
+    parallel_join,
+    similarity_join,
+)
+from repro.core.records import Dataset
+from repro.parallel import PARALLEL_ALGORITHMS
+from repro.predicates.edit_distance import qgram_dataset
+from repro.runtime.context import JoinContext
+from repro.runtime.checkpoint import JoinCheckpointer
+from repro.runtime.errors import CheckpointMismatch, JoinTimeout
+
+WORKER_COUNTS = [1, 2, 4, 7]
+
+
+def seeded_dataset(seed: int, n: int = 60, vocabulary: int = 30) -> Dataset:
+    rng = random.Random(seed)
+    records = []
+    for _ in range(n):
+        size = rng.randint(1, 8)
+        records.append(tuple(sorted(rng.sample(range(vocabulary), size))))
+    return Dataset(records)
+
+
+def seeded_strings(seed: int, n: int = 40) -> list[str]:
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice("abc") for _ in range(rng.randint(1, 8)))
+        for _ in range(n)
+    ]
+
+
+SET_PREDICATES = [
+    pytest.param(OverlapPredicate(3), id="overlap"),
+    pytest.param(JaccardPredicate(0.5), id="jaccard"),
+    pytest.param(CosinePredicate(0.6), id="cosine"),
+]
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("predicate", SET_PREDICATES)
+    def test_set_predicates_match_serial(self, predicate, workers):
+        data = seeded_dataset(seed=workers)
+        serial = similarity_join(data, predicate, algorithm="probe-count-optmerge")
+        result = parallel_join(
+            data, predicate, algorithm="probe-count-optmerge", workers=workers
+        )
+        assert result.pair_set() == serial.pair_set()
+        similarity = {(p.rid_a, p.rid_b): p.similarity for p in serial.pairs}
+        assert {
+            (p.rid_a, p.rid_b): p.similarity for p in result.pairs
+        } == similarity
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_edit_distance_matches_serial(self, workers):
+        data = qgram_dataset(seeded_strings(seed=workers))
+        predicate = EditDistancePredicate(2)
+        serial = similarity_join(data, predicate, algorithm="probe-count-optmerge")
+        result = parallel_join(
+            data, predicate, algorithm="probe-count-optmerge", workers=workers
+        )
+        assert result.pair_set() == serial.pair_set()
+
+    @pytest.mark.parametrize("algorithm", sorted(PARALLEL_ALGORITHMS))
+    def test_every_supported_algorithm_matches_serial(self, algorithm):
+        data = seeded_dataset(seed=99)
+        predicate = OverlapPredicate(2)
+        serial = similarity_join(data, predicate, algorithm=algorithm)
+        result = parallel_join(data, predicate, algorithm=algorithm, workers=3)
+        assert result.pair_set() == serial.pair_set(), algorithm
+
+
+class TestDeadlineAndResume:
+    """An injected mid-run deadline, then a checkpointed resume."""
+
+    algorithm = "probe-count-optmerge"
+    workers = 3
+
+    def test_mid_run_deadline_then_resume_is_exact(self, tmp_path):
+        # Big enough that the serial join takes ~1s, so a 0.3s deadline
+        # reliably lands mid-run with dozens of checkpoint intervals
+        # already flushed by every shard.
+        data = seeded_dataset(seed=7, n=1600, vocabulary=40)
+        predicate = OverlapPredicate(3)
+        serial = similarity_join(data, predicate, algorithm=self.algorithm)
+
+        interrupted = JoinContext(
+            deadline_seconds=0.3,
+            checkpointer=JoinCheckpointer(str(tmp_path), interval_records=20),
+        )
+        with pytest.raises(JoinTimeout):
+            parallel_join(
+                data,
+                predicate,
+                algorithm=self.algorithm,
+                workers=self.workers,
+                context=interrupted,
+            )
+
+        resumed = JoinContext(
+            checkpointer=JoinCheckpointer(str(tmp_path), interval_records=20)
+        )
+        result = parallel_join(
+            data,
+            predicate,
+            algorithm=self.algorithm,
+            workers=self.workers,
+            context=resumed,
+        )
+        assert result.pair_set() == serial.pair_set()
+
+    def test_resume_refuses_different_worker_count(self, tmp_path):
+        """A shard checkpoint from a 3-worker run poisons a 4-worker run.
+
+        Seeded deterministically (no timing dependence): shard 0's
+        checkpoint is written exactly as a 3-worker invocation would
+        have left it, then a 4-worker invocation must refuse it.
+        """
+        from repro.parallel.worker import shard_algorithm_name
+        from repro.runtime.checkpoint import dataset_fingerprint
+        from repro.utils.counters import CostCounters
+
+        data = seeded_dataset(seed=7, n=120, vocabulary=40)
+        predicate = OverlapPredicate(3)
+        stale = JoinCheckpointer(str(tmp_path / "shard-0"), interval_records=20)
+        stale.write(
+            algorithm=shard_algorithm_name(self.algorithm, 0, 3),
+            predicate=predicate.name,
+            fingerprint=dataset_fingerprint(data),
+            n_records=len(data),
+            position=19,
+            pairs=[],
+            counters=CostCounters(),
+        )
+
+        mismatched = JoinContext(
+            checkpointer=JoinCheckpointer(str(tmp_path), interval_records=20)
+        )
+        with pytest.raises(CheckpointMismatch, match="shard0"):
+            parallel_join(
+                data,
+                predicate,
+                algorithm=self.algorithm,
+                workers=4,
+                context=mismatched,
+            )

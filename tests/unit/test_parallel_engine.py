@@ -1,0 +1,118 @@
+"""Unit tests for the parallel sharded join engine (parent side)."""
+
+import pytest
+
+from repro import OverlapPredicate, parallel_join, similarity_join
+from repro.core.records import Dataset
+from repro.parallel import PARALLEL_ALGORITHMS, shard_bounds
+from repro.parallel.worker import shard_algorithm_name
+
+
+def small_dataset(n=40):
+    return Dataset(
+        [
+            tuple(sorted({(5 * i + j * j) % 19 for j in range(2 + i % 4)}))
+            for i in range(n)
+        ]
+    )
+
+
+class TestShardBounds:
+    def test_partitions_the_range_contiguously(self):
+        bounds = shard_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 10
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+    def test_sizes_differ_by_at_most_one(self):
+        for n in (0, 1, 7, 100, 101):
+            for workers in (1, 2, 3, 7, 16):
+                sizes = [hi - lo for lo, hi in shard_bounds(n, workers)]
+                assert len(sizes) == workers
+                assert sum(sizes) == n
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            shard_bounds(10, 0)
+
+
+class TestValidation:
+    def test_rejects_unsupported_registered_algorithm(self):
+        """pair-count exists serially but cannot shard; say so clearly."""
+        with pytest.raises(ValueError, match="serially"):
+            parallel_join(small_dataset(), OverlapPredicate(2), algorithm="pair-count")
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="no-such-join"):
+            parallel_join(
+                small_dataset(), OverlapPredicate(2), algorithm="no-such-join"
+            )
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            parallel_join(small_dataset(), OverlapPredicate(2), workers=0)
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            parallel_join(
+                small_dataset(), OverlapPredicate(2), workers=2, batch_size=0
+            )
+
+    def test_supported_algorithms_are_registered(self):
+        from repro.core.join import _SPECS
+
+        assert PARALLEL_ALGORITHMS <= set(_SPECS)
+
+
+class TestShardNaming:
+    def test_name_encodes_shard_and_count(self):
+        assert shard_algorithm_name("probe-count", 2, 7) == "probe-count@shard2.7"
+
+
+class TestParallelJoin:
+    def test_empty_dataset_returns_empty_result(self):
+        """An empty dataset clamps to one (never-started) worker."""
+        result = parallel_join(Dataset([]), OverlapPredicate(2), workers=3)
+        assert result.pairs == []
+        assert result.algorithm == "parallel(probe-count-optmerge, workers=1)"
+        assert result.counters.extra["parallel_workers"] == 1
+
+    def test_matches_serial_and_orders_pairs(self):
+        data = small_dataset()
+        predicate = OverlapPredicate(2)
+        serial = similarity_join(data, predicate, algorithm="probe-count-optmerge")
+        result = parallel_join(
+            data, predicate, algorithm="probe-count-optmerge", workers=2
+        )
+        assert result.pair_set() == serial.pair_set()
+        keys = [(p.rid_a, p.rid_b) for p in result.pairs]
+        assert keys == sorted(keys)
+        similarity = {(p.rid_a, p.rid_b): p.similarity for p in serial.pairs}
+        for pair in result.pairs:
+            assert pair.similarity == similarity[(pair.rid_a, pair.rid_b)]
+
+    def test_workers_clamped_to_record_count(self):
+        data = small_dataset(3)
+        result = parallel_join(data, OverlapPredicate(1), workers=16)
+        assert result.counters.extra["parallel_workers"] == 3
+
+    def test_tiny_batch_size_streams_correctly(self):
+        data = small_dataset()
+        predicate = OverlapPredicate(2)
+        serial = similarity_join(data, predicate, algorithm="probe-count-optmerge")
+        result = parallel_join(data, predicate, workers=2, batch_size=1)
+        assert result.pair_set() == serial.pair_set()
+
+    def test_probe_counters_match_serial(self):
+        data = small_dataset()
+        predicate = OverlapPredicate(2)
+        serial = similarity_join(data, predicate, algorithm="probe-count-optmerge")
+        result = parallel_join(data, predicate, workers=3)
+        for name in ("heap_pops", "list_items_touched", "pairs_verified"):
+            assert getattr(result.counters, name) == getattr(
+                serial.counters, name
+            ), name
+        assert result.counters.pairs_output == len(result.pairs)

@@ -238,6 +238,84 @@ class TestHealth:
         assert health["latency"]["p99_seconds"] is not None
         assert health["index"]["records"] == 2
         assert "unknown_query_tokens" in health["index"]["counters"]
+        assert health["pool"] == {
+            "mode": "thread",
+            "busy": 0,
+            "total": 2,
+            "saturation": 0.0,
+        }
+
+    def test_pool_saturation_tracks_busy_workers(self):
+        scripted = _ScriptedIndex()
+        scripted.gate = threading.Event()
+        server = IndexServer(scripted, workers=2, queue_limit=8).start()
+        try:
+            idle = server.health()["pool"]
+            assert (idle["busy"], idle["total"], idle["saturation"]) == (0, 2, 0.0)
+            futures = [server.submit(str(i)) for i in range(2)]
+            for _ in futures:
+                assert scripted.started.acquire(timeout=WAIT)
+            saturated = server.health()["pool"]
+            assert (saturated["busy"], saturated["total"]) == (2, 2)
+            assert saturated["saturation"] == 1.0
+            scripted.gate.set()
+            for future in futures:
+                future.result(timeout=WAIT)
+        finally:
+            scripted.gate.set()
+            server.drain(timeout=WAIT)
+        assert server.health()["pool"]["busy"] == 0
+
+
+class TestProcessPool:
+    def test_process_results_match_thread_results(self):
+        index = _real_index()
+        queries = ["set joins similarity", "different words entirely", "zzz qqq"]
+        with IndexServer(index, workers=2, executor="process") as server:
+            futures = [server.submit(q) for q in queries]
+            for query, future in zip(queries, futures):
+                assert future.result(timeout=WAIT) == index.query(query)
+            health = server.health()
+        assert health["pool"]["mode"] == "process"
+        assert health["pool"]["total"] == 2
+        assert health["completed"] == 3
+
+    def test_process_pool_serves_startup_snapshot(self):
+        # Fork shares the index as of start(); later adds are served by
+        # the in-process index but not the forked pool — the documented
+        # point-in-time semantics.
+        index = _real_index()
+        with IndexServer(index, workers=1, executor="process") as server:
+            index.add("set joins similarity predicates appended later")
+            matches = server.submit("set joins similarity").result(timeout=WAIT)
+        rids = {pair.rid_a for pair in matches}
+        assert 2 not in rids  # the post-start record is invisible to the pool
+
+    def test_process_pool_deadline_enforced_at_dispatch(self):
+        # The pool cannot run the injected-clock deadline inside the
+        # child, so expiry is enforced at the dispatch boundary: either
+        # before dispatch (expired while queued) or on the pool-result
+        # wait. A microscopic real deadline exercises that boundary.
+        with IndexServer(_real_index(), workers=1, executor="process") as server:
+            future = server.submit("set joins similarity", deadline=0.000001)
+            with pytest.raises(JoinTimeout):
+                future.result(timeout=WAIT)
+            assert server.health()["failed"] == 1
+
+    def test_restart_after_drain_rebuilds_the_pool(self):
+        server = IndexServer(_real_index(), workers=1, executor="process")
+        server.start()
+        assert server.submit("set joins similarity").result(timeout=WAIT)
+        server.drain(timeout=WAIT)
+        server.start()
+        try:
+            assert server.submit("set joins similarity").result(timeout=WAIT)
+        finally:
+            server.drain(timeout=WAIT)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            IndexServer(_real_index(), executor="coroutine")
 
 
 class TestDrain:
