@@ -17,11 +17,22 @@ therefore identical on every machine, so the committed baseline is
 valid on any CI runner. Wall-clock is recorded for trend-watching but
 never fails the gate.
 
+With ``--bitmap`` the gate instead covers the bitmap-signature
+candidate filter (:mod:`repro.filters`): every case runs each join
+twice — unfiltered and with ``bitmap_filter=True`` — asserts the two
+pair sets are identical (the filter's soundness contract), and records
+the filtered run's ``work`` plus the verification-count reduction into
+``BENCH_bitmap.json``. Cases with a pinned ``min_reduction`` addition-
+ally fail the gate when the filter stops pruning at least that share
+of verifications (the headline win this optimization exists for).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_gate.py                 # rewrite baseline (both profiles)
     PYTHONPATH=src python benchmarks/perf_gate.py --check         # gate full profile
     PYTHONPATH=src python benchmarks/perf_gate.py --quick --check # gate quick profile (CI)
+    PYTHONPATH=src python benchmarks/perf_gate.py --bitmap          # rewrite bitmap baseline
+    PYTHONPATH=src python benchmarks/perf_gate.py --bitmap --check  # gate bitmap paths
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from repro.core.prefix_filter import PrefixFilterJoin  # noqa: E402
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_serial.json")
+BITMAP_BASELINE = os.path.join(REPO_ROOT, "BENCH_bitmap.json")
 
 #: Allowed relative growth of a case's ``work`` counter before the gate
 #: fails. Counters are deterministic, so any growth is a real algorithmic
@@ -75,18 +87,46 @@ _QUICK_CASES = {
     "compressed/citation-words/overlap-12",
 }
 
+#: Bitmap-filter gate matrix: (case-name, dataset, predicate, threshold,
+#: algorithm, min_reduction). ``min_reduction`` is the pinned floor on
+#: ``1 - pairs_verified(filtered) / pairs_verified(unfiltered)`` — the
+#: paths the filter exists for must keep pruning; ``None`` means the
+#: case only gates work/pairs (merge-driven candidates already carry
+#: their weights, so the adaptive controller rightly switches the
+#: filter off there and no reduction is expected).
+_BITMAP_CASES = [
+    ("bitmap/prefix-filter/citation-words/overlap-12", "citation-words", "overlap", 12, "prefix-filter", 0.25),
+    ("bitmap/prefix-filter/citation-3grams/jaccard-0.7", "citation-3grams", "jaccard", 0.7, "prefix-filter", 0.25),
+    ("bitmap/two-pass/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count", None),
+    ("bitmap/cluster/citation-words/overlap-15", "citation-words", "overlap", 15, "probe-cluster", None),
+]
+
+#: Bitmap cases exercised under ``--quick`` (CI).
+_BITMAP_QUICK_CASES = {
+    "bitmap/prefix-filter/citation-words/overlap-12",
+    "bitmap/two-pass/citation-words/overlap-12",
+}
+
 _PROFILES = {"quick": 500, "full": 2000}
+
+
+def _join_once(dataset, predicate, algorithm, bitmap_filter=None):
+    if algorithm == "prefix-filter":
+        instance = PrefixFilterJoin()
+    elif algorithm == "probe-count-compressed":
+        instance = CompressedProbeJoin()
+    else:
+        from repro import make_algorithm
+
+        instance = make_algorithm(algorithm)
+    instance.bitmap_filter = bitmap_filter
+    return instance.join(dataset, predicate)
 
 
 def _run_case(dataset_name, predicate_name, threshold, algorithm, n):
     dataset = dataset_by_name(dataset_name, n)
     predicate = _PREDICATES[predicate_name](threshold)
-    if algorithm == "prefix-filter":
-        result = PrefixFilterJoin().join(dataset, predicate)
-    elif algorithm == "probe-count-compressed":
-        result = CompressedProbeJoin().join(dataset, predicate)
-    else:
-        result = similarity_join(dataset, predicate, algorithm=algorithm)
+    result = _join_once(dataset, predicate, algorithm)
     return {
         "work": result.counters.total_work(),
         "pairs": len(result.pairs),
@@ -94,19 +134,64 @@ def _run_case(dataset_name, predicate_name, threshold, algorithm, n):
     }
 
 
-def run_profile(profile: str) -> dict:
+def _run_bitmap_case(dataset_name, predicate_name, threshold, algorithm, n):
+    """One unfiltered + one filtered run; the filter must not change pairs."""
+    dataset = dataset_by_name(dataset_name, n)
+    predicate = _PREDICATES[predicate_name](threshold)
+    plain = _join_once(dataset, predicate, algorithm)
+    filtered = _join_once(dataset, predicate, algorithm, bitmap_filter=True)
+    pairs_match = sorted((p.rid_a, p.rid_b) for p in plain.pairs) == sorted(
+        (p.rid_a, p.rid_b) for p in filtered.pairs
+    )
+    base_verified = plain.counters.pairs_verified
+    reduction = (
+        1.0 - filtered.counters.pairs_verified / base_verified
+        if base_verified
+        else 0.0
+    )
+    return {
+        "work": filtered.counters.total_work(),
+        "pairs": len(filtered.pairs),
+        "pairs_match": pairs_match,
+        "pairs_verified_unfiltered": base_verified,
+        "pairs_verified": filtered.counters.pairs_verified,
+        "bitmap_checks": filtered.counters.bitmap_checks,
+        "bitmap_rejects": filtered.counters.bitmap_rejects,
+        "reduction": round(reduction, 4),
+        "seconds": round(filtered.elapsed_seconds, 4),
+    }
+
+
+def run_profile(profile: str, bitmap: bool = False) -> dict:
     n = _PROFILES[profile]
     cases = {}
     started = time.perf_counter()
-    print(f"perf matrix [{profile}] n={n}:")
-    for name, dataset_name, predicate_name, threshold, algorithm in _CASES:
-        if profile == "quick" and name not in _QUICK_CASES:
-            continue
-        cases[name] = _run_case(dataset_name, predicate_name, threshold, algorithm, n)
-        print(
-            f"  {name:<45} work={cases[name]['work']:<12}"
-            f" pairs={cases[name]['pairs']:<6} {cases[name]['seconds']:.3f}s"
-        )
+    label = "bitmap" if bitmap else "perf"
+    print(f"{label} matrix [{profile}] n={n}:")
+    if bitmap:
+        for name, dataset_name, predicate_name, threshold, algorithm, _ in _BITMAP_CASES:
+            if profile == "quick" and name not in _BITMAP_QUICK_CASES:
+                continue
+            cases[name] = _run_bitmap_case(
+                dataset_name, predicate_name, threshold, algorithm, n
+            )
+            row = cases[name]
+            print(
+                f"  {name:<48} work={row['work']:<12}"
+                f" pairs={row['pairs']:<6} reduction={row['reduction']:.1%}"
+                f" {row['seconds']:.3f}s"
+            )
+    else:
+        for name, dataset_name, predicate_name, threshold, algorithm in _CASES:
+            if profile == "quick" and name not in _QUICK_CASES:
+                continue
+            cases[name] = _run_case(
+                dataset_name, predicate_name, threshold, algorithm, n
+            )
+            print(
+                f"  {name:<45} work={cases[name]['work']:<12}"
+                f" pairs={cases[name]['pairs']:<6} {cases[name]['seconds']:.3f}s"
+            )
     return {
         "n": n,
         "cases": cases,
@@ -114,10 +199,10 @@ def run_profile(profile: str) -> dict:
     }
 
 
-def _report_shell(profiles: dict) -> dict:
+def _report_shell(profiles: dict, bitmap: bool = False) -> dict:
     return {
         "schema": 1,
-        "kind": "serial-perf-baseline",
+        "kind": "bitmap-perf-baseline" if bitmap else "serial-perf-baseline",
         "seed": BENCHMARK_SEED,
         "tolerance": TOLERANCE,
         "machine": {
@@ -166,6 +251,25 @@ def check(fresh: dict, baseline: dict, profile: str) -> list[str]:
     return failures
 
 
+def check_bitmap(fresh: dict, baseline: dict, profile: str) -> list[str]:
+    """Gate the bitmap-filter cases: soundness first, then perf."""
+    failures = check(fresh, baseline, profile)
+    floors = {name: floor for name, _, _, _, _, floor in _BITMAP_CASES}
+    for name, row in fresh["cases"].items():
+        if not row.get("pairs_match", True):
+            failures.append(
+                f"{name}: filtered join emitted different pairs than the"
+                " unfiltered join (bitmap filter is UNSOUND)"
+            )
+        floor = floors.get(name)
+        if floor is not None and row["reduction"] < floor:
+            failures.append(
+                f"{name}: verification reduction {row['reduction']:.1%}"
+                f" fell below the pinned floor {floor:.0%}"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -175,29 +279,42 @@ def main(argv: list[str] | None = None) -> int:
         "--check", action="store_true",
         help="gate against the baseline instead of rewriting it",
     )
-    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--bitmap", action="store_true",
+        help="run the bitmap-filter matrix against BENCH_bitmap.json"
+        " (each case runs unfiltered + filtered and must emit identical pairs)",
+    )
+    parser.add_argument("--baseline", default=None)
     parser.add_argument(
         "--output", default=None,
         help="where to write the fresh report when checking"
-        " (default: BENCH_serial.fresh.json beside the baseline)",
+        " (default: BENCH_*.fresh.json beside the baseline)",
     )
     args = parser.parse_args(argv)
+    baseline_path = args.baseline or (
+        BITMAP_BASELINE if args.bitmap else DEFAULT_BASELINE
+    )
+    checker = check_bitmap if args.bitmap else check
+    fresh_name = "BENCH_bitmap.fresh.json" if args.bitmap else "BENCH_serial.fresh.json"
 
     if args.check:
         profile = "quick" if args.quick else "full"
-        fresh = run_profile(profile)
-        if not os.path.exists(args.baseline):
-            print(f"FAIL: no committed baseline at {args.baseline}", file=sys.stderr)
+        fresh = run_profile(profile, bitmap=args.bitmap)
+        if not os.path.exists(baseline_path):
+            print(f"FAIL: no committed baseline at {baseline_path}", file=sys.stderr)
             return 2
-        with open(args.baseline, encoding="utf-8") as handle:
+        with open(baseline_path, encoding="utf-8") as handle:
             baseline = json.load(handle)
         output = args.output or os.path.join(
-            os.path.dirname(args.baseline) or ".", "BENCH_serial.fresh.json"
+            os.path.dirname(baseline_path) or ".", fresh_name
         )
         with open(output, "w", encoding="utf-8") as handle:
-            json.dump(_report_shell({profile: fresh}), handle, indent=2, sort_keys=True)
+            json.dump(
+                _report_shell({profile: fresh}, bitmap=args.bitmap),
+                handle, indent=2, sort_keys=True,
+            )
             handle.write("\n")
-        failures = check(fresh, baseline, profile)
+        failures = checker(fresh, baseline, profile)
         if failures:
             print(
                 f"PERF GATE FAILED ({len(failures)} regression(s)):", file=sys.stderr
@@ -210,8 +327,11 @@ def main(argv: list[str] | None = None) -> int:
 
     # Baseline (re)generation: quick-only if asked, else both profiles.
     names = ["quick"] if args.quick else ["quick", "full"]
-    report = _report_shell({name: run_profile(name) for name in names})
-    output = args.output or args.baseline
+    report = _report_shell(
+        {name: run_profile(name, bitmap=args.bitmap) for name in names},
+        bitmap=args.bitmap,
+    )
+    output = args.output or baseline_path
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -39,6 +39,7 @@ from repro.core.records import Dataset
 from repro.core.results import JoinResult, MatchPair
 from repro.core.word_groups import WordGroupsJoin
 from repro.core.service import SimilarityIndex
+from repro.filters import BitmapFilterConfig
 from repro.parallel import PARALLEL_ALGORITHMS, parallel_join
 from repro.evaluation import MatchQuality, pair_quality, threshold_sweep
 from repro.predicates import (
@@ -70,6 +71,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "BitmapFilterConfig",
     "CancellationToken",
     "CheckpointMismatch",
     "ClusterMemJoin",

@@ -120,6 +120,7 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         help="shard the join over N worker processes (default 1 = serial);"
         " the result is identical to the serial join",
     )
+    _add_bitmap_options(parser)
     runtime = parser.add_argument_group("hardened runtime")
     runtime.add_argument(
         "--checkpoint", metavar="DIR", default=None,
@@ -138,6 +139,32 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         help="cap live index entries (word occurrences); exceeding it"
         " degrades the join to the cluster-mem algorithm",
     )
+
+
+def _add_bitmap_options(parser: argparse.ArgumentParser) -> None:
+    filters = parser.add_argument_group("candidate filters")
+    filters.add_argument(
+        "--bitmap-filter", action="store_true",
+        help="prune candidate pairs with fixed-width bitmap signatures"
+        " before exact verification; the output is identical either way",
+    )
+    filters.add_argument(
+        "--bitmap-width", metavar="BITS", type=int, default=128,
+        help="signature width in bits (default 128; wider = fewer false"
+        " survivors, costlier checks)",
+    )
+
+
+def _bitmap_config(args):
+    """The BitmapFilterConfig the flags ask for, or None (filter off)."""
+    if not getattr(args, "bitmap_filter", False):
+        return None
+    from repro.filters import BitmapFilterConfig
+
+    try:
+        return BitmapFilterConfig(width=args.bitmap_width)
+    except ValueError as exc:
+        raise _CLIError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     edit_parser.add_argument("-k", type=int, required=True, help="max edit distance")
     edit_parser.add_argument("-q", type=int, default=3, help="q-gram length")
     edit_parser.add_argument("--algorithm", default="probe-count-optmerge")
+    _add_bitmap_options(edit_parser)
 
     stats_parser = commands.add_parser("stats", help="corpus statistics (Table 1)")
     _add_common(stats_parser)
@@ -212,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", metavar="SECONDS", type=float, default=10.0,
         help="grace period for in-flight queries on shutdown (default 10)",
     )
+    serving.add_argument(
+        "--query-cache", metavar="N", type=int, default=0,
+        help="LRU query-result cache capacity (default 0 = off); entries"
+        " are invalidated whenever the index mutates",
+    )
+    _add_bitmap_options(serve_parser)
 
     return parser
 
@@ -282,9 +316,13 @@ def _make_cli_algorithm(args):
             )
         from repro.core.cluster_mem import MemoryBudget
 
-        return make_algorithm("cluster-mem", budget=MemoryBudget(args.memory_budget))
+        return make_algorithm(
+            "cluster-mem",
+            budget=MemoryBudget(args.memory_budget),
+            bitmap_filter=_bitmap_config(args),
+        )
     try:
-        return make_algorithm(args.algorithm)
+        return make_algorithm(args.algorithm, bitmap_filter=_bitmap_config(args))
     except ValueError as exc:
         raise _CLIError(str(exc)) from exc
 
@@ -313,6 +351,7 @@ def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
                 algorithm=args.algorithm,
                 workers=workers,
                 context=context,
+                bitmap_filter=_bitmap_config(args),
             )
     algorithm = _make_cli_algorithm(args)
     with _sigint_cancels(context):
@@ -381,10 +420,17 @@ def _print_serve_health(server: IndexServer) -> None:
     breaker = health["breaker"]
     counters = health["index"]["counters"]
     pool = health["pool"]
+    cache = health["cache"]
+    cache_note = (
+        f" cache {cache['hits']}/{cache['hits'] + cache['misses']} hits,"
+        if cache is not None
+        else ""
+    )
     print(
         f"# serve: {health['completed']} completed, {health['failed']} failed,"
         f" {health['shed']} shed, {health['retried']} retried,"
         f" pool={pool['mode']} {pool['busy']}/{pool['total']} busy,"
+        f"{cache_note}"
         f" p50 {_ms(latency['p50_seconds'])}, p99 {_ms(latency['p99_seconds'])},"
         f" breaker={breaker['state'] if breaker else 'off'},"
         f" unknown_query_tokens={counters.get('unknown_query_tokens', 0)}",
@@ -402,12 +448,18 @@ def _serve(args, corpus: list[str]) -> int:
         raise _CLIError(f"--queue-limit must be >= 1, got {args.queue_limit}")
     if args.retries < 1:
         raise _CLIError(f"--retries must be >= 1, got {args.retries}")
+    if args.query_cache < 0:
+        raise _CLIError(f"--query-cache must be >= 0, got {args.query_cache}")
     try:
         predicate = _PREDICATES[args.predicate](args.threshold)
     except ValueError as exc:
         raise _CLIError(f"bad --threshold for {args.predicate}: {exc}") from exc
 
-    index = SimilarityIndex(predicate, tokenizer=_TOKENIZERS[args.tokenizer])
+    index = SimilarityIndex(
+        predicate,
+        tokenizer=_TOKENIZERS[args.tokenizer],
+        bitmap_filter=_bitmap_config(args),
+    )
     for line in corpus:
         index.add(line)
     try:
@@ -417,6 +469,7 @@ def _serve(args, corpus: list[str]) -> int:
             queue_limit=args.queue_limit,
             default_deadline=args.query_deadline,
             executor="process" if args.process_pool else "thread",
+            query_cache=args.query_cache,
             retry_policy=(
                 RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
             ),
@@ -503,7 +556,13 @@ def _dispatch(args) -> int:
                 f"unknown algorithm {args.algorithm!r};"
                 f" expected one of {sorted(ALGORITHMS) + ['cluster-mem']}"
             )
-        result = edit_distance_join(lines, k=args.k, q=args.q, algorithm=args.algorithm)
+        result = edit_distance_join(
+            lines,
+            k=args.k,
+            q=args.q,
+            algorithm=args.algorithm,
+            bitmap_filter=_bitmap_config(args),
+        )
         for pair in result.sorted_pairs():
             print(f"{pair.rid_a}\t{pair.rid_b}\t{int(pair.similarity)}")
         print(

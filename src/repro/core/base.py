@@ -28,6 +28,8 @@ from repro.core.inverted_index import ScoredInvertedIndex
 from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
 from repro.core.results import JoinResult, MatchPair
+from repro.filters.bitmap import resolve_bitmap_filter
+from repro.filters.pruner import BitmapPruner
 from repro.predicates.base import WEIGHT_EPS, BoundPredicate, SimilarityPredicate
 from repro.runtime.errors import JoinInterrupted, MemoryBudgetExceeded
 from repro.utils.counters import CostCounters
@@ -47,6 +49,16 @@ class SetJoinAlgorithm(ABC):
     #: whose cumulative insert counters would misfire on them.
     respects_memory_budget: bool = False
 
+    #: Bitmap candidate filter knob (:mod:`repro.filters`): ``None``/
+    #: ``False`` off, ``True`` defaults, an int width, or a
+    #: :class:`~repro.filters.BitmapFilterConfig`. Set via
+    #: ``make_algorithm(..., bitmap_filter=...)`` so it flows through
+    #: ``similarity_join`` and the parallel workers' algorithm specs
+    #: without touching any ``join()`` signature. The filter is sound
+    #: (see ``repro/filters/adapters.py``): the emitted pair set is
+    #: identical with it on or off.
+    bitmap_filter = None
+
     # Shard window over the driven scan, set by set_shard_window() and
     # consumed by _drive(). Positions before the window are replayed
     # (state rebuilt, no pair emission, same as checkpoint replay);
@@ -63,6 +75,7 @@ class SetJoinAlgorithm(ABC):
     _checkpoint_meta: dict | None = None
     _resume_position: int = -1
     _restored_pairs: list[MatchPair] = []
+    _bitmap = None
 
     def join(
         self,
@@ -85,6 +98,9 @@ class SetJoinAlgorithm(ABC):
         bound = predicate.bind(dataset)
         counters = CostCounters()
         restored = self._install_runtime(dataset, predicate, context, counters)
+        config = resolve_bitmap_filter(self.bitmap_filter)
+        if config is not None:
+            self._bitmap = BitmapPruner.for_join(bound, config, counters)
         if context is not None:
             context.start()
         start = time.perf_counter()
@@ -182,6 +198,7 @@ class SetJoinAlgorithm(ABC):
         self._checkpoint_meta = None
         self._resume_position = -1
         self._restored_pairs = []
+        self._bitmap = None
 
     def _tick(self, counters: CostCounters) -> None:
         """Record-granularity runtime check (no checkpoint handling).
@@ -269,6 +286,7 @@ class SetJoinAlgorithm(ABC):
         from repro.core.cluster_mem import ClusterMemJoin, MemoryBudget
 
         fallback = ClusterMemJoin(MemoryBudget(context.memory_budget_entries))
+        fallback.bitmap_filter = self.bitmap_filter
         result = fallback.join(
             dataset, predicate, context=context.for_degraded_run()
         )
@@ -280,8 +298,8 @@ class SetJoinAlgorithm(ABC):
     # Shared helpers
     # ------------------------------------------------------------------
 
-    @staticmethod
     def _verify_pair(
+        self,
         bound: BoundPredicate,
         rid_a: int,
         rid_b: int,
@@ -290,6 +308,12 @@ class SetJoinAlgorithm(ABC):
     ) -> bool:
         """Run exact verification and emit the pair if it matches.
 
+        With the bitmap filter armed (``bitmap_filter=`` knob), pairs
+        whose popcount weight cap provably cannot reach the threshold
+        are rejected first; those count as ``bitmap_checks``/
+        ``bitmap_rejects``, never as ``pairs_verified`` — that counter
+        keeps meaning "exact verifications performed".
+
         When the bound predicate supports it, a 64-bit word-signature
         prefilter (Bloom-style OR of token bits) rejects pairs sharing
         no tokens without computing the full match weight — sound
@@ -297,6 +321,9 @@ class SetJoinAlgorithm(ABC):
         tokens means zero match weight. ``pairs_verified`` counts the
         pair either way, so work counters stay comparable.
         """
+        bitmap = self._bitmap
+        if bitmap is not None and bitmap.rejects(rid_a, rid_b, counters):
+            return False
         counters.pairs_verified += 1
         if (
             bound.use_signature_prefilter

@@ -60,7 +60,15 @@ def make_algorithm(name: str, **kwargs):
     Extra keyword arguments are merged over the variant's defaults.
     ``cluster-mem`` additionally accepts ``memory_fraction`` (resolved
     against the dataset at join time) or an explicit ``budget``.
+
+    ``bitmap_filter=`` arms the candidate filter of :mod:`repro.filters`
+    on any algorithm (``True``, an int signature width, or a
+    :class:`~repro.filters.BitmapFilterConfig`); it is attached to the
+    instance rather than passed to constructors so every algorithm —
+    and the parallel workers, which rebuild instances from this same
+    registry — accepts it uniformly.
     """
+    bitmap_filter = kwargs.pop("bitmap_filter", None)
     if name == "cluster-mem":
         budget = kwargs.pop("budget", None)
         fraction = kwargs.pop("memory_fraction", None)
@@ -73,15 +81,21 @@ def make_algorithm(name: str, **kwargs):
 
                 name = "cluster-mem"
                 respects_memory_budget = True
+                bitmap_filter = None
 
                 def join(self, dataset, predicate, context=None):
                     resolved = ClusterMemJoin(
                         MemoryBudget.fraction_of_full(dataset, fraction), **kwargs
                     )
+                    resolved.bitmap_filter = self.bitmap_filter
                     return resolved.join(dataset, predicate, context=context)
 
-            return _Deferred()
-        return ClusterMemJoin(budget, **kwargs)
+            deferred = _Deferred()
+            deferred.bitmap_filter = bitmap_filter
+            return deferred
+        algorithm = ClusterMemJoin(budget, **kwargs)
+        algorithm.bitmap_filter = bitmap_filter
+        return algorithm
     spec = _SPECS.get(name)
     if spec is None:
         raise ValueError(
@@ -89,7 +103,9 @@ def make_algorithm(name: str, **kwargs):
             f" {sorted(_SPECS) + ['cluster-mem']}"
         )
     cls, base = spec
-    return cls(**{**base, **kwargs})
+    algorithm = cls(**{**base, **kwargs})
+    algorithm.bitmap_filter = bitmap_filter
+    return algorithm
 
 
 def similarity_join(

@@ -19,7 +19,10 @@ from repro.core.inverted_index import ScoredInvertedIndex
 from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
 from repro.core.results import MatchPair
-from repro.predicates.base import SimilarityPredicate
+from repro.filters.adapters import adapter_for
+from repro.filters.bitmap import SignatureStore, resolve_bitmap_filter
+from repro.filters.controller import AdaptiveController, NullController
+from repro.predicates.base import WEIGHT_EPS, SimilarityPredicate
 from repro.runtime.errors import (
     ConcurrentMutation,
     SnapshotCorrupted,
@@ -111,6 +114,15 @@ class _ProbeView:
             return self._payload
         return self._base.payload(rid)
 
+    def retarget(self, record: tuple[int, ...], payload) -> None:
+        """Point the view at a new probe (``query_batch`` clone reuse).
+
+        Only valid while the base dataset cannot grow (under the
+        service's read lock), since ``_n`` stays frozen.
+        """
+        self._record = record
+        self._payload = payload
+
 
 class _CacheOverlay:
     """Per-record cache list with a private slot for the probe record.
@@ -145,6 +157,10 @@ class _CacheOverlay:
     def extend(self, items) -> None:
         self._tail.extend(items)
 
+    def reset_tail(self) -> None:
+        """Forget the probe slot (``query_batch`` clone reuse)."""
+        self._tail = [None]
+
 
 def _probe_bound(base_bound, record: tuple[int, ...], payload):
     """A disposable bound-predicate clone covering the probe record.
@@ -165,6 +181,23 @@ def _probe_bound(base_bound, record: tuple[int, ...], payload):
     if hasattr(clone, "_band"):
         clone._band = None
     return clone
+
+
+def _retarget_probe(clone, record: tuple[int, ...], payload) -> None:
+    """Reuse a :func:`_probe_bound` clone for the next batch item.
+
+    Clears exactly the per-probe state the clone owns — the view's tail
+    record, the overlay tail slots, and any rebuilt band filter — and
+    nothing shared. Only sound while the base dataset length is fixed
+    (``query_batch`` holds the read lock for the whole batch).
+    """
+    clone.dataset.retarget(record, payload)
+    clone._score_vectors.reset_tail()
+    clone._norms.reset_tail()
+    clone._score_maps.reset_tail()
+    clone._signatures.reset_tail()
+    if hasattr(clone, "_band"):
+        clone._band = None
 
 
 class SimilarityIndex:
@@ -200,7 +233,13 @@ class SimilarityIndex:
         (see ``NullRWLock``).
     """
 
-    def __init__(self, predicate: SimilarityPredicate, tokenizer=None, lock=None):
+    def __init__(
+        self,
+        predicate: SimilarityPredicate,
+        tokenizer=None,
+        lock=None,
+        bitmap_filter=None,
+    ):
         self.predicate = predicate
         self.tokenizer = tokenizer
         self._token_lists: list[list[str]] = []
@@ -216,6 +255,22 @@ class SimilarityIndex:
         #: Name of the mutation currently holding the write side, if any
         #: — the invariant the ConcurrentMutation guard checks.
         self._in_flight: str | None = None
+        #: Bitmap candidate filter (:mod:`repro.filters`): signatures
+        #: are maintained alongside the inverted index — extended on
+        #: every ``add``, rebuilt on ``rebind``, persisted in snapshots.
+        self._bitmap_config = resolve_bitmap_filter(bitmap_filter)
+        self._bitmap_store: SignatureStore | None = None
+        self._bitmap_adapter = None
+        self._bitmap_controller = None
+        #: Monotonic mutation stamp: bumped by every ``add``/``rebind``.
+        #: External result caches (:class:`repro.serving.cache.QueryCache`)
+        #: key on it to invalidate on any index mutation.
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Mutation stamp; changes whenever cached results could stale."""
+        return self._generation
 
     @contextmanager
     def _no_reentry(self, operation: str):
@@ -318,6 +373,8 @@ class SimilarityIndex:
         with self._write_locked("rebind"):
             self._rebind()
             self._rebuild_index()
+            self._rebuild_bitmap()
+            self._generation += 1
 
     def _rebind(self) -> None:
         self._bound = self.predicate.bind(self._dataset)
@@ -343,6 +400,57 @@ class SimilarityIndex:
         return self._bound
 
     # ------------------------------------------------------------------
+    # Bitmap filter maintenance (write-locked callers only)
+    # ------------------------------------------------------------------
+
+    def _rebuild_bitmap(self) -> None:
+        """Recompute signatures from scratch (scores may have changed)."""
+        self._bitmap_store = None
+        self._bitmap_adapter = None
+        self._bitmap_controller = None
+        self._extend_bitmap()
+
+    def _extend_bitmap(self) -> None:
+        """Bring the signature store up to the current dataset length.
+
+        No-op when the filter is off or the predicate has no sound
+        adapter. The adaptive controller persists across incremental
+        adds (the data distribution rarely shifts per record) but is
+        reset by :meth:`_rebuild_bitmap`.
+        """
+        if self._bitmap_config is None or self._bound is None:
+            return
+        if self._bitmap_adapter is None:
+            self._bitmap_adapter = adapter_for(self._bound)
+            if self._bitmap_adapter is None:
+                return
+        if self._bitmap_store is None:
+            self._bitmap_store = SignatureStore(self._bitmap_config.width)
+        if self._bitmap_controller is None:
+            config = self._bitmap_config
+            self._bitmap_controller = (
+                AdaptiveController(config.sample_size, config.min_reject_rate)
+                if config.adaptive
+                else NullController()
+            )
+        if len(self._bitmap_store) < len(self._dataset):
+            self._bitmap_store.extend_from(self._bound, len(self._bitmap_store))
+
+    def bitmap_state(self) -> dict | None:
+        """Filter introspection for the health endpoint (None when off)."""
+        if self._bitmap_config is None:
+            return None
+        state = {
+            "width": self._bitmap_config.width,
+            "signatures": len(self._bitmap_store)
+            if self._bitmap_store is not None
+            else 0,
+        }
+        if self._bitmap_controller is not None:
+            state["controller"] = self._bitmap_controller.state()
+        return state
+
+    # ------------------------------------------------------------------
 
     def add(self, item, payload=None) -> int:
         """Insert a record; returns its rid."""
@@ -358,6 +466,8 @@ class SimilarityIndex:
             self._index.insert(
                 rid, record, bound.cached_score_vector(rid), bound.norm(rid), self.counters
             )
+            self._extend_bitmap()
+            self._generation += 1
             return rid
 
     def query(self, item, context=None) -> list[MatchPair]:
@@ -384,7 +494,34 @@ class SimilarityIndex:
                 with self._counters_lock:
                     self.counters.merge(counters)
 
-    def _query(self, item, counters: CostCounters, context) -> list[MatchPair]:
+    def query_batch(self, items, context=None) -> list[list[MatchPair]]:
+        """Query many items under one read-lock acquisition.
+
+        Returns one result list per item, in order — each identical to
+        what :meth:`query` would return for that item. Besides the
+        single lock round-trip, the per-probe machinery (the dataset
+        view and cache overlays of the bound-predicate clone) is built
+        once and retargeted per item instead of rebuilt, which is the
+        point of batching: the per-query constant cost is paid once.
+
+        A ``context`` deadline spans the whole batch (anchored at the
+        first item, checked per verified candidate throughout).
+        """
+        with self._read_locked("query_batch"):
+            counters = CostCounters()
+            reusable: list = []
+            try:
+                return [
+                    self._query(item, counters, context, reusable)
+                    for item in items
+                ]
+            finally:
+                with self._counters_lock:
+                    self.counters.merge(counters)
+
+    def _query(
+        self, item, counters: CostCounters, context, reusable: list | None = None
+    ) -> list[MatchPair]:
         if context is not None:
             context.start()
             context.tick(counters, check_memory=False)
@@ -394,13 +531,19 @@ class SimilarityIndex:
         probe_rid = len(self._dataset)
         if probe_rid == 0:
             return []
-        base_bound = self._bound
-        if base_bound is None:
-            # Cold path: records exist but no bound yet (cannot happen
-            # through the public API). Bind locally; do not publish —
-            # the read side must stay mutation-free.
-            base_bound = self.predicate.bind(self._dataset)
-        bound = _probe_bound(base_bound, record, item)
+        if reusable:
+            bound = reusable[0]
+            _retarget_probe(bound, record, item)
+        else:
+            base_bound = self._bound
+            if base_bound is None:
+                # Cold path: records exist but no bound yet (cannot happen
+                # through the public API). Bind locally; do not publish —
+                # the read side must stay mutation-free.
+                base_bound = self.predicate.bind(self._dataset)
+            bound = _probe_bound(base_bound, record, item)
+            if reusable is not None:
+                reusable.append(bound)
         lists = self._index.probe_lists(record, bound.cached_score_vector(probe_rid))
         if not lists:
             return []
@@ -415,6 +558,27 @@ class SimilarityIndex:
             def accept(sid: int) -> bool:
                 return abs(keys[sid] - key_r) <= radius
 
+        # Bitmap candidate filter: the probe's signature is ephemeral
+        # (never stored); extra unseen-token bits only loosen the
+        # intersection bound, so pruning stays sound. The controller is
+        # shared across queries — racy int updates under concurrent
+        # readers are benign (see repro/filters/controller.py).
+        store = self._bitmap_store
+        controller = self._bitmap_controller
+        probe_entry = None
+        const_threshold = None
+        if (
+            store is not None
+            and controller is not None
+            and controller.active
+            and len(store) == probe_rid
+        ):
+            probe_entry = store.components_for(
+                record, bound.cached_score_vector(probe_rid)
+            )
+            if self._bitmap_adapter.constant_threshold:
+                const_threshold = bound.threshold(0.0, 0.0)
+
         matches = []
         for sid, _weight in merge_opt(
             lists,
@@ -425,6 +589,20 @@ class SimilarityIndex:
         ):
             if context is not None:
                 context.tick(counters, check_memory=False)
+            if probe_entry is not None:
+                counters.bitmap_checks += 1
+                cap = store.weight_cap_entry(probe_entry, sid)
+                threshold = (
+                    const_threshold
+                    if const_threshold is not None
+                    else bound.threshold(norm_r, bound.norm(sid))
+                )
+                rejected = cap < threshold - WEIGHT_EPS
+                if not controller.decided:
+                    controller.observe(rejected, counters)
+                if rejected:
+                    counters.bitmap_rejects += 1
+                    continue
             counters.pairs_verified += 1
             ok, similarity = bound.verify(sid, probe_rid)
             if ok:
@@ -488,12 +666,20 @@ class SimilarityIndex:
                     payloads.append(["codec", encoded])
                 else:
                     payloads.append(["json", payload])
-            write_snapshot(
-                path,
-                {"token_lists": self._token_lists, "payloads": payloads},
-                kind=_SNAPSHOT_KIND,
-                fs=fs,
-            )
+            state = {"token_lists": self._token_lists, "payloads": payloads}
+            if (
+                self._bitmap_store is not None
+                and len(self._bitmap_store) == len(self._dataset)
+            ):
+                # Persist the signatures so a load with the same width
+                # skips the per-token hashing pass. Optional key: old
+                # snapshots load fine, and loads with a different
+                # width (or filter off) just ignore it.
+                state["bitmap"] = {
+                    "width": self._bitmap_store.width,
+                    "signatures": self._bitmap_store.signatures(),
+                }
+            write_snapshot(path, state, kind=_SNAPSHOT_KIND, fs=fs)
 
     @classmethod
     def load(
@@ -504,6 +690,7 @@ class SimilarityIndex:
         codec=None,
         fs=None,
         lock=None,
+        bitmap_filter=None,
     ) -> "SimilarityIndex":
         """Restore an index saved with :meth:`save`.
 
@@ -514,10 +701,15 @@ class SimilarityIndex:
         here (:class:`~repro.runtime.errors.SnapshotEncodingError`
         otherwise). The restored instance is not shared until this
         returns, so restoration itself needs no locking.
+
+        With ``bitmap_filter=`` set, signatures persisted at save time
+        are restored directly when their width matches the requested
+        config; otherwise (old snapshot, different width) they are
+        rebuilt from the records — the filter works either way.
         """
         state = read_snapshot(path, kind=_SNAPSHOT_KIND, fs=fs)
-        token_lists, payload_entries = cls._validate_state(path, state)
-        service = cls(predicate, tokenizer=tokenizer, lock=lock)
+        token_lists, payload_entries, bitmap_state = cls._validate_state(path, state)
+        service = cls(predicate, tokenizer=tokenizer, lock=lock, bitmap_filter=bitmap_filter)
         for tokens, entry in zip(token_lists, payload_entries):
             tag, value = entry
             if tag == "codec":
@@ -534,10 +726,29 @@ class SimilarityIndex:
         service._dataset._frequency = None
         service._rebind()
         service._rebuild_index()
+        service._restore_bitmap(bitmap_state)
         return service
 
+    def _restore_bitmap(self, bitmap_state: dict | None) -> None:
+        """Arm the filter after a load, reusing persisted signatures when
+        the snapshot's width matches the requested config."""
+        if self._bitmap_config is None or self._bound is None:
+            return
+        if (
+            bitmap_state is not None
+            and bitmap_state["width"] == self._bitmap_config.width
+            and len(bitmap_state["signatures"]) == len(self._dataset)
+        ):
+            self._bitmap_adapter = adapter_for(self._bound)
+            if self._bitmap_adapter is None:
+                return
+            self._bitmap_store = SignatureStore.restore(
+                bitmap_state["width"], bitmap_state["signatures"], self._bound
+            )
+        self._extend_bitmap()
+
     @staticmethod
-    def _validate_state(path: str, state) -> tuple[list, list]:
+    def _validate_state(path: str, state) -> tuple[list, list, dict | None]:
         """Shape-check a loaded snapshot payload (no KeyErrors)."""
         if not isinstance(state, dict):
             raise SnapshotCorrupted(path, "state is not an object")
@@ -570,4 +781,25 @@ class SimilarityIndex:
                 raise SnapshotCorrupted(
                     path, f"payload entry {i} is not a tagged [kind, value] pair"
                 )
-        return token_lists, payload_entries
+        bitmap_state = state.get("bitmap")
+        if bitmap_state is not None:
+            if (
+                not isinstance(bitmap_state, dict)
+                or not isinstance(bitmap_state.get("width"), int)
+                or isinstance(bitmap_state.get("width"), bool)
+                or not isinstance(bitmap_state.get("signatures"), list)
+                or not all(
+                    isinstance(sig, int) and not isinstance(sig, bool) and sig >= 0
+                    for sig in bitmap_state["signatures"]
+                )
+            ):
+                raise SnapshotCorrupted(
+                    path, "'bitmap' must hold an int width and a list of int signatures"
+                )
+            if len(bitmap_state["signatures"]) != len(token_lists):
+                raise SnapshotCorrupted(
+                    path,
+                    f"{len(bitmap_state['signatures'])} bitmap signatures vs"
+                    f" {len(token_lists)} records",
+                )
+        return token_lists, payload_entries, bitmap_state

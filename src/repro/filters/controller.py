@@ -1,0 +1,78 @@
+"""Adaptive on/off controller for the bitmap filter.
+
+A bitmap check is cheap but not free; on candidate streams that almost
+always verify (MergeOpt hands the driver candidates whose match weight
+is already known to clear the threshold) the filter is pure overhead.
+The controller samples the first ``sample_size`` checks and switches
+the filter off for the remainder of the run when the measured reject
+rate cannot pay for the checks.
+
+The decision is **count-based, never time-based**: it is a pure
+function of the (deterministic) reject sequence, so
+``bitmap_checks``/``bitmap_rejects`` counters stay machine-independent
+and the perf gate can hold them. Wall-clock never enters. Note the
+decision only changes *which candidates get checked* — the emitted
+pair set is identical either way, because the filter is sound.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdaptiveController", "NullController"]
+
+
+class NullController:
+    """Always-on stand-in used when ``adaptive=False``."""
+
+    __slots__ = ()
+    active = True
+    decided = True
+
+    def observe(self, rejected: bool, counters) -> None:
+        pass
+
+    def state(self) -> dict:
+        return {"adaptive": False, "active": True}
+
+
+class AdaptiveController:
+    """Sample the first N checks; disable on a low reject rate.
+
+    Thread-safety note: the serving path shares one controller across
+    concurrent readers. ``observe`` races are benign — int updates may
+    lose a count, shifting the decision boundary by a few samples, but
+    both possible decisions are sound and results are unaffected.
+    """
+
+    __slots__ = ("sample_size", "min_reject_rate", "checks", "rejects", "active", "decided")
+
+    def __init__(self, sample_size: int = 512, min_reject_rate: float = 0.05):
+        self.sample_size = sample_size
+        self.min_reject_rate = min_reject_rate
+        self.checks = 0
+        self.rejects = 0
+        self.active = True
+        self.decided = False
+
+    def observe(self, rejected: bool, counters) -> None:
+        """Record one check outcome; decide once the window fills."""
+        if self.decided:
+            return
+        self.checks += 1
+        if rejected:
+            self.rejects += 1
+        if self.checks >= self.sample_size:
+            self.decided = True
+            self.active = self.rejects >= self.min_reject_rate * self.checks
+            if not self.active and counters is not None:
+                extra = counters.extra
+                extra["bitmap_disabled"] = extra.get("bitmap_disabled", 0) + 1
+
+    def state(self) -> dict:
+        """Introspection snapshot (serving health endpoint, tests)."""
+        return {
+            "adaptive": True,
+            "active": self.active,
+            "decided": self.decided,
+            "sampled_checks": self.checks,
+            "sampled_rejects": self.rejects,
+        }

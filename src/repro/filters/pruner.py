@@ -1,0 +1,73 @@
+"""The per-join bitmap-filter runtime: store + adapter + controller.
+
+One :class:`BitmapPruner` is built per join execution (in
+:meth:`SetJoinAlgorithm.join`) and consulted by ``_verify_pair`` before
+each exact verification. Pairs it rejects never count as
+``pairs_verified`` — that counter keeps meaning "exact verifications
+performed", which is what the perf gate holds; the filter's own traffic
+is visible in ``bitmap_checks``/``bitmap_rejects``.
+"""
+
+from __future__ import annotations
+
+from repro.filters.adapters import adapter_for
+from repro.filters.bitmap import BitmapFilterConfig, SignatureStore
+from repro.filters.controller import AdaptiveController, NullController
+from repro.predicates.base import WEIGHT_EPS
+
+__all__ = ["BitmapPruner"]
+
+
+class BitmapPruner:
+    """Rejects candidate pairs whose weight cap cannot reach the threshold."""
+
+    __slots__ = ("store", "bound", "adapter", "controller", "_const_threshold")
+
+    def __init__(self, store: SignatureStore, bound, adapter, controller):
+        self.store = store
+        self.bound = bound
+        self.adapter = adapter
+        self.controller = controller
+        # Constant-threshold predicates (overlap, cosine) pay the
+        # threshold call once per run instead of once per check.
+        self._const_threshold = (
+            bound.threshold(0.0, 0.0) if adapter.constant_threshold else None
+        )
+
+    @classmethod
+    def for_join(
+        cls, bound, config: BitmapFilterConfig, counters=None
+    ) -> "BitmapPruner | None":
+        """Build the run's pruner, or None when no sound adapter exists."""
+        adapter = adapter_for(bound)
+        if adapter is None:
+            return None
+        store = SignatureStore.build(bound, config.width)
+        if counters is not None:
+            extra = counters.extra
+            extra["bitmap_signatures_built"] = (
+                extra.get("bitmap_signatures_built", 0) + len(store)
+            )
+        if config.adaptive:
+            controller = AdaptiveController(config.sample_size, config.min_reject_rate)
+        else:
+            controller = NullController()
+        return cls(store, bound, adapter, controller)
+
+    def rejects(self, rid_a: int, rid_b: int, counters) -> bool:
+        """True when the pair provably cannot match (skip verification)."""
+        controller = self.controller
+        if not controller.active:
+            return False
+        counters.bitmap_checks += 1
+        cap = self.store.weight_cap(rid_a, rid_b)
+        threshold = self._const_threshold
+        if threshold is None:
+            bound = self.bound
+            threshold = bound.threshold(bound.norm(rid_a), bound.norm(rid_b))
+        rejected = cap < threshold - WEIGHT_EPS
+        if rejected:
+            counters.bitmap_rejects += 1
+        if not controller.decided:
+            controller.observe(rejected, counters)
+        return rejected

@@ -63,6 +63,10 @@ class _BoundEditDistance(BoundPredicate):
     # weight; the signature prefilter's zero-weight reasoning does not
     # apply, so it must stay off.
     use_signature_prefilter = False
+    # The bitmap filter may still prune: threshold() is the q-gram
+    # lemma's *necessary* bound on the common numbered-gram count, so a
+    # weight cap below it proves ed > k (repro.filters.adapters).
+    bitmap_qgram_bound = True
 
     def __init__(self, dataset: Dataset, k: int, q: int):
         super().__init__(dataset)

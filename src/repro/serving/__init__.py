@@ -15,6 +15,8 @@ grown into a service fit for real traffic:
   (:class:`~repro.runtime.errors.CircuitOpen`).
 * :class:`~repro.serving.stats.LatencyTracker` — p50/p95/p99 over a
   bounded window of recent queries.
+* :class:`~repro.serving.cache.QueryCache` — LRU result cache with
+  generation-based invalidation (any index mutation empties it).
 
 Thread safety of the underlying index lives in
 :mod:`repro.core.service` (non-mutating probes) and
@@ -24,6 +26,7 @@ and adds operability. See the "Serving" section of
 """
 
 from repro.serving.breaker import CircuitBreaker
+from repro.serving.cache import QueryCache
 from repro.serving.retry import RetryPolicy, default_retryable
 from repro.serving.server import IndexServer
 from repro.serving.stats import LatencyTracker
@@ -32,6 +35,7 @@ __all__ = [
     "CircuitBreaker",
     "IndexServer",
     "LatencyTracker",
+    "QueryCache",
     "RetryPolicy",
     "default_retryable",
 ]

@@ -1,0 +1,97 @@
+"""LRU query-result cache with generation-based invalidation.
+
+Serving workloads repeat queries (hot entities, retried clients); a
+probe is pure given the index contents, so its result can be reused
+until the index mutates. :class:`QueryCache` keys each entry with the
+:attr:`SimilarityIndex.generation` stamp current when the result was
+computed; any ``add``/``rebind`` bumps the stamp, and the first lookup
+that sees a newer stamp empties the cache wholesale — entries can never
+outlive the index state they were computed from.
+
+Thread-safety: all operations take the cache's own lock, never the
+index's, so cache hits don't touch the read lock at all (that is the
+point). A mutation racing a ``store`` can only cause the stale entry to
+be dropped (the store is a no-op for non-current generations) — never a
+stale hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """Bounded LRU mapping ``query key -> list[MatchPair]``."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self._generation: int | None = None
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    @staticmethod
+    def key_for(item) -> tuple | None:
+        """A hashable cache key for a query item, or None (uncacheable).
+
+        Mirrors ``SimilarityIndex._tokens_of``: strings are tokenized
+        by the index, so they key as themselves; token iterables key by
+        their ``str()`` forms. Exotic items that fail either road are
+        simply not cached — correctness never depends on a hit.
+        """
+        if isinstance(item, str):
+            return ("text", item)
+        try:
+            return ("tokens", tuple(str(token) for token in item))
+        except TypeError:
+            return None
+
+    def lookup(self, key: tuple, generation: int):
+        """Return ``(hit, result)``; a generation change flushes first."""
+        with self._lock:
+            if self._generation != generation:
+                if self._entries:
+                    self._invalidations += 1
+                    self._entries.clear()
+                self._generation = generation
+            result = self._entries.get(key)
+            if result is None:
+                self._misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return True, result
+
+    def store(self, key: tuple, generation: int, result) -> None:
+        """Insert a computed result; dropped when the index moved on."""
+        with self._lock:
+            if self._generation != generation:
+                return
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss/size snapshot for the health endpoint."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": self._hits / total if total else 0.0,
+                "invalidations": self._invalidations,
+            }

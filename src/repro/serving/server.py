@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from repro.runtime.context import JoinContext
 from repro.runtime.errors import JoinTimeout, ServerOverloaded
 from repro.serving.breaker import CircuitBreaker
+from repro.serving.cache import QueryCache
 from repro.serving.retry import RetryPolicy
 from repro.serving.stats import LatencyTracker
 
@@ -70,14 +71,23 @@ def _pool_query(item):
     return _POOL_INDEX.query(item)
 
 
+def _pool_query_batch(items):
+    return _POOL_INDEX.query_batch(items)
+
+
 @dataclass
 class _Request:
-    """One admitted query: payload, runtime envelope, result slot."""
+    """One admitted query: payload, runtime envelope, result slot.
+
+    ``batch=True`` marks ``item`` as a list of query items; the future
+    then resolves to one result list per item.
+    """
 
     item: object
     context: JoinContext | None
     future: Future = field(default_factory=Future)
     enqueued_at: float = 0.0
+    batch: bool = False
 
 
 class IndexServer:
@@ -105,6 +115,12 @@ class IndexServer:
             dispatch boundary (an expired probe keeps burning its pool
             slot until it finishes), and needs a platform with the
             ``fork`` start method.
+        query_cache: capacity of the LRU query-result cache
+            (:class:`~repro.serving.cache.QueryCache`); 0 disables it.
+            Entries are invalidated wholesale whenever the index
+            mutates (its ``generation`` stamp moves), so cached results
+            are always what a fresh probe would return. Hits bypass the
+            index, the breaker, and — in process mode — the pool.
 
     Start with :meth:`start` (or use as a context manager); stop with
     :meth:`drain`. ``submit`` returns a ``concurrent.futures.Future``
@@ -122,6 +138,7 @@ class IndexServer:
         clock: Callable[[], float] = time.monotonic,
         latency_capacity: int = 2048,
         executor: str = "thread",
+        query_cache: int = 0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -151,6 +168,9 @@ class IndexServer:
         self.latency = LatencyTracker(latency_capacity)
         self.executor = executor
         self._pool = None
+        if query_cache < 0:
+            raise ValueError(f"query_cache must be >= 0, got {query_cache}")
+        self.cache = QueryCache(query_cache) if query_cache else None
 
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
         self._threads: list[threading.Thread] = []
@@ -278,6 +298,28 @@ class IndexServer:
         Raises:
             ServerOverloaded: queue full, or the server is not serving.
         """
+        return self._admit(item, deadline, context, batch=False)
+
+    def submit_batch(
+        self,
+        items,
+        deadline: float | None = None,
+        context: JoinContext | None = None,
+    ) -> Future:
+        """Admit a batch of queries as one request; returns one Future.
+
+        The Future resolves to a list with one ``list[MatchPair]`` per
+        item, in order — each identical to what :meth:`submit` would
+        have produced for that item alone. The batch occupies a single
+        admission-queue slot and worker, and the underlying
+        :meth:`SimilarityIndex.query_batch` takes the index read lock
+        once and reuses the per-probe machinery across items, so large
+        batches cost markedly less than the equivalent singleton
+        submissions. One ``deadline`` covers the whole batch.
+        """
+        return self._admit(list(items), deadline, context, batch=True)
+
+    def _admit(self, item, deadline, context, batch: bool) -> Future:
         if deadline is not None and context is not None:
             raise ValueError("pass either deadline or context, not both")
         with self._cond:
@@ -294,7 +336,9 @@ class IndexServer:
                 context = JoinContext(deadline_seconds=budget, clock=self.clock)
         if context is not None:
             context.start()  # anchor the deadline at admission
-        request = _Request(item=item, context=context, enqueued_at=self.clock())
+        request = _Request(
+            item=item, context=context, enqueued_at=self.clock(), batch=batch
+        )
         with self._cond:
             self._pending += 1
         try:
@@ -312,6 +356,12 @@ class IndexServer:
     def query(self, item, deadline: float | None = None, timeout: float | None = None):
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(item, deadline=deadline).result(timeout=timeout)
+
+    def query_batch(
+        self, items, deadline: float | None = None, timeout: float | None = None
+    ):
+        """Synchronous convenience wrapper around :meth:`submit_batch`."""
+        return self.submit_batch(items, deadline=deadline).result(timeout=timeout)
 
     # ------------------------------------------------------------------
     # Workers
@@ -345,13 +395,58 @@ class IndexServer:
                 # Expired while queued: don't touch the index or the
                 # breaker — this is overload, not dependency failure.
                 raise JoinTimeout(context.elapsed(), context.deadline_seconds)
+
+        # Cache consult, before the breaker: a hit touches neither the
+        # index nor the pool, so it is not a dependency call and must
+        # stay servable while the circuit is open. The generation is
+        # read *before* the probe runs — if a mutation slips in between,
+        # the store below tags the result with a stale generation and
+        # the cache simply drops it (never a stale hit).
+        cache = self.cache
+        generation = None
+        keys = None
+        if cache is not None:
+            generation = self.index.generation
+            if request.batch:
+                items = request.item
+                keys = [cache.key_for(item) for item in items]
+                results: list = [None] * len(items)
+                misses: list[int] = []
+                for i, key in enumerate(keys):
+                    hit = False
+                    if key is not None:
+                        hit, value = cache.lookup(key, generation)
+                    if hit:
+                        results[i] = value
+                    else:
+                        misses.append(i)
+                if not misses:
+                    return results
+            else:
+                key = cache.key_for(request.item)
+                keys = key
+                if key is not None:
+                    hit, value = cache.lookup(key, generation)
+                    if hit:
+                        return value
+
         if self.breaker is not None:
             self.breaker.admit()  # raises CircuitOpen
+
+        if request.batch:
+            # With cache hits above, only the missed items hit the index.
+            pending = (
+                [request.item[i] for i in misses] if cache is not None else request.item
+            )
+            probe, args = _pool_query_batch, (pending,)
+        else:
+            pending = request.item
+            probe, args = _pool_query, (pending,)
 
         if self._pool is not None:
 
             def attempt():
-                handle = self._pool.apply_async(_pool_query, (request.item,))
+                handle = self._pool.apply_async(probe, args)
                 timeout = context.remaining() if context is not None else None
                 try:
                     return handle.get(timeout=timeout)
@@ -360,24 +455,39 @@ class IndexServer:
                         context.elapsed(), context.deadline_seconds
                     ) from None
 
+        elif request.batch:
+
+            def attempt():
+                return self.index.query_batch(pending, context=context)
+
         else:
 
             def attempt():
-                return self.index.query(request.item, context=context)
+                return self.index.query(pending, context=context)
 
         try:
             if self.retry_policy is not None:
-                result = self.retry_policy.run(attempt, on_retry=self._count_retry)
+                fresh = self.retry_policy.run(attempt, on_retry=self._count_retry)
             else:
-                result = attempt()
+                fresh = attempt()
         except BaseException:
             if self.breaker is not None:
                 self.breaker.record_failure()
             raise
-        else:
-            if self.breaker is not None:
-                self.breaker.record_success()
-            return result
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+        if cache is None:
+            return fresh
+        if request.batch:
+            for slot, value in zip(misses, fresh):
+                results[slot] = value
+                if keys[slot] is not None:
+                    cache.store(keys[slot], generation, value)
+            return results
+        if keys is not None:
+            cache.store(keys, generation, fresh)
+        return fresh
 
     def _count_retry(self, attempt: int, exc: BaseException, delay: float) -> None:
         with self._cond:
@@ -415,8 +525,11 @@ class IndexServer:
         ``pool`` (executor mode + busy/total/saturation of the worker
         pool — saturation pinned at 1.0 is the signal to add capacity
         or shed earlier), ``breaker`` (state + times_opened, or None),
-        ``latency`` (count/p50/p95/p99 seconds), ``index`` (record
-        count + cost counters, including ``unknown_query_tokens``).
+        ``cache`` (capacity/size/hits/misses/hit_rate/invalidations, or
+        None when disabled), ``latency`` (count/p50/p95/p99 seconds),
+        ``index`` (record count + cost counters — including
+        ``unknown_query_tokens`` and the ``bitmap_*`` filter tallies —
+        plus ``bitmap`` filter state when the index has one armed).
         """
         with self._cond:
             busy = min(self._in_flight, self.n_workers)
@@ -442,9 +555,13 @@ class IndexServer:
             if self.breaker is not None
             else None
         )
+        snapshot["cache"] = self.cache.stats() if self.cache is not None else None
         snapshot["latency"] = self.latency.summary()
         snapshot["index"] = {
             "records": len(self.index),
             "counters": self.index.counters_snapshot(),
         }
+        bitmap_state = getattr(self.index, "bitmap_state", None)
+        if bitmap_state is not None:
+            snapshot["index"]["bitmap"] = bitmap_state()
         return snapshot

@@ -49,6 +49,14 @@ class CostCounters:
             observed by :meth:`~repro.core.service.SimilarityIndex.query`.
             A rising rate signals vocabulary drift between the indexed
             corpus and live query traffic (time to re-index or rebind).
+        bitmap_checks: candidate pairs tested by the bitmap signature
+            filter (:mod:`repro.filters`). Deliberately excluded from
+            :meth:`total_work` — a check is a popcount, far cheaper
+            than the verification it replaces, and weighting it 1:1
+            would make filtered runs gate *worse* than unfiltered.
+        bitmap_rejects: candidate pairs the bitmap filter proved
+            non-matching; these skip verification entirely and are not
+            counted in ``pairs_verified``.
     """
 
     probes: int = 0
@@ -70,6 +78,8 @@ class CostCounters:
     records_scanned: int = 0
     checkpoint_writes: int = 0
     unknown_query_tokens: int = 0
+    bitmap_checks: int = 0
+    bitmap_rejects: int = 0
     extra: dict = field(default_factory=dict)
 
     def merge(self, other: "CostCounters") -> None:

@@ -1,0 +1,227 @@
+"""Unit coverage for the bitmap-signature pruning layer (repro.filters)."""
+
+import pytest
+
+from repro import (
+    CosinePredicate,
+    Dataset,
+    EditDistancePredicate,
+    JaccardPredicate,
+    OverlapPredicate,
+)
+from repro.filters import (
+    AdaptiveController,
+    BitmapFilterConfig,
+    BitmapPruner,
+    NullController,
+    SignatureStore,
+    adapter_for,
+    bit_for_token,
+    resolve_bitmap_filter,
+)
+from repro.predicates.edit_distance import qgram_dataset
+from repro.utils.counters import CostCounters
+
+RECORDS = [
+    (0, 1, 2, 3),
+    (1, 2, 3, 4),
+    (10, 11, 12),
+    (0, 1, 2, 3, 4, 5),
+    (20,),
+]
+
+
+class TestBitAssignment:
+    def test_in_range_and_deterministic(self):
+        for width in (8, 16, 64, 128, 300):
+            positions = [bit_for_token(t, width) for t in range(200)]
+            assert all(0 <= p < width for p in positions)
+            assert positions == [bit_for_token(t, width) for t in range(200)]
+
+    def test_spreads_consecutive_ids(self):
+        # Fibonacci hashing should not map consecutive ids to one bit.
+        assert len({bit_for_token(t, 128) for t in range(64)}) > 32
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = BitmapFilterConfig()
+        assert config.width == 128
+        assert config.adaptive
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"width": 7},
+            {"width": 0},
+            {"sample_size": 0},
+            {"min_reject_rate": -0.1},
+            {"min_reject_rate": 1.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BitmapFilterConfig(**kwargs)
+
+    def test_resolve(self):
+        assert resolve_bitmap_filter(None) is None
+        assert resolve_bitmap_filter(False) is None
+        assert resolve_bitmap_filter(True) == BitmapFilterConfig()
+        assert resolve_bitmap_filter(64) == BitmapFilterConfig(width=64)
+        config = BitmapFilterConfig(width=32, adaptive=False)
+        assert resolve_bitmap_filter(config) is config
+        with pytest.raises(TypeError):
+            resolve_bitmap_filter("wide")
+
+
+class TestSignatureStore:
+    def _store(self, width=64):
+        bound = OverlapPredicate(2).bind(Dataset(list(RECORDS)))
+        return SignatureStore.build(bound, width), bound
+
+    def test_weight_cap_bounds_intersection(self):
+        # Unit scores (overlap): cap must dominate |r ∩ s| for all pairs
+        # at every width, including widths narrow enough to collide.
+        for width in (8, 16, 64):
+            store, _ = self._store(width)
+            for a in range(len(RECORDS)):
+                for b in range(len(RECORDS)):
+                    truth = len(set(RECORDS[a]) & set(RECORDS[b]))
+                    assert store.weight_cap(a, b) >= truth
+
+    def test_cap_never_exceeds_smaller_size(self):
+        store, _ = self._store()
+        for a in range(len(RECORDS)):
+            for b in range(len(RECORDS)):
+                cap = store.weight_cap(a, b)
+                assert cap <= min(len(RECORDS[a]), len(RECORDS[b]))
+
+    def test_disjoint_records_capped_by_collisions_only(self):
+        store, _ = self._store(width=4096)
+        # At 4096 bits these token ids cannot collide: disjoint sets
+        # must get a zero cap.
+        assert store.weight_cap(0, 4) == 0.0
+
+    def test_probe_entry_matches_stored_entry(self):
+        store, bound = self._store()
+        for rid, record in enumerate(RECORDS):
+            entry = store.components_for(
+                record, bound.cached_score_vector(rid)
+            )
+            assert entry == store.entry(rid)
+            for other in range(len(RECORDS)):
+                assert store.weight_cap_entry(entry, other) == store.weight_cap(
+                    rid, other
+                )
+
+    def test_extend_from_appends_only_new(self):
+        bound = OverlapPredicate(2).bind(Dataset(list(RECORDS)))
+        store = SignatureStore(64)
+        store.extend_from(bound, 0)
+        before = [store.entry(rid) for rid in range(len(RECORDS))]
+        store2 = SignatureStore(64)
+        store2.extend_from(bound, 3)
+        assert len(store2) == len(RECORDS) - 3
+        assert store2.entry(0) == before[3]
+
+    def test_restore_round_trip(self):
+        store, bound = self._store()
+        restored = SignatureStore.restore(64, store.signatures(), bound)
+        assert len(restored) == len(store)
+        for rid in range(len(RECORDS)):
+            assert restored.entry(rid) == store.entry(rid)
+
+
+class TestAdapterDispatch:
+    def test_constant_threshold_predicates(self):
+        data = Dataset(list(RECORDS))
+        for predicate in (OverlapPredicate(2), CosinePredicate(0.5)):
+            adapter = adapter_for(predicate.bind(data))
+            assert adapter is not None and adapter.constant_threshold
+
+    def test_norm_dependent_predicates(self):
+        adapter = adapter_for(JaccardPredicate(0.5).bind(Dataset(list(RECORDS))))
+        assert adapter is not None and not adapter.constant_threshold
+
+    def test_edit_distance_requires_qgram_flag(self):
+        bound = EditDistancePredicate(k=1).bind(qgram_dataset(["abcdef", "abcdeg"]))
+        assert bound.bitmap_qgram_bound
+        adapter = adapter_for(bound)
+        assert adapter is not None and adapter.name == "edit-distance"
+
+    def test_unknown_predicate_stays_off(self):
+        class _Opaque:
+            use_signature_prefilter = False
+
+            def similarity_name(self):
+                return "mystery-metric"
+
+        assert adapter_for(_Opaque()) is None
+
+
+class TestControllers:
+    def test_null_controller_always_active(self):
+        controller = NullController()
+        assert controller.active and controller.decided
+
+    def test_adaptive_disables_on_low_reject_rate(self):
+        controller = AdaptiveController(sample_size=10, min_reject_rate=0.5)
+        counters = CostCounters()
+        for _ in range(10):
+            controller.observe(False, counters)
+        assert controller.decided and not controller.active
+        assert counters.extra["bitmap_disabled"] == 1
+
+    def test_adaptive_stays_on_when_paying(self):
+        controller = AdaptiveController(sample_size=10, min_reject_rate=0.5)
+        counters = CostCounters()
+        for i in range(10):
+            controller.observe(i % 2 == 0, counters)
+        assert controller.decided and controller.active
+        assert "bitmap_disabled" not in counters.extra
+
+
+class TestPrunerAndCounters:
+    def test_counters_and_no_false_rejects(self):
+        data = Dataset(list(RECORDS))
+        bound = OverlapPredicate(2).bind(data)
+        pruner = BitmapPruner.for_join(
+            bound, BitmapFilterConfig(width=128, adaptive=False)
+        )
+        counters = CostCounters()
+        rejected = [
+            (a, b)
+            for a in range(len(RECORDS))
+            for b in range(a + 1, len(RECORDS))
+            if pruner.rejects(a, b, counters)
+        ]
+        n_pairs = len(RECORDS) * (len(RECORDS) - 1) // 2
+        assert counters.bitmap_checks == n_pairs
+        assert counters.bitmap_rejects == len(rejected)
+        for a, b in rejected:
+            assert len(set(RECORDS[a]) & set(RECORDS[b])) < 2
+
+    def test_bitmap_checks_excluded_from_total_work(self):
+        counters = CostCounters()
+        base = counters.total_work()
+        counters.bitmap_checks += 100
+        counters.bitmap_rejects += 40
+        assert counters.total_work() == base
+
+    def test_for_join_returns_none_without_adapter(self):
+        class _Opaque:
+            use_signature_prefilter = False
+
+            def similarity_name(self):
+                return "mystery-metric"
+
+        assert (
+            BitmapPruner.for_join(_Opaque(), BitmapFilterConfig()) is None
+        )
+
+    def test_merge_preserves_bitmap_counters(self):
+        a, b = CostCounters(), CostCounters()
+        a.bitmap_checks, a.bitmap_rejects = 5, 2
+        b.bitmap_checks, b.bitmap_rejects = 7, 3
+        a.merge(b)
+        assert (a.bitmap_checks, a.bitmap_rejects) == (12, 5)

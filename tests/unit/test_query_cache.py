@@ -1,0 +1,178 @@
+"""QueryCache semantics + IndexServer cache/batch integration."""
+
+import pytest
+
+from repro import OverlapPredicate
+from repro.core.service import SimilarityIndex
+from repro.serving import IndexServer, QueryCache
+from repro.text.tokenizers import tokenize_words
+
+WAIT = 10.0
+
+TEXTS = [
+    "efficient set joins on similarity predicates",
+    "set joins with similarity predicates made efficient",
+    "completely different words entirely",
+    "probe count optimized merge joins",
+]
+
+
+def _index(**kwargs) -> SimilarityIndex:
+    index = SimilarityIndex(OverlapPredicate(2), tokenizer=tokenize_words, **kwargs)
+    for text in TEXTS:
+        index.add(text)
+    return index
+
+
+class TestQueryCache:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            QueryCache(0)
+
+    def test_key_for(self):
+        assert QueryCache.key_for("a b") == ("text", "a b")
+        assert QueryCache.key_for(["a", "b"]) == ("tokens", ("a", "b"))
+        assert QueryCache.key_for(7) is None  # not iterable: uncacheable
+
+    def test_hit_after_store(self):
+        cache = QueryCache(4)
+        key = QueryCache.key_for("q")
+        assert cache.lookup(key, 1) == (False, None)
+        cache.store(key, 1, ["result"])
+        assert cache.lookup(key, 1) == (True, ["result"])
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(2)
+        cache.lookup(QueryCache.key_for("a"), 0)  # pin generation 0
+        for name in ("a", "b"):
+            cache.store(QueryCache.key_for(name), 0, name)
+        # Touch "a" so "b" becomes least recently used, then overflow.
+        assert cache.lookup(QueryCache.key_for("a"), 0)[0]
+        cache.store(QueryCache.key_for("c"), 0, "c")
+        assert cache.lookup(QueryCache.key_for("b"), 0) == (False, None)
+        assert cache.lookup(QueryCache.key_for("a"), 0) == (True, "a")
+        assert cache.stats()["size"] == 2
+
+    def test_generation_change_flushes(self):
+        cache = QueryCache(4)
+        cache.lookup(QueryCache.key_for("q"), 1)  # pin generation 1
+        cache.store(QueryCache.key_for("q"), 1, "old")
+        assert cache.lookup(QueryCache.key_for("q"), 2) == (False, None)
+        assert cache.stats()["invalidations"] == 1
+        # The flushed entry must not resurface at the old generation
+        # either: the cache now tracks generation 2.
+        assert cache.lookup(QueryCache.key_for("q"), 2) == (False, None)
+
+    def test_stale_store_dropped(self):
+        cache = QueryCache(4)
+        cache.lookup(QueryCache.key_for("x"), 5)  # pin generation 5
+        cache.store(QueryCache.key_for("q"), 4, "stale")
+        assert cache.lookup(QueryCache.key_for("q"), 5) == (False, None)
+
+
+class TestIndexGeneration:
+    def test_add_and_rebind_bump(self):
+        index = _index()
+        before = index.generation
+        index.add("one more record here")
+        assert index.generation == before + 1
+        index.rebind()
+        assert index.generation == before + 2
+
+
+class TestServerCache:
+    def _serve(self, **kwargs):
+        return IndexServer(_index(), workers=2, **kwargs).start()
+
+    def test_repeat_query_hits_cache(self):
+        server = self._serve(query_cache=8)
+        try:
+            first = server.query(TEXTS[0], timeout=WAIT)
+            second = server.query(TEXTS[0], timeout=WAIT)
+            assert [p.rid_b for p in second] == [p.rid_b for p in first]
+            stats = server.health()["cache"]
+            assert stats["hits"] == 1 and stats["misses"] == 1
+        finally:
+            server.drain()
+
+    def test_mutation_invalidates(self):
+        server = self._serve(query_cache=8)
+        try:
+            before = server.query(TEXTS[0], timeout=WAIT)
+            server.index.add("efficient set joins appended later")
+            after = server.query(TEXTS[0], timeout=WAIT)
+            # The cached pre-add result must not be served back.
+            assert len(after) == len(before) + 1
+            assert server.health()["cache"]["hits"] == 0
+        finally:
+            server.drain()
+
+    def test_cache_off_health_is_none(self):
+        server = self._serve()
+        try:
+            server.query(TEXTS[0], timeout=WAIT)
+            assert server.health()["cache"] is None
+        finally:
+            server.drain()
+
+
+class TestServerBatch:
+    def test_batch_matches_singletons(self):
+        server = IndexServer(_index(), workers=2).start()
+        try:
+            singles = [server.query(t, timeout=WAIT) for t in TEXTS]
+            batch = server.query_batch(TEXTS, timeout=WAIT)
+            assert [
+                [(p.rid_b, round(p.similarity, 9)) for p in row] for row in batch
+            ] == [
+                [(p.rid_b, round(p.similarity, 9)) for p in row] for row in singles
+            ]
+        finally:
+            server.drain()
+
+    def test_batch_uses_cache_for_repeats(self):
+        server = IndexServer(_index(), workers=2, query_cache=8).start()
+        try:
+            server.query(TEXTS[0], timeout=WAIT)
+            batch = server.query_batch([TEXTS[0], TEXTS[2]], timeout=WAIT)
+            assert len(batch) == 2
+            stats = server.health()["cache"]
+            assert stats["hits"] == 1  # TEXTS[0] reused, TEXTS[2] computed
+            # A fully-cached batch short-circuits the index entirely.
+            again = server.query_batch([TEXTS[0], TEXTS[2]], timeout=WAIT)
+            assert [
+                [p.rid_b for p in row] for row in again
+            ] == [[p.rid_b for p in row] for row in batch]
+            assert server.health()["cache"]["hits"] == 3
+        finally:
+            server.drain()
+
+    def test_empty_batch(self):
+        server = IndexServer(_index(), workers=1).start()
+        try:
+            assert server.query_batch([], timeout=WAIT) == []
+        finally:
+            server.drain()
+
+
+class TestIndexQueryBatch:
+    def test_matches_singleton_queries(self):
+        index = _index()
+        singles = [index.query(t) for t in TEXTS]
+        batch = index.query_batch(TEXTS)
+        assert [
+            [(p.rid_b, round(p.similarity, 9)) for p in row] for row in batch
+        ] == [
+            [(p.rid_b, round(p.similarity, 9)) for p in row] for row in singles
+        ]
+
+    def test_bitmap_filtered_index_same_answers(self):
+        plain = _index()
+        filtered = _index(bitmap_filter=True)
+        assert [
+            [p.rid_b for p in row] for row in filtered.query_batch(TEXTS)
+        ] == [[p.rid_b for p in row] for row in plain.query_batch(TEXTS)]
+        snapshot = filtered.counters_snapshot()
+        assert snapshot["bitmap_checks"] > 0
