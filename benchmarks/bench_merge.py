@@ -1,0 +1,145 @@
+"""Merge-backend benchmark: heap merge vs score accumulator.
+
+Runs the pinned citation/address workloads once per merge backend
+(``heap`` and ``accumulator``), asserts the pair sets are identical
+(the knob's correctness contract), and records per-case work counters,
+wall-clock, and the accumulator's improvement ratios into a JSON
+report.
+
+The ``work`` counters are machine-independent — both backends report
+``list_items_touched``/``candidates_checked``/``binary_searches`` with
+identical semantics, and the accumulator's saving is the heap-pop term
+vanishing — so the improvement ratio is a pure function of the
+workload. Wall-clock ratios come from paired runs on the same machine
+in the same process, so they too travel reasonably well; the machine
+profile is embedded for interpretation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_merge.py           # full (n=2000)
+    PYTHONPATH=src python benchmarks/bench_merge.py --quick   # CI (n=500)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import BENCHMARK_SEED, dataset_by_name  # noqa: E402
+
+from repro import JaccardPredicate, OverlapPredicate, make_algorithm  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_merge.bench.json")
+
+_PREDICATES = {
+    "overlap": OverlapPredicate,
+    "jaccard": JaccardPredicate,
+}
+
+#: (case-name, dataset, predicate, threshold, algorithm) — the
+#: Probe-Count family paths the accumulator backend exists for.
+CASES = [
+    ("two-pass/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count"),
+    ("optmerge/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count-optmerge"),
+    ("optmerge/citation-3grams/jaccard-0.7", "citation-3grams", "jaccard", 0.7, "probe-count-optmerge"),
+    ("online-sort/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count-sort"),
+    ("online/address-3grams/overlap-30", "address-3grams", "overlap", 30, "probe-count-online"),
+]
+
+
+def machine_profile() -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def run_case(dataset_name, predicate_name, threshold, algorithm, n, repeats) -> dict:
+    dataset = dataset_by_name(dataset_name, n)
+    predicate = _PREDICATES[predicate_name](threshold)
+
+    def best_of(backend):
+        results = [
+            make_algorithm(algorithm, merge_backend=backend).join(dataset, predicate)
+            for _ in range(repeats)
+        ]
+        return min(results, key=lambda r: r.elapsed_seconds)
+
+    heap = best_of("heap")
+    acc = best_of("accumulator")
+    if heap.pair_set() != acc.pair_set():
+        raise AssertionError(
+            f"{algorithm} on {dataset_name}: backends disagree on pairs"
+        )
+    heap_work = heap.counters.total_work()
+    acc_work = acc.counters.total_work()
+    return {
+        "pairs": len(heap.pairs),
+        "heap": {
+            "work": heap_work,
+            "heap_pops": heap.counters.heap_pops,
+            "seconds": round(heap.elapsed_seconds, 4),
+        },
+        "accumulator": {
+            "work": acc_work,
+            "accum_scans": acc.counters.accum_scans,
+            "accum_writes": acc.counters.accum_writes,
+            "gallop_steps": acc.counters.gallop_steps,
+            "seconds": round(acc.elapsed_seconds, 4),
+        },
+        "work_improvement": round(1.0 - acc_work / heap_work, 4) if heap_work else 0.0,
+        "wallclock_improvement": round(
+            1.0 - acc.elapsed_seconds / heap.elapsed_seconds, 4
+        )
+        if heap.elapsed_seconds
+        else 0.0,
+    }
+
+
+def run(n: int, repeats: int) -> dict:
+    cases = {}
+    print(f"merge-backend matrix n={n} (best of {repeats}):")
+    for name, dataset_name, predicate_name, threshold, algorithm in CASES:
+        row = run_case(dataset_name, predicate_name, threshold, algorithm, n, repeats)
+        cases[name] = row
+        print(
+            f"  {name:<42} work {row['heap']['work']:>10} -> "
+            f"{row['accumulator']['work']:>10} ({row['work_improvement']:+.1%})"
+            f"  wall {row['heap']['seconds']:>7.3f}s -> "
+            f"{row['accumulator']['seconds']:>7.3f}s"
+            f" ({row['wallclock_improvement']:+.1%})"
+        )
+    return {"n": n, "cases": cases}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI profile (n=500)")
+    parser.add_argument("--repeats", type=int, default=2, help="runs per backend")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    n = 500 if args.quick else 2000
+    report = {
+        "schema": 1,
+        "kind": "merge-backend-benchmark",
+        "seed": BENCHMARK_SEED,
+        "machine": machine_profile(),
+        "profile": run(n, args.repeats),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,19 @@ the filtered run's ``work`` plus the verification-count reduction into
 ally fail the gate when the filter stops pruning at least that share
 of verifications (the headline win this optimization exists for).
 
+With ``--merge`` the gate covers the merge-backend knob
+(:mod:`repro.core.accumulator`): every case runs the join once per
+backend — ``heap`` and ``accumulator`` — asserts the two pair sets are
+identical (the knob's correctness contract), and records the
+accumulator run's ``work`` plus both improvement ratios into
+``BENCH_merge.json``. Cases carry pinned floors on the work-proxy and
+(where stable) wall-clock improvement — the headline win this backend
+exists for must not silently erode.
+
+With ``--report`` the gate prints a compact trajectory table across
+every committed BENCH file (serial / parallel / bitmap / merge) and
+exits; nothing is run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_gate.py                 # rewrite baseline (both profiles)
@@ -33,6 +46,9 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_gate.py --quick --check # gate quick profile (CI)
     PYTHONPATH=src python benchmarks/perf_gate.py --bitmap          # rewrite bitmap baseline
     PYTHONPATH=src python benchmarks/perf_gate.py --bitmap --check  # gate bitmap paths
+    PYTHONPATH=src python benchmarks/perf_gate.py --merge           # rewrite merge baseline
+    PYTHONPATH=src python benchmarks/perf_gate.py --merge --check   # gate merge backends
+    PYTHONPATH=src python benchmarks/perf_gate.py --report          # cross-BENCH trajectory table
 """
 
 from __future__ import annotations
@@ -55,6 +71,8 @@ from repro.core.prefix_filter import PrefixFilterJoin  # noqa: E402
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_serial.json")
 BITMAP_BASELINE = os.path.join(REPO_ROOT, "BENCH_bitmap.json")
+MERGE_BASELINE = os.path.join(REPO_ROOT, "BENCH_merge.json")
+PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 
 #: Allowed relative growth of a case's ``work`` counter before the gate
 #: fails. Counters are deterministic, so any growth is a real algorithmic
@@ -107,10 +125,28 @@ _BITMAP_QUICK_CASES = {
     "bitmap/two-pass/citation-words/overlap-12",
 }
 
+#: Merge-backend gate matrix: (case-name, dataset, predicate, threshold,
+#: algorithm, min_work_improvement, min_wall_improvement). Improvements
+#: are ``1 - accumulator / heap``; the work floor is machine-independent
+#: (pure counters), the wall floor comes from paired same-process runs
+#: and is pinned only where the margin is wide enough to be noise-proof.
+_MERGE_CASES = [
+    ("merge/two-pass/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count", 0.40, 0.25),
+    ("merge/optmerge/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count-optmerge", 0.25, None),
+    ("merge/optmerge/citation-3grams/jaccard-0.7", "citation-3grams", "jaccard", 0.7, "probe-count-optmerge", 0.30, 0.25),
+    ("merge/online-sort/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count-sort", 0.25, None),
+]
+
+#: Merge cases exercised under ``--quick`` (CI).
+_MERGE_QUICK_CASES = {
+    "merge/two-pass/citation-words/overlap-12",
+    "merge/optmerge/citation-words/overlap-12",
+}
+
 _PROFILES = {"quick": 500, "full": 2000}
 
 
-def _join_once(dataset, predicate, algorithm, bitmap_filter=None):
+def _join_once(dataset, predicate, algorithm, bitmap_filter=None, merge_backend=None):
     if algorithm == "prefix-filter":
         instance = PrefixFilterJoin()
     elif algorithm == "probe-count-compressed":
@@ -120,6 +156,8 @@ def _join_once(dataset, predicate, algorithm, bitmap_filter=None):
 
         instance = make_algorithm(algorithm)
     instance.bitmap_filter = bitmap_filter
+    if merge_backend is not None:
+        instance.merge_backend = merge_backend
     return instance.join(dataset, predicate)
 
 
@@ -162,13 +200,57 @@ def _run_bitmap_case(dataset_name, predicate_name, threshold, algorithm, n):
     }
 
 
-def run_profile(profile: str, bitmap: bool = False) -> dict:
+def _run_merge_case(dataset_name, predicate_name, threshold, algorithm, n):
+    """One heap + one accumulator run; the backends must agree on pairs."""
+    dataset = dataset_by_name(dataset_name, n)
+    predicate = _PREDICATES[predicate_name](threshold)
+    heap = _join_once(dataset, predicate, algorithm, merge_backend="heap")
+    acc = _join_once(dataset, predicate, algorithm, merge_backend="accumulator")
+    pairs_match = sorted((p.rid_a, p.rid_b) for p in heap.pairs) == sorted(
+        (p.rid_a, p.rid_b) for p in acc.pairs
+    )
+    heap_work = heap.counters.total_work()
+    acc_work = acc.counters.total_work()
+    return {
+        "work": acc_work,
+        "pairs": len(acc.pairs),
+        "pairs_match": pairs_match,
+        "heap_work": heap_work,
+        "heap_seconds": round(heap.elapsed_seconds, 4),
+        "accum_scans": acc.counters.accum_scans,
+        "accum_writes": acc.counters.accum_writes,
+        "gallop_steps": acc.counters.gallop_steps,
+        "work_improvement": round(1.0 - acc_work / heap_work, 4) if heap_work else 0.0,
+        "wallclock_improvement": round(
+            1.0 - acc.elapsed_seconds / heap.elapsed_seconds, 4
+        )
+        if heap.elapsed_seconds
+        else 0.0,
+        "seconds": round(acc.elapsed_seconds, 4),
+    }
+
+
+def run_profile(profile: str, bitmap: bool = False, merge: bool = False) -> dict:
     n = _PROFILES[profile]
     cases = {}
     started = time.perf_counter()
-    label = "bitmap" if bitmap else "perf"
+    label = "bitmap" if bitmap else "merge" if merge else "perf"
     print(f"{label} matrix [{profile}] n={n}:")
-    if bitmap:
+    if merge:
+        for name, dataset_name, predicate_name, threshold, algorithm, _, _ in _MERGE_CASES:
+            if profile == "quick" and name not in _MERGE_QUICK_CASES:
+                continue
+            cases[name] = _run_merge_case(
+                dataset_name, predicate_name, threshold, algorithm, n
+            )
+            row = cases[name]
+            print(
+                f"  {name:<48} work={row['work']:<12}"
+                f" improvement={row['work_improvement']:.1%}"
+                f" wall={row['wallclock_improvement']:.1%}"
+                f" {row['seconds']:.3f}s"
+            )
+    elif bitmap:
         for name, dataset_name, predicate_name, threshold, algorithm, _ in _BITMAP_CASES:
             if profile == "quick" and name not in _BITMAP_QUICK_CASES:
                 continue
@@ -199,10 +281,17 @@ def run_profile(profile: str, bitmap: bool = False) -> dict:
     }
 
 
-def _report_shell(profiles: dict, bitmap: bool = False) -> dict:
+def _report_shell(profiles: dict, bitmap: bool = False, merge: bool = False) -> dict:
+    kind = (
+        "bitmap-perf-baseline"
+        if bitmap
+        else "merge-perf-baseline"
+        if merge
+        else "serial-perf-baseline"
+    )
     return {
         "schema": 1,
-        "kind": "bitmap-perf-baseline" if bitmap else "serial-perf-baseline",
+        "kind": kind,
         "seed": BENCHMARK_SEED,
         "tolerance": TOLERANCE,
         "machine": {
@@ -270,6 +359,122 @@ def check_bitmap(fresh: dict, baseline: dict, profile: str) -> list[str]:
     return failures
 
 
+def check_merge(fresh: dict, baseline: dict, profile: str) -> list[str]:
+    """Gate the merge-backend cases: identity first, then improvement."""
+    failures = check(fresh, baseline, profile)
+    work_floors = {name: floor for name, _, _, _, _, floor, _ in _MERGE_CASES}
+    wall_floors = {name: floor for name, _, _, _, _, _, floor in _MERGE_CASES}
+    for name, row in fresh["cases"].items():
+        if not row.get("pairs_match", True):
+            failures.append(
+                f"{name}: accumulator backend emitted different pairs than"
+                " the heap backend (merge backends are NOT equivalent)"
+            )
+        floor = work_floors.get(name)
+        if floor is not None and row["work_improvement"] < floor:
+            failures.append(
+                f"{name}: work improvement {row['work_improvement']:.1%}"
+                f" fell below the pinned floor {floor:.0%}"
+            )
+        floor = wall_floors.get(name)
+        if floor is not None and row["wallclock_improvement"] < floor:
+            failures.append(
+                f"{name}: wall-clock improvement"
+                f" {row['wallclock_improvement']:.1%}"
+                f" fell below the pinned floor {floor:.0%}"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Cross-BENCH trajectory report
+# ----------------------------------------------------------------------
+
+
+def _load_json(path: str) -> dict | None:
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def report_trajectory() -> int:
+    """Print one compact table over every committed BENCH file."""
+    rows: list[tuple[str, str, str, str, str]] = []
+
+    def add_profile_cases(bench: str, data: dict | None, extra=None):
+        if data is None:
+            return
+        for profile_name, profile in sorted(data.get("profiles", {}).items()):
+            for case, row in sorted(profile.get("cases", {}).items()):
+                note = extra(row) if extra is not None else ""
+                rows.append(
+                    (
+                        bench,
+                        f"{case} [{profile_name}]",
+                        str(row.get("work", "-")),
+                        f"{row.get('seconds', 0.0):.3f}s",
+                        note,
+                    )
+                )
+
+    add_profile_cases("serial", _load_json(DEFAULT_BASELINE))
+    add_profile_cases(
+        "bitmap",
+        _load_json(BITMAP_BASELINE),
+        lambda row: f"reduction={row.get('reduction', 0.0):.1%}",
+    )
+    add_profile_cases(
+        "merge",
+        _load_json(MERGE_BASELINE),
+        lambda row: (
+            f"work {row.get('work_improvement', 0.0):+.1%}"
+            f" wall {row.get('wallclock_improvement', 0.0):+.1%}"
+        ),
+    )
+    parallel = _load_json(PARALLEL_BASELINE)
+    if parallel is not None:
+        case = f"{parallel.get('algorithm')}/{parallel.get('dataset')}"
+        serial = parallel.get("serial", {})
+        rows.append(
+            (
+                "parallel",
+                f"{case} [serial]",
+                str(serial.get("work", "-")),
+                f"{serial.get('seconds', 0.0):.3f}s",
+                "",
+            )
+        )
+        for row in parallel.get("parallel", []):
+            rows.append(
+                (
+                    "parallel",
+                    f"{case} [workers={row.get('workers')}]",
+                    str(row.get("work", "-")),
+                    f"{row.get('seconds', 0.0):.3f}s",
+                    f"speedup={row.get('speedup', 0.0):.2f}x",
+                )
+            )
+
+    if not rows:
+        print("no BENCH files found at the repo root", file=sys.stderr)
+        return 1
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    header = ("bench", "case", "work", "wall", "")
+    widths = [max(w, len(h)) for w, h in zip(widths, header[:4])]
+    print(
+        f"{header[0]:<{widths[0]}}  {header[1]:<{widths[1]}}"
+        f"  {header[2]:>{widths[2]}}  {header[3]:>{widths[3]}}"
+    )
+    for bench, case, work, wall, note in rows:
+        line = (
+            f"{bench:<{widths[0]}}  {case:<{widths[1]}}"
+            f"  {work:>{widths[2]}}  {wall:>{widths[3]}}"
+        )
+        print(f"{line}  {note}" if note else line)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -284,6 +489,16 @@ def main(argv: list[str] | None = None) -> int:
         help="run the bitmap-filter matrix against BENCH_bitmap.json"
         " (each case runs unfiltered + filtered and must emit identical pairs)",
     )
+    parser.add_argument(
+        "--merge", action="store_true",
+        help="run the merge-backend matrix against BENCH_merge.json"
+        " (each case runs per backend and must emit identical pairs)",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print a compact trajectory table across every committed"
+        " BENCH file (serial/parallel/bitmap/merge) and exit",
+    )
     parser.add_argument("--baseline", default=None)
     parser.add_argument(
         "--output", default=None,
@@ -291,15 +506,29 @@ def main(argv: list[str] | None = None) -> int:
         " (default: BENCH_*.fresh.json beside the baseline)",
     )
     args = parser.parse_args(argv)
+    if args.report:
+        return report_trajectory()
+    if args.bitmap and args.merge:
+        parser.error("--bitmap and --merge are mutually exclusive")
     baseline_path = args.baseline or (
-        BITMAP_BASELINE if args.bitmap else DEFAULT_BASELINE
+        BITMAP_BASELINE
+        if args.bitmap
+        else MERGE_BASELINE
+        if args.merge
+        else DEFAULT_BASELINE
     )
-    checker = check_bitmap if args.bitmap else check
-    fresh_name = "BENCH_bitmap.fresh.json" if args.bitmap else "BENCH_serial.fresh.json"
+    checker = check_bitmap if args.bitmap else check_merge if args.merge else check
+    fresh_name = (
+        "BENCH_bitmap.fresh.json"
+        if args.bitmap
+        else "BENCH_merge.fresh.json"
+        if args.merge
+        else "BENCH_serial.fresh.json"
+    )
 
     if args.check:
         profile = "quick" if args.quick else "full"
-        fresh = run_profile(profile, bitmap=args.bitmap)
+        fresh = run_profile(profile, bitmap=args.bitmap, merge=args.merge)
         if not os.path.exists(baseline_path):
             print(f"FAIL: no committed baseline at {baseline_path}", file=sys.stderr)
             return 2
@@ -310,7 +539,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(
-                _report_shell({profile: fresh}, bitmap=args.bitmap),
+                _report_shell({profile: fresh}, bitmap=args.bitmap, merge=args.merge),
                 handle, indent=2, sort_keys=True,
             )
             handle.write("\n")
@@ -328,8 +557,12 @@ def main(argv: list[str] | None = None) -> int:
     # Baseline (re)generation: quick-only if asked, else both profiles.
     names = ["quick"] if args.quick else ["quick", "full"]
     report = _report_shell(
-        {name: run_profile(name, bitmap=args.bitmap) for name in names},
+        {
+            name: run_profile(name, bitmap=args.bitmap, merge=args.merge)
+            for name in names
+        },
         bitmap=args.bitmap,
+        merge=args.merge,
     )
     output = args.output or baseline_path
     with open(output, "w", encoding="utf-8") as handle:

@@ -37,6 +37,7 @@ from collections import deque
 from concurrent.futures import TimeoutError as FuturesTimeout
 from contextlib import contextmanager
 
+from repro.core.accumulator import MERGE_BACKENDS
 from repro.core.dedupe import connected_components
 from repro.core.join import ALGORITHMS, edit_distance_join, make_algorithm, similarity_join
 from repro.core.records import Dataset
@@ -120,6 +121,7 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         help="shard the join over N worker processes (default 1 = serial);"
         " the result is identical to the serial join",
     )
+    _add_merge_backend_option(parser)
     _add_bitmap_options(parser)
     runtime = parser.add_argument_group("hardened runtime")
     runtime.add_argument(
@@ -138,6 +140,15 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         "--memory-budget", metavar="ENTRIES", type=int, default=None,
         help="cap live index entries (word occurrences); exceeding it"
         " degrades the join to the cluster-mem algorithm",
+    )
+
+
+def _add_merge_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--merge-backend", choices=MERGE_BACKENDS, default="auto",
+        help="probe-merge engine: 'heap' (heap merge), 'accumulator'"
+        " (score-accumulator scan), or 'auto' (adaptive per probe, the"
+        " default); results are identical across backends",
     )
 
 
@@ -187,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     edit_parser.add_argument("-k", type=int, required=True, help="max edit distance")
     edit_parser.add_argument("-q", type=int, default=3, help="q-gram length")
     edit_parser.add_argument("--algorithm", default="probe-count-optmerge")
+    _add_merge_backend_option(edit_parser)
     _add_bitmap_options(edit_parser)
 
     stats_parser = commands.add_parser("stats", help="corpus statistics (Table 1)")
@@ -245,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU query-result cache capacity (default 0 = off); entries"
         " are invalidated whenever the index mutates",
     )
+    _add_merge_backend_option(serve_parser)
     _add_bitmap_options(serve_parser)
 
     return parser
@@ -320,9 +333,14 @@ def _make_cli_algorithm(args):
             "cluster-mem",
             budget=MemoryBudget(args.memory_budget),
             bitmap_filter=_bitmap_config(args),
+            merge_backend=args.merge_backend,
         )
     try:
-        return make_algorithm(args.algorithm, bitmap_filter=_bitmap_config(args))
+        return make_algorithm(
+            args.algorithm,
+            bitmap_filter=_bitmap_config(args),
+            merge_backend=args.merge_backend,
+        )
     except ValueError as exc:
         raise _CLIError(str(exc)) from exc
 
@@ -352,6 +370,7 @@ def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
                 workers=workers,
                 context=context,
                 bitmap_filter=_bitmap_config(args),
+                merge_backend=args.merge_backend,
             )
     algorithm = _make_cli_algorithm(args)
     with _sigint_cancels(context):
@@ -459,6 +478,7 @@ def _serve(args, corpus: list[str]) -> int:
         predicate,
         tokenizer=_TOKENIZERS[args.tokenizer],
         bitmap_filter=_bitmap_config(args),
+        merge_backend=args.merge_backend,
     )
     for line in corpus:
         index.add(line)
@@ -562,6 +582,7 @@ def _dispatch(args) -> int:
             q=args.q,
             algorithm=args.algorithm,
             bitmap_filter=_bitmap_config(args),
+            merge_backend=args.merge_backend,
         )
         for pair in result.sorted_pairs():
             print(f"{pair.rid_a}\t{pair.rid_b}\t{int(pair.similarity)}")

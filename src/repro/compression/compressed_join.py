@@ -17,7 +17,6 @@ from __future__ import annotations
 from repro.compression.postings import CompressedPostingList
 from repro.core.base import SetJoinAlgorithm, _band_accept
 from repro.core.inverted_index import PostingList
-from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
 from repro.core.results import MatchPair
 from repro.predicates.base import BoundPredicate
@@ -87,7 +86,7 @@ class CompressedProbeJoin(SetJoinAlgorithm):
 
             accept = _band_accept(band, rid) if band is not None else None
             index_threshold = bound.index_threshold(norm_r, min_norm)
-            for sid, _weight in merge_opt(
+            for sid, _weight in self._merge_opt_lists(
                 lists, index_threshold, threshold_of, counters, accept
             ):
                 if sid < rid:

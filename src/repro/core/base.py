@@ -24,6 +24,14 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 
+from repro.core.accumulator import (
+    ScoreAccumulator,
+    accumulate_merge,
+    accumulate_merge_opt,
+    resolve_merge_backend,
+    use_accumulator,
+)
+from repro.core.heap_merge import heap_merge
 from repro.core.inverted_index import ScoredInvertedIndex
 from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
@@ -58,6 +66,23 @@ class SetJoinAlgorithm(ABC):
     #: (see ``repro/filters/adapters.py``): the emitted pair set is
     #: identical with it on or off.
     bitmap_filter = None
+
+    #: Merge-backend knob (:mod:`repro.core.accumulator`): ``"heap"``
+    #: forces the classic frontier-heap merge, ``"accumulator"`` the
+    #: ScanCount-style score accumulator, and ``"auto"`` (default)
+    #: picks per probe from the lists' total entry count. Set via
+    #: ``make_algorithm(..., merge_backend=...)`` — like
+    #: ``bitmap_filter`` it is an instance attribute, so it flows
+    #: through ``similarity_join``, the parallel workers' algorithm
+    #: specs, and the CLI without touching ``join()`` signatures.
+    #: Candidate sets are pair-for-pair identical across backends.
+    merge_backend: str = "auto"
+
+    # Per-run merge state: the resolved backend string and the dense
+    # accumulator buffer, armed by join()/join_between() and shared by
+    # every probe of one execution via _merge_lists/_merge_opt_lists.
+    _merge_mode: str | None = None
+    _accumulator: ScoreAccumulator | None = None
 
     # Shard window over the driven scan, set by set_shard_window() and
     # consumed by _drive(). Positions before the window are replayed
@@ -98,6 +123,7 @@ class SetJoinAlgorithm(ABC):
         bound = predicate.bind(dataset)
         counters = CostCounters()
         restored = self._install_runtime(dataset, predicate, context, counters)
+        self._arm_merge_backend(len(dataset))
         config = resolve_bitmap_filter(self.bitmap_filter)
         if config is not None:
             self._bitmap = BitmapPruner.for_join(bound, config, counters)
@@ -199,6 +225,8 @@ class SetJoinAlgorithm(ABC):
         self._resume_position = -1
         self._restored_pairs = []
         self._bitmap = None
+        self._merge_mode = None
+        self._accumulator = None
 
     def _tick(self, counters: CostCounters) -> None:
         """Record-granularity runtime check (no checkpoint handling).
@@ -295,6 +323,50 @@ class SetJoinAlgorithm(ABC):
         return result.pairs
 
     # ------------------------------------------------------------------
+    # Merge-backend dispatch
+    # ------------------------------------------------------------------
+
+    def _arm_merge_backend(self, n_entities: int) -> None:
+        """Resolve the knob and size the dense buffer for one execution.
+
+        ``n_entities`` is the entity-id bound: record ids, processing
+        positions and cluster ids are all below the record count, so
+        one buffer of that size serves every probe of the join. Ids
+        outside it (never the case for the built-in drivers) fall back
+        to the sparse path inside the accumulator.
+        """
+        self._merge_mode = resolve_merge_backend(self.merge_backend)
+        if self._merge_mode != "heap" and n_entities > 0:
+            self._accumulator = ScoreAccumulator(n_entities)
+
+    def _merge_mode_of(self) -> str:
+        # Resolved at arm time; algorithms driven outside join() (unit
+        # tests calling _run directly) resolve lazily and run sparse.
+        mode = self._merge_mode
+        if mode is None:
+            mode = resolve_merge_backend(self.merge_backend)
+        return mode
+
+    def _merge_lists(self, lists, threshold_of, counters, accept=None):
+        """Backend-dispatched ``heap_merge``-contract merge."""
+        if use_accumulator(self._merge_mode_of(), lists):
+            return accumulate_merge(
+                lists, threshold_of, counters, accept, acc=self._accumulator
+            )
+        return heap_merge(lists, threshold_of, counters, accept)
+
+    def _merge_opt_lists(
+        self, lists, index_threshold, threshold_of, counters, accept=None
+    ):
+        """Backend-dispatched ``merge_opt``-contract merge."""
+        if use_accumulator(self._merge_mode_of(), lists):
+            return accumulate_merge_opt(
+                lists, index_threshold, threshold_of, counters, accept,
+                acc=self._accumulator,
+            )
+        return merge_opt(lists, index_threshold, threshold_of, counters, accept)
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
 
@@ -370,6 +442,7 @@ class SetJoinAlgorithm(ABC):
         bound = predicate.bind(combined)
         counters = CostCounters()
         self._context = context
+        self._arm_merge_backend(len(combined))
         if context is not None:
             context.start()
         start = time.perf_counter()
@@ -398,7 +471,7 @@ class SetJoinAlgorithm(ABC):
                 accept = None
                 if band is not None:
                     accept = _band_accept(band, rid)
-                candidates = merge_opt(
+                candidates = self._merge_opt_lists(
                     lists,
                     index_threshold,
                     lambda sid, _n=norm_r, _b=bound: _b.threshold(_n, _b.norm(sid)),
@@ -412,6 +485,8 @@ class SetJoinAlgorithm(ABC):
                         pairs.append(MatchPair(rid, sid - offset, similarity))
         finally:
             self._context = None
+            self._merge_mode = None
+            self._accumulator = None
         elapsed = time.perf_counter() - start
         counters.pairs_output = len(pairs)
         return JoinResult(

@@ -124,10 +124,11 @@ class ClusterSet:
     ) -> None:
         """Add a record to a cluster and refresh the cluster-level index."""
         updates = cluster.add_record(position, rid, tokens, scores, norm)
+        added = 0
         for token, score in updates:
-            plist = self.index.get_or_create(token)
-            before = len(plist.ids)
-            plist.insert_sorted(cluster.cid, score)
-            if len(plist.ids) > before:
-                self.index.n_entries += 1
+            # insert_sorted reports whether the entry is new; only those
+            # count toward n_entries (score raises reuse their slot).
+            if self.index.get_or_create(token).insert_sorted(cluster.cid, score):
+                added += 1
+        self.index.n_entries += added
         self.index.update_min_norm(cluster.min_member_norm)

@@ -11,11 +11,12 @@ improves on; it merges *all* lists regardless of the threshold.
 
 The inner loop is the hottest code in the two-pass Probe-Count variants,
 so it is written flat: per-list ids/scores/probe-score are hoisted into
-parallel locals, the pop/advance/push step is inlined rather than calling
-helpers per popped entry, and the work counters are accumulated in local
-integers that are added to ``counters`` once per merge. The counter
-totals and the returned candidate list are bit-identical to the
-straightforward formulation (tests pin this).
+parallel locals, the pop/accumulate/advance/push step is one shared
+inline loop (not a helper called per popped entry), and the work
+counters are accumulated in local integers that are added to
+``counters`` once per merge. The counter totals and the returned
+candidate list are bit-identical to the straightforward formulation
+(tests pin this).
 """
 
 from __future__ import annotations
@@ -84,24 +85,13 @@ def heap_merge(
     candidates: list[tuple[int, float]] = []
     append = candidates.append
     while heap:
+        # One shared pop/accumulate/advance/push step serves both the
+        # first pop of a run of equal RIDs and every follow-up pop;
+        # counter totals are unchanged versus the unrolled form (pinned
+        # by a counter-identity test).
         current, list_idx = heappop(heap)
-        pops += 1
-        position = frontiers[list_idx]
-        weight = probe_of[list_idx] * scores_of[list_idx][position - 1]
-        touched += 1
-        ids = ids_of[list_idx]
-        n = len(ids)
-        if accept is not None:
-            while position < n and not accept(ids[position]):
-                position += 1
-        if position < n:
-            heappush(heap, (ids[position], list_idx))
-            pushes += 1
-            frontiers[list_idx] = position + 1
-        else:
-            frontiers[list_idx] = position
-        while heap and heap[0][0] == current:
-            _, list_idx = heappop(heap)
+        weight = 0.0
+        while True:
             pops += 1
             position = frontiers[list_idx]
             weight += probe_of[list_idx] * scores_of[list_idx][position - 1]
@@ -117,6 +107,10 @@ def heap_merge(
                 frontiers[list_idx] = position + 1
             else:
                 frontiers[list_idx] = position
+            if heap and heap[0][0] == current:
+                _, list_idx = heappop(heap)
+            else:
+                break
         checked += 1
         if weight >= threshold_of(current) - WEIGHT_EPS:
             append((current, weight))

@@ -6,6 +6,13 @@ word. Entities must be inserted in increasing id order so every posting
 list stays id-sorted — the property the heap merge and the doubling
 binary search rely on.
 
+Posting storage is columnar: ids live in an ``array('q')`` and scores
+in a parallel ``array('d')``. Compared to lists of boxed ints/floats
+this is ~6x more compact, keeps each column contiguous for the merge
+loops (and the score-accumulator backend's batch scans), and slices
+cheaply. Both columns still support the ``Sequence`` protocol, so the
+heap merge, the galloping binary search, and ``bisect`` work unchanged.
+
 Per §5.1.1 the index incrementally maintains, for each word ``w``, the
 maximum score ``score(w, I) = max_s score(w, s)`` (Eq. 3), and globally
 the minimum entity norm ``minS = min_s ||s||`` used to bound the
@@ -15,6 +22,7 @@ threshold ``T(r, I) = T(r, minS)``.
 from __future__ import annotations
 
 import math
+from array import array
 from bisect import bisect_left
 from collections.abc import Iterable, Sequence
 
@@ -24,19 +32,35 @@ __all__ = ["PostingList", "ScoredInvertedIndex"]
 
 
 class PostingList:
-    """Id-sorted entities containing one word, with per-entity scores."""
+    """Id-sorted entities containing one word, with per-entity scores.
 
-    __slots__ = ("ids", "scores", "max_score")
+    Columnar: ``ids`` is an ``array('q')`` and ``scores`` an
+    ``array('d')``, kept index-aligned. A list can be :meth:`seal`-ed
+    into a frozen view once its build phase is over; sealed lists
+    reject further mutation, which is what makes a built index safe to
+    share across probe threads and snapshot without copying.
+    """
+
+    __slots__ = ("ids", "scores", "max_score", "sealed")
 
     def __init__(self):
-        self.ids: list[int] = []
-        self.scores: list[float] = []
+        self.ids: array = array("q")
+        self.scores: array = array("d")
         self.max_score: float = 0.0
+        self.sealed: bool = False
 
     def __len__(self) -> int:
         return len(self.ids)
 
+    def seal(self) -> "PostingList":
+        """Freeze the list: any further ``append``/``insert_sorted``
+        raises. Idempotent; returns self for chaining."""
+        self.sealed = True
+        return self
+
     def append(self, entity_id: int, score: float) -> None:
+        if self.sealed:
+            raise ValueError("posting list is sealed; no further inserts")
         if self.ids and entity_id <= self.ids[-1]:
             raise ValueError(
                 f"entities must be inserted in increasing id order"
@@ -47,23 +71,34 @@ class PostingList:
         if score > self.max_score:
             self.max_score = score
 
-    def insert_sorted(self, entity_id: int, score: float) -> None:
+    def insert_sorted(self, entity_id: int, score: float) -> bool:
         """Insert (or score-raise) an entity keeping the list id-sorted.
 
         Needed by the cluster-level index, where an old cluster can gain
         a new word after younger clusters already hold it. If the entity
         is present, its score is raised to the max (the §5.1.3 cluster
         summary semantics).
+
+        Returns True when a **new** entry was inserted, False when an
+        existing entry was (possibly) score-raised. Callers mutating a
+        list owned by a :class:`ScoredInvertedIndex` must bump its
+        ``n_entries`` by exactly the number of True returns —
+        ``ScoredInvertedIndex.audit_n_entries`` checks the invariant.
         """
+        if self.sealed:
+            raise ValueError("posting list is sealed; no further inserts")
         position = bisect_left(self.ids, entity_id)
+        inserted = False
         if position < len(self.ids) and self.ids[position] == entity_id:
             if score > self.scores[position]:
                 self.scores[position] = score
         else:
             self.ids.insert(position, entity_id)
             self.scores.insert(position, score)
+            inserted = True
         if score > self.max_score:
             self.max_score = score
+        return inserted
 
 
 class ScoredInvertedIndex:
@@ -88,8 +123,11 @@ class ScoredInvertedIndex:
     def get_or_create(self, token: int) -> PostingList:
         """Posting list for ``token``, created empty if absent.
 
-        Callers mutating the list directly (e.g. ``insert_sorted``) must
-        bump ``n_entries`` themselves for added entries.
+        Callers mutating the list directly must keep ``n_entries`` in
+        step: ``insert_sorted`` returns True for each genuinely new
+        entry, and exactly those must bump ``n_entries`` (see
+        ``ClusterSet.assign``). :meth:`audit_n_entries` verifies the
+        bookkeeping.
         """
         plist = self._postings.get(token)
         if plist is None:
@@ -99,6 +137,31 @@ class ScoredInvertedIndex:
 
     def tokens(self) -> Iterable[int]:
         return self._postings.keys()
+
+    def seal(self) -> "ScoredInvertedIndex":
+        """Freeze every posting list (see :meth:`PostingList.seal`).
+
+        Call once the build phase is over; probing never mutates, so a
+        sealed index is safe to share read-only. Returns self.
+        """
+        for plist in self._postings.values():
+            plist.sealed = True
+        return self
+
+    def audit_n_entries(self) -> int:
+        """Assert ``n_entries`` matches the actual posting entry count.
+
+        Catches drift from callers that mutate posting lists through
+        ``get_or_create``/``insert_sorted`` without the required
+        bookkeeping. Returns the (verified) entry count.
+        """
+        actual = sum(len(plist) for plist in self._postings.values())
+        if actual != self.n_entries:
+            raise AssertionError(
+                f"n_entries drift: recorded {self.n_entries},"
+                f" posting lists hold {actual} entries"
+            )
+        return actual
 
     def insert(
         self,

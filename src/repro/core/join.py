@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.core.accumulator import resolve_merge_backend
 from repro.core.cluster_mem import ClusterMemJoin, MemoryBudget
 from repro.core.naive import NaiveJoin
 from repro.core.pair_count import PairCountJoin
@@ -66,9 +67,12 @@ def make_algorithm(name: str, **kwargs):
     :class:`~repro.filters.BitmapFilterConfig`); it is attached to the
     instance rather than passed to constructors so every algorithm —
     and the parallel workers, which rebuild instances from this same
-    registry — accepts it uniformly.
+    registry — accepts it uniformly. ``merge_backend=`` selects the
+    probe-merge engine the same way (``"heap"``, ``"accumulator"``, or
+    the adaptive default ``"auto"`` — see :mod:`repro.core.accumulator`).
     """
     bitmap_filter = kwargs.pop("bitmap_filter", None)
+    merge_backend = resolve_merge_backend(kwargs.pop("merge_backend", None))
     if name == "cluster-mem":
         budget = kwargs.pop("budget", None)
         fraction = kwargs.pop("memory_fraction", None)
@@ -82,19 +86,23 @@ def make_algorithm(name: str, **kwargs):
                 name = "cluster-mem"
                 respects_memory_budget = True
                 bitmap_filter = None
+                merge_backend = "auto"
 
                 def join(self, dataset, predicate, context=None):
                     resolved = ClusterMemJoin(
                         MemoryBudget.fraction_of_full(dataset, fraction), **kwargs
                     )
                     resolved.bitmap_filter = self.bitmap_filter
+                    resolved.merge_backend = self.merge_backend
                     return resolved.join(dataset, predicate, context=context)
 
             deferred = _Deferred()
             deferred.bitmap_filter = bitmap_filter
+            deferred.merge_backend = merge_backend
             return deferred
         algorithm = ClusterMemJoin(budget, **kwargs)
         algorithm.bitmap_filter = bitmap_filter
+        algorithm.merge_backend = merge_backend
         return algorithm
     spec = _SPECS.get(name)
     if spec is None:
@@ -105,6 +113,7 @@ def make_algorithm(name: str, **kwargs):
     cls, base = spec
     algorithm = cls(**{**base, **kwargs})
     algorithm.bitmap_filter = bitmap_filter
+    algorithm.merge_backend = merge_backend
     return algorithm
 
 

@@ -30,7 +30,6 @@ from __future__ import annotations
 from repro.core.base import SetJoinAlgorithm
 from repro.core.clusters import Cluster, ClusterSet
 from repro.core.inverted_index import ScoredInvertedIndex
-from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
 from repro.core.results import MatchPair
 from repro.predicates.base import BoundPredicate
@@ -172,7 +171,7 @@ class ProbeClusterJoin(SetJoinAlgorithm):
         # dynamically-raised home-search threshold belongs to the
         # limited-memory variant, §4.1.1 — see ClusterMemJoin.)
         join_threshold = bound.index_threshold(norm_r, clusters.index.min_norm)
-        candidates = merge_opt(
+        candidates = self._merge_opt_lists(
             lists,
             join_threshold,
             lambda cid: bound.threshold(norm_r, clusters.cluster_norm(cid)),
@@ -233,7 +232,9 @@ class ProbeClusterJoin(SetJoinAlgorithm):
                 return abs(keys[order[pos]] - key_r) <= radius
 
         index_threshold = bound.index_threshold(norm_r, cluster.index.min_norm)
-        candidates = merge_opt(lists, index_threshold, threshold_of, counters, accept)
+        candidates = self._merge_opt_lists(
+            lists, index_threshold, threshold_of, counters, accept
+        )
         for pos, _weight in candidates:
             sid = order[pos]
             self._verify_pair(bound, min(rid, sid), max(rid, sid), counters, pairs)

@@ -25,9 +25,7 @@ variants (tests enforce this), only the work differs.
 from __future__ import annotations
 
 from repro.core.base import SetJoinAlgorithm, _band_accept
-from repro.core.heap_merge import heap_merge
 from repro.core.inverted_index import ScoredInvertedIndex
-from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
 from repro.core.results import MatchPair
 from repro.predicates.base import WEIGHT_EPS, BoundPredicate
@@ -82,6 +80,9 @@ class ProbeCountJoin(SetJoinAlgorithm):
             index.insert(
                 rid, dataset[rid], bound.cached_score_vector(rid), bound.norm(rid), counters
             )
+        # The build phase is over; freeze the columnar postings so the
+        # probe phase provably cannot mutate shared lists.
+        index.seal()
         band = bound.band_filter()
         pairs: list[MatchPair] = []
         use_optmerge = self.variant == "optmerge"
@@ -97,9 +98,11 @@ class ProbeCountJoin(SetJoinAlgorithm):
             accept = _band_accept(band, rid) if band is not None else None
             if use_optmerge:
                 index_threshold = bound.index_threshold(norm_r, index.min_norm)
-                candidates = merge_opt(lists, index_threshold, threshold_of, counters, accept)
+                candidates = self._merge_opt_lists(
+                    lists, index_threshold, threshold_of, counters, accept
+                )
             else:
-                candidates = heap_merge(lists, threshold_of, counters, accept)
+                candidates = self._merge_lists(lists, threshold_of, counters, accept)
             for sid, _weight in candidates:
                 # The full index contains rid itself and yields each pair
                 # twice; emit once, in canonical orientation.
@@ -128,6 +131,7 @@ class ProbeCountJoin(SetJoinAlgorithm):
                     kept_tokens.append(token)
                     kept_scores.append(score)
             index.insert(rid, kept_tokens, kept_scores, bound.norm(rid), counters)
+        index.seal()
         band = bound.band_filter()
         pairs: list[MatchPair] = []
         for _position, rid, replay in self._drive(range(len(dataset)), counters, pairs):
@@ -156,7 +160,7 @@ class ProbeCountJoin(SetJoinAlgorithm):
                 return bound.threshold(_n, bound.norm(sid)) - _cut
 
             accept = _band_accept(band, rid) if band is not None else None
-            candidates = heap_merge(lists, threshold_of, counters, accept)
+            candidates = self._merge_lists(lists, threshold_of, counters, accept)
             for sid, _weight in candidates:
                 if sid < rid:
                     self._verify_pair(bound, sid, rid, counters, pairs)
@@ -239,7 +243,9 @@ class ProbeCountJoin(SetJoinAlgorithm):
                     def accept(pos: int, _k=key_r, _rad=radius) -> bool:
                         return abs(keys[order[pos]] - _k) <= _rad
 
-                candidates = merge_opt(lists, index_threshold, threshold_of, counters, accept)
+                candidates = self._merge_opt_lists(
+                    lists, index_threshold, threshold_of, counters, accept
+                )
                 for pos, _weight in candidates:
                     sid = order[pos]
                     self._verify_pair(

@@ -15,6 +15,12 @@ import threading
 from collections.abc import Sequence
 from contextlib import contextmanager
 
+from repro.core.accumulator import (
+    ScoreAccumulator,
+    accumulate_merge_opt,
+    resolve_merge_backend,
+    use_accumulator,
+)
 from repro.core.inverted_index import ScoredInvertedIndex
 from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
@@ -212,6 +218,10 @@ class SimilarityIndex:
             thread-safe. Pass
             :class:`~repro.runtime.rwlock.NullRWLock` only for
             single-threaded use where lock overhead matters.
+        merge_backend: probe-merge engine — ``"heap"``,
+            ``"accumulator"``, or the adaptive default ``"auto"`` (see
+            :mod:`repro.core.accumulator`). The accumulator buffer is
+            per worker thread, so concurrent queries never share one.
 
     Notes:
         Predicates whose scores depend on corpus statistics (TF-IDF
@@ -239,9 +249,11 @@ class SimilarityIndex:
         tokenizer=None,
         lock=None,
         bitmap_filter=None,
+        merge_backend=None,
     ):
         self.predicate = predicate
         self.tokenizer = tokenizer
+        self.merge_backend = resolve_merge_backend(merge_backend)
         self._token_lists: list[list[str]] = []
         self._payloads: list = []
         self._vocabulary: dict[str, int] = {}
@@ -579,14 +591,19 @@ class SimilarityIndex:
             if self._bitmap_adapter.constant_threshold:
                 const_threshold = bound.threshold(0.0, 0.0)
 
+        index_threshold = bound.index_threshold(norm_r, self._index.min_norm)
+        threshold_of = lambda sid: bound.threshold(norm_r, bound.norm(sid))  # noqa: E731
+        if use_accumulator(self.merge_backend, lists):
+            candidates = accumulate_merge_opt(
+                lists, index_threshold, threshold_of, counters, accept,
+                acc=self._thread_accumulator(probe_rid),
+            )
+        else:
+            candidates = merge_opt(
+                lists, index_threshold, threshold_of, counters, accept
+            )
         matches = []
-        for sid, _weight in merge_opt(
-            lists,
-            bound.index_threshold(norm_r, self._index.min_norm),
-            lambda sid: bound.threshold(norm_r, bound.norm(sid)),
-            counters,
-            accept,
-        ):
+        for sid, _weight in candidates:
             if context is not None:
                 context.tick(counters, check_memory=False)
             if probe_entry is not None:
@@ -608,6 +625,21 @@ class SimilarityIndex:
             if ok:
                 matches.append(MatchPair(sid, probe_rid, similarity))
         return matches
+
+    def _thread_accumulator(self, capacity: int) -> ScoreAccumulator:
+        """This thread's dense merge buffer, grown to ``capacity`` slots.
+
+        Thread-local so concurrent queries under the read lock never
+        share epochs or weights; a forked worker process starts with a
+        fresh ``threading.local`` and therefore a fresh buffer.
+        """
+        acc = getattr(self._local, "accumulator", None)
+        if acc is None:
+            acc = ScoreAccumulator(capacity)
+            self._local.accumulator = acc
+        else:
+            acc.ensure(capacity)
+        return acc
 
     def payload(self, rid: int):
         return self._dataset.payload(rid)
@@ -691,6 +723,7 @@ class SimilarityIndex:
         fs=None,
         lock=None,
         bitmap_filter=None,
+        merge_backend=None,
     ) -> "SimilarityIndex":
         """Restore an index saved with :meth:`save`.
 
@@ -709,7 +742,13 @@ class SimilarityIndex:
         """
         state = read_snapshot(path, kind=_SNAPSHOT_KIND, fs=fs)
         token_lists, payload_entries, bitmap_state = cls._validate_state(path, state)
-        service = cls(predicate, tokenizer=tokenizer, lock=lock, bitmap_filter=bitmap_filter)
+        service = cls(
+            predicate,
+            tokenizer=tokenizer,
+            lock=lock,
+            bitmap_filter=bitmap_filter,
+            merge_backend=merge_backend,
+        )
         for tokens, entry in zip(token_lists, payload_entries):
             tag, value = entry
             if tag == "codec":

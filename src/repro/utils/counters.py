@@ -57,6 +57,25 @@ class CostCounters:
         bitmap_rejects: candidate pairs the bitmap filter proved
             non-matching; these skip verification entirely and are not
             counted in ``pairs_verified``.
+        accum_writes: first touches of a score-accumulator slot per
+            probe (:mod:`repro.core.accumulator`) — the number of
+            distinct candidate entities the accumulator backend
+            materialized. Excluded from :meth:`total_work`: every
+            write is already counted as a ``list_items_touched`` entry,
+            and double-counting would make the accumulator path gate
+            against an inflated number.
+        accum_scans: posting entries examined by the accumulator
+            backend's batch scans, including entries an ``accept``
+            filter then discards. Excluded from :meth:`total_work` for
+            the same reason as ``accum_writes`` (accepted entries are
+            the ``list_items_touched``); kept as its own counter so the
+            backend's raw scan volume stays observable.
+        gallop_steps: bracket-doubling iterations performed by the
+            accumulator backend's galloping searches into the rare-word
+            (L) lists. Excluded from :meth:`total_work` —
+            ``binary_searches`` already counts each search once, at the
+            same weight the heap backend pays, keeping the two
+            backends' work directly comparable.
     """
 
     probes: int = 0
@@ -80,6 +99,9 @@ class CostCounters:
     unknown_query_tokens: int = 0
     bitmap_checks: int = 0
     bitmap_rejects: int = 0
+    accum_writes: int = 0
+    accum_scans: int = 0
+    gallop_steps: int = 0
     extra: dict = field(default_factory=dict)
 
     def merge(self, other: "CostCounters") -> None:

@@ -1,0 +1,169 @@
+"""Backend-equivalence properties: heap merge vs score accumulator.
+
+The contract the ``merge_backend`` knob promises: candidate sets are
+identical pair-for-pair across backends — same entities, bit-identical
+weights (both backends sum each entity's contributions in the same
+order) — and therefore joins return identical match sets under every
+predicate, serially, sharded over workers, and with the bitmap filter
+armed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CosinePredicate,
+    JaccardPredicate,
+    OverlapPredicate,
+)
+from repro.core.accumulator import (
+    ScoreAccumulator,
+    _gallop_from,
+    accumulate_merge,
+    accumulate_merge_opt,
+)
+from repro.core.heap_merge import heap_merge
+from repro.core.inverted_index import PostingList
+from repro.core.join import edit_distance_join, make_algorithm
+from repro.core.merge_opt import merge_opt
+from repro.utils.counters import CostCounters
+from repro.utils.search import gallop_search_from
+from tests.conftest import random_dataset
+
+posting_ids = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=1, max_size=30, unique=True
+).map(sorted)
+
+scored_list = st.tuples(
+    posting_ids,
+    st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+    st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+)
+
+probe = st.lists(scored_list, min_size=0, max_size=8)
+thresholds = st.floats(min_value=0.2, max_value=8.0, allow_nan=False)
+
+
+def build(lists_spec):
+    lists = []
+    for ids, entry_score, probe_score in lists_spec:
+        plist = PostingList()
+        for entity in ids:
+            plist.append(entity, entry_score)
+        lists.append((plist, probe_score))
+    return lists
+
+
+class TestMergeLevelEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(probe, thresholds, st.booleans(), st.booleans())
+    def test_accumulate_merge_equals_heap_merge(
+        self, lists_spec, threshold, use_accept, dense
+    ):
+        lists = build(lists_spec)
+        accept = (lambda e: e % 3 != 0) if use_accept else None
+        acc = ScoreAccumulator(64) if dense else None
+        expected = heap_merge(lists, lambda _s: threshold, CostCounters(), accept)
+        got = accumulate_merge(
+            lists, lambda _s: threshold, CostCounters(), accept, acc=acc
+        )
+        # Pair-for-pair identical, weights bit-identical (same summation
+        # order), not merely within epsilon.
+        assert got == expected
+
+    @settings(max_examples=150, deadline=None)
+    @given(probe, thresholds, thresholds, st.booleans(), st.booleans())
+    def test_accumulate_merge_opt_equals_merge_opt(
+        self, lists_spec, index_threshold, pair_threshold, use_accept, dense
+    ):
+        lists = build(lists_spec)
+        accept = (lambda e: e % 3 != 0) if use_accept else None
+        acc = ScoreAccumulator(64) if dense else None
+        expected = merge_opt(
+            lists, index_threshold, lambda _s: pair_threshold, CostCounters(), accept
+        )
+        got = accumulate_merge_opt(
+            lists,
+            index_threshold,
+            lambda _s: pair_threshold,
+            CostCounters(),
+            accept,
+            acc=acc,
+        )
+        assert got == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        posting_ids,
+        st.integers(min_value=0, max_value=70),
+        st.integers(min_value=0, max_value=35),
+    )
+    def test_gallop_from_position_matches_utils(self, ids, target, start):
+        items = list(ids)
+        position, steps = _gallop_from(items, target, start)
+        assert position == gallop_search_from(items, target, start)
+        assert steps >= 0
+
+
+def _join_pairs(dataset, predicate, algorithm, backend, bitmap=None):
+    algo = make_algorithm(algorithm, merge_backend=backend, bitmap_filter=bitmap)
+    return algo.join(dataset, predicate).pair_set()
+
+
+_PREDICATES = [
+    pytest.param(OverlapPredicate(4), id="overlap"),
+    pytest.param(JaccardPredicate(0.6), id="jaccard"),
+    pytest.param(CosinePredicate(0.7), id="cosine"),
+]
+
+_ALGORITHMS = ["probe-count-optmerge", "probe-count-sort", "probe-cluster"]
+
+
+class TestJoinLevelEquivalence:
+    @pytest.mark.parametrize("predicate", _PREDICATES)
+    @pytest.mark.parametrize("algorithm", _ALGORITHMS)
+    def test_serial_backends_agree(self, predicate, algorithm):
+        data = random_dataset(seed=17, n_base=80, universe=30)
+        heap = _join_pairs(data, predicate, algorithm, "heap")
+        accumulator = _join_pairs(data, predicate, algorithm, "accumulator")
+        auto = _join_pairs(data, predicate, algorithm, "auto")
+        assert accumulator == heap
+        assert auto == heap
+
+    @pytest.mark.parametrize("predicate", _PREDICATES)
+    def test_bitmap_filter_backends_agree(self, predicate):
+        data = random_dataset(seed=23, n_base=80, universe=30)
+        heap = _join_pairs(data, predicate, "probe-count-sort", "heap", bitmap=True)
+        accumulator = _join_pairs(
+            data, predicate, "probe-count-sort", "accumulator", bitmap=True
+        )
+        unfiltered = _join_pairs(data, predicate, "probe-count-sort", "heap")
+        assert accumulator == heap == unfiltered
+
+    @pytest.mark.parametrize("backend", ["heap", "accumulator", "auto"])
+    def test_sharded_matches_serial(self, backend):
+        from repro.parallel import parallel_join
+
+        data = random_dataset(seed=31, n_base=90, universe=30)
+        predicate = JaccardPredicate(0.6)
+        serial = _join_pairs(data, predicate, "probe-count-sort", backend)
+        sharded = parallel_join(
+            data,
+            predicate,
+            algorithm="probe-count-sort",
+            workers=4,
+            merge_backend=backend,
+        ).pair_set()
+        assert sharded == serial
+
+    @pytest.mark.parametrize("backend", ["heap", "accumulator"])
+    def test_edit_distance_backends_agree(self, backend):
+        names = [
+            "similarity", "similarty", "simliarity", "distance", "distence",
+            "merge", "marge", "merged", "accumulator", "acumulator",
+            "posting", "postings", "columnar", "columner", "threshold",
+        ]
+        heap = edit_distance_join(names, k=2, merge_backend="heap").pair_set()
+        got = edit_distance_join(names, k=2, merge_backend=backend).pair_set()
+        assert got == heap

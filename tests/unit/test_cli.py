@@ -292,3 +292,32 @@ class TestHardenedRuntimeFlags:
         assert [p.name for p in ckpt.iterdir() if p.name.endswith(".tmp")] == []
         assert main(list(args)) == 0
         assert capsys.readouterr().out == truth
+
+
+class TestMergeBackendFlag:
+    def test_backend_choices_rejected(self, sample_file, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["join", "-i", sample_file, "-t", "0.8",
+                 "--merge-backend", "quantum"]
+            )
+
+    @pytest.mark.parametrize("backend", ["auto", "heap", "accumulator"])
+    def test_join_output_identical_across_backends(
+        self, sample_file, capsys, backend
+    ):
+        code = main(
+            ["join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+             "--merge-backend", backend]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        pairs = {tuple(line.split("\t")[:2]) for line in out}
+        assert pairs == {("0", "1"), ("2", "3")}
+
+    def test_editjoin_accepts_backend(self, sample_file, capsys):
+        code = main(
+            ["editjoin", "-i", sample_file, "-k", "2",
+             "--merge-backend", "accumulator"]
+        )
+        assert code == 0

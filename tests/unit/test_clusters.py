@@ -57,7 +57,7 @@ class TestClusterSet:
         clusters = ClusterSet()
         cluster = clusters.new_cluster()
         clusters.assign(cluster, 0, 0, (1, 2), (1.0, 1.0), norm=2.0)
-        assert clusters.index.get(1).ids == [0]
+        assert list(clusters.index.get(1).ids) == [0]
         assert clusters.index.n_entries == 2
 
     def test_assign_out_of_cid_order_keeps_lists_sorted(self):
@@ -67,7 +67,7 @@ class TestClusterSet:
         clusters.assign(second, 0, 0, (5,), (1.0,), norm=1.0)
         # An older cluster later gains the same word.
         clusters.assign(first, 1, 1, (5,), (1.0,), norm=1.0)
-        assert clusters.index.get(5).ids == [0, 1]
+        assert list(clusters.index.get(5).ids) == [0, 1]
 
     def test_assign_tracks_min_norm(self):
         clusters = ClusterSet()
@@ -83,6 +83,19 @@ class TestClusterSet:
         clusters.assign(cluster, 0, 0, (9,), (1.0,), norm=1.0)
         clusters.assign(cluster, 1, 1, (9,), (2.0,), norm=4.0)
         plist = clusters.index.get(9)
-        assert plist.ids == [0]
-        assert plist.scores == [2.0]
+        assert list(plist.ids) == [0]
+        assert list(plist.scores) == [2.0]
         assert clusters.index.n_entries == 1
+
+
+class TestNEntriesBookkeeping:
+    def test_assign_keeps_n_entries_consistent(self):
+        """Regression: score-raising re-assignments must not inflate
+        n_entries (insert_sorted reports reuse; assign counts only new
+        slots). The audit recomputes from the lists themselves."""
+        clusters = ClusterSet()
+        cluster = clusters.new_cluster()
+        clusters.assign(cluster, 0, 0, (1, 2), (1.0, 1.0), norm=2.0)
+        clusters.assign(cluster, 1, 1, (2, 3), (2.0, 1.0), norm=3.0)
+        clusters.assign(cluster, 2, 2, (2,), (3.0,), norm=3.0)
+        assert clusters.index.audit_n_entries() == clusters.index.n_entries

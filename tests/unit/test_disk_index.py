@@ -55,7 +55,7 @@ class TestDiskInvertedIndex:
         bound = OverlapPredicate(2).bind(data)
         index = DiskInvertedIndex.build(data, bound, str(tmp_path / "ix.bin"))
         lists = index.probe_lists((0, 1, 9), (1.0, 1.0, 1.0))
-        assert [plist.ids for plist, _score in lists] == [[0, 2], [0, 1]]
+        assert [list(plist.ids) for plist, _score in lists] == [[0, 2], [0, 1]]
         assert index.lists_read >= 2
         assert index.bytes_read > 0
         index.close()

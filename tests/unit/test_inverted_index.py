@@ -14,7 +14,7 @@ class TestPostingList:
         plist.append(1, 0.5)
         plist.append(4, 2.0)
         plist.append(9, 1.0)
-        assert plist.ids == [1, 4, 9]
+        assert list(plist.ids) == [1, 4, 9]
         assert plist.max_score == 2.0
 
     def test_append_rejects_out_of_order(self):
@@ -30,22 +30,22 @@ class TestPostingList:
         plist.append(1, 1.0)
         plist.append(9, 1.0)
         plist.insert_sorted(5, 3.0)
-        assert plist.ids == [1, 5, 9]
-        assert plist.scores == [1.0, 3.0, 1.0]
+        assert list(plist.ids) == [1, 5, 9]
+        assert list(plist.scores) == [1.0, 3.0, 1.0]
         assert plist.max_score == 3.0
 
     def test_insert_sorted_existing_raises_score(self):
         plist = PostingList()
         plist.append(5, 1.0)
         plist.insert_sorted(5, 2.0)
-        assert plist.ids == [5]
-        assert plist.scores == [2.0]
+        assert list(plist.ids) == [5]
+        assert list(plist.scores) == [2.0]
 
     def test_insert_sorted_existing_never_lowers_score(self):
         plist = PostingList()
         plist.append(5, 2.0)
         plist.insert_sorted(5, 1.0)
-        assert plist.scores == [2.0]
+        assert list(plist.scores) == [2.0]
 
 
 class TestScoredInvertedIndex:
@@ -53,9 +53,9 @@ class TestScoredInvertedIndex:
         index = ScoredInvertedIndex()
         index.insert(0, (1, 2), (1.0, 1.0), norm=2.0)
         index.insert(1, (2, 3), (1.0, 1.0), norm=2.0)
-        assert index.get(2).ids == [0, 1]
-        assert index.get(1).ids == [0]
-        assert index.get(3).ids == [1]
+        assert list(index.get(2).ids) == [0, 1]
+        assert list(index.get(1).ids) == [0]
+        assert list(index.get(3).ids) == [1]
 
     def test_min_norm_tracks_minimum(self):
         index = ScoredInvertedIndex()
@@ -78,20 +78,20 @@ class TestScoredInvertedIndex:
         index.insert(0, (1, 2), (1.0, 1.0), norm=2.0)
         lists = index.probe_lists((1, 5, 2), (1.0, 1.0, 0.0))
         assert len(lists) == 1
-        assert lists[0][0].ids == [0]
+        assert list(lists[0][0].ids) == [0]
 
     def test_add_entity_tokens_appends_new_words(self):
         index = ScoredInvertedIndex()
         index.insert(0, (1,), (1.0,), norm=1.0)
         index.add_entity_tokens(0, (2,), (1.0,))
-        assert index.get(2).ids == [0]
+        assert list(index.get(2).ids) == [0]
         assert index.n_entries == 2
 
     def test_add_entity_tokens_raises_score_of_tail_entity(self):
         index = ScoredInvertedIndex()
         index.insert(0, (1,), (1.0,), norm=1.0)
         index.add_entity_tokens(0, (1,), (4.0,))
-        assert index.get(1).scores == [4.0]
+        assert list(index.get(1).scores) == [4.0]
         assert index.n_entries == 1
 
     def test_get_or_create(self):
@@ -107,3 +107,53 @@ class TestScoredInvertedIndex:
         assert len(index) == 2
         assert 1 in index
         assert 9 not in index
+
+
+class TestSealedPostings:
+    def test_seal_rejects_append_and_insert(self):
+        plist = PostingList()
+        plist.append(1, 1.0)
+        plist.seal()
+        assert plist.sealed
+        with pytest.raises(ValueError):
+            plist.append(2, 1.0)
+        with pytest.raises(ValueError):
+            plist.insert_sorted(0, 1.0)
+
+    def test_index_seal_freezes_every_list(self):
+        index = ScoredInvertedIndex()
+        index.insert(0, (1, 2), (1.0, 1.0), norm=2.0)
+        assert index.seal() is index
+        with pytest.raises(ValueError):
+            index.get(1).append(5, 1.0)
+
+    def test_sealed_lists_still_readable(self):
+        index = ScoredInvertedIndex()
+        index.insert(0, (1,), (1.0,), norm=1.0)
+        index.seal()
+        lists = index.probe_lists((1,), (1.0,))
+        assert list(lists[0][0].ids) == [0]
+
+
+class TestNEntriesContract:
+    def test_insert_sorted_reports_new_vs_reused(self):
+        plist = PostingList()
+        assert plist.insert_sorted(5, 1.0) is True
+        assert plist.insert_sorted(5, 2.0) is False  # score raise, no new slot
+        assert plist.insert_sorted(2, 1.0) is True
+
+    def test_audit_passes_on_consistent_index(self):
+        index = ScoredInvertedIndex()
+        index.insert(0, (1, 2), (1.0, 1.0), norm=2.0)
+        index.insert(1, (2,), (1.0,), norm=1.0)
+        assert index.audit_n_entries() == 3
+
+    def test_audit_catches_drift(self):
+        index = ScoredInvertedIndex()
+        index.insert(0, (1,), (1.0,), norm=1.0)
+        # A caller that mutates lists via get_or_create without keeping
+        # its side of the bookkeeping bargain is exactly what the audit
+        # exists to catch.
+        index.get_or_create(9).insert_sorted(0, 1.0)
+        with pytest.raises(AssertionError):
+            index.audit_n_entries()

@@ -57,18 +57,27 @@ class TestBasics:
             assert pair.rid_a != pair.rid_b
 
 
+def _heap_backed(variant: str) -> ProbeCountJoin:
+    """A variant pinned to the heap merge backend, so the heap counters
+    these work-savings tests compare are populated regardless of the
+    adaptive default."""
+    algorithm = ProbeCountJoin(variant=variant)
+    algorithm.merge_backend = "heap"
+    return algorithm
+
+
 class TestWorkSavings:
     def test_optmerge_does_less_merge_work_than_basic(self):
         data = random_dataset(seed=5, n_base=150, universe=40)
-        basic = ProbeCountJoin(variant="basic").join(data, OverlapPredicate(6))
-        opt = ProbeCountJoin(variant="optmerge").join(data, OverlapPredicate(6))
+        basic = _heap_backed("basic").join(data, OverlapPredicate(6))
+        opt = _heap_backed("optmerge").join(data, OverlapPredicate(6))
         assert opt.pair_set() == basic.pair_set()
         assert opt.counters.heap_pops < basic.counters.heap_pops
 
     def test_online_halves_merge_work(self):
         data = random_dataset(seed=6, n_base=150, universe=40)
-        two_pass = ProbeCountJoin(variant="optmerge").join(data, OverlapPredicate(6))
-        online = ProbeCountJoin(variant="online").join(data, OverlapPredicate(6))
+        two_pass = _heap_backed("optmerge").join(data, OverlapPredicate(6))
+        online = _heap_backed("online").join(data, OverlapPredicate(6))
         assert online.pair_set() == two_pass.pair_set()
         assert online.counters.heap_pops < two_pass.counters.heap_pops
 

@@ -97,3 +97,47 @@ class TestPersistence:
         restored = SimilarityIndex.load(path, OverlapPredicate(1), tokenizer=tokenize_words)
         restored.add("beta gamma")
         assert len(restored.query("beta")) == 2
+
+
+class TestMergeBackend:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityIndex(OverlapPredicate(1), merge_backend="quantum")
+
+    @pytest.mark.parametrize("backend", ["auto", "heap", "accumulator"])
+    def test_query_results_identical_across_backends(self, backend):
+        corpus = [
+            "efficient set joins on similarity predicates",
+            "set joins on similarity predicates efficient",
+            "completely unrelated gardening advice",
+            "set similarity joins",
+        ]
+        reference = SimilarityIndex(
+            JaccardPredicate(0.4), tokenizer=tokenize_words, merge_backend="heap"
+        )
+        service = SimilarityIndex(
+            JaccardPredicate(0.4), tokenizer=tokenize_words, merge_backend=backend
+        )
+        for line in corpus:
+            reference.add(line)
+            service.add(line)
+        for query in corpus + ["similarity joins on sets", "nothing in common"]:
+            expected = [(m.rid_a, m.similarity) for m in reference.query(query)]
+            got = [(m.rid_a, m.similarity) for m in service.query(query)]
+            assert got == expected
+
+    def test_save_load_roundtrips_backend(self, tmp_path):
+        path = str(tmp_path / "index.snapshot")
+        service = SimilarityIndex(
+            OverlapPredicate(2), tokenizer=tokenize_words, merge_backend="accumulator"
+        )
+        service.add("alpha beta gamma")
+        service.add("beta gamma delta")
+        service.save(path)
+        restored = SimilarityIndex.load(
+            path, OverlapPredicate(2), tokenizer=tokenize_words,
+            merge_backend="accumulator",
+        )
+        assert restored.merge_backend == "accumulator"
+        got = [m.rid_a for m in restored.query("beta gamma epsilon")]
+        assert got == [0, 1]
