@@ -35,9 +35,19 @@ accumulator run's ``work`` plus both improvement ratios into
 (where stable) wall-clock improvement — the headline win this backend
 exists for must not silently erode.
 
+With ``--serve`` the gate covers the serving tier
+(:mod:`repro.serving`): every case runs the same query stream through
+a single-index :class:`IndexServer` and a :class:`ShardedIndexServer`,
+asserts the two answer streams are identical (the sharded tier's
+exactness contract), and records the sharded run's merge-work counters
+plus client-observed p50/p99 for both servers into
+``BENCH_serve.json``. Work counters and answer identity gate hard;
+the latencies are machine-dependent and recorded for trend-watching
+only.
+
 With ``--report`` the gate prints a compact trajectory table across
-every committed BENCH file (serial / parallel / bitmap / merge) and
-exits; nothing is run.
+every committed BENCH file (serial / parallel / bitmap / merge /
+serve) and exits; nothing is run.
 
 Usage::
 
@@ -48,6 +58,8 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_gate.py --bitmap --check  # gate bitmap paths
     PYTHONPATH=src python benchmarks/perf_gate.py --merge           # rewrite merge baseline
     PYTHONPATH=src python benchmarks/perf_gate.py --merge --check   # gate merge backends
+    PYTHONPATH=src python benchmarks/perf_gate.py --serve           # rewrite serve baseline
+    PYTHONPATH=src python benchmarks/perf_gate.py --serve --check   # gate sharded serving
     PYTHONPATH=src python benchmarks/perf_gate.py --report          # cross-BENCH trajectory table
 """
 
@@ -67,12 +79,15 @@ from harness import BENCHMARK_SEED, dataset_by_name  # noqa: E402
 from repro import JaccardPredicate, OverlapPredicate, similarity_join  # noqa: E402
 from repro.compression.compressed_join import CompressedProbeJoin  # noqa: E402
 from repro.core.prefix_filter import PrefixFilterJoin  # noqa: E402
+from repro.core.service import SimilarityIndex  # noqa: E402
+from repro.serving import IndexServer, ShardedIndexServer  # noqa: E402
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_serial.json")
 BITMAP_BASELINE = os.path.join(REPO_ROOT, "BENCH_bitmap.json")
 MERGE_BASELINE = os.path.join(REPO_ROOT, "BENCH_merge.json")
 PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+SERVE_BASELINE = os.path.join(REPO_ROOT, "BENCH_serve.json")
 
 #: Allowed relative growth of a case's ``work`` counter before the gate
 #: fails. Counters are deterministic, so any growth is a real algorithmic
@@ -142,6 +157,32 @@ _MERGE_QUICK_CASES = {
     "merge/two-pass/citation-words/overlap-12",
     "merge/optmerge/citation-words/overlap-12",
 }
+
+#: Serving-tier gate matrix: (case-name, dataset, predicate, threshold,
+#: shards). Each case streams the same queries through a single-index
+#: IndexServer and a ShardedIndexServer and must get identical answers;
+#: the sharded run's merge-work counters gate hard (deterministic per
+#: dataset/predicate/shard-count), the p50/p99 are informational.
+_SERVE_CASES = [
+    ("serve/citation-words/overlap-12/shards-4", "citation-words", "overlap", 12, 4),
+    ("serve/citation-words/overlap-12/shards-2", "citation-words", "overlap", 12, 2),
+    ("serve/citation-3grams/jaccard-0.7/shards-4", "citation-3grams", "jaccard", 0.7, 4),
+]
+
+#: Serve cases exercised under ``--quick`` (CI).
+_SERVE_QUICK_CASES = {
+    "serve/citation-words/overlap-12/shards-4",
+}
+
+#: Queries per serve case: the first K corpus records re-asked as probes.
+_SERVE_QUERIES = 64
+
+#: Dict-shaped mirror of ``CostCounters.total_work`` for servers that
+#: report ``counters_snapshot()`` instead of a counters object.
+_WORK_COUNTERS = (
+    "heap_pops", "list_items_touched", "binary_searches",
+    "pairs_generated", "pairs_verified",
+)
 
 _PROFILES = {"quick": 500, "full": 2000}
 
@@ -230,13 +271,104 @@ def _run_merge_case(dataset_name, predicate_name, threshold, algorithm, n):
     }
 
 
-def run_profile(profile: str, bitmap: bool = False, merge: bool = False) -> dict:
+def _snapshot_work(counters: dict) -> int:
+    return sum(counters.get(name, 0) for name in _WORK_COUNTERS)
+
+
+def _percentile_ms(latencies: list[float], p: float) -> float:
+    """Nearest-rank percentile of a latency sample, in milliseconds."""
+    ordered = sorted(latencies)
+    rank = max(0, min(len(ordered) - 1, int(round(p / 100.0 * len(ordered))) - 1))
+    return round(ordered[rank] * 1000.0, 3)
+
+
+def _run_serve_case(dataset_name, predicate_name, threshold, shards, n):
+    """The same query stream through both serving tiers; answers must agree."""
+    dataset = dataset_by_name(dataset_name, n)
+    records = list(dataset.records)
+    queries = records[:_SERVE_QUERIES]
+
+    index = SimilarityIndex(_PREDICATES[predicate_name](threshold))
+    for record in records:
+        index.add(record)
+    single = IndexServer(index, workers=2).start()
+
+    sharded = ShardedIndexServer(
+        _PREDICATES[predicate_name](threshold),
+        shards=shards,
+        workers=2,
+        shard_workers=2,
+    )
+    for record in records:
+        sharded.add(record)
+    sharded.start()
+
+    try:
+        single_before = _snapshot_work(index.counters_snapshot())
+        single_latencies, single_answers = [], []
+        for query in queries:
+            started = time.perf_counter()
+            matches = single.query(query, timeout=60.0)
+            single_latencies.append(time.perf_counter() - started)
+            single_answers.append(
+                [(m.rid_a, round(m.similarity, 12)) for m in matches]
+            )
+        single_work = _snapshot_work(index.counters_snapshot()) - single_before
+
+        sharded_before = _snapshot_work(sharded.counters_snapshot())
+        sharded_latencies, sharded_answers = [], []
+        run_started = time.perf_counter()
+        for query in queries:
+            started = time.perf_counter()
+            result = sharded.query(query, timeout=60.0)
+            sharded_latencies.append(time.perf_counter() - started)
+            assert not result.partial, "benchmark run lost a shard"
+            sharded_answers.append(
+                [(m.rid_a, round(m.similarity, 12)) for m in result]
+            )
+        seconds = time.perf_counter() - run_started
+        sharded_work = _snapshot_work(sharded.counters_snapshot()) - sharded_before
+    finally:
+        single.drain(timeout=30.0)
+        sharded.drain(timeout=30.0)
+
+    return {
+        "work": sharded_work,
+        "single_work": single_work,
+        "pairs": sum(len(answer) for answer in sharded_answers),
+        "pairs_match": sharded_answers == single_answers,
+        "queries": len(queries),
+        "single_p50_ms": _percentile_ms(single_latencies, 50.0),
+        "single_p99_ms": _percentile_ms(single_latencies, 99.0),
+        "sharded_p50_ms": _percentile_ms(sharded_latencies, 50.0),
+        "sharded_p99_ms": _percentile_ms(sharded_latencies, 99.0),
+        "seconds": round(seconds, 4),
+    }
+
+
+def run_profile(
+    profile: str, bitmap: bool = False, merge: bool = False, serve: bool = False
+) -> dict:
     n = _PROFILES[profile]
     cases = {}
     started = time.perf_counter()
-    label = "bitmap" if bitmap else "merge" if merge else "perf"
+    label = "bitmap" if bitmap else "merge" if merge else "serve" if serve else "perf"
     print(f"{label} matrix [{profile}] n={n}:")
-    if merge:
+    if serve:
+        for name, dataset_name, predicate_name, threshold, shards in _SERVE_CASES:
+            if profile == "quick" and name not in _SERVE_QUICK_CASES:
+                continue
+            cases[name] = _run_serve_case(
+                dataset_name, predicate_name, threshold, shards, n
+            )
+            row = cases[name]
+            print(
+                f"  {name:<48} work={row['work']:<12}"
+                f" match={row['pairs_match']}"
+                f" p50 {row['sharded_p50_ms']}ms vs {row['single_p50_ms']}ms"
+                f" p99 {row['sharded_p99_ms']}ms vs {row['single_p99_ms']}ms"
+            )
+    elif merge:
         for name, dataset_name, predicate_name, threshold, algorithm, _, _ in _MERGE_CASES:
             if profile == "quick" and name not in _MERGE_QUICK_CASES:
                 continue
@@ -281,12 +413,16 @@ def run_profile(profile: str, bitmap: bool = False, merge: bool = False) -> dict
     }
 
 
-def _report_shell(profiles: dict, bitmap: bool = False, merge: bool = False) -> dict:
+def _report_shell(
+    profiles: dict, bitmap: bool = False, merge: bool = False, serve: bool = False
+) -> dict:
     kind = (
         "bitmap-perf-baseline"
         if bitmap
         else "merge-perf-baseline"
         if merge
+        else "serve-perf-baseline"
+        if serve
         else "serial-perf-baseline"
     )
     return {
@@ -386,6 +522,18 @@ def check_merge(fresh: dict, baseline: dict, profile: str) -> list[str]:
     return failures
 
 
+def check_serve(fresh: dict, baseline: dict, profile: str) -> list[str]:
+    """Gate the serving cases: answer identity first, then merge work."""
+    failures = check(fresh, baseline, profile)
+    for name, row in fresh["cases"].items():
+        if not row.get("pairs_match", True):
+            failures.append(
+                f"{name}: sharded server answered differently than the"
+                " single-index server (scatter-gather is NOT exact)"
+            )
+    return failures
+
+
 # ----------------------------------------------------------------------
 # Cross-BENCH trajectory report
 # ----------------------------------------------------------------------
@@ -430,6 +578,15 @@ def report_trajectory() -> int:
         lambda row: (
             f"work {row.get('work_improvement', 0.0):+.1%}"
             f" wall {row.get('wallclock_improvement', 0.0):+.1%}"
+        ),
+    )
+    add_profile_cases(
+        "serve",
+        _load_json(SERVE_BASELINE),
+        lambda row: (
+            f"p50 {row.get('sharded_p50_ms', 0.0)}ms"
+            f" (single {row.get('single_p50_ms', 0.0)}ms)"
+            f" p99 {row.get('sharded_p99_ms', 0.0)}ms"
         ),
     )
     parallel = _load_json(PARALLEL_BASELINE)
@@ -495,9 +652,15 @@ def main(argv: list[str] | None = None) -> int:
         " (each case runs per backend and must emit identical pairs)",
     )
     parser.add_argument(
+        "--serve", action="store_true",
+        help="run the sharded-serving matrix against BENCH_serve.json"
+        " (each case streams identical queries through the single and"
+        " sharded servers and must get identical answers)",
+    )
+    parser.add_argument(
         "--report", action="store_true",
         help="print a compact trajectory table across every committed"
-        " BENCH file (serial/parallel/bitmap/merge) and exit",
+        " BENCH file (serial/parallel/bitmap/merge/serve) and exit",
     )
     parser.add_argument("--baseline", default=None)
     parser.add_argument(
@@ -508,27 +671,41 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.report:
         return report_trajectory()
-    if args.bitmap and args.merge:
-        parser.error("--bitmap and --merge are mutually exclusive")
+    if sum((args.bitmap, args.merge, args.serve)) > 1:
+        parser.error("--bitmap, --merge, and --serve are mutually exclusive")
     baseline_path = args.baseline or (
         BITMAP_BASELINE
         if args.bitmap
         else MERGE_BASELINE
         if args.merge
+        else SERVE_BASELINE
+        if args.serve
         else DEFAULT_BASELINE
     )
-    checker = check_bitmap if args.bitmap else check_merge if args.merge else check
+    checker = (
+        check_bitmap
+        if args.bitmap
+        else check_merge
+        if args.merge
+        else check_serve
+        if args.serve
+        else check
+    )
     fresh_name = (
         "BENCH_bitmap.fresh.json"
         if args.bitmap
         else "BENCH_merge.fresh.json"
         if args.merge
+        else "BENCH_serve.fresh.json"
+        if args.serve
         else "BENCH_serial.fresh.json"
     )
 
     if args.check:
         profile = "quick" if args.quick else "full"
-        fresh = run_profile(profile, bitmap=args.bitmap, merge=args.merge)
+        fresh = run_profile(
+            profile, bitmap=args.bitmap, merge=args.merge, serve=args.serve
+        )
         if not os.path.exists(baseline_path):
             print(f"FAIL: no committed baseline at {baseline_path}", file=sys.stderr)
             return 2
@@ -539,7 +716,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(
-                _report_shell({profile: fresh}, bitmap=args.bitmap, merge=args.merge),
+                _report_shell(
+                    {profile: fresh},
+                    bitmap=args.bitmap, merge=args.merge, serve=args.serve,
+                ),
                 handle, indent=2, sort_keys=True,
             )
             handle.write("\n")
@@ -558,11 +738,14 @@ def main(argv: list[str] | None = None) -> int:
     names = ["quick"] if args.quick else ["quick", "full"]
     report = _report_shell(
         {
-            name: run_profile(name, bitmap=args.bitmap, merge=args.merge)
+            name: run_profile(
+                name, bitmap=args.bitmap, merge=args.merge, serve=args.serve
+            )
             for name in names
         },
         bitmap=args.bitmap,
         merge=args.merge,
+        serve=args.serve,
     )
     output = args.output or baseline_path
     with open(output, "w", encoding="utf-8") as handle:

@@ -58,7 +58,14 @@ from repro.runtime import (
     JoinTimeout,
     ServerOverloaded,
 )
-from repro.serving import CircuitBreaker, IndexServer, RetryPolicy
+from repro.serving import (
+    CircuitBreaker,
+    HedgePolicy,
+    IndexServer,
+    RetryPolicy,
+    ShardedIndexServer,
+    ShardedResult,
+)
 from repro.text.tokenizers import tokenize_qgrams, tokenize_words
 
 __all__ = ["main"]
@@ -255,7 +262,30 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--query-cache", metavar="N", type=int, default=0,
         help="LRU query-result cache capacity (default 0 = off); entries"
-        " are invalidated whenever the index mutates",
+        " are invalidated whenever the index mutates (per shard with"
+        " --shards > 1: a flip invalidates only that shard's entries)",
+    )
+    sharding = serve_parser.add_argument_group("sharding")
+    sharding.add_argument(
+        "--shards", metavar="N", type=int, default=1,
+        help="partition the index across N shards served scatter-gather"
+        " (default 1 = single index); results are identical, but each"
+        " shard is its own fault domain and a query that loses shards"
+        " returns partial results with a completeness TSV column",
+    )
+    sharding.add_argument(
+        "--shard-workers", metavar="N", type=int, default=2,
+        help="probe threads per shard (default 2; hedging needs >= 2)",
+    )
+    sharding.add_argument(
+        "--hedge-delay", metavar="SECONDS", type=float, default=None,
+        help="re-issue a shard probe still running after this many"
+        " seconds and take whichever finishes first (default off)",
+    )
+    sharding.add_argument(
+        "--require-complete", action="store_true",
+        help="fail a query that loses any shard (typed PartialResult"
+        " error) instead of answering from the surviving shards",
     )
     _add_merge_backend_option(serve_parser)
     _add_bitmap_options(serve_parser)
@@ -415,7 +445,13 @@ def _drain_signals():
 
 
 def _emit_query_result(qid: int, future, timeout: float) -> bool:
-    """Print one query's matches as TSV; returns False on failure."""
+    """Print one query's matches as TSV; returns False on failure.
+
+    Sharded answers carry a fourth completeness column
+    (``complete``/``partial``) so downstream consumers can tell an
+    exact empty answer from one that lost shards; partial answers also
+    get a stderr note naming the lost shards.
+    """
     try:
         matches = future.result(timeout=timeout)
     except JoinRuntimeError as exc:
@@ -424,16 +460,53 @@ def _emit_query_result(qid: int, future, timeout: float) -> bool:
     except FuturesTimeout:
         print(f"repro: query {qid}: no result after {timeout:.1f}s", file=sys.stderr)
         return False
+    suffix = ""
+    if isinstance(matches, ShardedResult):
+        suffix = "\tpartial" if matches.partial else "\tcomplete"
+        if matches.partial:
+            print(
+                f"repro: query {qid}: partial result"
+                f" (lost shards {list(matches.shards_failed)})",
+                file=sys.stderr,
+            )
     for pair in matches:
-        print(f"{qid}\t{pair.rid_a}\t{pair.similarity:.4f}")
+        print(f"{qid}\t{pair.rid_a}\t{pair.similarity:.4f}{suffix}")
     return True
 
 
-def _print_serve_health(server: IndexServer) -> None:
+def _print_serve_health(server) -> None:
     health = server.health()
 
     def _ms(seconds: float | None) -> str:
         return "-" if seconds is None else f"{seconds * 1000.0:.1f}ms"
+
+    if "shards" in health:
+        latency = health["latency"]
+        partial = health["partial"]
+        hedging = health["hedging"]
+        counters = health["index"]["counters"]
+        breaker_states = [
+            row["breaker"]["state"] if row["breaker"] else "off"
+            for row in health["shards"]
+        ]
+        hedge_note = (
+            f" hedges {hedging['issued']} issued/{hedging['wins']} won,"
+            if hedging["enabled"]
+            else ""
+        )
+        print(
+            f"# serve: {health['completed']} completed"
+            f" ({partial['partial']} partial), {health['failed']} failed,"
+            f" {health['shed']} shed, {health['retried']} retried,"
+            f" shards={health['router']['shards']}"
+            f" spread={health['router']['spread']},"
+            f"{hedge_note}"
+            f" p50 {_ms(latency['p50_seconds'])}, p99 {_ms(latency['p99_seconds'])},"
+            f" breakers={','.join(breaker_states)},"
+            f" unknown_query_tokens={counters.get('unknown_query_tokens', 0)}",
+            file=sys.stderr,
+        )
+        return
 
     latency = health["latency"]
     breaker = health["breaker"]
@@ -469,35 +542,75 @@ def _serve(args, corpus: list[str]) -> int:
         raise _CLIError(f"--retries must be >= 1, got {args.retries}")
     if args.query_cache < 0:
         raise _CLIError(f"--query-cache must be >= 0, got {args.query_cache}")
+    if args.shards < 1:
+        raise _CLIError(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_workers < 1:
+        raise _CLIError(f"--shard-workers must be >= 1, got {args.shard_workers}")
+    if args.hedge_delay is not None and args.hedge_delay <= 0:
+        raise _CLIError(f"--hedge-delay must be > 0, got {args.hedge_delay}")
+    if args.shards == 1:
+        for flag, name in (
+            (args.hedge_delay is not None, "--hedge-delay"),
+            (args.require_complete, "--require-complete"),
+        ):
+            if flag:
+                raise _CLIError(f"{name} requires --shards > 1")
+    elif args.process_pool:
+        raise _CLIError("--process-pool is not supported with --shards > 1")
     try:
         predicate = _PREDICATES[args.predicate](args.threshold)
     except ValueError as exc:
         raise _CLIError(f"bad --threshold for {args.predicate}: {exc}") from exc
 
-    index = SimilarityIndex(
-        predicate,
-        tokenizer=_TOKENIZERS[args.tokenizer],
-        bitmap_filter=_bitmap_config(args),
-        merge_backend=args.merge_backend,
-    )
-    for line in corpus:
-        index.add(line)
+    retry_policy = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
     try:
-        server = IndexServer(
-            index,
-            workers=args.workers,
-            queue_limit=args.queue_limit,
-            default_deadline=args.query_deadline,
-            executor="process" if args.process_pool else "thread",
-            query_cache=args.query_cache,
-            retry_policy=(
-                RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
-            ),
-            breaker=CircuitBreaker(
-                failure_threshold=args.breaker_threshold,
-                cooldown_seconds=args.breaker_cooldown,
-            ),
-        )
+        if args.shards > 1:
+            server = ShardedIndexServer(
+                predicate,
+                shards=args.shards,
+                tokenizer=_TOKENIZERS[args.tokenizer],
+                workers=args.workers,
+                shard_workers=args.shard_workers,
+                queue_limit=args.queue_limit,
+                default_deadline=args.query_deadline,
+                query_cache=args.query_cache,
+                retry_policy=retry_policy,
+                breaker_factory=lambda: CircuitBreaker(
+                    failure_threshold=args.breaker_threshold,
+                    cooldown_seconds=args.breaker_cooldown,
+                ),
+                hedge=(
+                    HedgePolicy(delay=args.hedge_delay)
+                    if args.hedge_delay is not None
+                    else None
+                ),
+                bitmap_filter=_bitmap_config(args),
+                merge_backend=args.merge_backend,
+            )
+            for line in corpus:
+                server.add(line)
+        else:
+            index = SimilarityIndex(
+                predicate,
+                tokenizer=_TOKENIZERS[args.tokenizer],
+                bitmap_filter=_bitmap_config(args),
+                merge_backend=args.merge_backend,
+            )
+            for line in corpus:
+                index.add(line)
+            server = IndexServer(
+                index,
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                default_deadline=args.query_deadline,
+                executor="process" if args.process_pool else "thread",
+                query_cache=args.query_cache,
+                retry_policy=retry_policy,
+                breaker=CircuitBreaker(
+                    failure_threshold=args.breaker_threshold,
+                    cooldown_seconds=args.breaker_cooldown,
+                ),
+            )
     except ValueError as exc:
         # e.g. executor='process' on a platform without fork
         raise _CLIError(str(exc)) from exc
@@ -516,6 +629,7 @@ def _serve(args, corpus: list[str]) -> int:
     # whole query stream.
     window = 2 * args.workers
     result_timeout = args.drain_timeout + 1.0
+    submit_kwargs = {"require_complete": True} if args.require_complete else {}
     pending: deque[tuple[int, object]] = deque()
     qid = 0
     failures = 0
@@ -530,7 +644,7 @@ def _serve(args, corpus: list[str]) -> int:
                         continue
                     this_qid, qid = qid, qid + 1
                     try:
-                        pending.append((this_qid, server.submit(text)))
+                        pending.append((this_qid, server.submit(text, **submit_kwargs)))
                     except ServerOverloaded as exc:
                         print(f"repro: query {this_qid}: {exc}", file=sys.stderr)
                         failures += 1

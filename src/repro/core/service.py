@@ -250,13 +250,22 @@ class SimilarityIndex:
         lock=None,
         bitmap_filter=None,
         merge_backend=None,
+        vocabulary: dict[str, int] | None = None,
     ):
         self.predicate = predicate
         self.tokenizer = tokenizer
         self.merge_backend = resolve_merge_backend(merge_backend)
         self._token_lists: list[list[str]] = []
         self._payloads: list = []
-        self._vocabulary: dict[str, int] = {}
+        #: ``vocabulary=`` lets several indexes share one token-id space
+        #: (mirroring ``Dataset.from_token_lists``): the sharded serving
+        #: tier partitions records across indexes but needs one token to
+        #: mean one id everywhere for scores to be globally comparable.
+        #: Callers sharing a vocabulary must serialize their mutations
+        #: (the sharded server funnels every ``add`` through one lock).
+        self._vocabulary: dict[str, int] = (
+            vocabulary if vocabulary is not None else {}
+        )
         self._dataset = Dataset([], vocabulary=self._vocabulary, payloads=[])
         self._bound = None
         self._index = ScoredInvertedIndex()
@@ -643,6 +652,22 @@ class SimilarityIndex:
 
     def payload(self, rid: int):
         return self._dataset.payload(rid)
+
+    def export_records(self, start: int = 0) -> list[tuple[list[str], object]]:
+        """Point-in-time copy of ``(tokens, payload)`` from ``start`` on.
+
+        Taken under the read lock, so the slice is consistent against
+        concurrent ``add``s. Feeding each pair back through
+        ``add(tokens, payload=payload)`` reproduces the records exactly
+        (token lists bypass the tokenizer) — the seam the zero-downtime
+        generation builder uses to snapshot a shard and to catch up the
+        adds that landed while it was building.
+        """
+        with self._read_locked("export"):
+            return [
+                (list(self._token_lists[rid]), self._dataset.payload(rid))
+                for rid in range(start, len(self._dataset))
+            ]
 
     def counters_snapshot(self) -> dict:
         """A consistent plain-dict copy of the cost counters.

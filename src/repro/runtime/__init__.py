@@ -33,11 +33,13 @@ from repro.runtime.errors import (
     CheckpointMismatch,
     CircuitOpen,
     ConcurrentMutation,
+    DeadlineExceeded,
     JoinCancelled,
     JoinInterrupted,
     JoinRuntimeError,
     JoinTimeout,
     MemoryBudgetExceeded,
+    PartialResult,
     ServerOverloaded,
     SnapshotCorrupted,
     SnapshotEncodingError,
@@ -51,6 +53,7 @@ __all__ = [
     "CheckpointState",
     "CircuitOpen",
     "ConcurrentMutation",
+    "DeadlineExceeded",
     "JoinCancelled",
     "JoinCheckpointer",
     "JoinContext",
@@ -59,6 +62,7 @@ __all__ = [
     "JoinTimeout",
     "MemoryBudgetExceeded",
     "NullRWLock",
+    "PartialResult",
     "RWLock",
     "ServerOverloaded",
     "SnapshotCorrupted",

@@ -12,11 +12,13 @@ __all__ = [
     "CheckpointMismatch",
     "CircuitOpen",
     "ConcurrentMutation",
+    "DeadlineExceeded",
     "JoinCancelled",
     "JoinInterrupted",
     "JoinRuntimeError",
     "JoinTimeout",
     "MemoryBudgetExceeded",
+    "PartialResult",
     "ServerOverloaded",
     "SnapshotCorrupted",
     "SnapshotEncodingError",
@@ -45,6 +47,12 @@ class JoinTimeout(JoinInterrupted):
         )
         self.elapsed = elapsed
         self.deadline = deadline
+
+
+#: A deadline expiry is the runtime's "deadline exceeded" failure; the
+#: serving layer (retry clamping, per-shard budgets) refers to it under
+#: this name. One type, two vocabularies — ``except`` either.
+DeadlineExceeded = JoinTimeout
 
 
 class JoinCancelled(JoinInterrupted):
@@ -135,6 +143,27 @@ class CircuitOpen(JoinRuntimeError):
         )
         self.state = state
         self.retry_after = retry_after
+
+
+class PartialResult(JoinRuntimeError):
+    """A sharded query lost shards and the caller demanded completeness.
+
+    Raised by ``ShardedIndexServer`` when ``require_complete=True`` and
+    one or more shards failed (breaker open, deadline expiry, injected
+    or real fault). The matches that *were* gathered ride along on
+    ``result`` so a caller that changes its mind can still use them;
+    ``shards_failed`` names the lost shards exactly.
+    """
+
+    def __init__(self, shards_failed, shards_total: int, result=None):
+        failed = tuple(shards_failed)
+        super().__init__(
+            f"partial result: lost {len(failed)}/{shards_total} shards"
+            f" {list(failed)}"
+        )
+        self.shards_failed = failed
+        self.shards_total = shards_total
+        self.result = result
 
 
 class ConcurrentMutation(JoinRuntimeError):

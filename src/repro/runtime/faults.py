@@ -12,9 +12,15 @@ filled with controllable failure doubles:
 * :class:`CountdownCancellation` — a cancellation token that trips
   itself after N observations, simulating a kill at an exact record
   boundary.
+* :class:`ShardFaults` — a per-shard fault plan (kill / slow / error a
+  chosen shard) consulted by the sharded serving tier's probe path, so
+  chaos tests can take down exactly one fault domain.
 """
 
 from __future__ import annotations
+
+import threading
+import time
 
 from repro.runtime.context import CancellationToken
 from repro.runtime.snapshot import RealFilesystem
@@ -24,6 +30,7 @@ __all__ = [
     "FailingFilesystem",
     "FakeClock",
     "InjectedFault",
+    "ShardFaults",
 ]
 
 
@@ -83,6 +90,93 @@ class CountdownCancellation(CancellationToken):
         if self.checks >= self.after_checks:
             self.cancel(self._reason_on_trip)
         return self._cancelled
+
+
+class _ShardFault:
+    """One armed fault: its mode, its slow duration, its shot budget."""
+
+    __slots__ = ("mode", "seconds", "remaining")
+
+    def __init__(self, mode: str, seconds: float, remaining: int | None):
+        self.mode = mode
+        self.seconds = seconds
+        self.remaining = remaining
+
+
+class ShardFaults:
+    """Deterministic shard-level fault injection for sharded serving.
+
+    Arm a fault against a shard id; the sharded server's probe path
+    calls :meth:`apply` at the top of every probe attempt for that
+    shard:
+
+    * ``kill``  — the probe raises :class:`InjectedFault` (an
+      ``OSError``, so a configured retry policy classifies it as
+      transient — a killed shard with retries exhausts them).
+    * ``slow``  — the probe sleeps ``seconds`` first, simulating a
+      straggler; with a deadline shorter than the sleep the probe then
+      dies of :class:`~repro.runtime.errors.JoinTimeout`, with a hedging
+      policy the re-issued probe races it.
+    * ``error`` — same raise as ``kill``, kept distinct in the message
+      and tallies so tests can assert which scenario fired.
+
+    ``times`` bounds how many probe attempts the fault hits (``None`` =
+    every attempt until :meth:`clear`). One fault per shard: arming a
+    new one replaces the old. All methods are thread-safe; ``injected``
+    tallies applications per shard for exact-accounting assertions.
+    """
+
+    def __init__(self, sleep=time.sleep):
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._faults: dict[int, _ShardFault] = {}
+        self.injected: dict[int, int] = {}
+
+    def kill(self, shard_id: int, times: int | None = None) -> None:
+        """Every probe of ``shard_id`` raises (shard is down)."""
+        self._arm(shard_id, "kill", 0.0, times)
+
+    def slow(self, shard_id: int, seconds: float, times: int | None = None) -> None:
+        """Every probe of ``shard_id`` stalls ``seconds`` first."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self._arm(shard_id, "slow", seconds, times)
+
+    def error(self, shard_id: int, times: int | None = None) -> None:
+        """Every probe of ``shard_id`` fails with an injected error."""
+        self._arm(shard_id, "error", 0.0, times)
+
+    def _arm(self, shard_id: int, mode: str, seconds: float, times: int | None):
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {times}")
+        with self._lock:
+            self._faults[shard_id] = _ShardFault(mode, seconds, times)
+
+    def clear(self, shard_id: int | None = None) -> None:
+        """Disarm one shard's fault, or every fault when id is omitted."""
+        with self._lock:
+            if shard_id is None:
+                self._faults.clear()
+            else:
+                self._faults.pop(shard_id, None)
+
+    def apply(self, shard_id: int) -> None:
+        """The probe-path seam: sleep or raise per the armed fault."""
+        with self._lock:
+            fault = self._faults.get(shard_id)
+            if fault is None:
+                return
+            if fault.remaining is not None:
+                fault.remaining -= 1
+                if fault.remaining <= 0:
+                    del self._faults[shard_id]
+            shot = self.injected.get(shard_id, 0) + 1
+            self.injected[shard_id] = shot
+            mode, seconds = fault.mode, fault.seconds
+        if mode == "slow":
+            self._sleep(seconds)
+            return
+        raise InjectedFault(f"shard {shard_id} {mode}", shot)
 
 
 class FailingFilesystem(RealFilesystem):

@@ -8,8 +8,18 @@ grown into a service fit for real traffic:
   bounded admission queue with load shedding
   (:class:`~repro.runtime.errors.ServerOverloaded`), per-query
   deadlines, health reporting, graceful drain.
+* :class:`~repro.serving.sharded.ShardedIndexServer` — the same
+  contract scaled across N hash-partitioned index shards: scatter-
+  gather probes with per-shard deadline budgets, breakers, caches, and
+  hedging (:class:`~repro.serving.sharded.HedgePolicy`); partial
+  results with explicit accounting
+  (:class:`~repro.serving.sharded.ShardedResult`,
+  :class:`~repro.runtime.errors.PartialResult`); zero-downtime reindex
+  via :class:`~repro.serving.generation.GenerationBuilder`;
+  :class:`~repro.serving.router.ShardRouter` assigns records to shards
+  by stable hash.
 * :class:`~repro.serving.retry.RetryPolicy` — exponential backoff with
-  jitter for transient faults.
+  jitter for transient faults, clamped to the request's deadline.
 * :class:`~repro.serving.breaker.CircuitBreaker` — fail fast while the
   index (or its storage) is down
   (:class:`~repro.runtime.errors.CircuitOpen`).
@@ -21,21 +31,29 @@ grown into a service fit for real traffic:
 Thread safety of the underlying index lives in
 :mod:`repro.core.service` (non-mutating probes) and
 :mod:`repro.runtime.rwlock` (reader–writer lock); this layer assumes it
-and adds operability. See the "Serving" section of
-``docs/operations.md`` and the ``repro serve`` CLI subcommand.
+and adds operability. See the "Serving" and "Sharded serving" sections
+of ``docs/operations.md`` and the ``repro serve`` CLI subcommand.
 """
 
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.cache import QueryCache
+from repro.serving.generation import GenerationBuilder
 from repro.serving.retry import RetryPolicy, default_retryable
+from repro.serving.router import ShardRouter
 from repro.serving.server import IndexServer
+from repro.serving.sharded import HedgePolicy, ShardedIndexServer, ShardedResult
 from repro.serving.stats import LatencyTracker
 
 __all__ = [
     "CircuitBreaker",
+    "GenerationBuilder",
+    "HedgePolicy",
     "IndexServer",
     "LatencyTracker",
     "QueryCache",
     "RetryPolicy",
+    "ShardRouter",
+    "ShardedIndexServer",
+    "ShardedResult",
     "default_retryable",
 ]

@@ -117,20 +117,34 @@ class CircuitBreaker:
                 self._half_open_in_flight += 1
 
     def record_success(self) -> None:
-        """The admitted request succeeded; half-open trials close the circuit."""
+        """The admitted request succeeded; half-open trials close the circuit.
+
+        Only a request holding a trial slot (admitted *while* half-open)
+        may close the circuit: a success straggling in from a request
+        admitted before the circuit opened says nothing about whether
+        the dependency has recovered since.
+        """
         with self._lock:
             self._consecutive_failures = 0
-            if self._state == HALF_OPEN:
-                self._half_open_in_flight = max(0, self._half_open_in_flight - 1)
+            if self._state == HALF_OPEN and self._half_open_in_flight > 0:
+                self._half_open_in_flight -= 1
                 self._state = CLOSED
-            self._opened_at = None
+                self._opened_at = None
+            elif self._state == CLOSED:
+                self._opened_at = None
 
     def record_failure(self) -> None:
-        """The admitted request failed; may open (or re-open) the circuit."""
+        """The admitted request failed; may open (or re-open) the circuit.
+
+        Symmetrically to :meth:`record_success`, only a trial-slot
+        holder may re-open a half-open circuit; a stale pre-open failure
+        must not restart the cooldown the real trial is about to probe.
+        """
         with self._lock:
             if self._state == HALF_OPEN:
-                self._half_open_in_flight = max(0, self._half_open_in_flight - 1)
-                self._trip_locked()
+                if self._half_open_in_flight > 0:
+                    self._half_open_in_flight -= 1
+                    self._trip_locked()
                 return
             self._consecutive_failures += 1
             if self._state == CLOSED and (

@@ -13,7 +13,7 @@ import random
 import time
 from collections.abc import Callable
 
-from repro.runtime.errors import JoinInterrupted
+from repro.runtime.errors import DeadlineExceeded, JoinInterrupted
 
 __all__ = ["RetryPolicy", "default_retryable"]
 
@@ -89,12 +89,24 @@ class RetryPolicy:
             delay *= 1.0 - self.jitter * self.rng.random()
         return delay
 
-    def run(self, fn: Callable[[], object], on_retry: Callable | None = None):
+    def run(
+        self,
+        fn: Callable[[], object],
+        on_retry: Callable | None = None,
+        context=None,
+    ):
         """Call ``fn`` under the policy; returns its result.
 
         ``on_retry(attempt, exc, delay)`` is invoked before each sleep —
         the server uses it to count retries. Non-retryable exceptions
         and the final failed attempt propagate unchanged.
+
+        With a ``context`` (a :class:`~repro.runtime.context.JoinContext`
+        carrying a deadline), backoff never sleeps past the remaining
+        budget: a retry whose full jittered delay would overshoot it
+        raises :class:`~repro.runtime.errors.DeadlineExceeded`
+        immediately (``from`` the attempt's failure) instead of burning
+        the rest of the deadline asleep only to time out anyway.
         """
         attempt = 0
         while True:
@@ -104,6 +116,13 @@ class RetryPolicy:
                 if attempt + 1 >= self.max_attempts or not self.retryable(exc):
                     raise
                 delay = self.backoff(attempt)
+                if context is not None and context.deadline_seconds is not None:
+                    context.start()
+                    remaining = context.remaining()
+                    if delay >= remaining:
+                        raise DeadlineExceeded(
+                            context.elapsed(), context.deadline_seconds
+                        ) from exc
                 if on_retry is not None:
                     on_retry(attempt, exc, delay)
                 self.sleep(delay)

@@ -25,6 +25,10 @@ load:
   in-flight count, shed/completed/failed/retried tallies, breaker
   state, p50/p95/p99 latency, and the index's cost counters.
 
+The admission/worker/drain machinery lives in :class:`_QueueServer` so
+the sharded scatter-gather tier (:mod:`repro.serving.sharded`) reuses
+it unchanged — one server lifecycle, two execution strategies.
+
 Every clock in the stack is injectable
 (:class:`repro.runtime.faults.FakeClock`), so overload, timeout, and
 breaker behaviour are deterministically testable.
@@ -80,7 +84,9 @@ class _Request:
     """One admitted query: payload, runtime envelope, result slot.
 
     ``batch=True`` marks ``item`` as a list of query items; the future
-    then resolves to one result list per item.
+    then resolves to one result list per item. ``require_complete`` is
+    the sharded tier's completeness demand (ignored by IndexServer,
+    whose single index is always complete).
     """
 
     item: object
@@ -88,89 +94,42 @@ class _Request:
     future: Future = field(default_factory=Future)
     enqueued_at: float = 0.0
     batch: bool = False
+    require_complete: bool = False
 
 
-class IndexServer:
-    """A bounded, self-protecting query server over a SimilarityIndex.
+class _QueueServer:
+    """Bounded-queue server skeleton: admission, workers, drain, health.
 
-    Args:
-        index: the (thread-safe) :class:`SimilarityIndex` to serve.
-        workers: query worker threads.
-        queue_limit: admission queue bound; a full queue sheds.
-        default_deadline: per-query deadline in seconds applied when
-            ``submit`` gets none; ``None`` = unbounded.
-        retry_policy: transient-fault retry policy; ``None`` disables
-            retries.
-        breaker: circuit breaker; ``None`` disables breaking.
-        clock: monotonic-seconds callable used for deadlines and
-            latency; injectable for tests.
-        latency_capacity: latency reservoir size (see
-            :class:`LatencyTracker`).
-        executor: ``"thread"`` (default) runs probes on the worker
-            threads; ``"process"`` dispatches each probe to a forked
-            process pool of the same size, sidestepping the GIL for
-            CPU-bound query bursts. Process mode serves the index as it
-            was at :meth:`start` (later ``add``/``extend`` calls are
-            not visible to the forked pool), enforces deadlines at the
-            dispatch boundary (an expired probe keeps burning its pool
-            slot until it finishes), and needs a platform with the
-            ``fork`` start method.
-        query_cache: capacity of the LRU query-result cache
-            (:class:`~repro.serving.cache.QueryCache`); 0 disables it.
-            Entries are invalidated wholesale whenever the index
-            mutates (its ``generation`` stamp moves), so cached results
-            are always what a fresh probe would return. Hits bypass the
-            index, the breaker, and — in process mode — the pool.
-
-    Start with :meth:`start` (or use as a context manager); stop with
-    :meth:`drain`. ``submit`` returns a ``concurrent.futures.Future``
-    resolving to the query's ``list[MatchPair]``.
+    Subclasses implement :meth:`_execute` (what one admitted request
+    does) and may hook :meth:`_on_start` / :meth:`_on_drained` for
+    their own resources (process pools, shard pools). Everything else —
+    the load-shedding admission path, deadline anchoring at submit, the
+    worker loop, graceful drain with queued-request failure, and the
+    shed/completed/failed/retried accounting — is shared verbatim
+    between the single-index and sharded servers, so the two tiers
+    cannot drift apart operationally.
     """
+
+    #: Thread-name prefix for this server's workers.
+    worker_name = "queue-server"
 
     def __init__(
         self,
-        index,
-        workers: int = 4,
-        queue_limit: int = 64,
-        default_deadline: float | None = None,
-        retry_policy: RetryPolicy | None = None,
-        breaker: CircuitBreaker | None = None,
-        clock: Callable[[], float] = time.monotonic,
-        latency_capacity: int = 2048,
-        executor: str = "thread",
-        query_cache: int = 0,
+        workers: int,
+        queue_limit: int,
+        default_deadline: float | None,
+        clock: Callable[[], float],
+        latency_capacity: int,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
-        if executor not in ("thread", "process"):
-            raise ValueError(
-                f"executor must be 'thread' or 'process', got {executor!r}"
-            )
-        if (
-            executor == "process"
-            and "fork" not in multiprocessing.get_all_start_methods()
-        ):
-            raise ValueError(
-                "executor='process' needs the fork start method (the index"
-                " is shared with pool workers by forked memory); this"
-                " platform only offers"
-                f" {multiprocessing.get_all_start_methods()}"
-            )
-        self.index = index
         self.n_workers = workers
         self.queue_limit = queue_limit
         self.default_deadline = default_deadline
-        self.retry_policy = retry_policy
-        self.breaker = breaker
         self.clock = clock
         self.latency = LatencyTracker(latency_capacity)
-        self.executor = executor
-        self._pool = None
-        if query_cache < 0:
-            raise ValueError(f"query_cache must be >= 0, got {query_cache}")
-        self.cache = QueryCache(query_cache) if query_cache else None
 
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
         self._threads: list[threading.Thread] = []
@@ -187,30 +146,23 @@ class IndexServer:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def start(self) -> "IndexServer":
+    def start(self):
         """Spawn the worker pool and begin accepting queries."""
         with self._cond:
             if self._state != CLOSED:
                 raise RuntimeError(f"cannot start a {self._state} server")
             self._state = SERVING
-        if self.executor == "process":
-            # Fork-only: workers inherit the index by memory, so the
-            # unpicklable lock state never crosses a pipe. Each query
-            # worker thread then blocks on its pool slot, keeping the
-            # admission/deadline/breaker path identical to thread mode.
-            context = multiprocessing.get_context("fork")
-            self._pool = context.Pool(
-                processes=self.n_workers,
-                initializer=_pool_init,
-                initargs=(self.index,),
-            )
+        self._on_start()
         for i in range(self.n_workers):
             thread = threading.Thread(
-                target=self._worker, name=f"index-server-{i}", daemon=True
+                target=self._worker, name=f"{self.worker_name}-{i}", daemon=True
             )
             thread.start()
             self._threads.append(thread)
         return self
+
+    def _on_start(self) -> None:
+        """Subclass hook: build executors before workers spawn."""
 
     def drain(self, timeout: float | None = None) -> bool:
         """Gracefully stop: reject new work, finish admitted work.
@@ -244,15 +196,13 @@ class IndexServer:
                 budget = started + timeout - time.monotonic()
                 thread.join(timeout=max(budget, 0.0) + 0.1)
         self._threads = [t for t in self._threads if t.is_alive()]
-        if self._pool is not None:
-            # Admitted queries have already resolved (or been failed);
-            # anything still on a pool slot belongs to a wedged worker.
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._on_drained()
         with self._cond:
             self._state = CLOSED
         return drained
+
+    def _on_drained(self) -> None:
+        """Subclass hook: tear down executors after workers stop."""
 
     def _fail_queued(self, reason: str) -> None:
         while True:
@@ -266,7 +216,7 @@ class IndexServer:
                 )
                 self._finish(shed=True)
 
-    def __enter__(self) -> "IndexServer":
+    def __enter__(self):
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -300,26 +250,14 @@ class IndexServer:
         """
         return self._admit(item, deadline, context, batch=False)
 
-    def submit_batch(
+    def _admit(
         self,
-        items,
-        deadline: float | None = None,
-        context: JoinContext | None = None,
+        item,
+        deadline,
+        context,
+        batch: bool,
+        require_complete: bool = False,
     ) -> Future:
-        """Admit a batch of queries as one request; returns one Future.
-
-        The Future resolves to a list with one ``list[MatchPair]`` per
-        item, in order — each identical to what :meth:`submit` would
-        have produced for that item alone. The batch occupies a single
-        admission-queue slot and worker, and the underlying
-        :meth:`SimilarityIndex.query_batch` takes the index read lock
-        once and reuses the per-probe machinery across items, so large
-        batches cost markedly less than the equivalent singleton
-        submissions. One ``deadline`` covers the whole batch.
-        """
-        return self._admit(list(items), deadline, context, batch=True)
-
-    def _admit(self, item, deadline, context, batch: bool) -> Future:
         if deadline is not None and context is not None:
             raise ValueError("pass either deadline or context, not both")
         with self._cond:
@@ -337,7 +275,11 @@ class IndexServer:
         if context is not None:
             context.start()  # anchor the deadline at admission
         request = _Request(
-            item=item, context=context, enqueued_at=self.clock(), batch=batch
+            item=item,
+            context=context,
+            enqueued_at=self.clock(),
+            batch=batch,
+            require_complete=require_complete,
         )
         with self._cond:
             self._pending += 1
@@ -356,12 +298,6 @@ class IndexServer:
     def query(self, item, deadline: float | None = None, timeout: float | None = None):
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(item, deadline=deadline).result(timeout=timeout)
-
-    def query_batch(
-        self, items, deadline: float | None = None, timeout: float | None = None
-    ):
-        """Synchronous convenience wrapper around :meth:`submit_batch`."""
-        return self.submit_batch(items, deadline=deadline).result(timeout=timeout)
 
     # ------------------------------------------------------------------
     # Workers
@@ -388,13 +324,203 @@ class IndexServer:
                 self._finish(completed=True)
 
     def _execute(self, request: _Request):
-        context = request.context
+        raise NotImplementedError
+
+    def _check_not_expired(self, context: JoinContext | None) -> None:
+        """Fail a request that spent its whole deadline queued.
+
+        Raised before any dependency is touched — this is overload, not
+        dependency failure, so subclasses call it before consulting
+        caches, breakers, or shards.
+        """
         if context is not None:
             remaining = context.remaining()
             if remaining is not None and remaining <= 0:
-                # Expired while queued: don't touch the index or the
-                # breaker — this is overload, not dependency failure.
                 raise JoinTimeout(context.elapsed(), context.deadline_seconds)
+
+    def _count_retry(self, attempt: int, exc: BaseException, delay: float) -> None:
+        with self._cond:
+            self._retried += 1
+
+    def _finish(
+        self, completed: bool = False, failed: bool = False, shed: bool = False
+    ) -> None:
+        with self._cond:
+            if completed:
+                self._completed += 1
+            elif failed:
+                self._failed += 1
+            elif shed:
+                self._shed += 1
+            if self._in_flight and not shed:
+                self._in_flight -= 1
+            self._pending -= 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._cond:
+            return self._state
+
+    def _base_health(self) -> dict:
+        """The lifecycle/accounting half of a health snapshot."""
+        with self._cond:
+            return {
+                "state": self._state,
+                "workers": self.n_workers,
+                "queue_depth": self._queue.qsize(),
+                "queue_limit": self.queue_limit,
+                "in_flight": self._in_flight,
+                "shed": self._shed,
+                "completed": self._completed,
+                "failed": self._failed,
+                "retried": self._retried,
+            }
+
+
+class IndexServer(_QueueServer):
+    """A bounded, self-protecting query server over a SimilarityIndex.
+
+    Args:
+        index: the (thread-safe) :class:`SimilarityIndex` to serve.
+        workers: query worker threads.
+        queue_limit: admission queue bound; a full queue sheds.
+        default_deadline: per-query deadline in seconds applied when
+            ``submit`` gets none; ``None`` = unbounded.
+        retry_policy: transient-fault retry policy; ``None`` disables
+            retries. Backoff is clamped to the request's remaining
+            deadline (see :meth:`RetryPolicy.run`).
+        breaker: circuit breaker; ``None`` disables breaking.
+        clock: monotonic-seconds callable used for deadlines and
+            latency; injectable for tests.
+        latency_capacity: latency reservoir size (see
+            :class:`LatencyTracker`).
+        executor: ``"thread"`` (default) runs probes on the worker
+            threads; ``"process"`` dispatches each probe to a forked
+            process pool of the same size, sidestepping the GIL for
+            CPU-bound query bursts. Process mode serves the index as it
+            was at :meth:`start` (later ``add``/``extend`` calls are
+            not visible to the forked pool), enforces deadlines at the
+            dispatch boundary (an expired probe keeps burning its pool
+            slot until it finishes), and needs a platform with the
+            ``fork`` start method.
+        query_cache: capacity of the LRU query-result cache
+            (:class:`~repro.serving.cache.QueryCache`); 0 disables it.
+            Entries are invalidated wholesale whenever the index
+            mutates (its ``generation`` stamp moves), so cached results
+            are always what a fresh probe would return. Hits bypass the
+            index, the breaker, and — in process mode — the pool.
+
+    Start with :meth:`start` (or use as a context manager); stop with
+    :meth:`drain`. ``submit`` returns a ``concurrent.futures.Future``
+    resolving to the query's ``list[MatchPair]``.
+    """
+
+    worker_name = "index-server"
+
+    def __init__(
+        self,
+        index,
+        workers: int = 4,
+        queue_limit: int = 64,
+        default_deadline: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        latency_capacity: int = 2048,
+        executor: str = "thread",
+        query_cache: int = 0,
+    ):
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if (
+            executor == "process"
+            and "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            raise ValueError(
+                "executor='process' needs the fork start method (the index"
+                " is shared with pool workers by forked memory); this"
+                " platform only offers"
+                f" {multiprocessing.get_all_start_methods()}"
+            )
+        super().__init__(workers, queue_limit, default_deadline, clock, latency_capacity)
+        self.index = index
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.executor = executor
+        self._pool = None
+        if query_cache < 0:
+            raise ValueError(f"query_cache must be >= 0, got {query_cache}")
+        self.cache = QueryCache(query_cache) if query_cache else None
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+
+    def _on_start(self) -> None:
+        if self.executor == "process":
+            # Fork-only: workers inherit the index by memory, so the
+            # unpicklable lock state never crosses a pipe. Each query
+            # worker thread then blocks on its pool slot, keeping the
+            # admission/deadline/breaker path identical to thread mode.
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(
+                processes=self.n_workers,
+                initializer=_pool_init,
+                initargs=(self.index,),
+            )
+
+    def _on_drained(self) -> None:
+        if self._pool is not None:
+            # Admitted queries have already resolved (or been failed);
+            # anything still on a pool slot belongs to a wedged worker.
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit_batch(
+        self,
+        items,
+        deadline: float | None = None,
+        context: JoinContext | None = None,
+    ) -> Future:
+        """Admit a batch of queries as one request; returns one Future.
+
+        The Future resolves to a list with one ``list[MatchPair]`` per
+        item, in order — each identical to what :meth:`submit` would
+        have produced for that item alone. The batch occupies a single
+        admission-queue slot and worker, and the underlying
+        :meth:`SimilarityIndex.query_batch` takes the index read lock
+        once and reuses the per-probe machinery across items, so large
+        batches cost markedly less than the equivalent singleton
+        submissions. One ``deadline`` covers the whole batch.
+        """
+        return self._admit(list(items), deadline, context, batch=True)
+
+    def query_batch(
+        self, items, deadline: float | None = None, timeout: float | None = None
+    ):
+        """Synchronous convenience wrapper around :meth:`submit_batch`."""
+        return self.submit_batch(items, deadline=deadline).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, request: _Request):
+        context = request.context
+        # Expired while queued: don't touch the index or the breaker.
+        self._check_not_expired(context)
 
         # Cache consult, before the breaker: a hit touches neither the
         # index nor the pool, so it is not a dependency call and must
@@ -467,7 +593,9 @@ class IndexServer:
 
         try:
             if self.retry_policy is not None:
-                fresh = self.retry_policy.run(attempt, on_retry=self._count_retry)
+                fresh = self.retry_policy.run(
+                    attempt, on_retry=self._count_retry, context=context
+                )
             else:
                 fresh = attempt()
         except BaseException:
@@ -489,33 +617,9 @@ class IndexServer:
             cache.store(keys, generation, fresh)
         return fresh
 
-    def _count_retry(self, attempt: int, exc: BaseException, delay: float) -> None:
-        with self._cond:
-            self._retried += 1
-
-    def _finish(
-        self, completed: bool = False, failed: bool = False, shed: bool = False
-    ) -> None:
-        with self._cond:
-            if completed:
-                self._completed += 1
-            elif failed:
-                self._failed += 1
-            elif shed:
-                self._shed += 1
-            if self._in_flight and not shed:
-                self._in_flight -= 1
-            self._pending -= 1
-            self._cond.notify_all()
-
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-
-    @property
-    def state(self) -> str:
-        with self._cond:
-            return self._state
 
     def health(self) -> dict:
         """Point-in-time operational snapshot (cheap; safe to poll).
@@ -531,25 +635,14 @@ class IndexServer:
         ``unknown_query_tokens`` and the ``bitmap_*`` filter tallies —
         plus ``bitmap`` filter state when the index has one armed).
         """
-        with self._cond:
-            busy = min(self._in_flight, self.n_workers)
-            snapshot = {
-                "state": self._state,
-                "workers": self.n_workers,
-                "queue_depth": self._queue.qsize(),
-                "queue_limit": self.queue_limit,
-                "in_flight": self._in_flight,
-                "shed": self._shed,
-                "completed": self._completed,
-                "failed": self._failed,
-                "retried": self._retried,
-                "pool": {
-                    "mode": self.executor,
-                    "busy": busy,
-                    "total": self.n_workers,
-                    "saturation": busy / self.n_workers,
-                },
-            }
+        snapshot = self._base_health()
+        busy = min(snapshot["in_flight"], self.n_workers)
+        snapshot["pool"] = {
+            "mode": self.executor,
+            "busy": busy,
+            "total": self.n_workers,
+            "saturation": busy / self.n_workers,
+        }
         snapshot["breaker"] = (
             {"state": self.breaker.state, "times_opened": self.breaker.times_opened}
             if self.breaker is not None

@@ -1,0 +1,720 @@
+"""Sharded scatter-gather serving: N index shards, one exact answer.
+
+:class:`ShardedIndexServer` partitions records across N
+:class:`~repro.core.service.SimilarityIndex` shards by stable
+record-id hash (:class:`~repro.serving.router.ShardRouter`) and serves
+each query scatter-gather: probe every shard on its own worker pool,
+then merge the per-shard candidates into the exact global result — the
+paper's §5 record-partition decomposition, applied to the online probe
+instead of the batch join. Because every shard scores with the shared
+vocabulary (one token = one id everywhere) and similarity predicates
+are pair-local once bound, the merged answer is pair-for-pair identical
+to a single-index :class:`~repro.serving.server.IndexServer` over the
+same corpus — pinned by ``tests/property/test_sharded_equivalence.py``.
+
+What sharding buys is *fault isolation*, not different answers:
+
+* **Per-shard deadline budgets** — each probe gets a
+  :class:`JoinContext` carved from the query's remaining deadline.
+* **Per-shard CircuitBreaker / LatencyTracker / QueryCache** — one sick
+  shard trips one breaker, skews one latency window, invalidates one
+  cache.
+* **Hedged probes** — when a shard dawdles past its hedge delay
+  (fixed, or derived from that shard's own p99), the probe is re-issued
+  and the first completion wins; one straggler degrades tail latency
+  instead of defining it.
+* **Partial results with explicit accounting** — a query that loses
+  shards still answers from the survivors:
+  :class:`ShardedResult` carries ``shards_ok`` / ``shards_failed`` /
+  ``partial``, health tallies both outcomes, and callers that cannot
+  accept partial data pass ``require_complete=True`` to get a typed
+  :class:`~repro.runtime.errors.PartialResult` instead.
+* **Zero-downtime reindex** — :meth:`ShardedIndexServer.reindex` runs a
+  :class:`~repro.serving.generation.GenerationBuilder` per shard:
+  build off-lock, flip atomically under the shard's writer-preferring
+  RWLock, invalidate only that shard's cache (the cache stamp is
+  ``(flip epoch, index generation)``).
+
+Admission, the bounded queue, load shedding, drain, and the
+completed/failed/shed accounting are inherited verbatim from
+:class:`~repro.serving.server._QueueServer` — operationally this tier
+behaves exactly like the single-index server, scaled out.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterator
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+
+from repro.core.results import MatchPair
+from repro.core.service import SimilarityIndex
+from repro.runtime.context import JoinContext
+from repro.runtime.errors import PartialResult
+from repro.runtime.rwlock import RWLock
+from repro.serving.cache import QueryCache
+from repro.serving.generation import GenerationBuilder, _ReindexGuard
+from repro.serving.retry import RetryPolicy
+from repro.serving.server import _QueueServer, _Request
+from repro.serving.stats import LatencyTracker
+from repro.serving.router import ShardRouter
+
+__all__ = ["HedgePolicy", "ShardedIndexServer", "ShardedResult"]
+
+#: Shard-pool sentinel: stop.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class ShardedResult:
+    """One sharded query's answer, with completeness made explicit.
+
+    ``matches`` are global: ``rid_a`` is the record's server-wide id
+    (stable across flips and shard counts), ``rid_b`` the probe's
+    ephemeral rid (= total records, exactly as the single-index server
+    reports it), sorted by ``rid_a``. ``partial`` is True iff any shard
+    failed; its records are simply absent from ``matches`` — the
+    survivors' matches are exact, nothing is interpolated.
+
+    Iterates and indexes like the plain ``list[MatchPair]`` the
+    single-index server returns, so complete results drop into existing
+    call sites unchanged.
+    """
+
+    matches: tuple[MatchPair, ...]
+    shards_ok: tuple[int, ...]
+    shards_failed: tuple[int, ...]
+    partial: bool
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self) -> Iterator[MatchPair]:
+        return iter(self.matches)
+
+    def __getitem__(self, i):
+        return self.matches[i]
+
+
+class HedgePolicy:
+    """When to re-issue a straggling shard probe.
+
+    Args:
+        delay: fixed hedge delay in seconds; overrides the adaptive
+            path entirely when set.
+        percentile: which percentile of the *shard's own* latency
+            window anchors the adaptive delay.
+        multiplier: hedge at ``percentile * multiplier`` — 2× p99 means
+            "this probe is already slower than ~every recent probe".
+        min_samples: observations a shard needs before its window is
+            trusted; below it (and with no fixed ``delay``) probes are
+            not hedged — hedging on noise doubles load for nothing.
+        floor: lower bound on the adaptive delay, so a microsecond-fast
+            shard does not hedge every probe the moment the scheduler
+            hiccups.
+    """
+
+    def __init__(
+        self,
+        delay: float | None = None,
+        percentile: float = 99.0,
+        multiplier: float = 2.0,
+        min_samples: int = 16,
+        floor: float = 0.001,
+    ):
+        if delay is not None and delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        if multiplier <= 0:
+            raise ValueError(f"multiplier must be > 0, got {multiplier}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if floor < 0:
+            raise ValueError(f"floor must be >= 0, got {floor}")
+        self.delay = delay
+        self.percentile = percentile
+        self.multiplier = multiplier
+        self.min_samples = min_samples
+        self.floor = floor
+
+    def delay_for(self, latency: LatencyTracker) -> float | None:
+        """Seconds to wait before hedging, or None (don't hedge)."""
+        if self.delay is not None:
+            return self.delay
+        if latency.count < self.min_samples:
+            return None
+        anchor = latency.percentile(self.percentile)
+        if anchor is None:
+            return None
+        return max(anchor * self.multiplier, self.floor)
+
+
+class _ShardPool:
+    """A tiny daemon-thread executor, one per shard.
+
+    ``concurrent.futures.ThreadPoolExecutor`` joins non-daemon workers
+    at interpreter exit, so a probe wedged on a fault-injected sleep
+    would wedge process shutdown; these workers are daemons and the
+    drain-time join is bounded instead.
+    """
+
+    def __init__(self, sid: int, workers: int):
+        import queue as _queue
+
+        self._queue: _queue.SimpleQueue = _queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"shard-{sid}-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, fn, *args) -> Future:
+        future: Future = Future()
+        self._queue.put((future, fn, args))
+        return future
+
+    def _run(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is _STOP:
+                return
+            future, fn, args = task
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 — delivered via future
+                future.set_exception(exc)
+
+    def stop(self, join_timeout: float = 1.0) -> None:
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(join_timeout)
+
+
+class _Shard:
+    """One fault domain: an index plus its private operational gear.
+
+    ``rwlock`` guards the *index reference* (not the index's own state,
+    which has its own lock): probes grab the reference under the read
+    side for an instant, adds hold the read side across the insert, and
+    a generation flip takes the write side to swap ``index`` and bump
+    ``epoch``. The cache generation stamp is ``(epoch, generation)`` —
+    a flip moves ``epoch`` even though the fresh index restarts its own
+    ``generation`` counter, so a stale post-flip hit is impossible.
+    """
+
+    __slots__ = (
+        "sid", "index", "rwlock", "breaker", "latency", "cache",
+        "global_rids", "pool", "epoch", "probes", "hedges", "hedge_wins",
+        "failures", "_reindex_guard",
+    )
+
+    def __init__(self, sid, index, breaker, cache, pool):
+        self.sid = sid
+        self.index = index
+        self.rwlock = RWLock()
+        self.breaker = breaker
+        self.latency = LatencyTracker(512)
+        self.cache = cache
+        self.global_rids: list[int] = []
+        self.pool = pool
+        self.epoch = 0
+        self.probes = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.failures = 0
+        self._reindex_guard = _ReindexGuard()
+
+    def begin_reindex(self) -> Callable[[], None]:
+        return self._reindex_guard.acquire(f"shard {self.sid}")
+
+    def stamp(self) -> tuple[int, int]:
+        with self.rwlock.read_locked():
+            return (self.epoch, self.index.generation)
+
+
+class ShardedIndexServer(_QueueServer):
+    """Scatter-gather serving over hash-partitioned index shards.
+
+    Args:
+        predicate: the similarity predicate every shard binds. For
+            corpus-dependent predicates (TF-IDF cosine) pass precomputed
+            ``stats`` in the predicate, or per-shard binding would score
+            against per-shard statistics and break global exactness.
+        shards: shard count (>= 1).
+        tokenizer: forwarded to every shard's index.
+        workers: scatter-gather coordinator threads — each owns one
+            in-flight query end to end.
+        shard_workers: probe threads per shard. Hedging needs >= 2
+            (the hedge must run while the straggler still occupies a
+            slot).
+        queue_limit / default_deadline / clock / latency_capacity: as
+            :class:`IndexServer`.
+        retry_policy: per-*probe* retry policy (transient shard faults
+            are retried inside the shard's deadline before the shard is
+            declared lost).
+        breaker_factory: builds one :class:`CircuitBreaker` per shard;
+            None disables breaking.
+        query_cache: per-shard cache capacity (0 disables); a flip or
+            add on one shard invalidates only that shard's entries.
+        hedge: a :class:`HedgePolicy`; None disables hedging.
+        bitmap_filter / merge_backend: forwarded to every shard's index.
+        faults: optional :class:`~repro.runtime.faults.ShardFaults`
+            plan, consulted at the top of every probe attempt — the
+            chaos-test seam.
+    """
+
+    worker_name = "sharded-server"
+
+    def __init__(
+        self,
+        predicate,
+        shards: int = 2,
+        tokenizer=None,
+        workers: int = 4,
+        shard_workers: int = 2,
+        queue_limit: int = 64,
+        default_deadline: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_factory: Callable[[], object] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        latency_capacity: int = 2048,
+        query_cache: int = 0,
+        hedge: HedgePolicy | None = None,
+        bitmap_filter=None,
+        merge_backend=None,
+        faults=None,
+    ):
+        super().__init__(workers, queue_limit, default_deadline, clock, latency_capacity)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shard_workers < 1:
+            raise ValueError(f"shard_workers must be >= 1, got {shard_workers}")
+        if query_cache < 0:
+            raise ValueError(f"query_cache must be >= 0, got {query_cache}")
+        self.predicate = predicate
+        self.tokenizer = tokenizer
+        self.router = ShardRouter(shards)
+        self.retry_policy = retry_policy
+        self.hedge = hedge
+        self.faults = faults
+        self.n_shard_workers = shard_workers
+        self._bitmap_filter = bitmap_filter
+        self._merge_backend = merge_backend
+        #: One token-id space across every shard (see SimilarityIndex's
+        #: ``vocabulary=``); mutations are serialized by ``_mutate_lock``.
+        self._vocabulary: dict[str, int] = {}
+        self._mutate_lock = threading.Lock()
+        self._total = 0
+        #: global rid -> (shard id, shard-local rid)
+        self._locations: list[tuple[int, int]] = []
+        self._shards = [
+            _Shard(
+                sid,
+                self._make_index(),
+                breaker_factory() if breaker_factory is not None else None,
+                QueryCache(query_cache) if query_cache else None,
+                _ShardPool(sid, shard_workers),
+            )
+            for sid in range(shards)
+        ]
+        self._complete_queries = 0
+        self._partial_queries = 0
+        self._hedges = 0
+        self._hedge_wins = 0
+
+    def _make_index(self) -> SimilarityIndex:
+        return SimilarityIndex(
+            self.predicate,
+            tokenizer=self.tokenizer,
+            bitmap_filter=self._bitmap_filter,
+            merge_backend=self._merge_backend,
+            vocabulary=self._vocabulary,
+        )
+
+    def _on_drained(self) -> None:
+        for shard in self._shards:
+            shard.pool.stop()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def add(self, item, payload=None) -> int:
+        """Insert a record; returns its *global* rid.
+
+        Routed to ``router.shard_of(rid)``. Serialized server-wide (the
+        shared vocabulary and the rid counter both need it); the insert
+        holds the owning shard's reference lock on the read side, so a
+        concurrent generation flip either waits for it or happens
+        entirely before — either way the record survives the flip via
+        the catch-up replay.
+        """
+        with self._mutate_lock:
+            rid = self._total
+            shard = self._shards[self.router.shard_of(rid)]
+            # Mapping rows are appended before the insert: a probe that
+            # sees the new record always finds its global rid.
+            self._locations.append((shard.sid, len(shard.global_rids)))
+            shard.global_rids.append(rid)
+            try:
+                with shard.rwlock.read_locked():
+                    shard.index.add(item, payload=payload)
+            except BaseException:
+                shard.global_rids.pop()
+                self._locations.pop()
+                raise
+            self._total += 1
+            return rid
+
+    def extend(self, items) -> list[int]:
+        """Insert many records; returns their global rids."""
+        return [self.add(item) for item in items]
+
+    def __len__(self) -> int:
+        return self._total
+
+    def payload(self, rid: int):
+        """The payload of global record ``rid`` (parity with the index)."""
+        sid, local = self._locations[rid]
+        shard = self._shards[sid]
+        with shard.rwlock.read_locked():
+            return shard.index.payload(local)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        item,
+        deadline: float | None = None,
+        context: JoinContext | None = None,
+        require_complete: bool = False,
+    ) -> Future:
+        """Admit one query; the Future resolves to a :class:`ShardedResult`.
+
+        With ``require_complete=True`` a query that loses any shard
+        fails with :class:`~repro.runtime.errors.PartialResult` instead
+        of resolving partial.
+        """
+        return self._admit(
+            item, deadline, context, batch=False, require_complete=require_complete
+        )
+
+    def query(
+        self,
+        item,
+        deadline: float | None = None,
+        timeout: float | None = None,
+        require_complete: bool = False,
+    ) -> ShardedResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(
+            item, deadline=deadline, require_complete=require_complete
+        ).result(timeout=timeout)
+
+    def _execute(self, request: _Request) -> ShardedResult:
+        context = request.context
+        self._check_not_expired(context)
+        item = request.item
+
+        key = None
+        if any(shard.cache is not None for shard in self._shards):
+            key = QueryCache.key_for(item)
+
+        # Scatter: consult each shard's cache, then launch the misses
+        # onto their shards' pools concurrently.
+        results: dict[int, list[MatchPair]] = {}
+        pending: list[tuple[_Shard, Future]] = []
+        for shard in self._shards:
+            if key is not None and shard.cache is not None:
+                hit, value = shard.cache.lookup(key, shard.stamp())
+                if hit:
+                    results[shard.sid] = value
+                    continue
+            probe = shard.pool.submit(
+                self._probe_shard, shard, item, self._carve_context(context), key
+            )
+            with self._cond:
+                shard.probes += 1
+            pending.append((shard, probe))
+
+        # Gather: shards complete in any order; each is awaited under
+        # the query's remaining deadline, hedged per its own policy.
+        failed: list[int] = []
+        for shard, probe in pending:
+            ok, value = self._await_shard(shard, probe, item, context, key)
+            if ok:
+                results[shard.sid] = value
+            else:
+                failed.append(shard.sid)
+                with self._cond:
+                    shard.failures += 1
+
+        result = self._merge(results, failed)
+        with self._cond:
+            if result.partial:
+                self._partial_queries += 1
+            else:
+                self._complete_queries += 1
+        if result.partial and request.require_complete:
+            raise PartialResult(result.shards_failed, len(self._shards), result)
+        return result
+
+    def _carve_context(self, context: JoinContext | None) -> JoinContext | None:
+        """A per-shard deadline budget carved from the query's remainder.
+
+        The carved context shares the query's cancellation token and
+        clock; its deadline is whatever the query has left *now*, so a
+        probe can never outlive its query. Anchored immediately — the
+        budget starts at scatter, not at the probe's first tick.
+        """
+        if context is None:
+            return None
+        remaining = context.remaining()
+        if remaining is None:
+            return JoinContext(
+                cancel_token=context.cancel_token, clock=context.clock
+            )
+        carved = JoinContext(
+            deadline_seconds=max(remaining, 1e-9),
+            cancel_token=context.cancel_token,
+            clock=context.clock,
+        )
+        carved.start()
+        return carved
+
+    def _probe_shard(self, shard: _Shard, item, context, key):
+        """One probe attempt chain against one shard (runs on its pool).
+
+        Returns the shard-*local* matches; stores them in the shard's
+        cache stamped with the (epoch, generation) pair read when the
+        index reference was grabbed — a flip or add in between moves
+        the stamp and the store is dropped, never served stale.
+        """
+        if shard.breaker is not None:
+            shard.breaker.admit()  # CircuitOpen: fail fast, not recorded
+        with shard.rwlock.read_locked():
+            index = shard.index
+            stamp = (shard.epoch, index.generation)
+        started = self.clock()
+
+        def attempt():
+            if self.faults is not None:
+                self.faults.apply(shard.sid)
+            return index.query(item, context=context)
+
+        try:
+            if self.retry_policy is not None:
+                local = self.retry_policy.run(
+                    attempt, on_retry=self._count_retry, context=context
+                )
+            else:
+                local = attempt()
+        except BaseException:
+            if shard.breaker is not None:
+                shard.breaker.record_failure()
+            raise
+        if shard.breaker is not None:
+            shard.breaker.record_success()
+        shard.latency.observe(self.clock() - started)
+        if key is not None and shard.cache is not None:
+            shard.cache.store(key, stamp, local)
+        return local
+
+    def _await_shard(
+        self, shard: _Shard, probe: Future, item, context, key
+    ) -> tuple[bool, list[MatchPair] | None]:
+        """Wait for one shard within the query's deadline, hedging.
+
+        Returns ``(True, local_matches)`` from whichever probe finishes
+        first with a result, or ``(False, None)`` when every issued
+        probe failed or the deadline ran out — the shard is lost *for
+        this query only*; an abandoned probe keeps running on the
+        shard's pool and may still warm the cache and the breaker.
+        """
+
+        def remaining() -> float | None:
+            return context.remaining() if context is not None else None
+
+        futures = [probe]
+        hedged: Future | None = None
+        delay = self.hedge.delay_for(shard.latency) if self.hedge is not None else None
+        left = remaining()
+        if delay is not None and (left is None or left > 0):
+            budget = delay if left is None else min(delay, left)
+            done, _ = futures_wait(futures, timeout=budget, return_when=FIRST_COMPLETED)
+            if not done:
+                hedged = shard.pool.submit(
+                    self._probe_shard, shard, item, self._carve_context(context), key
+                )
+                futures.append(hedged)
+                with self._cond:
+                    self._hedges += 1
+                    shard.hedges += 1
+
+        outstanding = set(futures)
+        while outstanding:
+            left = remaining()
+            # timeout=0 still collects already-completed probes: a
+            # result that beat the deadline is used, never discarded.
+            timeout = None if left is None else max(left, 0.0)
+            done, outstanding = futures_wait(
+                outstanding, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                return False, None  # deadline elapsed mid-wait
+            for future in done:
+                if future.exception() is None:
+                    if hedged is not None and future is hedged:
+                        with self._cond:
+                            self._hedge_wins += 1
+                            shard.hedge_wins += 1
+                    return True, future.result()
+        return False, None  # every issued probe raised
+
+    def _merge(self, results: dict[int, list[MatchPair]], failed: list[int]) -> ShardedResult:
+        """Exact global merge: remap local rids, sort, account shards."""
+        total = self._total
+        matches: list[MatchPair] = []
+        for shard in self._shards:
+            local = results.get(shard.sid)
+            if local is None:
+                continue
+            rids = shard.global_rids
+            for pair in local:
+                matches.append(MatchPair(rids[pair.rid_a], total, pair.similarity))
+        matches.sort(key=lambda pair: pair.rid_a)
+        return ShardedResult(
+            matches=tuple(matches),
+            shards_ok=tuple(sorted(results)),
+            shards_failed=tuple(sorted(failed)),
+            partial=bool(failed),
+        )
+
+    # ------------------------------------------------------------------
+    # Reindex
+    # ------------------------------------------------------------------
+
+    def reindex(
+        self, shard_ids=None, block: bool = True, timeout: float | None = None
+    ) -> list[GenerationBuilder]:
+        """Rebuild shard index generations with zero query downtime.
+
+        Args:
+            shard_ids: which shards to rebuild (default: all).
+            block: wait for every build to flip (re-raising the first
+                failure); ``block=False`` returns immediately with the
+                running builders — ``wait()`` them yourself.
+            timeout: per-builder wait bound when blocking.
+
+        Queries never wait on a build (it runs entirely off-lock) and
+        never observe a torn index (the swap is a single reference
+        assignment under the shard's write lock); adds landing during
+        the build are replayed into the new generation before the flip.
+        """
+        ids = range(len(self._shards)) if shard_ids is None else shard_ids
+        builders = [
+            GenerationBuilder(
+                self._shards[sid], self._make_index, clock=self.clock
+            ).start()
+            for sid in ids
+        ]
+        if block:
+            for builder in builders:
+                builder.wait(timeout)
+        return builders
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Operational snapshot: base accounting plus the shard map.
+
+        Adds to the base keys: ``records`` (global count), ``partial``
+        (complete/partial query tallies — a growing ``partial`` count
+        is the page-me signal), ``hedging`` (issued/wins), ``router``
+        (shard count + per-shard record spread), ``latency``
+        (end-to-end, queue wait included), ``index`` (counters summed
+        across shards, same shape the single-index server reports), and
+        ``shards`` — one entry per shard with its records, flip epoch,
+        index generation, breaker state, cache stats, probe latency
+        window, and probe/hedge/failure tallies.
+        """
+        snapshot = self._base_health()
+        with self._cond:
+            per_shard_tallies = [
+                (s.probes, s.hedges, s.hedge_wins, s.failures) for s in self._shards
+            ]
+            snapshot["partial"] = {
+                "complete": self._complete_queries,
+                "partial": self._partial_queries,
+            }
+            snapshot["hedging"] = {
+                "enabled": self.hedge is not None,
+                "issued": self._hedges,
+                "wins": self._hedge_wins,
+            }
+        snapshot["records"] = self._total
+        snapshot["router"] = {
+            "shards": len(self._shards),
+            "spread": [len(s.global_rids) for s in self._shards],
+        }
+        snapshot["latency"] = self.latency.summary()
+        aggregate: dict = {}
+        shard_rows = []
+        for shard, (probes, hedges, hedge_wins, failures) in zip(
+            self._shards, per_shard_tallies
+        ):
+            with shard.rwlock.read_locked():
+                index = shard.index
+                epoch = shard.epoch
+            counters = index.counters_snapshot()
+            for name, value in counters.items():
+                aggregate[name] = aggregate.get(name, 0) + value
+            shard_rows.append(
+                {
+                    "shard": shard.sid,
+                    "records": len(shard.global_rids),
+                    "epoch": epoch,
+                    "generation": index.generation,
+                    "breaker": (
+                        {
+                            "state": shard.breaker.state,
+                            "times_opened": shard.breaker.times_opened,
+                        }
+                        if shard.breaker is not None
+                        else None
+                    ),
+                    "cache": shard.cache.stats() if shard.cache is not None else None,
+                    "latency": shard.latency.summary(),
+                    "probes": probes,
+                    "hedges": hedges,
+                    "hedge_wins": hedge_wins,
+                    "failures": failures,
+                }
+            )
+        snapshot["shards"] = shard_rows
+        snapshot["index"] = {"records": self._total, "counters": aggregate}
+        return snapshot
+
+    def counters_snapshot(self) -> dict:
+        """Cost counters summed across every shard's current generation."""
+        aggregate: dict = {}
+        for shard in self._shards:
+            with shard.rwlock.read_locked():
+                index = shard.index
+            for name, value in index.counters_snapshot().items():
+                aggregate[name] = aggregate.get(name, 0) + value
+        return aggregate

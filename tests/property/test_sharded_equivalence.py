@@ -1,0 +1,161 @@
+"""Property: sharded scatter-gather == single index, bit for bit.
+
+The tentpole claim of the sharded serving tier is that sharding buys
+fault isolation without changing a single answer. This sweep pins it:
+for every shard count × predicate × bitmap filter × query cache
+combination, every query's matches — rids AND float similarities —
+are identical to a single-index :class:`IndexServer` over the same
+corpus, and identical again when re-asked through warm caches.
+
+Cosine is the adversarial predicate here: its scores depend on corpus
+statistics, so per-shard binding would weight IDF against per-shard
+frequencies and silently break global exactness. The sweep freezes one
+:class:`CorpusStats` over the global corpus and hands it to both
+servers — exactly what the sharded tier's docstring demands of
+corpus-dependent predicates.
+"""
+
+import random
+
+import pytest
+
+from repro import CosinePredicate, JaccardPredicate, OverlapPredicate
+from repro.core.service import SimilarityIndex
+from repro.serving import IndexServer, ShardedIndexServer
+from repro.text.tfidf import CorpusStats
+from repro.text.tokenizers import tokenize_words
+
+WAIT = 30.0
+
+VOCAB = [
+    "join", "set", "similarity", "predicate", "merge", "probe", "index",
+    "record", "cluster", "threshold", "overlap", "cosine", "weight",
+    "inverted", "posting", "batch", "shard", "cache", "flip", "epoch",
+]
+
+
+def _corpus(seed: int, n: int = 48) -> list[str]:
+    """Random texts with enough token reuse to create real matches."""
+    rng = random.Random(seed)
+    texts = []
+    for _ in range(n):
+        size = rng.randint(3, 8)
+        texts.append(" ".join(rng.sample(VOCAB, size)))
+    return texts
+
+
+def _queries(texts: list[str]) -> list[str]:
+    rng = random.Random(99)
+    queries = list(texts[:6])  # exact repeats: corpus members
+    for _ in range(6):
+        queries.append(" ".join(rng.sample(VOCAB, rng.randint(2, 6))))
+    queries.append("nothing matches this xylophone chimera")
+    return queries
+
+
+def _global_stats(texts: list[str]) -> CorpusStats:
+    """CorpusStats over the whole corpus, under the exact token-id
+    assignment both servers will reproduce (insertion-ordered)."""
+    vocabulary: dict[str, int] = {}
+    records = []
+    for text in texts:
+        ids = set()
+        for token in tokenize_words(text):
+            token_id = vocabulary.setdefault(token, len(vocabulary))
+            ids.add(token_id)
+        records.append(tuple(sorted(ids)))
+    return CorpusStats(records)
+
+
+def _fingerprint(matches) -> list:
+    return [(m.rid_a, m.rid_b, m.similarity) for m in matches]
+
+
+def _predicate(name: str, texts: list[str]):
+    if name == "overlap":
+        return OverlapPredicate(2)
+    if name == "jaccard":
+        return JaccardPredicate(0.4)
+    return CosinePredicate(0.5, stats=_global_stats(texts))
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 7])
+@pytest.mark.parametrize("predicate_name", ["overlap", "jaccard", "cosine"])
+@pytest.mark.parametrize("bitmap", [False, True])
+@pytest.mark.parametrize("cache", [0, 16])
+def test_sharded_equals_single_exactly(shards, predicate_name, bitmap, cache):
+    texts = _corpus(seed=shards * 101 + len(predicate_name))
+    queries = _queries(texts)
+
+    index = SimilarityIndex(
+        _predicate(predicate_name, texts),
+        tokenizer=tokenize_words,
+        bitmap_filter=bitmap,
+    )
+    for text in texts:
+        index.add(text)
+    single = IndexServer(index, workers=2, query_cache=cache).start()
+
+    sharded = ShardedIndexServer(
+        _predicate(predicate_name, texts),
+        shards=shards,
+        tokenizer=tokenize_words,
+        workers=2,
+        shard_workers=2,
+        query_cache=cache,
+        bitmap_filter=bitmap,
+    )
+    for text in texts:
+        sharded.add(text)
+    sharded.start()
+
+    try:
+        for probe in queries:
+            want = _fingerprint(single.query(probe, timeout=WAIT))
+            got = sharded.query(probe, timeout=WAIT)
+            assert not got.partial
+            assert got.shards_ok == tuple(range(shards))
+            assert _fingerprint(got) == want
+        # Second pass: with cache > 0 every shard answers from cache;
+        # remapping must keep cached entries exact too.
+        for probe in queries:
+            want = _fingerprint(single.query(probe, timeout=WAIT))
+            assert _fingerprint(sharded.query(probe, timeout=WAIT)) == want
+        if cache:
+            health = sharded.health()
+            assert all(
+                row["cache"]["hits"] >= len(queries) for row in health["shards"]
+            )
+    finally:
+        single.drain(timeout=WAIT)
+        sharded.drain(timeout=WAIT)
+
+
+@pytest.mark.parametrize("shards", [2, 5])
+def test_equivalence_survives_interleaved_adds_and_flips(shards):
+    """Growth + reindex flips on one side must not diverge the answers."""
+    texts = _corpus(seed=7, n=30)
+    probe_pool = _queries(texts)
+
+    index = SimilarityIndex(JaccardPredicate(0.4), tokenizer=tokenize_words)
+    single = IndexServer(index, workers=2).start()
+    sharded = ShardedIndexServer(
+        JaccardPredicate(0.4),
+        shards=shards,
+        tokenizer=tokenize_words,
+        workers=2,
+    ).start()
+
+    try:
+        for round_no in range(3):
+            for text in texts[round_no * 10:(round_no + 1) * 10]:
+                index.add(text)
+                sharded.add(text)
+            sharded.reindex(block=True, timeout=WAIT)
+            for probe in probe_pool:
+                assert _fingerprint(sharded.query(probe, timeout=WAIT)) == (
+                    _fingerprint(single.query(probe, timeout=WAIT))
+                )
+    finally:
+        single.drain(timeout=WAIT)
+        sharded.drain(timeout=WAIT)

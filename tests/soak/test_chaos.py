@@ -14,6 +14,12 @@ CI job) and all marked ``soak`` so they can run in their own CI lane:
 * **Bounded shed**: overload sheds exactly the requests that exceed
   ``workers + queue_limit``, each with a typed error, and the server
   stays fully functional afterwards.
+* **Sharded chaos**: the scatter-gather tier loses one shard to a
+  kill, a slow-past-deadline stall, and an error storm in turn — each
+  assault landing *during* a generation flip under threaded traffic —
+  and every response is either complete or partial with the exact
+  failed-shard set; nothing is silently dropped and the drain
+  terminates.
 """
 
 import threading
@@ -21,11 +27,11 @@ import threading
 import pytest
 
 from repro.core.service import SimilarityIndex
-from repro.predicates import JaccardPredicate
+from repro.predicates import JaccardPredicate, OverlapPredicate
 from repro.runtime.context import JoinContext
 from repro.runtime.errors import JoinCancelled, JoinTimeout, ServerOverloaded
-from repro.runtime.faults import CountdownCancellation
-from repro.serving import IndexServer, RetryPolicy
+from repro.runtime.faults import CountdownCancellation, ShardFaults
+from repro.serving import IndexServer, RetryPolicy, ShardedIndexServer
 from repro.text.tokenizers import tokenize_words
 
 pytestmark = pytest.mark.soak
@@ -304,3 +310,131 @@ class TestBoundedShed:
         finally:
             gate.set()
             server.drain(timeout=WAIT)
+
+
+class TestShardedChaos:
+    """One shard assaulted three ways, mid-flip, under threaded traffic.
+
+    The acceptance walk for the sharded tier: with the victim shard
+    killed, then slowed past every query's deadline, then erroring,
+    while a generation flip of that same shard runs concurrently,
+    every admitted query must resolve to either a complete result or a
+    partial one naming exactly the victim — never a wrong answer,
+    never a hang — and the final drain must terminate.
+    """
+
+    N_SHARDS = 3
+    VICTIM = 1
+    QUERIES_PER_PHASE = 24
+
+    def _build(self, faults: ShardFaults) -> ShardedIndexServer:
+        server = ShardedIndexServer(
+            OverlapPredicate(2),
+            shards=self.N_SHARDS,
+            tokenizer=tokenize_words,
+            workers=N_THREADS,
+            shard_workers=2,
+            queue_limit=256,
+            retry_policy=RetryPolicy(max_attempts=2, sleep=lambda s: None),
+            faults=faults,
+        )
+        for round_no in range(4):
+            for i in range(8):
+                server.add(_line(round_no, i))
+        return server.start()
+
+    def test_kill_slow_error_each_in_turn_during_flips(self):
+        faults = ShardFaults()
+        server = self._build(faults)
+        probe = "alpha beta gamma delta"
+        try:
+            expected_complete = _fingerprint(server.query(probe, timeout=WAIT))
+            lost_rids = set(server._shards[self.VICTIM].global_rids)
+            expected_partial = [
+                entry for entry in expected_complete if entry[0] not in lost_rids
+            ]
+
+            for phase in ("kill", "slow", "error"):
+                if phase == "kill":
+                    faults.kill(self.VICTIM)
+                elif phase == "slow":
+                    # Far past the per-query deadline used below.
+                    faults.slow(self.VICTIM, 5.0)
+                else:
+                    faults.error(self.VICTIM)
+
+                # The flip of the assaulted shard runs while the
+                # threaded queries are in flight. (Faults hit the probe
+                # path, not the build, so the flip itself succeeds —
+                # the shard's data survives its shard being "down".)
+                builders = server.reindex(
+                    shard_ids=[self.VICTIM], block=False
+                )
+
+                outcomes: list = []
+                errors: list = []
+                barrier = threading.Barrier(N_THREADS, timeout=WAIT)
+
+                def hammer(slot, n_queries):
+                    try:
+                        barrier.wait()
+                        for _ in range(n_queries):
+                            result = server.query(
+                                probe, deadline=0.5, timeout=WAIT
+                            )
+                            outcomes.append(
+                                (result.partial, result.shards_failed,
+                                 _fingerprint(result))
+                            )
+                    except Exception as exc:  # noqa: BLE001 — fail the test
+                        errors.append(exc)
+
+                per_thread = self.QUERIES_PER_PHASE // N_THREADS
+                threads = [
+                    threading.Thread(
+                        target=hammer, args=(slot, per_thread), daemon=True
+                    )
+                    for slot in range(N_THREADS)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(WAIT)
+                    assert not thread.is_alive(), f"{phase}: query deadlocked"
+                assert errors == []
+                assert len(outcomes) == self.QUERIES_PER_PHASE
+
+                # Exact accounting, no silent loss: every response is
+                # the full answer or the survivors' answer, explicitly
+                # flagged with exactly the victim shard.
+                for partial, shards_failed, fingerprint in outcomes:
+                    if partial:
+                        assert shards_failed == (self.VICTIM,)
+                        assert fingerprint == expected_partial
+                    else:
+                        assert shards_failed == ()
+                        assert fingerprint == expected_complete
+                assert any(partial for partial, _, _ in outcomes), (
+                    f"{phase}: the fault never bit — the scenario is vacuous"
+                )
+
+                for builder in builders:
+                    assert builder.wait(timeout=WAIT) is True
+                faults.clear()
+                # Recovery between phases: the shard serves again.
+                recovered = server.query(probe, timeout=WAIT)
+                assert _fingerprint(recovered) == expected_complete
+
+            health = server.health()
+            assert health["partial"]["partial"] > 0
+            assert health["partial"]["complete"] > 0
+            assert health["queue_depth"] == 0
+            assert health["in_flight"] == 0
+            total = (
+                health["partial"]["partial"] + health["partial"]["complete"]
+            )
+            assert health["completed"] == total
+            # Three phases flipped the victim three times.
+            assert health["shards"][self.VICTIM]["epoch"] == 3
+        finally:
+            assert server.drain(timeout=WAIT) is True

@@ -1,5 +1,7 @@
 """Circuit breaker: every transition, deterministically, on a fake clock."""
 
+import threading
+
 import pytest
 
 from repro.runtime.errors import CircuitOpen
@@ -92,6 +94,92 @@ class TestHalfOpen:
         assert err.value.retry_after == 0.0
         breaker.record_success()
         assert breaker.state == CLOSED
+
+
+class TestHalfOpenConcurrency:
+    """Racing probes must admit exactly one trial per half-open window."""
+
+    ROUNDS = 25
+
+    def test_two_threads_admit_exactly_one_trial(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0,
+            half_open_max_calls=1, clock=clock,
+        )
+        for _ in range(self.ROUNDS):
+            _fail(breaker, 1)
+            clock.advance(5.0)
+            assert breaker.state == HALF_OPEN
+            barrier = threading.Barrier(2, timeout=10.0)
+            outcomes: list[str] = []
+            lock = threading.Lock()
+
+            def probe():
+                barrier.wait()
+                try:
+                    breaker.admit()
+                except CircuitOpen:
+                    with lock:
+                        outcomes.append("rejected")
+                else:
+                    with lock:
+                        outcomes.append("admitted")
+
+            threads = [
+                threading.Thread(target=probe, daemon=True) for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(10.0)
+                assert not thread.is_alive()
+            assert sorted(outcomes) == ["admitted", "rejected"]
+            breaker.record_success()  # the single trial closes the circuit
+            assert breaker.state == CLOSED
+
+
+class TestStaleResults:
+    """Results from requests admitted before a trip must not move the state.
+
+    An in-flight request admitted while CLOSED can report its outcome
+    after other requests already tripped the breaker: that stale report
+    says nothing about current health and must neither close the
+    circuit early nor restart the cooldown.
+    """
+
+    def test_stale_success_while_open_does_not_close(self, breaker, clock):
+        breaker.admit()  # in-flight request, admitted while CLOSED
+        _fail(breaker, 3)
+        assert breaker.state == OPEN
+        breaker.record_success()  # the straggler reports back
+        assert breaker.state == OPEN
+        # The cooldown clock still runs from the original trip.
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_stale_failure_in_half_open_does_not_restart_cooldown(
+        self, breaker, clock
+    ):
+        breaker.admit()  # in-flight request, admitted while CLOSED
+        _fail(breaker, 3)
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # straggler's failure: not a trial result
+        assert breaker.state == HALF_OPEN
+        assert breaker.times_opened == 1
+        # A real trial is still available and closes normally.
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_stale_success_in_half_open_does_not_close(self, breaker, clock):
+        breaker.admit()  # in-flight request, admitted while CLOSED
+        _fail(breaker, 3)
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()  # straggler, no trial slot held
+        # Only an admitted trial may vouch for the dependency's health.
+        assert breaker.state == HALF_OPEN
 
 
 class TestFullCycle:

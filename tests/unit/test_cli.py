@@ -137,6 +137,65 @@ class TestServeCommand:
         assert "--workers" in capsys.readouterr().err
 
 
+class TestServeShardedCommand:
+    def _serve(self, sample_file, tmp_path, capsys, *extra):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "efficient set joins on similarity\n"
+            "no overlap with anything here whatsoever\n"
+        )
+        code = main(
+            ["serve", "-i", sample_file, "--predicate", "jaccard", "-t", "0.7",
+             "--queries", str(queries), *extra]
+        )
+        return code, capsys.readouterr()
+
+    def test_sharded_rows_match_single_with_completeness_column(
+        self, sample_file, tmp_path, capsys
+    ):
+        _, single = self._serve(sample_file, tmp_path, capsys)
+        code, sharded = self._serve(
+            sample_file, tmp_path, capsys, "--shards", "3"
+        )
+        assert code == 0
+        single_rows = [
+            line.split("\t") for line in single.out.strip().splitlines()
+        ]
+        sharded_rows = [
+            line.split("\t") for line in sharded.out.strip().splitlines()
+        ]
+        # Identical answers, plus the completeness column.
+        assert [row[:3] for row in sharded_rows] == single_rows
+        assert all(row[3] == "complete" for row in sharded_rows)
+        assert "shards=3" in sharded.err
+        assert "(0 partial)" in sharded.err
+        assert "breakers=closed,closed,closed" in sharded.err
+
+    def test_sharded_flags_are_validated(self, sample_file, capsys):
+        for extra, message in [
+            (["--shards", "0"], "--shards"),
+            (["--shards", "2", "--shard-workers", "0"], "--shard-workers"),
+            (["--shards", "2", "--hedge-delay", "0"], "--hedge-delay"),
+            (["--require-complete"], "--shards"),
+            (["--hedge-delay", "0.1"], "--shards"),
+            (["--shards", "2", "--process-pool"], "--process-pool"),
+        ]:
+            code = main(["serve", "-i", sample_file, "-t", "0.5", *extra])
+            assert code == EXIT_USAGE
+            assert message in capsys.readouterr().err
+
+    def test_sharded_with_hedging_and_require_complete(
+        self, sample_file, tmp_path, capsys
+    ):
+        code, captured = self._serve(
+            sample_file, tmp_path, capsys,
+            "--shards", "2", "--hedge-delay", "0.05", "--require-complete",
+            "--query-cache", "8",
+        )
+        assert code == 0
+        assert "hedges" in captured.err
+
+
 def _one_error_line(capsys) -> str:
     """Assert stderr is exactly one repro-prefixed line (no traceback)."""
     err = capsys.readouterr().err.strip().splitlines()

@@ -1,0 +1,230 @@
+"""GenerationBuilder: zero-downtime reindex flips, exactly once, exactly right."""
+
+import threading
+
+import pytest
+
+from repro import OverlapPredicate
+from repro.runtime.errors import ConcurrentMutation
+from repro.serving import GenerationBuilder, ShardedIndexServer
+from repro.text.tokenizers import tokenize_words
+
+WAIT = 10.0
+
+TEXTS = [
+    "efficient set joins on similarity predicates",
+    "set joins with similarity predicates made efficient",
+    "completely different words entirely",
+    "probe count optimized merge joins",
+    "efficient merge joins on sorted postings",
+    "similarity predicates over set valued attributes",
+]
+
+PROBE = "efficient set joins similarity"
+
+
+def _server(**kwargs) -> ShardedIndexServer:
+    server = ShardedIndexServer(
+        OverlapPredicate(2),
+        shards=3,
+        tokenizer=tokenize_words,
+        workers=2,
+        **kwargs,
+    )
+    for text in TEXTS:
+        server.add(text)
+    return server.start()
+
+
+def _fingerprint(matches) -> list:
+    return [(m.rid_a, m.rid_b, round(m.similarity, 12)) for m in matches]
+
+
+class _GatedFactory:
+    """An index factory that parks until released — freezes phase 1."""
+
+    def __init__(self, build):
+        self.build = build
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def __call__(self):
+        self.entered.set()
+        assert self.release.wait(WAIT)
+        return self.build()
+
+
+class TestFlip:
+    def test_reindex_preserves_results_and_bumps_epochs(self):
+        server = _server()
+        try:
+            before = _fingerprint(server.query(PROBE, timeout=WAIT))
+            builders = server.reindex(block=True, timeout=WAIT)
+            assert [b.flipped for b in builders] == [True] * 3
+            assert [b.error for b in builders] == [None] * 3
+            after = _fingerprint(server.query(PROBE, timeout=WAIT))
+            assert after == before
+            health = server.health()
+            assert [row["epoch"] for row in health["shards"]] == [1, 1, 1]
+        finally:
+            server.drain(timeout=WAIT)
+
+    def test_reindex_single_shard_only(self):
+        server = _server()
+        try:
+            before = _fingerprint(server.query(PROBE, timeout=WAIT))
+            server.reindex(shard_ids=[1], block=True, timeout=WAIT)
+            assert _fingerprint(server.query(PROBE, timeout=WAIT)) == before
+            epochs = [row["epoch"] for row in server.health()["shards"]]
+            assert epochs == [0, 1, 0]
+        finally:
+            server.drain(timeout=WAIT)
+
+    def test_flip_invalidates_only_the_flipped_shards_cache(self):
+        server = _server(query_cache=8)
+        try:
+            server.query(PROBE, timeout=WAIT)  # miss + store on every shard
+            server.query(PROBE, timeout=WAIT)  # hit on every shard
+            server.reindex(shard_ids=[1], block=True, timeout=WAIT)
+            server.query(PROBE, timeout=WAIT)  # shard 1 must re-probe
+            for row in server.health()["shards"]:
+                stats = row["cache"]
+                if row["shard"] == 1:
+                    assert (stats["hits"], stats["misses"]) == (1, 2)
+                    assert stats["invalidations"] == 1
+                else:
+                    assert (stats["hits"], stats["misses"]) == (2, 1)
+                    assert stats["invalidations"] == 0
+        finally:
+            server.drain(timeout=WAIT)
+
+
+class TestZeroDowntime:
+    def test_queries_are_served_while_the_build_runs(self):
+        server = _server()
+        try:
+            gated = _GatedFactory(server._make_index)
+            builder = GenerationBuilder(server._shards[0], gated).start()
+            assert gated.entered.wait(WAIT)
+            # The build is parked inside phase 1; queries must not block
+            # on it (the build holds no shard lock there).
+            result = server.query(PROBE, timeout=WAIT)
+            assert not result.partial
+            assert builder.wait(timeout=0.0) is False  # genuinely still building
+            gated.release.set()
+            assert builder.wait(timeout=WAIT) is True
+            assert builder.flipped
+        finally:
+            gated.release.set()
+            server.drain(timeout=WAIT)
+
+    def test_adds_landing_mid_build_survive_via_catch_up(self):
+        server = _server()
+        try:
+            shard = server._shards[0]
+            snapshot_size = len(shard.global_rids)
+            gated = _GatedFactory(server._make_index)
+            builder = GenerationBuilder(shard, gated).start()
+            assert gated.entered.wait(WAIT)
+            # Land records on every shard while the build is parked —
+            # whichever route to shard 0 lands after its snapshot.
+            late = [
+                server.add(f"efficient set joins straggler {i}") for i in range(6)
+            ]
+            gated.release.set()
+            assert builder.wait(timeout=WAIT) is True
+            late_on_flipped = [
+                rid for rid in late if server.router.shard_of(rid) == 0
+            ]
+            assert builder.built == snapshot_size
+            assert builder.caught_up == len(late_on_flipped)
+            # Nothing lost: every straggler is matched post-flip.
+            result = server.query(PROBE, timeout=WAIT)
+            found = {m.rid_a for m in result}
+            assert set(late) <= found
+        finally:
+            gated.release.set()
+            server.drain(timeout=WAIT)
+
+    def test_concurrent_queries_never_see_a_torn_index(self):
+        server = _server()
+        try:
+            expected = _fingerprint(server.query(PROBE, timeout=WAIT))
+            stop = threading.Event()
+            errors: list[Exception] = []
+
+            def hammer():
+                try:
+                    while not stop.is_set():
+                        result = server.query(PROBE, timeout=WAIT)
+                        assert _fingerprint(result) == expected
+                        assert not result.partial
+                except Exception as exc:  # noqa: BLE001 — fail the test
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, daemon=True) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for _ in range(3):  # three full flip waves under fire
+                server.reindex(block=True, timeout=WAIT)
+            stop.set()
+            for thread in threads:
+                thread.join(WAIT)
+                assert not thread.is_alive(), "query thread deadlocked"
+            assert errors == []
+        finally:
+            server.drain(timeout=WAIT)
+
+
+class TestFailure:
+    def test_failed_build_changes_nothing_and_reraises(self):
+        server = _server()
+        try:
+            before = _fingerprint(server.query(PROBE, timeout=WAIT))
+
+            def exploding_factory():
+                raise RuntimeError("no memory for a second generation")
+
+            builder = GenerationBuilder(server._shards[1], exploding_factory)
+            builder.start()
+            with pytest.raises(RuntimeError, match="no memory"):
+                builder.wait(timeout=WAIT)
+            assert builder.flipped is False
+            # The shard keeps serving its current generation, unchanged.
+            assert _fingerprint(server.query(PROBE, timeout=WAIT)) == before
+            assert server.health()["shards"][1]["epoch"] == 0
+            # And the reindex latch was released: a retry can run.
+            server.reindex(shard_ids=[1], block=True, timeout=WAIT)
+            assert server.health()["shards"][1]["epoch"] == 1
+        finally:
+            server.drain(timeout=WAIT)
+
+    def test_concurrent_reindex_of_one_shard_is_rejected(self):
+        server = _server()
+        try:
+            gated = _GatedFactory(server._make_index)
+            first = GenerationBuilder(server._shards[2], gated).start()
+            assert gated.entered.wait(WAIT)
+            second = GenerationBuilder(server._shards[2], server._make_index)
+            with pytest.raises(ConcurrentMutation):
+                second.build_and_flip()
+            gated.release.set()
+            assert first.wait(timeout=WAIT) is True
+        finally:
+            gated.release.set()
+            server.drain(timeout=WAIT)
+
+    def test_builder_lifecycle_misuse(self):
+        server = _server()
+        try:
+            builder = GenerationBuilder(server._shards[0], server._make_index)
+            with pytest.raises(RuntimeError, match="never started"):
+                builder.wait()
+            builder.start()
+            with pytest.raises(RuntimeError, match="already started"):
+                builder.start()
+            assert builder.wait(timeout=WAIT) is True
+        finally:
+            server.drain(timeout=WAIT)

@@ -1,5 +1,7 @@
 """QueryCache semantics + IndexServer cache/batch integration."""
 
+import threading
+
 import pytest
 
 from repro import OverlapPredicate
@@ -116,6 +118,60 @@ class TestServerCache:
             assert server.health()["cache"] is None
         finally:
             server.drain()
+
+
+class TestConcurrentInvalidation:
+    """Generation invalidation under racing add()/query() traffic.
+
+    The corpus only ever *gains* matching records, so any correctly
+    invalidated cache must serve each reader a non-decreasing match
+    count — a stale hit after an add would show up as a decrease.
+    """
+
+    N_READERS = 4
+    N_ADDS = 30
+    PROBE = "efficient set joins on similarity predicates"
+
+    def test_readers_never_observe_stale_hits(self):
+        server = IndexServer(_index(), workers=4, query_cache=16).start()
+        baseline = len(server.query(self.PROBE, timeout=WAIT))
+        stop = threading.Event()
+        errors: list[Exception] = []
+        observed: list[list[int]] = [[] for _ in range(self.N_READERS)]
+
+        def reader(slot: int) -> None:
+            try:
+                while not stop.is_set():
+                    observed[slot].append(
+                        len(server.query(self.PROBE, timeout=WAIT))
+                    )
+            except Exception as exc:  # noqa: BLE001 — fail the test
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(slot,), daemon=True)
+            for slot in range(self.N_READERS)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for i in range(self.N_ADDS):
+                server.index.add(f"efficient set joins batch {i}")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(WAIT)
+                assert not thread.is_alive(), "reader deadlocked"
+        try:
+            assert errors == []
+            for lengths in observed:
+                assert lengths == sorted(lengths), "match count went backwards"
+            # After the writer is done, the cache must not pin the past.
+            final = len(server.query(self.PROBE, timeout=WAIT))
+            assert final == baseline + self.N_ADDS
+            assert server.health()["cache"]["invalidations"] > 0
+        finally:
+            server.drain(timeout=WAIT)
 
 
 class TestServerBatch:

@@ -4,8 +4,14 @@ import random
 
 import pytest
 
-from repro.runtime.errors import JoinCancelled, JoinTimeout, SnapshotCorrupted
-from repro.runtime.faults import InjectedFault
+from repro.runtime.context import JoinContext
+from repro.runtime.errors import (
+    DeadlineExceeded,
+    JoinCancelled,
+    JoinTimeout,
+    SnapshotCorrupted,
+)
+from repro.runtime.faults import FakeClock, InjectedFault
 from repro.serving.retry import RetryPolicy, default_retryable
 
 
@@ -76,6 +82,61 @@ class TestRun:
         policy.run(flaky, on_retry=lambda a, e, d: seen.append((a, type(e), d)))
         assert [(a, t) for a, t, _ in seen] == [(0, OSError), (1, OSError)]
         assert all(delay >= 0 for _, _, delay in seen)
+
+
+class TestDeadlineClamp:
+    """Backoff must never sleep past the context's remaining deadline."""
+
+    def test_overshooting_retry_raises_immediately_without_sleeping(self):
+        policy, sleeps = _policy(max_attempts=3, base_delay=1.0, jitter=0.0)
+        context = JoinContext(deadline_seconds=0.5, clock=FakeClock())
+        flaky = _Flaky(99, OSError("hiccup"))
+        with pytest.raises(DeadlineExceeded) as err:
+            policy.run(flaky, context=context)
+        # The first backoff (1.0s) already overshoots the 0.5s budget:
+        # one attempt, zero sleeps, and the attempt's failure chained.
+        assert flaky.calls == 1
+        assert sleeps == []
+        assert isinstance(err.value.__cause__, OSError)
+
+    def test_retries_proceed_while_budget_remains_then_clamp(self):
+        clock = FakeClock()
+        sleeps: list[float] = []
+
+        def sleeping(seconds: float) -> None:
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, jitter=0.0,
+            sleep=sleeping,
+        )
+        context = JoinContext(deadline_seconds=0.25, clock=clock)
+        flaky = _Flaky(99, OSError("hiccup"))
+        with pytest.raises(DeadlineExceeded):
+            policy.run(flaky, context=context)
+        # 0.1 fits in 0.25; after it 0.15 remains and the next backoff
+        # (0.2) overshoots — fail now rather than sleep into the wall.
+        assert sleeps == pytest.approx([0.1])
+        assert flaky.calls == 2
+
+    def test_unbounded_context_never_clamps(self):
+        policy, sleeps = _policy(max_attempts=3, base_delay=10.0, jitter=0.0)
+        context = JoinContext(clock=FakeClock())  # no deadline
+        flaky = _Flaky(2, OSError("hiccup"))
+        assert policy.run(flaky, context=context) == "ok"
+        assert len(sleeps) == 2
+
+    def test_no_context_behaves_as_before(self):
+        policy, sleeps = _policy(max_attempts=2, base_delay=1.5, jitter=0.0)
+        flaky = _Flaky(1, OSError("hiccup"))
+        assert policy.run(flaky) == "ok"
+        assert sleeps == pytest.approx([1.5])
+
+    def test_deadline_exceeded_is_a_join_timeout(self):
+        # Callers catching JoinTimeout keep working: DeadlineExceeded is
+        # the same condition surfaced from the retry path.
+        assert DeadlineExceeded is JoinTimeout
 
 
 class TestBackoffSchedule:

@@ -1,0 +1,60 @@
+"""ShardRouter: stable, deterministic, skew-robust rid -> shard hashing."""
+
+import pytest
+
+from repro.serving.router import ShardRouter
+
+
+class TestDeterminism:
+    def test_same_rid_same_shard_across_instances(self):
+        first = ShardRouter(5)
+        second = ShardRouter(5)
+        assert [first.shard_of(rid) for rid in range(200)] == [
+            second.shard_of(rid) for rid in range(200)
+        ]
+
+    def test_pinned_assignments_never_change(self):
+        """The mapping is baked into shard ownership: a silent change to
+        the mix would orphan every record, so pin concrete values."""
+        router = ShardRouter(4)
+        assert [router.shard_of(rid) for rid in range(8)] == [
+            2, 1, 0, 3, 2, 1, 0, 3,
+        ]
+
+    def test_all_shards_in_range(self):
+        for n in (1, 2, 3, 7, 16):
+            router = ShardRouter(n)
+            assert all(0 <= router.shard_of(rid) < n for rid in range(500))
+
+    def test_single_shard_takes_everything(self):
+        router = ShardRouter(1)
+        assert {router.shard_of(rid) for rid in range(100)} == {0}
+
+
+class TestSpread:
+    def test_spread_counts_match_shard_of(self):
+        router = ShardRouter(3)
+        spread = router.spread(300)
+        assert sum(spread) == 300
+        recount = [0, 0, 0]
+        for rid in range(300):
+            recount[router.shard_of(rid)] += 1
+        assert spread == recount
+
+    @pytest.mark.parametrize("n_shards", [2, 3, 4, 7])
+    def test_sequential_rids_do_not_skew(self, n_shards):
+        """The whole point of hashing over range-splitting: a contiguous
+        id range (bulk import, hot tenant) still spreads out."""
+        spread = ShardRouter(n_shards).spread(10_000)
+        expected = 10_000 / n_shards
+        assert all(0.8 * expected <= count <= 1.2 * expected for count in spread)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n_shards", [0, -1])
+    def test_rejects_bad_shard_counts(self, n_shards):
+        with pytest.raises(ValueError):
+            ShardRouter(n_shards)
+
+    def test_repr(self):
+        assert repr(ShardRouter(3)) == "ShardRouter(n_shards=3)"
