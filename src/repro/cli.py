@@ -66,6 +66,7 @@ from repro.serving import (
     ShardedIndexServer,
     ShardedResult,
 )
+from repro.text.tfidf import CorpusStats
 from repro.text.tokenizers import tokenize_qgrams, tokenize_words
 
 __all__ = ["main"]
@@ -449,8 +450,11 @@ def _emit_query_result(qid: int, future, timeout: float) -> bool:
 
     Sharded answers carry a fourth completeness column
     (``complete``/``partial``) so downstream consumers can tell an
-    exact empty answer from one that lost shards; partial answers also
-    get a stderr note naming the lost shards.
+    exact empty answer from one that lost shards. A sharded query with
+    no surviving matches still emits one status row (``qid  -  -
+    complete|partial``) — otherwise an empty partial answer would be
+    indistinguishable in the TSV stream from an exact empty one.
+    Partial answers also get a stderr note naming the lost shards.
     """
     try:
         matches = future.result(timeout=timeout)
@@ -462,16 +466,43 @@ def _emit_query_result(qid: int, future, timeout: float) -> bool:
         return False
     suffix = ""
     if isinstance(matches, ShardedResult):
-        suffix = "\tpartial" if matches.partial else "\tcomplete"
+        status = "partial" if matches.partial else "complete"
+        suffix = f"\t{status}"
         if matches.partial:
             print(
                 f"repro: query {qid}: partial result"
                 f" (lost shards {list(matches.shards_failed)})",
                 file=sys.stderr,
             )
+        if not len(matches):
+            print(f"{qid}\t-\t-\t{status}")
     for pair in matches:
         print(f"{qid}\t{pair.rid_a}\t{pair.similarity:.4f}{suffix}")
     return True
+
+
+def _global_corpus_stats(corpus: list[str], tokenizer) -> CorpusStats:
+    """IDF statistics over the whole corpus for cosine serving.
+
+    A bare ``CosinePredicate`` binds whatever corpus its index holds at
+    first insert — one record on the incremental add path, and a
+    per-shard sub-corpus under ``ShardedIndexServer`` (whose contract
+    requires precomputed global statistics for corpus-dependent
+    predicates). Precomputing here gives every serving configuration
+    the same frozen preprocessing-pass IDF the batch join uses. Token
+    ids are assigned exactly as the indexes' vocabulary will assign
+    them (insertion order over the same corpus, same tokenizer), so
+    the stats key on the same ids.
+    """
+    vocabulary: dict[str, int] = {}
+    records = []
+    for text in corpus:
+        ids = {
+            vocabulary.setdefault(token, len(vocabulary))
+            for token in tokenizer(text)
+        }
+        records.append(tuple(sorted(ids)))
+    return CorpusStats(records)
 
 
 def _print_serve_health(server) -> None:
@@ -561,6 +592,17 @@ def _serve(args, corpus: list[str]) -> int:
         predicate = _PREDICATES[args.predicate](args.threshold)
     except ValueError as exc:
         raise _CLIError(f"bad --threshold for {args.predicate}: {exc}") from exc
+    if isinstance(predicate, CosinePredicate):
+        # Pin cosine's IDF weights to the *global* corpus up front.
+        # Deferred binding happens at the first add — a 1-record
+        # "corpus" — and per-shard binding would score against
+        # sub-corpus frequencies; either way the weights would not be
+        # the paper's preprocessing-pass IDF, and sharded and
+        # single-index answers could silently diverge.
+        predicate = CosinePredicate(
+            args.threshold,
+            stats=_global_corpus_stats(corpus, _TOKENIZERS[args.tokenizer]),
+        )
 
     retry_policy = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
     try:

@@ -40,6 +40,7 @@ from repro.runtime.errors import (
     JoinTimeout,
     MemoryBudgetExceeded,
     PartialResult,
+    ReindexTimeout,
     ServerOverloaded,
     SnapshotCorrupted,
     SnapshotEncodingError,
@@ -64,6 +65,7 @@ __all__ = [
     "NullRWLock",
     "PartialResult",
     "RWLock",
+    "ReindexTimeout",
     "ServerOverloaded",
     "SnapshotCorrupted",
     "SnapshotEncodingError",

@@ -19,6 +19,7 @@ __all__ = [
     "JoinTimeout",
     "MemoryBudgetExceeded",
     "PartialResult",
+    "ReindexTimeout",
     "ServerOverloaded",
     "SnapshotCorrupted",
     "SnapshotEncodingError",
@@ -164,6 +165,29 @@ class PartialResult(JoinRuntimeError):
         self.shards_failed = failed
         self.shards_total = shards_total
         self.result = result
+
+
+class ReindexTimeout(JoinRuntimeError):
+    """A blocking reindex wait expired with builds still running.
+
+    Raised by ``ShardedIndexServer.reindex(block=True, timeout=...)``
+    when any generation build has not flipped within the timeout. The
+    builds are *not* cancelled — they keep running in the background
+    and will still flip on completion. ``builders`` carries every
+    builder from the call and ``stalled`` the still-running subset, so
+    the caller can keep ``wait()``-ing or inspect which shards lagged.
+    """
+
+    def __init__(self, stalled, builders, timeout: float | None):
+        self.stalled = list(stalled)
+        self.builders = list(builders)
+        self.timeout = timeout
+        bound = "" if timeout is None else f" after {timeout:.3f}s"
+        super().__init__(
+            f"reindex still building{bound}:"
+            f" {len(self.stalled)}/{len(self.builders)} generation builds"
+            " have not flipped (they continue in the background)"
+        )
 
 
 class ConcurrentMutation(JoinRuntimeError):

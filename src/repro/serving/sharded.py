@@ -53,7 +53,7 @@ from dataclasses import dataclass
 from repro.core.results import MatchPair
 from repro.core.service import SimilarityIndex
 from repro.runtime.context import JoinContext
-from repro.runtime.errors import PartialResult
+from repro.runtime.errors import PartialResult, ReindexTimeout
 from repro.runtime.rwlock import RWLock
 from repro.serving.cache import QueryCache
 from repro.serving.generation import GenerationBuilder, _ReindexGuard
@@ -613,9 +613,14 @@ class ShardedIndexServer(_QueueServer):
 
         Args:
             shard_ids: which shards to rebuild (default: all).
-            block: wait for every build to flip (re-raising the first
-                failure); ``block=False`` returns immediately with the
-                running builders — ``wait()`` them yourself.
+            block: wait for every build to flip — re-raising the first
+                build failure, and raising
+                :class:`~repro.runtime.errors.ReindexTimeout` when any
+                build is still running after ``timeout`` (the stalled
+                builds keep running and will still flip; the exception
+                carries them so the caller can keep waiting).
+                ``block=False`` returns immediately with the running
+                builders — ``wait()`` them yourself.
             timeout: per-builder wait bound when blocking.
 
         Queries never wait on a build (it runs entirely off-lock) and
@@ -631,8 +636,11 @@ class ShardedIndexServer(_QueueServer):
             for sid in ids
         ]
         if block:
-            for builder in builders:
-                builder.wait(timeout)
+            stalled = [
+                builder for builder in builders if not builder.wait(timeout)
+            ]
+            if stalled:
+                raise ReindexTimeout(stalled, builders, timeout)
         return builders
 
     # ------------------------------------------------------------------

@@ -164,9 +164,13 @@ class TestServeShardedCommand:
         sharded_rows = [
             line.split("\t") for line in sharded.out.strip().splitlines()
         ]
-        # Identical answers, plus the completeness column.
-        assert [row[:3] for row in sharded_rows] == single_rows
+        # Identical answers, plus the completeness column; the zero-match
+        # query (qid 1) gets a status row instead of vanishing from the
+        # TSV stream.
+        match_rows = [row for row in sharded_rows if row[1] != "-"]
+        assert [row[:3] for row in match_rows] == single_rows
         assert all(row[3] == "complete" for row in sharded_rows)
+        assert ["1", "-", "-", "complete"] in sharded_rows
         assert "shards=3" in sharded.err
         assert "(0 partial)" in sharded.err
         assert "breakers=closed,closed,closed" in sharded.err
@@ -194,6 +198,111 @@ class TestServeShardedCommand:
         )
         assert code == 0
         assert "hedges" in captured.err
+
+    def test_sharded_cosine_matches_single_index(self, tmp_path, capsys):
+        """Cosine's IDF weights are corpus statistics: serving must pin
+        them to the *global* corpus. A bare predicate binds the corpus
+        its index holds at first insert — one record incrementally, a
+        sub-corpus per shard — so without pinned stats the weights are
+        wrong and sharded/single answers can silently diverge. The
+        corpus here is deliberately frequency-skewed ('alpha' is in
+        every record, the rest are rare) so uniform or per-shard IDF
+        produces different 4-decimal similarities than global IDF."""
+        corpus = tmp_path / "records.txt"
+        corpus.write_text(
+            "alpha beta gamma delta\n"
+            "alpha beta gamma epsilon\n"
+            "alpha zeta eta theta\n"
+            "alpha iota kappa lambda\n"
+            "alpha mu nu xi\n"
+        )
+        queries = tmp_path / "queries.txt"
+        queries.write_text("alpha beta gamma\n")
+
+        def _rows(*extra):
+            code = main(
+                ["serve", "-i", str(corpus), "--predicate", "cosine",
+                 "-t", "0.3", "--queries", str(queries), *extra]
+            )
+            assert code == 0
+            return [
+                line.split("\t")
+                for line in capsys.readouterr().out.strip().splitlines()
+            ]
+
+        single_rows = _rows()
+        assert [row[:2] for row in single_rows] == [["0", "0"], ["0", "1"]]
+        # The similarities must be the *global*-IDF cosine (weights from
+        # the 5-record corpus), computed independently here: the probe
+        # {alpha, beta, gamma} against {alpha, beta, gamma, delta-like}.
+        from math import log, sqrt
+
+        a, bg = log(1 + 5 / 5), log(1 + 5 / 2)  # idf: alpha / beta, gamma
+        rare = log(1 + 5 / 1)  # idf: delta, epsilon
+        want = (a * a + 2 * bg * bg) / sqrt(
+            (a * a + 2 * bg * bg) * (a * a + 2 * bg * bg + rare * rare)
+        )
+        assert all(row[2] == f"{want:.4f}" for row in single_rows)
+        for shards in ("2", "3"):
+            sharded_rows = _rows("--shards", shards)
+            match_rows = [row for row in sharded_rows if row[1] != "-"]
+            # rids AND 4-decimal similarities identical, every shard count.
+            assert [row[:3] for row in match_rows] == single_rows
+            assert all(row[3] == "complete" for row in sharded_rows)
+
+
+class TestEmitQueryResult:
+    """The TSV contract for sharded answers, pinned at the emit seam
+    (a genuinely partial answer needs fault injection, so the CLI-level
+    tests only ever see complete ones)."""
+
+    @staticmethod
+    def _future(value):
+        from concurrent.futures import Future
+
+        future = Future()
+        future.set_result(value)
+        return future
+
+    @staticmethod
+    def _sharded(matches=(), failed=()):
+        from repro.serving import ShardedResult
+
+        ok = tuple(sid for sid in (0, 1) if sid not in failed)
+        return ShardedResult(
+            matches=tuple(matches),
+            shards_ok=ok,
+            shards_failed=tuple(failed),
+            partial=bool(failed),
+        )
+
+    def test_empty_partial_answer_is_visible_in_tsv(self, capsys):
+        # Zero surviving matches must still be distinguishable from an
+        # exact empty answer *in the TSV stream*, not just on stderr.
+        ok = cli._emit_query_result(7, self._future(self._sharded(failed=(1,))), 1.0)
+        assert ok is True
+        captured = capsys.readouterr()
+        assert captured.out == "7\t-\t-\tpartial\n"
+        assert "lost shards [1]" in captured.err
+
+    def test_empty_complete_answer_emits_status_row(self, capsys):
+        assert cli._emit_query_result(7, self._future(self._sharded()), 1.0)
+        captured = capsys.readouterr()
+        assert captured.out == "7\t-\t-\tcomplete\n"
+        assert captured.err == ""
+
+    def test_partial_answer_with_matches_has_no_status_row(self, capsys):
+        from repro.core.results import MatchPair
+
+        result = self._sharded(matches=[MatchPair(4, 9, 0.5)], failed=(1,))
+        assert cli._emit_query_result(2, self._future(result), 1.0)
+        captured = capsys.readouterr()
+        assert captured.out == "2\t4\t0.5000\tpartial\n"
+
+    def test_empty_single_index_answer_emits_nothing(self, capsys):
+        # The unsharded three-column format is unchanged.
+        assert cli._emit_query_result(7, self._future([]), 1.0)
+        assert capsys.readouterr().out == ""
 
 
 def _one_error_line(capsys) -> str:

@@ -5,7 +5,7 @@ import threading
 import pytest
 
 from repro import OverlapPredicate
-from repro.runtime.errors import ConcurrentMutation
+from repro.runtime.errors import ConcurrentMutation, ReindexTimeout
 from repro.serving import GenerationBuilder, ShardedIndexServer
 from repro.text.tokenizers import tokenize_words
 
@@ -212,6 +212,32 @@ class TestFailure:
                 second.build_and_flip()
             gated.release.set()
             assert first.wait(timeout=WAIT) is True
+        finally:
+            gated.release.set()
+            server.drain(timeout=WAIT)
+
+    def test_blocking_reindex_timeout_raises_instead_of_lying(self):
+        """A build still running at the timeout must not be silently
+        indistinguishable from one that flipped: reindex(block=True)
+        raises ReindexTimeout carrying the stalled builders, and the
+        builds themselves keep running to a normal flip."""
+        server = _server()
+        gated = _GatedFactory(server._make_index)
+        server._make_index = gated  # park every build in phase 1
+        try:
+            with pytest.raises(ReindexTimeout) as info:
+                server.reindex(shard_ids=[0], block=True, timeout=0.05)
+            error = info.value
+            assert len(error.builders) == 1
+            assert error.stalled == error.builders
+            assert error.stalled[0].flipped is False
+            assert "1/1" in str(error)
+            # The timeout abandoned the wait, not the build: release it
+            # and the flip still lands.
+            gated.release.set()
+            assert error.stalled[0].wait(timeout=WAIT) is True
+            assert error.stalled[0].flipped
+            assert server.health()["shards"][0]["epoch"] == 1
         finally:
             gated.release.set()
             server.drain(timeout=WAIT)
