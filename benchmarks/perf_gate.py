@@ -37,13 +37,15 @@ exists for must not silently erode.
 
 With ``--serve`` the gate covers the serving tier
 (:mod:`repro.serving`): every case runs the same query stream through
-a single-index :class:`IndexServer` and a :class:`ShardedIndexServer`,
-asserts the two answer streams are identical (the sharded tier's
-exactness contract), and records the sharded run's merge-work counters
-plus client-observed p50/p99 for both servers into
+a single-index :class:`IndexServer`, an in-process
+:class:`ShardedIndexServer`, and a remote-sharded front end whose
+shards are all :class:`ShardServer` nodes on loopback, asserts all
+three answer streams are identical (the tier's exactness contract,
+now spanning the wire transport), and records the sharded run's
+merge-work counters plus client-observed p50/p99 for every tier into
 ``BENCH_serve.json``. Work counters and answer identity gate hard;
-the latencies are machine-dependent and recorded for trend-watching
-only.
+the latencies — including the local-vs-remote comparison — are
+machine-dependent and recorded for trend-watching only.
 
 With ``--report`` the gate prints a compact trajectory table across
 every committed BENCH file (serial / parallel / bitmap / merge /
@@ -81,6 +83,7 @@ from repro.compression.compressed_join import CompressedProbeJoin  # noqa: E402
 from repro.core.prefix_filter import PrefixFilterJoin  # noqa: E402
 from repro.core.service import SimilarityIndex  # noqa: E402
 from repro.serving import IndexServer, ShardedIndexServer  # noqa: E402
+from repro.serving.transport import ShardServer  # noqa: E402
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_serial.json")
@@ -283,7 +286,13 @@ def _percentile_ms(latencies: list[float], p: float) -> float:
 
 
 def _run_serve_case(dataset_name, predicate_name, threshold, shards, n):
-    """The same query stream through both serving tiers; answers must agree."""
+    """The same query stream through all three serving tiers.
+
+    Single-index, in-process sharded, and remote-sharded (every shard a
+    :class:`ShardServer` node on loopback) must answer identically; the
+    remote latencies are recorded alongside the in-process ones so the
+    per-query cost of the wire hop is visible in the baseline.
+    """
     dataset = dataset_by_name(dataset_name, n)
     records = list(dataset.records)
     queries = records[:_SERVE_QUERIES]
@@ -302,6 +311,23 @@ def _run_serve_case(dataset_name, predicate_name, threshold, shards, n):
     for record in records:
         sharded.add(record)
     sharded.start()
+
+    nodes = [
+        ShardServer(
+            SimilarityIndex(_PREDICATES[predicate_name](threshold))
+        ).start()
+        for _ in range(shards)
+    ]
+    remote = ShardedIndexServer(
+        _PREDICATES[predicate_name](threshold),
+        shards=shards,
+        workers=2,
+        shard_workers=2,
+        shard_endpoints=[f"127.0.0.1:{node.port}" for node in nodes],
+    )
+    for record in records:
+        remote.add(record)
+    remote.start()
 
     try:
         single_before = _snapshot_work(index.counters_snapshot())
@@ -328,20 +354,36 @@ def _run_serve_case(dataset_name, predicate_name, threshold, shards, n):
             )
         seconds = time.perf_counter() - run_started
         sharded_work = _snapshot_work(sharded.counters_snapshot()) - sharded_before
+
+        remote_latencies, remote_answers = [], []
+        for query in queries:
+            started = time.perf_counter()
+            result = remote.query(query, timeout=60.0)
+            remote_latencies.append(time.perf_counter() - started)
+            assert not result.partial, "benchmark run lost a remote shard"
+            remote_answers.append(
+                [(m.rid_a, round(m.similarity, 12)) for m in result]
+            )
     finally:
         single.drain(timeout=30.0)
         sharded.drain(timeout=30.0)
+        remote.drain(timeout=30.0)
+        for node in nodes:
+            node.stop()
 
     return {
         "work": sharded_work,
         "single_work": single_work,
         "pairs": sum(len(answer) for answer in sharded_answers),
         "pairs_match": sharded_answers == single_answers,
+        "remote_pairs_match": remote_answers == single_answers,
         "queries": len(queries),
         "single_p50_ms": _percentile_ms(single_latencies, 50.0),
         "single_p99_ms": _percentile_ms(single_latencies, 99.0),
         "sharded_p50_ms": _percentile_ms(sharded_latencies, 50.0),
         "sharded_p99_ms": _percentile_ms(sharded_latencies, 99.0),
+        "remote_p50_ms": _percentile_ms(remote_latencies, 50.0),
+        "remote_p99_ms": _percentile_ms(remote_latencies, 99.0),
         "seconds": round(seconds, 4),
     }
 
@@ -365,8 +407,11 @@ def run_profile(
             print(
                 f"  {name:<48} work={row['work']:<12}"
                 f" match={row['pairs_match']}"
+                f" remote_match={row['remote_pairs_match']}"
                 f" p50 {row['sharded_p50_ms']}ms vs {row['single_p50_ms']}ms"
                 f" p99 {row['sharded_p99_ms']}ms vs {row['single_p99_ms']}ms"
+                f" remote p50 {row['remote_p50_ms']}ms"
+                f" p99 {row['remote_p99_ms']}ms"
             )
     elif merge:
         for name, dataset_name, predicate_name, threshold, algorithm, _, _ in _MERGE_CASES:
@@ -530,6 +575,11 @@ def check_serve(fresh: dict, baseline: dict, profile: str) -> list[str]:
             failures.append(
                 f"{name}: sharded server answered differently than the"
                 " single-index server (scatter-gather is NOT exact)"
+            )
+        if not row.get("remote_pairs_match", True):
+            failures.append(
+                f"{name}: remote-sharded server answered differently than"
+                " the single-index server (the wire transport is NOT exact)"
             )
     return failures
 

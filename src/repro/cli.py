@@ -25,6 +25,14 @@ bounded worker pool with load shedding, per-query deadlines, retries,
 and a circuit breaker. Prints ``qid  rid  similarity`` per match;
 SIGINT/SIGTERM drains in-flight queries gracefully before exiting and
 a health summary always goes to stderr.
+
+Multi-node serving (``shard-serve``): host one index shard behind a
+TCP socket speaking the length-prefixed, checksummed binary wire
+protocol of :mod:`repro.serving.transport`. A front end started with
+``serve --shard-endpoints host:port,...`` mixes those nodes (and
+``local`` in-process shards) into its scatter-gather tier; each remote
+node is its own network fault domain with heartbeats, reconnecting
+retries, and partial-result failover.
 """
 
 from __future__ import annotations
@@ -63,9 +71,11 @@ from repro.serving import (
     HedgePolicy,
     IndexServer,
     RetryPolicy,
+    ShardServer,
     ShardedIndexServer,
     ShardedResult,
 )
+from repro.serving.transport import parse_endpoint
 from repro.text.tfidf import CorpusStats
 from repro.text.tokenizers import tokenize_qgrams, tokenize_words
 
@@ -288,8 +298,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail a query that loses any shard (typed PartialResult"
         " error) instead of answering from the surviving shards",
     )
+    sharding.add_argument(
+        "--shard-endpoints", metavar="LIST", default=None,
+        help="comma-separated shard backends, one per shard: 'host:port'"
+        " probes a remote shard-serve node over TCP, 'local' keeps that"
+        " shard in-process; sets the shard count when --shards is not"
+        " given (e.g. 'local,127.0.0.1:7601,127.0.0.1:7602')",
+    )
+    sharding.add_argument(
+        "--heartbeat-interval", metavar="SECONDS", type=float, default=1.0,
+        help="seconds between health pings to each remote shard; pings"
+        " feed that shard's circuit breaker (default 1.0)",
+    )
     _add_merge_backend_option(serve_parser)
     _add_bitmap_options(serve_parser)
+
+    shard_parser = commands.add_parser(
+        "shard-serve",
+        help="host one index shard behind a TCP socket for a remote"
+        " serve front end",
+    )
+    shard_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    shard_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (default 0 = pick a free port; the"
+        " bound address is printed to stderr)",
+    )
+    shard_parser.add_argument(
+        "--predicate", choices=sorted(_PREDICATES), default="jaccard"
+    )
+    shard_parser.add_argument(
+        "--threshold", "-t", type=float, required=True,
+        help="T for overlap predicates, fraction for the others",
+    )
+    shard_parser.add_argument(
+        "--tokenizer", choices=sorted(_TOKENIZERS), default="words",
+        help="how to derive the element set from each record",
+    )
+    shard_parser.add_argument(
+        "--input", "-i", default=None,
+        help="full corpus file, used only to pin the token vocabulary"
+        " and the global IDF statistics (required for cosine); records"
+        " themselves arrive over the wire from the front end, which"
+        " owns shard routing",
+    )
+    _add_merge_backend_option(shard_parser)
+    _add_bitmap_options(shard_parser)
 
     return parser
 
@@ -525,12 +581,25 @@ def _print_serve_health(server) -> None:
             if hedging["enabled"]
             else ""
         )
+        retries = ",".join(str(row["retries"]) for row in health["shards"])
+        remote_note = ""
+        if any(row["remote"] for row in health["shards"]):
+            reconnects = ",".join(
+                str(row["reconnects"]) for row in health["shards"]
+            )
+            beats = health["heartbeat"]
+            remote_note = (
+                f" reconnects={reconnects},"
+                f" heartbeats {beats['ok']} ok/{beats['failed']} failed,"
+            )
         print(
             f"# serve: {health['completed']} completed"
             f" ({partial['partial']} partial), {health['failed']} failed,"
             f" {health['shed']} shed, {health['retried']} retried,"
             f" shards={health['router']['shards']}"
             f" spread={health['router']['spread']},"
+            f" retries={retries},"
+            f"{remote_note}"
             f"{hedge_note}"
             f" p50 {_ms(latency['p50_seconds'])}, p99 {_ms(latency['p99_seconds'])},"
             f" breakers={','.join(breaker_states)},"
@@ -561,6 +630,89 @@ def _print_serve_health(server) -> None:
     )
 
 
+def _corpus_vocabulary(corpus: list[str], tokenizer) -> dict[str, int]:
+    """Token ids assigned in first-occurrence order over ``corpus``.
+
+    The same assignment :func:`_global_corpus_stats` makes (and the one
+    an index filled from this corpus would make), so a shard node in a
+    different process keys its cosine IDF statistics on the same ids
+    the front end does. Tokenizers return first-occurrence-ordered
+    lists, so the assignment is deterministic across processes.
+    """
+    vocabulary: dict[str, int] = {}
+    for text in corpus:
+        for token in tokenizer(text):
+            vocabulary.setdefault(token, len(vocabulary))
+    return vocabulary
+
+
+def _shard_serve(args) -> int:
+    """The ``shard-serve`` subcommand: host one shard behind a socket."""
+    if not 0 <= args.port <= 65535:
+        raise _CLIError(f"--port must be in [0, 65535], got {args.port}")
+    try:
+        predicate = _PREDICATES[args.predicate](args.threshold)
+    except ValueError as exc:
+        raise _CLIError(f"bad --threshold for {args.predicate}: {exc}") from exc
+    tokenizer = _TOKENIZERS[args.tokenizer]
+    vocabulary = None
+    if args.input is not None:
+        corpus = _read_lines(args.input)
+        if not corpus:
+            raise _CLIError(f"no records in {args.input} (empty input)")
+        vocabulary = _corpus_vocabulary(corpus, tokenizer)
+        if isinstance(predicate, CosinePredicate):
+            predicate = CosinePredicate(
+                args.threshold, stats=_global_corpus_stats(corpus, tokenizer)
+            )
+    elif isinstance(predicate, CosinePredicate):
+        # Without the global corpus the node would bind IDF weights to
+        # whatever subset the front end routes to it, and its scores
+        # would silently diverge from the other shards'.
+        raise _CLIError(
+            "cosine shard-serve needs --input CORPUS to pin the global"
+            " IDF statistics"
+        )
+    index = SimilarityIndex(
+        predicate,
+        tokenizer=tokenizer,
+        bitmap_filter=_bitmap_config(args),
+        merge_backend=args.merge_backend,
+        vocabulary=vocabulary,
+    )
+    try:
+        node = ShardServer(index, host=args.host, port=args.port)
+        node.start()
+    except OSError as exc:
+        detail = exc.strerror or str(exc)
+        raise _CLIError(f"cannot listen on {args.host}:{args.port}: {detail}") from exc
+    host, port = node.address
+    print(
+        f"# shard-serve: listening on {host}:{port}"
+        f" ({args.predicate} t={args.threshold}, {args.tokenizer})",
+        file=sys.stderr,
+    )
+    interrupted = None
+    try:
+        with _drain_signals():
+            try:
+                threading.Event().wait()
+            except _DrainRequested as exc:
+                interrupted = str(exc)
+    finally:
+        health = node.health()
+        node.stop()
+        requests = sum(health["requests"].values())
+        print(
+            f"# shard-serve: {interrupted or 'stopping'}:"
+            f" {health['records']} records, generation"
+            f" {health['epoch']}.{health['generation']},"
+            f" {requests} requests, {health['errors']} errors",
+            file=sys.stderr,
+        )
+    return EXIT_INTERRUPTED if interrupted == "SIGINT" else 0
+
+
 def _serve(args, corpus: list[str]) -> int:
     """The ``serve`` subcommand: index the corpus, answer query lines."""
     if args.queries == "-" and args.input == "-":
@@ -579,7 +731,33 @@ def _serve(args, corpus: list[str]) -> int:
         raise _CLIError(f"--shard-workers must be >= 1, got {args.shard_workers}")
     if args.hedge_delay is not None and args.hedge_delay <= 0:
         raise _CLIError(f"--hedge-delay must be > 0, got {args.hedge_delay}")
-    if args.shards == 1:
+    if args.heartbeat_interval <= 0:
+        raise _CLIError(
+            f"--heartbeat-interval must be > 0, got {args.heartbeat_interval}"
+        )
+    endpoints = None
+    if args.shard_endpoints is not None:
+        endpoints = [spec.strip() for spec in args.shard_endpoints.split(",")]
+        if not endpoints or any(not spec for spec in endpoints):
+            raise _CLIError(
+                "--shard-endpoints needs a non-empty comma-separated list"
+                " of 'host:port' or 'local' entries"
+            )
+        for spec in endpoints:
+            if spec.lower() != "local":
+                try:
+                    parse_endpoint(spec)
+                except ValueError as exc:
+                    raise _CLIError(
+                        f"bad --shard-endpoints entry {spec!r}: {exc}"
+                    ) from exc
+        if args.shards > 1 and args.shards != len(endpoints):
+            raise _CLIError(
+                f"--shards {args.shards} does not match the"
+                f" {len(endpoints)} entries in --shard-endpoints"
+            )
+        args.shards = len(endpoints)
+    if args.shards == 1 and endpoints is None:
         for flag, name in (
             (args.hedge_delay is not None, "--hedge-delay"),
             (args.require_complete, "--require-complete"),
@@ -587,7 +765,7 @@ def _serve(args, corpus: list[str]) -> int:
             if flag:
                 raise _CLIError(f"{name} requires --shards > 1")
     elif args.process_pool:
-        raise _CLIError("--process-pool is not supported with --shards > 1")
+        raise _CLIError("--process-pool is not supported with sharded serving")
     try:
         predicate = _PREDICATES[args.predicate](args.threshold)
     except ValueError as exc:
@@ -606,7 +784,7 @@ def _serve(args, corpus: list[str]) -> int:
 
     retry_policy = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
     try:
-        if args.shards > 1:
+        if args.shards > 1 or endpoints is not None:
             server = ShardedIndexServer(
                 predicate,
                 shards=args.shards,
@@ -628,6 +806,19 @@ def _serve(args, corpus: list[str]) -> int:
                 ),
                 bitmap_filter=_bitmap_config(args),
                 merge_backend=args.merge_backend,
+                shard_endpoints=endpoints,
+                heartbeat_interval=(
+                    args.heartbeat_interval if endpoints is not None else None
+                ),
+                # Records routed to remote nodes never pass through the
+                # front end's vocabulary, so prefill it with the
+                # full-corpus assignment — the one the global stats and
+                # the shard-serve nodes key on.
+                vocabulary=(
+                    _corpus_vocabulary(corpus, _TOKENIZERS[args.tokenizer])
+                    if endpoints is not None
+                    else None
+                ),
             )
             for line in corpus:
                 server.add(line)
@@ -722,6 +913,9 @@ def _serve(args, corpus: list[str]) -> int:
 
 
 def _dispatch(args) -> int:
+    if args.command == "shard-serve":
+        return _shard_serve(args)
+
     lines = _read_lines(args.input)
     if not lines:
         raise _CLIError(f"no records in {args.input} (empty input)")

@@ -34,6 +34,7 @@ from repro.runtime.errors import (
     CircuitOpen,
     ConcurrentMutation,
     DeadlineExceeded,
+    FrameChecksumError,
     JoinCancelled,
     JoinInterrupted,
     JoinRuntimeError,
@@ -42,8 +43,10 @@ from repro.runtime.errors import (
     PartialResult,
     ReindexTimeout,
     ServerOverloaded,
+    ShardUnavailable,
     SnapshotCorrupted,
     SnapshotEncodingError,
+    WireProtocolError,
 )
 from repro.runtime.rwlock import NullRWLock, RWLock
 from repro.runtime.snapshot import read_snapshot, write_snapshot
@@ -55,6 +58,7 @@ __all__ = [
     "CircuitOpen",
     "ConcurrentMutation",
     "DeadlineExceeded",
+    "FrameChecksumError",
     "JoinCancelled",
     "JoinCheckpointer",
     "JoinContext",
@@ -67,8 +71,10 @@ __all__ = [
     "RWLock",
     "ReindexTimeout",
     "ServerOverloaded",
+    "ShardUnavailable",
     "SnapshotCorrupted",
     "SnapshotEncodingError",
+    "WireProtocolError",
     "dataset_fingerprint",
     "read_snapshot",
     "write_snapshot",

@@ -13,6 +13,7 @@ __all__ = [
     "CircuitOpen",
     "ConcurrentMutation",
     "DeadlineExceeded",
+    "FrameChecksumError",
     "JoinCancelled",
     "JoinInterrupted",
     "JoinRuntimeError",
@@ -21,8 +22,10 @@ __all__ = [
     "PartialResult",
     "ReindexTimeout",
     "ServerOverloaded",
+    "ShardUnavailable",
     "SnapshotCorrupted",
     "SnapshotEncodingError",
+    "WireProtocolError",
 ]
 
 
@@ -188,6 +191,58 @@ class ReindexTimeout(JoinRuntimeError):
             f" {len(self.stalled)}/{len(self.builders)} generation builds"
             " have not flipped (they continue in the background)"
         )
+
+
+class ShardUnavailable(JoinRuntimeError, ConnectionError):
+    """A remote shard could not be reached or died mid-exchange.
+
+    Raised by the shard transport when a connection cannot be
+    established, drops mid-request, or the node answers with a failure
+    that has no more specific type. Subclasses ``ConnectionError`` (an
+    ``OSError``) on purpose: the serving tier's default retry
+    classification treats ``OSError`` as transient, so a flapping node
+    is retried/reconnected while the carved deadline allows, and a dead
+    one exhausts its attempts and is counted in ``shards_failed``
+    exactly like a killed in-process shard.
+    """
+
+    def __init__(self, endpoint: str, detail: str):
+        super().__init__(f"shard at {endpoint} unavailable: {detail}")
+        self.endpoint = endpoint
+        self.detail = detail
+
+
+class WireProtocolError(JoinRuntimeError):
+    """A frame on the shard wire violated the protocol.
+
+    Bad magic, unsupported version, an unknown op, or a length field
+    outside the sane bound: the stream cannot be trusted past this
+    point, so the connection is torn down. Deliberately *not* an
+    ``OSError`` — a peer speaking the wrong protocol will not start
+    speaking the right one on retry.
+    """
+
+    def __init__(self, detail: str):
+        super().__init__(f"wire protocol violation: {detail}")
+        self.detail = detail
+
+
+class FrameChecksumError(WireProtocolError, OSError):
+    """A frame's CRC32 did not match its header+payload bytes.
+
+    Unlike the other protocol violations this one is transient by
+    nature (a torn read, a corrupting middlebox), so it additionally
+    subclasses ``OSError`` and the retry policy re-issues the request
+    on a fresh connection.
+    """
+
+    def __init__(self, expected: int, actual: int):
+        super().__init__(
+            f"frame checksum mismatch: header says {expected:#010x},"
+            f" bytes hash to {actual:#010x}"
+        )
+        self.expected = expected
+        self.actual = actual
 
 
 class ConcurrentMutation(JoinRuntimeError):

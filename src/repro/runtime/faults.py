@@ -15,10 +15,17 @@ filled with controllable failure doubles:
 * :class:`ShardFaults` — a per-shard fault plan (kill / slow / error a
   chosen shard) consulted by the sharded serving tier's probe path, so
   chaos tests can take down exactly one fault domain.
+* :class:`NetworkFaults` — an in-process TCP proxy that sits between a
+  :class:`~repro.serving.transport.client.RemoteShardClient` and its
+  shard node and injects *network* failure modes (refuse connections,
+  delay / corrupt / truncate response bytes, kill the connection
+  mid-response), so the remote-shard chaos scenarios exercise the wire
+  itself, not a simulation of it.
 """
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 
@@ -30,6 +37,7 @@ __all__ = [
     "FailingFilesystem",
     "FakeClock",
     "InjectedFault",
+    "NetworkFaults",
     "ShardFaults",
 ]
 
@@ -177,6 +185,294 @@ class ShardFaults:
             self._sleep(seconds)
             return
         raise InjectedFault(f"shard {shard_id} {mode}", shot)
+
+
+class _NetFault:
+    """One armed network fault: mode, its parameters, its shot budget."""
+
+    __slots__ = ("mode", "seconds", "nbytes", "remaining")
+
+    def __init__(self, mode: str, seconds: float, nbytes: int, remaining: int | None):
+        self.mode = mode
+        self.seconds = seconds
+        self.nbytes = nbytes
+        self.remaining = remaining
+
+
+class NetworkFaults:
+    """In-process TCP fault proxy: a hostile network in one object.
+
+    Sits between a shard client and its node: listens on an ephemeral
+    local port (:attr:`address`), pairs every accepted connection with
+    a fresh connection to the upstream node, and pumps bytes both ways
+    — transparently until a fault is armed:
+
+    * ``refuse``   — accepted connections are closed before any byte
+      flows (node down at connect; the client's dial "succeeds" against
+      the proxy but the exchange dies immediately).
+    * ``delay``    — response bytes are stalled ``seconds`` before
+      forwarding (straggling node; with a shorter deadline the client
+      times out).
+    * ``corrupt``  — a byte of the response stream is flipped (the
+      frame CRC32 catches it as ``FrameChecksumError``).
+    * ``truncate`` — the response stream is cut after ``nbytes`` and
+      the connection closed (torn frame mid-response).
+    * ``kill``     — the connection is closed right after the first
+      response byte (node death mid-response).
+
+    One fault armed at a time (arming replaces); ``times`` bounds how
+    many applications fire (``None`` = every one until :meth:`clear`).
+    ``refuse`` counts per connection, the others per response burst.
+    ``injected`` tallies firings per mode for exact-accounting
+    assertions. :meth:`retarget` points the proxy at a restarted node
+    (new port) without the client ever noticing — the
+    node-comes-back-after-restart scenario. Thread-safe throughout.
+    """
+
+    _CHUNK = 65536
+
+    def __init__(self, upstream_host: str, upstream_port: int, sleep=time.sleep):
+        self._upstream = (upstream_host, upstream_port)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._fault: _NetFault | None = None
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._sockets: set[socket.socket] = set()
+        self._stopping = False
+        self.injected: dict[str, int] = {}
+        self.connections = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "NetworkFaults":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(16)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="network-faults-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where clients should connect (the proxy's listen address)."""
+        if self._listener is None:
+            raise RuntimeError("proxy is not started")
+        return self._listener.getsockname()
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def retarget(self, upstream_host: str, upstream_port: int) -> None:
+        """Point future connections at a (restarted) node."""
+        with self._lock:
+            self._upstream = (upstream_host, upstream_port)
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            sockets = list(self._sockets)
+        if self._listener is not None:
+            try:
+                # shutdown() wakes an accept() blocked in another
+                # thread (a bare close() does not on Linux).
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for sock in sockets:
+            self._close(sock)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+
+    def __enter__(self) -> "NetworkFaults":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- arming ---------------------------------------------------------
+
+    def refuse(self, times: int | None = None) -> None:
+        """Close every accepted connection immediately (node down).
+
+        Only affects connections accepted *after* arming; pair with
+        :meth:`sever` to also reset connections already established
+        (a dead node resets those too — pooled clients would otherwise
+        keep talking through the proxy untouched).
+        """
+        self._arm("refuse", 0.0, 0, times)
+
+    def sever(self) -> None:
+        """Reset every currently-established proxied connection."""
+        with self._lock:
+            sockets = list(self._sockets)
+        for sock in sockets:
+            self._close(sock)
+
+    def delay(self, seconds: float, times: int | None = None) -> None:
+        """Stall response bytes ``seconds`` before forwarding."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self._arm("delay", seconds, 0, times)
+
+    def corrupt(self, times: int | None = None) -> None:
+        """Flip a byte of the response stream (checksum violation)."""
+        self._arm("corrupt", 0.0, 0, times)
+
+    def truncate(self, nbytes: int = 8, times: int | None = None) -> None:
+        """Cut the response stream after ``nbytes``, then close."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self._arm("truncate", 0.0, nbytes, times)
+
+    def kill(self, times: int | None = None) -> None:
+        """Close the connection right after the response starts."""
+        self._arm("kill", 0.0, 0, times)
+
+    def _arm(self, mode: str, seconds: float, nbytes: int, times: int | None) -> None:
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {times}")
+        with self._lock:
+            self._fault = _NetFault(mode, seconds, nbytes, times)
+
+    def clear(self) -> None:
+        """Disarm; in-flight and future connections flow transparently."""
+        with self._lock:
+            self._fault = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether an armed fault still has budget left to fire.
+
+        Lets a test arm ``times=1``, do one exchange, and wait for the
+        fault to have actually landed (it may hit a heartbeat instead
+        of the test's own request) before arming the next one.
+        """
+        with self._lock:
+            return self._fault is not None
+
+    def _claim(self, modes: tuple[str, ...]) -> _NetFault | None:
+        """Consume one application of the armed fault, if it matches."""
+        with self._lock:
+            fault = self._fault
+            if fault is None or fault.mode not in modes:
+                return None
+            if fault.remaining is not None:
+                fault.remaining -= 1
+                if fault.remaining <= 0:
+                    self._fault = None
+            self.injected[fault.mode] = self.injected.get(fault.mode, 0) + 1
+            return fault
+
+    # -- the proxy ------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            if self._stopping:
+                self._close(client)
+                return
+            self.connections += 1
+            if self._claim(("refuse",)) is not None:
+                self._close(client)
+                continue
+            with self._lock:
+                upstream_addr = self._upstream
+            try:
+                upstream = socket.create_connection(upstream_addr, timeout=1.0)
+            except OSError:
+                # Node really is down: behaves exactly like refuse.
+                self._close(client)
+                continue
+            with self._lock:
+                self._sockets.add(client)
+                self._sockets.add(upstream)
+            threading.Thread(
+                target=self._pump_requests,
+                args=(client, upstream),
+                name="network-faults-up",
+                daemon=True,
+            ).start()
+            threading.Thread(
+                target=self._pump_responses,
+                args=(upstream, client),
+                name="network-faults-down",
+                daemon=True,
+            ).start()
+
+    def _pump_requests(self, client: socket.socket, upstream: socket.socket) -> None:
+        """client → node: always transparent (faults hit responses)."""
+        try:
+            while True:
+                data = client.recv(self._CHUNK)
+                if not data:
+                    break
+                upstream.sendall(data)
+        except OSError:
+            pass
+        finally:
+            self._close(client)
+            self._close(upstream)
+
+    def _pump_responses(self, upstream: socket.socket, client: socket.socket) -> None:
+        """node → client: the armed fault is applied here."""
+        try:
+            while True:
+                data = upstream.recv(self._CHUNK)
+                if not data:
+                    break
+                fault = self._claim(("delay", "corrupt", "truncate", "kill"))
+                if fault is None:
+                    client.sendall(data)
+                    continue
+                if fault.mode == "delay":
+                    self._sleep(fault.seconds)
+                    client.sendall(data)
+                elif fault.mode == "corrupt":
+                    # Flip the burst's last byte — lands on the CRC32
+                    # trailer (or payload) but never the length field,
+                    # so it always surfaces as a typed
+                    # FrameChecksumError, never a misframed stream.
+                    flipped = bytearray(data)
+                    flipped[-1] ^= 0xFF
+                    client.sendall(bytes(flipped))
+                elif fault.mode == "truncate":
+                    client.sendall(data[: fault.nbytes])
+                    break
+                else:  # kill: the response started, then the peer died
+                    client.sendall(data[:1])
+                    break
+        except OSError:
+            pass
+        finally:
+            self._close(client)
+            self._close(upstream)
+
+    def _close(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._sockets.discard(sock)
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
 
 
 class FailingFilesystem(RealFilesystem):

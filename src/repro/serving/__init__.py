@@ -27,6 +27,12 @@ grown into a service fit for real traffic:
   bounded window of recent queries.
 * :class:`~repro.serving.cache.QueryCache` — LRU result cache with
   generation-based invalidation (any index mutation empties it).
+* :mod:`~repro.serving.transport` — the remote shard transport:
+  :class:`~repro.serving.transport.server.ShardServer` hosts one shard
+  behind a TCP socket (``repro shard-serve``),
+  :class:`~repro.serving.transport.client.RemoteShardClient` is the
+  front-end handle the sharded server mixes in via
+  ``shard_endpoints=`` (``repro serve --shard-endpoints``).
 
 Thread safety of the underlying index lives in
 :mod:`repro.core.service` (non-mutating probes) and
@@ -43,6 +49,7 @@ from repro.serving.router import ShardRouter
 from repro.serving.server import IndexServer
 from repro.serving.sharded import HedgePolicy, ShardedIndexServer, ShardedResult
 from repro.serving.stats import LatencyTracker
+from repro.serving.transport import RemoteShardClient, ShardServer
 
 __all__ = [
     "CircuitBreaker",
@@ -51,8 +58,10 @@ __all__ = [
     "IndexServer",
     "LatencyTracker",
     "QueryCache",
+    "RemoteShardClient",
     "RetryPolicy",
     "ShardRouter",
+    "ShardServer",
     "ShardedIndexServer",
     "ShardedResult",
     "default_retryable",

@@ -147,12 +147,23 @@ class _QueueServer:
     # ------------------------------------------------------------------
 
     def start(self):
-        """Spawn the worker pool and begin accepting queries."""
+        """Spawn the worker pool and begin accepting queries.
+
+        A failed start (``_on_start`` raising — e.g. a process pool
+        that cannot fork) rolls the server back to ``closed`` before
+        re-raising, so ``stop()`` after a failed start is a safe no-op
+        and a fixed configuration can ``start()`` again.
+        """
         with self._cond:
             if self._state != CLOSED:
                 raise RuntimeError(f"cannot start a {self._state} server")
             self._state = SERVING
-        self._on_start()
+        try:
+            self._on_start()
+        except BaseException:
+            with self._cond:
+                self._state = CLOSED
+            raise
         for i in range(self.n_workers):
             thread = threading.Thread(
                 target=self._worker, name=f"{self.worker_name}-{i}", daemon=True
@@ -162,7 +173,13 @@ class _QueueServer:
         return self
 
     def _on_start(self) -> None:
-        """Subclass hook: build executors before workers spawn."""
+        """Subclass hook: build executors before workers spawn.
+
+        On failure the base class resets the server to ``closed`` and
+        re-raises; implementations must leave no half-built resources
+        behind (or clean them up themselves) so a later ``start()`` can
+        succeed.
+        """
 
     def drain(self, timeout: float | None = None) -> bool:
         """Gracefully stop: reject new work, finish admitted work.
@@ -171,6 +188,12 @@ class _QueueServer:
         ``timeout`` (measured in real time, independent of the injected
         clock); False on timeout — workers are still stopped, and any
         requests left behind fail with ``ServerOverloaded``.
+
+        Idempotent: draining a drained (or never-started, or
+        failed-to-start) server is a no-op returning True, and the
+        ``_on_drained`` teardown hooks tolerate being run again (a
+        second drain after a timed-out first one re-reaps whatever the
+        wedged workers left behind).
         """
         started = time.monotonic()
         with self._cond:
@@ -201,8 +224,16 @@ class _QueueServer:
             self._state = CLOSED
         return drained
 
+    def stop(self, timeout: float | None = None) -> bool:
+        """Alias for :meth:`drain` — idempotent, safe after any start."""
+        return self.drain(timeout)
+
     def _on_drained(self) -> None:
-        """Subclass hook: tear down executors after workers stop."""
+        """Subclass hook: tear down executors after workers stop.
+
+        May run more than once (repeated ``drain``/``stop`` calls);
+        implementations must be idempotent.
+        """
 
     def _fail_queued(self, reason: str) -> None:
         while True:

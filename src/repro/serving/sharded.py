@@ -34,6 +34,14 @@ What sharding buys is *fault isolation*, not different answers:
   build off-lock, flip atomically under the shard's writer-preferring
   RWLock, invalidate only that shard's cache (the cache stamp is
   ``(flip epoch, index generation)``).
+* **Remote shards** — ``shard_endpoints`` swaps any shard's in-process
+  index for a :class:`~repro.serving.transport.client.RemoteShardClient`
+  speaking the checksummed binary wire protocol to a ``repro
+  shard-serve`` node. The shard becomes a *network* fault domain —
+  reconnecting connection pool, deadline propagated in the frame
+  header, heartbeat pings feeding its breaker — and a lost node
+  degrades exactly like a killed local shard, down to the
+  ``shards_failed`` accounting.
 
 Admission, the bounded queue, load shedding, drain, and the
 completed/failed/shed accounting are inherited verbatim from
@@ -53,7 +61,12 @@ from dataclasses import dataclass
 from repro.core.results import MatchPair
 from repro.core.service import SimilarityIndex
 from repro.runtime.context import JoinContext
-from repro.runtime.errors import PartialResult, ReindexTimeout
+from repro.runtime.errors import (
+    CircuitOpen,
+    JoinRuntimeError,
+    PartialResult,
+    ReindexTimeout,
+)
 from repro.runtime.rwlock import RWLock
 from repro.serving.cache import QueryCache
 from repro.serving.generation import GenerationBuilder, _ReindexGuard
@@ -61,6 +74,7 @@ from repro.serving.retry import RetryPolicy
 from repro.serving.server import _QueueServer, _Request
 from repro.serving.stats import LatencyTracker
 from repro.serving.router import ShardRouter
+from repro.serving.transport.client import RemoteShardClient, parse_endpoint
 
 __all__ = ["HedgePolicy", "ShardedIndexServer", "ShardedResult"]
 
@@ -166,6 +180,7 @@ class _ShardPool:
         import queue as _queue
 
         self._queue: _queue.SimpleQueue = _queue.SimpleQueue()
+        self._stopped = False
         self._threads = [
             threading.Thread(
                 target=self._run, name=f"shard-{sid}-worker-{i}", daemon=True
@@ -194,6 +209,10 @@ class _ShardPool:
                 future.set_exception(exc)
 
     def stop(self, join_timeout: float = 1.0) -> None:
+        """Idempotent: a second stop (repeated drain) is a no-op."""
+        if self._stopped:
+            return
+        self._stopped = True
         for _ in self._threads:
             self._queue.put(_STOP)
         for thread in self._threads:
@@ -210,15 +229,24 @@ class _Shard:
     ``epoch``. The cache generation stamp is ``(epoch, generation)`` —
     a flip moves ``epoch`` even though the fresh index restarts its own
     ``generation`` counter, so a stale post-flip hit is impossible.
+
+    ``index`` may also be a
+    :class:`~repro.serving.transport.client.RemoteShardClient`
+    (``remote=True``): it implements the same probe surface, reports a
+    tuple-valued ``generation`` (the node's ``(epoch, generation)``
+    stamp), and the shard then fails as a *network* fault domain —
+    connect/transport errors count here exactly like a killed local
+    shard.
     """
 
     __slots__ = (
         "sid", "index", "rwlock", "breaker", "latency", "cache",
         "global_rids", "pool", "epoch", "probes", "hedges", "hedge_wins",
-        "failures", "_reindex_guard",
+        "failures", "remote", "retries", "heartbeats_ok",
+        "heartbeats_failed", "_reindex_guard",
     )
 
-    def __init__(self, sid, index, breaker, cache, pool):
+    def __init__(self, sid, index, breaker, cache, pool, remote=False):
         self.sid = sid
         self.index = index
         self.rwlock = RWLock()
@@ -232,6 +260,12 @@ class _Shard:
         self.hedges = 0
         self.hedge_wins = 0
         self.failures = 0
+        self.remote = remote
+        #: Probe attempts re-issued for this shard (local shards; remote
+        #: shards count inside their client — health() unifies the two).
+        self.retries = 0
+        self.heartbeats_ok = 0
+        self.heartbeats_failed = 0
         self._reindex_guard = _ReindexGuard()
 
     def begin_reindex(self) -> Callable[[], None]:
@@ -240,6 +274,67 @@ class _Shard:
     def stamp(self) -> tuple[int, int]:
         with self.rwlock.read_locked():
             return (self.epoch, self.index.generation)
+
+
+class _RemoteReindexHandle:
+    """Builder-shaped handle for a remote shard's node-side rebuild.
+
+    Drives the ``reindex`` wire op on a background daemon thread and
+    mirrors the :class:`GenerationBuilder` surface (``start`` /
+    ``wait`` / ``error`` / ``built`` / ``caught_up`` / ``flipped`` /
+    ``seconds``) so :meth:`ShardedIndexServer.reindex` treats local and
+    remote shards uniformly — including :class:`ReindexTimeout`, which
+    carries these handles alongside real builders.
+    """
+
+    #: Wire round-trip bound for the blocking rebuild op — generous,
+    #: because the node rebuilds its whole shard inside it; the
+    #: caller's ``wait(timeout)`` still bounds how long *we* block.
+    REINDEX_TIMEOUT = 600.0
+
+    def __init__(self, shard: _Shard, clock=time.monotonic):
+        self.shard = shard
+        self.clock = clock
+        self._thread: threading.Thread | None = None
+        self.error: BaseException | None = None
+        self.built: int | None = None
+        self.caught_up: int | None = None
+        self.flipped = False
+        self.seconds: float | None = None
+
+    def start(self) -> "_RemoteReindexHandle":
+        if self._thread is not None:
+            raise RuntimeError("builder already started")
+        self._thread = threading.Thread(
+            target=self._run, name="remote-reindex", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        started = self.clock()
+        try:
+            with self.shard.rwlock.read_locked():
+                client = self.shard.index
+            report = client.reindex(timeout=self.REINDEX_TIMEOUT)
+            self.built = report.get("built")
+            self.caught_up = report.get("caught_up")
+            self.flipped = bool(report.get("flipped"))
+        except BaseException as exc:  # noqa: BLE001 — re-raised by wait()
+            self.error = exc
+        finally:
+            self.seconds = self.clock() - started
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Join the rebuild; re-raises its failure, if any."""
+        if self._thread is None:
+            raise RuntimeError("builder was never started")
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            return False
+        if self.error is not None:
+            raise self.error
+        return True
 
 
 class ShardedIndexServer(_QueueServer):
@@ -271,6 +366,33 @@ class ShardedIndexServer(_QueueServer):
         faults: optional :class:`~repro.runtime.faults.ShardFaults`
             plan, consulted at the top of every probe attempt — the
             chaos-test seam.
+        shard_endpoints: one entry per shard mixing local and remote
+            backends: ``None``/``"local"`` builds the usual in-process
+            index, ``"host:port"`` (or a ``(host, port)`` tuple)
+            attaches a :class:`RemoteShardClient` to a ``repro
+            shard-serve`` node. Remote shards keep the whole fault-
+            domain kit — breaker, cache, latency window, per-shard
+            deadline budget — and degrade under network failure exactly
+            like a killed local shard. The front end still owns routing
+            and the global-rid map; remote nodes only ever see their
+            own records. For corpus-dependent predicates the *nodes*
+            must be started with the same global stats/vocabulary this
+            server uses (the ``shard-serve`` CLI does this from the
+            shared corpus file).
+        heartbeat_interval: seconds between background health pings of
+            each remote shard (None disables). Heartbeats feed the
+            shard's circuit breaker: failures trip it without waiting
+            for query traffic, and the ping that finds a recovered node
+            is the half-open trial that closes it again.
+        remote_pool_size / remote_connect_timeout / remote_request_timeout:
+            forwarded to each :class:`RemoteShardClient`.
+        vocabulary: optional prefilled token-id dict shared by every
+            local shard. With remote shards and a corpus-dependent
+            predicate this must be the full-corpus assignment: records
+            routed to remote nodes never pass through the front end's
+            vocabulary, so an empty dict would assign ids in
+            subset-arrival order and stop matching the precomputed
+            global stats.
     """
 
     worker_name = "sharded-server"
@@ -293,6 +415,12 @@ class ShardedIndexServer(_QueueServer):
         bitmap_filter=None,
         merge_backend=None,
         faults=None,
+        shard_endpoints=None,
+        heartbeat_interval: float | None = None,
+        remote_pool_size: int = 2,
+        remote_connect_timeout: float = 1.0,
+        remote_request_timeout: float | None = 5.0,
+        vocabulary: dict[str, int] | None = None,
     ):
         super().__init__(workers, queue_limit, default_deadline, clock, latency_capacity)
         if shards < 1:
@@ -301,6 +429,18 @@ class ShardedIndexServer(_QueueServer):
             raise ValueError(f"shard_workers must be >= 1, got {shard_workers}")
         if query_cache < 0:
             raise ValueError(f"query_cache must be >= 0, got {query_cache}")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0 or None, got {heartbeat_interval}"
+            )
+        endpoints = None
+        if shard_endpoints is not None:
+            endpoints = list(shard_endpoints)
+            if len(endpoints) != shards:
+                raise ValueError(
+                    f"shard_endpoints must name one backend per shard:"
+                    f" got {len(endpoints)} for {shards} shards"
+                )
         self.predicate = predicate
         self.tokenizer = tokenizer
         self.router = ShardRouter(shards)
@@ -308,29 +448,64 @@ class ShardedIndexServer(_QueueServer):
         self.hedge = hedge
         self.faults = faults
         self.n_shard_workers = shard_workers
+        self.heartbeat_interval = heartbeat_interval
         self._bitmap_filter = bitmap_filter
         self._merge_backend = merge_backend
+        self._remote_pool_size = remote_pool_size
+        self._remote_connect_timeout = remote_connect_timeout
+        self._remote_request_timeout = remote_request_timeout
         #: One token-id space across every shard (see SimilarityIndex's
         #: ``vocabulary=``); mutations are serialized by ``_mutate_lock``.
-        self._vocabulary: dict[str, int] = {}
+        self._vocabulary: dict[str, int] = (
+            vocabulary if vocabulary is not None else {}
+        )
         self._mutate_lock = threading.Lock()
         self._total = 0
         #: global rid -> (shard id, shard-local rid)
         self._locations: list[tuple[int, int]] = []
-        self._shards = [
-            _Shard(
-                sid,
-                self._make_index(),
-                breaker_factory() if breaker_factory is not None else None,
-                QueryCache(query_cache) if query_cache else None,
-                _ShardPool(sid, shard_workers),
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
+        self._shards = []
+        for sid in range(shards):
+            backend, remote = self._make_backend(
+                endpoints[sid] if endpoints is not None else None
             )
-            for sid in range(shards)
-        ]
+            self._shards.append(
+                _Shard(
+                    sid,
+                    backend,
+                    breaker_factory() if breaker_factory is not None else None,
+                    QueryCache(query_cache) if query_cache else None,
+                    _ShardPool(sid, shard_workers),
+                    remote=remote,
+                )
+            )
         self._complete_queries = 0
         self._partial_queries = 0
         self._hedges = 0
         self._hedge_wins = 0
+
+    def _make_backend(self, endpoint):
+        """Build one shard's backend: a local index or a remote client."""
+        if endpoint is None or (
+            isinstance(endpoint, str) and endpoint.strip().lower() in ("", "local")
+        ):
+            return self._make_index(), False
+        if isinstance(endpoint, str):
+            host, port = parse_endpoint(endpoint.strip())
+        else:
+            host, port = endpoint
+        client = RemoteShardClient(
+            host,
+            port,
+            retry_policy=self.retry_policy,
+            pool_size=self._remote_pool_size,
+            connect_timeout=self._remote_connect_timeout,
+            request_timeout=self._remote_request_timeout,
+            clock=self.clock,
+            on_retry=self._count_retry,
+        )
+        return client, True
 
     def _make_index(self) -> SimilarityIndex:
         return SimilarityIndex(
@@ -341,9 +516,67 @@ class ShardedIndexServer(_QueueServer):
             vocabulary=self._vocabulary,
         )
 
+    def _on_start(self) -> None:
+        if self.heartbeat_interval is not None and any(
+            shard.remote for shard in self._shards
+        ):
+            self._heartbeat_stop.clear()
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, name="shard-heartbeat", daemon=True
+            )
+            self._heartbeat_thread.start()
+
     def _on_drained(self) -> None:
+        # Runs on every drain/stop (possibly repeatedly) — each teardown
+        # below is a no-op the second time.
+        self._heartbeat_stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=1.0)
+            self._heartbeat_thread = None
         for shard in self._shards:
             shard.pool.stop()
+            if shard.remote:
+                shard.index.close()
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        """Ping every remote shard each interval, feeding its breaker.
+
+        The heartbeat is the breaker's trial traffic: consecutive
+        failed pings trip the circuit without a query having to die
+        for it, and once the cooldown lapses the ping takes the
+        half-open trial slot — a recovered node closes its breaker
+        within one interval, before any query is risked on it. A ping
+        while the circuit is open (cooldown still running) is skipped
+        entirely, exactly like a query would be.
+        """
+        while not self._heartbeat_stop.wait(self.heartbeat_interval):
+            for shard in self._shards:
+                if not shard.remote:
+                    continue
+                breaker = shard.breaker
+                if breaker is not None:
+                    try:
+                        breaker.admit()
+                    except CircuitOpen:
+                        continue  # cooldown running; recheck next beat
+                with shard.rwlock.read_locked():
+                    client = shard.index
+                try:
+                    client.ping()
+                except BaseException:  # noqa: BLE001 — any failure is a miss
+                    if breaker is not None:
+                        breaker.record_failure()
+                    with self._cond:
+                        shard.heartbeats_failed += 1
+                else:
+                    if breaker is not None:
+                        breaker.record_success()
+                    with self._cond:
+                        shard.heartbeats_ok += 1
 
     # ------------------------------------------------------------------
     # Writes
@@ -384,7 +617,11 @@ class ShardedIndexServer(_QueueServer):
         return self._total
 
     def payload(self, rid: int):
-        """The payload of global record ``rid`` (parity with the index)."""
+        """The payload of global record ``rid`` (parity with the index).
+
+        Raises ``NotImplementedError`` when the record lives on a
+        remote shard — payloads are not served over the shard wire.
+        """
         sid, local = self._locations[rid]
         shard = self._shards[sid]
         with shard.rwlock.read_locked():
@@ -514,10 +751,18 @@ class ShardedIndexServer(_QueueServer):
                 self.faults.apply(shard.sid)
             return index.query(item, context=context)
 
+        def count_retry(attempt_no, exc, delay):
+            with self._cond:
+                shard.retries += 1
+            self._count_retry(attempt_no, exc, delay)
+
         try:
-            if self.retry_policy is not None:
+            # Remote shards retry inside their client (same policy,
+            # same deadline clamp, plus reconnect-on-failure) — running
+            # the outer policy too would square the attempt count.
+            if self.retry_policy is not None and not shard.remote:
                 local = self.retry_policy.run(
-                    attempt, on_retry=self._count_retry, context=context
+                    attempt, on_retry=count_retry, context=context
                 )
             else:
                 local = attempt()
@@ -627,14 +872,26 @@ class ShardedIndexServer(_QueueServer):
         never observe a torn index (the swap is a single reference
         assignment under the shard's write lock); adds landing during
         the build are replayed into the new generation before the flip.
+
+        Remote shards rebuild *on their node*: the ``reindex`` wire op
+        runs the same :class:`GenerationBuilder` flip there, and the
+        returned handle exposes the builder surface (``wait`` /
+        ``error`` / ``flipped`` / ``built`` / ``caught_up``), so
+        blocking, timeouts, and :class:`ReindexTimeout` accounting are
+        uniform across local and remote shards.
         """
         ids = range(len(self._shards)) if shard_ids is None else shard_ids
-        builders = [
-            GenerationBuilder(
-                self._shards[sid], self._make_index, clock=self.clock
-            ).start()
-            for sid in ids
-        ]
+        builders = []
+        for sid in ids:
+            shard = self._shards[sid]
+            if shard.remote:
+                builders.append(_RemoteReindexHandle(shard, clock=self.clock).start())
+            else:
+                builders.append(
+                    GenerationBuilder(
+                        shard, self._make_index, clock=self.clock
+                    ).start()
+                )
         if block:
             stalled = [
                 builder for builder in builders if not builder.wait(timeout)
@@ -663,7 +920,11 @@ class ShardedIndexServer(_QueueServer):
         snapshot = self._base_health()
         with self._cond:
             per_shard_tallies = [
-                (s.probes, s.hedges, s.hedge_wins, s.failures) for s in self._shards
+                (
+                    s.probes, s.hedges, s.hedge_wins, s.failures, s.retries,
+                    s.heartbeats_ok, s.heartbeats_failed,
+                )
+                for s in self._shards
             ]
             snapshot["partial"] = {
                 "complete": self._complete_queries,
@@ -682,47 +943,87 @@ class ShardedIndexServer(_QueueServer):
         snapshot["latency"] = self.latency.summary()
         aggregate: dict = {}
         shard_rows = []
-        for shard, (probes, hedges, hedge_wins, failures) in zip(
-            self._shards, per_shard_tallies
-        ):
+        total_reconnects = 0
+        for shard, tallies in zip(self._shards, per_shard_tallies):
+            probes, hedges, hedge_wins, failures, retries, hb_ok, hb_failed = tallies
             with shard.rwlock.read_locked():
                 index = shard.index
                 epoch = shard.epoch
-            counters = index.counters_snapshot()
+            reconnects = 0
+            error = None
+            if shard.remote:
+                # The client's own tallies supersede the local ones: its
+                # retry policy (not the probe path's) re-issued the ops.
+                retries = index.retries
+                reconnects = index.reconnects
+                counters = {}
+                try:
+                    counters = index.counters_snapshot()
+                except (OSError, JoinRuntimeError) as exc:
+                    # A dead node must not take health() down with it —
+                    # its row reports the failure instead of counters.
+                    error = f"{type(exc).__name__}: {exc}"
+            else:
+                counters = index.counters_snapshot()
+            total_reconnects += reconnects
             for name, value in counters.items():
                 aggregate[name] = aggregate.get(name, 0) + value
-            shard_rows.append(
-                {
-                    "shard": shard.sid,
-                    "records": len(shard.global_rids),
-                    "epoch": epoch,
-                    "generation": index.generation,
-                    "breaker": (
-                        {
-                            "state": shard.breaker.state,
-                            "times_opened": shard.breaker.times_opened,
-                        }
-                        if shard.breaker is not None
-                        else None
-                    ),
-                    "cache": shard.cache.stats() if shard.cache is not None else None,
-                    "latency": shard.latency.summary(),
-                    "probes": probes,
-                    "hedges": hedges,
-                    "hedge_wins": hedge_wins,
-                    "failures": failures,
-                }
-            )
+            row = {
+                "shard": shard.sid,
+                "records": len(shard.global_rids),
+                "epoch": epoch,
+                "generation": index.generation,
+                "breaker": (
+                    {
+                        "state": shard.breaker.state,
+                        "times_opened": shard.breaker.times_opened,
+                    }
+                    if shard.breaker is not None
+                    else None
+                ),
+                "cache": shard.cache.stats() if shard.cache is not None else None,
+                "latency": shard.latency.summary(),
+                "probes": probes,
+                "hedges": hedges,
+                "hedge_wins": hedge_wins,
+                "failures": failures,
+                "retries": retries,
+                "reconnects": reconnects,
+                "remote": shard.remote,
+            }
+            if shard.remote:
+                row["endpoint"] = index.endpoint
+                row["heartbeats"] = {"ok": hb_ok, "failed": hb_failed}
+            if error is not None:
+                row["error"] = error
+            shard_rows.append(row)
+        snapshot["reconnects"] = total_reconnects
+        snapshot["heartbeat"] = {
+            "interval": self.heartbeat_interval,
+            "ok": sum(t[5] for t in per_shard_tallies),
+            "failed": sum(t[6] for t in per_shard_tallies),
+        }
         snapshot["shards"] = shard_rows
         snapshot["index"] = {"records": self._total, "counters": aggregate}
         return snapshot
 
     def counters_snapshot(self) -> dict:
-        """Cost counters summed across every shard's current generation."""
+        """Cost counters summed across every shard's current generation.
+
+        A remote shard's counters cost one health round trip; an
+        unreachable node contributes nothing (rather than failing the
+        whole snapshot).
+        """
         aggregate: dict = {}
         for shard in self._shards:
             with shard.rwlock.read_locked():
                 index = shard.index
-            for name, value in index.counters_snapshot().items():
+            try:
+                counters = index.counters_snapshot()
+            except (OSError, JoinRuntimeError):
+                if not shard.remote:
+                    raise
+                continue
+            for name, value in counters.items():
                 aggregate[name] = aggregate.get(name, 0) + value
         return aggregate

@@ -1,0 +1,20 @@
+"""Remote shard transport: one shard behind a TCP socket.
+
+* :mod:`~repro.serving.transport.wire` — the versioned,
+  length-prefixed, CRC32-checksummed binary frame format and the
+  struct-packed ``MatchPair`` batch codec (no pickle anywhere).
+* :class:`~repro.serving.transport.server.ShardServer` — hosts one
+  :class:`~repro.core.service.SimilarityIndex` shard behind a socket
+  (the ``repro shard-serve`` CLI runs one).
+* :class:`~repro.serving.transport.client.RemoteShardClient` — the
+  front-end handle implementing the in-process shard probe interface,
+  with a small reconnecting connection pool and deadline propagation.
+
+See ``docs/operations.md`` ("Multi-node serving") for the wire format
+and failure-mode table.
+"""
+
+from repro.serving.transport.client import RemoteShardClient, parse_endpoint
+from repro.serving.transport.server import ShardServer
+
+__all__ = ["RemoteShardClient", "ShardServer", "parse_endpoint"]

@@ -1,0 +1,246 @@
+"""Property: remote-sharded scatter-gather == in-process, bit for bit.
+
+The tentpole claim of the remote shard transport is that moving a
+shard behind a TCP socket changes *nothing* about the answers: for
+every shard count × predicate combination, a front end whose shards
+are all :class:`ShardServer` nodes (and a mixed local/remote split)
+answers every query pair-for-pair identical — rids AND float
+similarities — to both the all-local sharded server and a single-index
+:class:`IndexServer` over the same corpus.
+
+Cosine is again the adversarial predicate: its IDF weights key on
+global token ids, and the remote nodes assign ids in their *own*
+processes' insertion order. The sweep therefore gives every node the
+same prefilled vocabulary and the same global :class:`CorpusStats` the
+front end uses — exactly what the ``shard-serve`` CLI derives from the
+shared corpus file — and a divergence anywhere would show up as a
+float mismatch here.
+"""
+
+import random
+
+import pytest
+
+from repro import CosinePredicate, JaccardPredicate, OverlapPredicate
+from repro.core.service import SimilarityIndex
+from repro.serving import IndexServer, ShardedIndexServer
+from repro.serving.transport import ShardServer
+from repro.text.tfidf import CorpusStats
+from repro.text.tokenizers import tokenize_words
+
+WAIT = 30.0
+
+VOCAB = [
+    "join", "set", "similarity", "predicate", "merge", "probe", "index",
+    "record", "cluster", "threshold", "overlap", "cosine", "weight",
+    "inverted", "posting", "batch", "shard", "cache", "flip", "epoch",
+]
+
+
+def _corpus(seed: int, n: int = 48) -> list[str]:
+    rng = random.Random(seed)
+    texts = []
+    for _ in range(n):
+        size = rng.randint(3, 8)
+        texts.append(" ".join(rng.sample(VOCAB, size)))
+    return texts
+
+
+def _queries(texts: list[str]) -> list[str]:
+    rng = random.Random(99)
+    queries = list(texts[:6])  # exact repeats: corpus members
+    for _ in range(6):
+        queries.append(" ".join(rng.sample(VOCAB, rng.randint(2, 6))))
+    queries.append("nothing matches this xylophone chimera")
+    return queries
+
+
+def _vocabulary(texts: list[str]) -> dict[str, int]:
+    """First-occurrence token-id assignment over the whole corpus —
+    what every index (front-end local shards AND remote nodes) must
+    share for corpus-dependent predicates to stay exact."""
+    vocabulary: dict[str, int] = {}
+    for text in texts:
+        for token in tokenize_words(text):
+            vocabulary.setdefault(token, len(vocabulary))
+    return vocabulary
+
+
+def _global_stats(texts: list[str]) -> CorpusStats:
+    vocabulary = _vocabulary(texts)
+    records = []
+    for text in texts:
+        ids = {vocabulary[token] for token in tokenize_words(text)}
+        records.append(tuple(sorted(ids)))
+    return CorpusStats(records)
+
+
+def _fingerprint(matches) -> list:
+    return [(m.rid_a, m.rid_b, m.similarity) for m in matches]
+
+
+def _predicate(name: str, texts: list[str]):
+    if name == "overlap":
+        return OverlapPredicate(2)
+    if name == "jaccard":
+        return JaccardPredicate(0.4)
+    return CosinePredicate(0.5, stats=_global_stats(texts))
+
+
+def _start_nodes(count: int, predicate_name: str, texts: list[str]):
+    """``count`` empty shard nodes, configured like shard-serve would."""
+    nodes = []
+    for _ in range(count):
+        index = SimilarityIndex(
+            _predicate(predicate_name, texts),
+            tokenizer=tokenize_words,
+            vocabulary=dict(_vocabulary(texts)),
+        )
+        nodes.append(ShardServer(index).start())
+    return nodes
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("predicate_name", ["overlap", "jaccard", "cosine"])
+def test_all_remote_equals_single_and_local_sharded(shards, predicate_name):
+    texts = _corpus(seed=shards * 211 + len(predicate_name))
+    queries = _queries(texts)
+
+    index = SimilarityIndex(
+        _predicate(predicate_name, texts),
+        tokenizer=tokenize_words,
+        vocabulary=dict(_vocabulary(texts)),
+    )
+    for text in texts:
+        index.add(text)
+    single = IndexServer(index, workers=2).start()
+
+    local = ShardedIndexServer(
+        _predicate(predicate_name, texts),
+        shards=shards,
+        tokenizer=tokenize_words,
+        workers=2,
+        shard_workers=2,
+        vocabulary=dict(_vocabulary(texts)),
+    )
+    for text in texts:
+        local.add(text)
+    local.start()
+
+    nodes = _start_nodes(shards, predicate_name, texts)
+    remote = ShardedIndexServer(
+        _predicate(predicate_name, texts),
+        shards=shards,
+        tokenizer=tokenize_words,
+        workers=2,
+        shard_workers=2,
+        shard_endpoints=[f"127.0.0.1:{node.port}" for node in nodes],
+        vocabulary=dict(_vocabulary(texts)),
+    )
+    for text in texts:
+        remote.add(text)
+    remote.start()
+
+    try:
+        for probe in queries:
+            want = _fingerprint(single.query(probe, timeout=WAIT))
+            local_got = local.query(probe, timeout=WAIT)
+            remote_got = remote.query(probe, timeout=WAIT)
+            assert not local_got.partial and not remote_got.partial
+            assert remote_got.shards_ok == tuple(range(shards))
+            assert _fingerprint(local_got) == want
+            assert _fingerprint(remote_got) == want
+    finally:
+        single.drain(timeout=WAIT)
+        local.drain(timeout=WAIT)
+        remote.drain(timeout=WAIT)
+        for node in nodes:
+            node.stop()
+
+
+@pytest.mark.parametrize("predicate_name", ["jaccard", "cosine"])
+def test_mixed_local_and_remote_shards_stay_exact(predicate_name):
+    """A half-local, half-remote split answers identically: the merge
+    path must be backend-blind."""
+    shards = 4
+    texts = _corpus(seed=5)
+    queries = _queries(texts)
+
+    index = SimilarityIndex(
+        _predicate(predicate_name, texts),
+        tokenizer=tokenize_words,
+        vocabulary=dict(_vocabulary(texts)),
+    )
+    for text in texts:
+        index.add(text)
+    single = IndexServer(index, workers=2).start()
+
+    nodes = _start_nodes(2, predicate_name, texts)
+    mixed = ShardedIndexServer(
+        _predicate(predicate_name, texts),
+        shards=shards,
+        tokenizer=tokenize_words,
+        workers=2,
+        shard_workers=2,
+        shard_endpoints=[
+            "local",
+            f"127.0.0.1:{nodes[0].port}",
+            None,
+            f"127.0.0.1:{nodes[1].port}",
+        ],
+        vocabulary=dict(_vocabulary(texts)),
+    )
+    for text in texts:
+        mixed.add(text)
+    mixed.start()
+
+    try:
+        for probe in queries:
+            want = _fingerprint(single.query(probe, timeout=WAIT))
+            got = mixed.query(probe, timeout=WAIT)
+            assert not got.partial
+            assert _fingerprint(got) == want
+        health = mixed.health()
+        assert [row["remote"] for row in health["shards"]] == [
+            False, True, False, True,
+        ]
+    finally:
+        single.drain(timeout=WAIT)
+        mixed.drain(timeout=WAIT)
+        for node in nodes:
+            node.stop()
+
+
+def test_equivalence_survives_remote_reindex_flips():
+    """Node-side generation flips must not diverge the answers."""
+    shards = 2
+    texts = _corpus(seed=7, n=30)
+    probe_pool = _queries(texts)
+
+    index = SimilarityIndex(JaccardPredicate(0.4), tokenizer=tokenize_words)
+    single = IndexServer(index, workers=2).start()
+    nodes = _start_nodes(shards, "jaccard", texts)
+    remote = ShardedIndexServer(
+        JaccardPredicate(0.4),
+        shards=shards,
+        tokenizer=tokenize_words,
+        workers=2,
+        shard_endpoints=[f"127.0.0.1:{node.port}" for node in nodes],
+    ).start()
+
+    try:
+        for round_no in range(3):
+            for text in texts[round_no * 10:(round_no + 1) * 10]:
+                index.add(text)
+                remote.add(text)
+            remote.reindex(block=True, timeout=WAIT)
+            assert all(node.epoch == round_no + 1 for node in nodes)
+            for probe in probe_pool:
+                assert _fingerprint(remote.query(probe, timeout=WAIT)) == (
+                    _fingerprint(single.query(probe, timeout=WAIT))
+                )
+    finally:
+        single.drain(timeout=WAIT)
+        remote.drain(timeout=WAIT)
+        for node in nodes:
+            node.stop()

@@ -356,6 +356,41 @@ class TestDrain:
         assert server.drain(timeout=WAIT) is True
         assert server.drain(timeout=WAIT) is True
 
+    def test_double_stop_is_idempotent(self):
+        server = IndexServer(_real_index()).start()
+        assert server.stop(timeout=WAIT) is True
+        assert server.stop(timeout=WAIT) is True
+        assert server.state == CLOSED
+
+    def test_stop_of_never_started_server_is_noop(self):
+        server = IndexServer(_real_index())
+        assert server.stop(timeout=WAIT) is True
+        assert server.state == CLOSED
+
+    def test_stop_after_failed_start_is_noop_and_start_retryable(self):
+        class _FlakyStart(IndexServer):
+            fail_next = True
+
+            def _on_start(self):
+                if self.fail_next:
+                    raise RuntimeError("executor refused to spawn")
+
+        server = _FlakyStart(_real_index())
+        with pytest.raises(RuntimeError, match="refused to spawn"):
+            server.start()
+        assert server.state == CLOSED
+        # A failed start leaves nothing behind to tear down...
+        assert server.stop(timeout=WAIT) is True
+        # ...and the fixed configuration can start (and serve) again.
+        server.fail_next = False
+        server.start()
+        try:
+            assert server.query(
+                "efficient set joins similarity", timeout=WAIT
+            )
+        finally:
+            assert server.stop(timeout=WAIT) is True
+
 
 class TestValidation:
     def test_rejects_bad_sizes(self):

@@ -339,6 +339,42 @@ class TestServerLifecycle:
                 thread.join(WAIT)
                 assert not thread.is_alive()
 
+    def test_double_stop_is_idempotent(self):
+        server = _server()
+        assert server.stop(timeout=WAIT) is True
+        assert server.stop(timeout=WAIT) is True
+        for shard in server._shards:
+            assert shard.pool._stopped
+
+    def test_stop_after_failed_start_is_noop_and_start_retryable(self):
+        class _FlakyStart(ShardedIndexServer):
+            fail_next = True
+
+            def _on_start(self):
+                if self.fail_next:
+                    raise RuntimeError("shard pool refused to spawn")
+                super()._on_start()
+
+        server = _FlakyStart(
+            OverlapPredicate(2), shards=2, tokenizer=tokenize_words
+        )
+        for text in TEXTS:
+            server.add(text)
+        with pytest.raises(RuntimeError, match="refused to spawn"):
+            server.start()
+        # Nothing was built, so stop has nothing to tear down — and a
+        # second stop is equally a no-op.
+        assert server.stop(timeout=WAIT) is True
+        assert server.stop(timeout=WAIT) is True
+        # The fixed configuration starts and serves.
+        server.fail_next = False
+        server.start()
+        try:
+            result = server.query(PROBE, timeout=WAIT)
+            assert not result.partial
+        finally:
+            assert server.stop(timeout=WAIT) is True
+
     def test_overload_sheds_with_typed_error(self):
         gate = threading.Event()
         parked = threading.Semaphore(0)
@@ -405,8 +441,11 @@ class TestServerLifecycle:
                 assert set(row) == {
                     "shard", "records", "epoch", "generation", "breaker",
                     "cache", "latency", "probes", "hedges", "hedge_wins",
-                    "failures",
+                    "failures", "remote", "retries", "reconnects",
                 }
+                assert row["remote"] is False
+                assert row["retries"] == 0
+                assert row["reconnects"] == 0
             assert health["index"]["records"] == len(TEXTS)
         finally:
             server.drain(timeout=WAIT)
