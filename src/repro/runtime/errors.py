@@ -21,6 +21,7 @@ __all__ = [
     "MemoryBudgetExceeded",
     "PartialResult",
     "ReindexTimeout",
+    "RidDesync",
     "ServerOverloaded",
     "ShardUnavailable",
     "SnapshotCorrupted",
@@ -225,6 +226,18 @@ class WireProtocolError(JoinRuntimeError):
     def __init__(self, detail: str):
         super().__init__(f"wire protocol violation: {detail}")
         self.detail = detail
+
+
+class RidDesync(WireProtocolError):
+    """A shard's local-rid space disagrees with the front end's map.
+
+    Raised on an idempotent ADD when the node would assign (or echoes)
+    a different shard-local rid than the front end expects — the sign
+    of a double insert, a lost rollback, or a node restarted with the
+    wrong state. Non-retryable (re-issuing the insert cannot re-align
+    the rid spaces); the sharded front end quarantines the shard so it
+    can never map matches to the wrong global records.
+    """
 
 
 class FrameChecksumError(WireProtocolError, OSError):

@@ -66,6 +66,8 @@ from repro.runtime.errors import (
     JoinRuntimeError,
     PartialResult,
     ReindexTimeout,
+    RidDesync,
+    ShardUnavailable,
 )
 from repro.runtime.rwlock import RWLock
 from repro.serving.cache import QueryCache
@@ -243,7 +245,7 @@ class _Shard:
         "sid", "index", "rwlock", "breaker", "latency", "cache",
         "global_rids", "pool", "epoch", "probes", "hedges", "hedge_wins",
         "failures", "remote", "retries", "heartbeats_ok",
-        "heartbeats_failed", "_reindex_guard",
+        "heartbeats_failed", "quarantined", "_reindex_guard",
     )
 
     def __init__(self, sid, index, breaker, cache, pool, remote=False):
@@ -266,10 +268,19 @@ class _Shard:
         self.retries = 0
         self.heartbeats_ok = 0
         self.heartbeats_failed = 0
+        #: Non-None once the shard's local-rid space has been caught
+        #: desynced from the global-rid map: the reason string. A
+        #: quarantined shard answers no more probes or adds (counted in
+        #: ``shards_failed``) — serving would risk wrongly-mapped pairs.
+        self.quarantined: str | None = None
         self._reindex_guard = _ReindexGuard()
 
     def begin_reindex(self) -> Callable[[], None]:
         return self._reindex_guard.acquire(f"shard {self.sid}")
+
+    @property
+    def name(self) -> str:
+        return self.index.endpoint if self.remote else f"shard-{self.sid}"
 
     def stamp(self) -> tuple[int, int]:
         with self.rwlock.read_locked():
@@ -555,7 +566,7 @@ class ShardedIndexServer(_QueueServer):
         """
         while not self._heartbeat_stop.wait(self.heartbeat_interval):
             for shard in self._shards:
-                if not shard.remote:
+                if not shard.remote or shard.quarantined is not None:
                     continue
                 breaker = shard.breaker
                 if breaker is not None:
@@ -595,17 +606,52 @@ class ShardedIndexServer(_QueueServer):
         with self._mutate_lock:
             rid = self._total
             shard = self._shards[self.router.shard_of(rid)]
+            if shard.quarantined is not None:
+                raise ShardUnavailable(
+                    shard.name, f"quarantined: {shard.quarantined}"
+                )
+            local = len(shard.global_rids)
             # Mapping rows are appended before the insert: a probe that
             # sees the new record always finds its global rid.
-            self._locations.append((shard.sid, len(shard.global_rids)))
+            self._locations.append((shard.sid, local))
             shard.global_rids.append(rid)
             try:
                 with shard.rwlock.read_locked():
-                    shard.index.add(item, payload=payload)
+                    if shard.remote:
+                        # Idempotent wire insert: the node dedupes a
+                        # retried ADD whose response was lost and
+                        # refuses any other rid, so a flaky network
+                        # cannot desync its rids from the global map.
+                        got = shard.index.add(
+                            item, payload=payload, expected_rid=local
+                        )
+                    else:
+                        got = shard.index.add(item, payload=payload)
+            except RidDesync as exc:
+                # The node refused or botched the verified insert: its
+                # rid space no longer lines up with the global map, so
+                # stop routing anything to it.
+                shard.global_rids.pop()
+                self._locations.pop()
+                self._quarantine(shard, str(exc))
+                raise
             except BaseException:
                 shard.global_rids.pop()
                 self._locations.pop()
                 raise
+            if got != local:
+                # The shard's local-rid space no longer lines up with
+                # the global-rid map; every rid it answers from now on
+                # is suspect. Fail loudly and stop using it rather
+                # than serve wrongly-mapped pairs.
+                shard.global_rids.pop()
+                self._locations.pop()
+                reason = (
+                    f"insert landed at shard-local rid {got},"
+                    f" expected {local}"
+                )
+                self._quarantine(shard, reason)
+                raise ShardUnavailable(shard.name, f"rid desync: {reason}")
             self._total += 1
             return rid
 
@@ -673,7 +719,15 @@ class ShardedIndexServer(_QueueServer):
         # onto their shards' pools concurrently.
         results: dict[int, list[MatchPair]] = {}
         pending: list[tuple[_Shard, Future]] = []
+        failed: list[int] = []
         for shard in self._shards:
+            if shard.quarantined is not None:
+                # A desynced shard is lost for every query — no probe,
+                # no cache read — but the accounting stays exact.
+                failed.append(shard.sid)
+                with self._cond:
+                    shard.failures += 1
+                continue
             if key is not None and shard.cache is not None:
                 hit, value = shard.cache.lookup(key, shard.stamp())
                 if hit:
@@ -688,7 +742,6 @@ class ShardedIndexServer(_QueueServer):
 
         # Gather: shards complete in any order; each is awaited under
         # the query's remaining deadline, hedged per its own policy.
-        failed: list[int] = []
         for shard, probe in pending:
             ok, value = self._await_shard(shard, probe, item, context, key)
             if ok:
@@ -739,6 +792,12 @@ class ShardedIndexServer(_QueueServer):
         index reference was grabbed — a flip or add in between moves
         the stamp and the store is dropped, never served stale.
         """
+        if shard.quarantined is not None:
+            # Belt-and-braces for probes racing the quarantine moment;
+            # the scatter loop already skips quarantined shards.
+            raise ShardUnavailable(
+                shard.name, f"quarantined: {shard.quarantined}"
+            )
         if shard.breaker is not None:
             shard.breaker.admit()  # CircuitOpen: fail fast, not recorded
         with shard.rwlock.read_locked():
@@ -837,6 +896,21 @@ class ShardedIndexServer(_QueueServer):
             if local is None:
                 continue
             rids = shard.global_rids
+            known = len(rids)
+            if any(pair.rid_a >= known for pair in local):
+                # The shard answered with local rids the front end never
+                # mapped — its rid space has desynced (e.g. a doubled
+                # insert). Never guess at a mapping: drop the shard from
+                # this answer as failed and quarantine it.
+                del results[shard.sid]
+                failed.append(shard.sid)
+                self._quarantine(
+                    shard,
+                    f"answered shard-local rid >= the {known} mapped records",
+                )
+                with self._cond:
+                    shard.failures += 1
+                continue
             for pair in local:
                 matches.append(MatchPair(rids[pair.rid_a], total, pair.similarity))
         matches.sort(key=lambda pair: pair.rid_a)
@@ -846,6 +920,21 @@ class ShardedIndexServer(_QueueServer):
             shards_failed=tuple(sorted(failed)),
             partial=bool(failed),
         )
+
+    def _quarantine(self, shard: _Shard, reason: str) -> None:
+        """Stop serving a shard whose rid space desynced from the map.
+
+        Sticky and loud on purpose: the desync is a broken invariant,
+        not a transient fault — probes and adds fail fast (exact
+        ``shards_failed`` accounting), the cache is purged so no
+        pre-desync entry can be served, and ``health()`` names the
+        reason. Recovery means rebuilding the shard, not retrying.
+        """
+        with self._cond:
+            if shard.quarantined is None:
+                shard.quarantined = reason
+        if shard.cache is not None:
+            shard.cache.clear()
 
     # ------------------------------------------------------------------
     # Reindex
@@ -990,6 +1079,7 @@ class ShardedIndexServer(_QueueServer):
                 "retries": retries,
                 "reconnects": reconnects,
                 "remote": shard.remote,
+                "quarantined": shard.quarantined,
             }
             if shard.remote:
                 row["endpoint"] = index.endpoint

@@ -41,6 +41,7 @@ import itertools
 import socket
 import threading
 import time
+import uuid
 from collections.abc import Callable
 
 from repro.runtime.context import JoinContext
@@ -48,6 +49,7 @@ from repro.runtime.errors import (
     DeadlineExceeded,
     JoinCancelled,
     JoinTimeout,
+    RidDesync,
     ShardUnavailable,
     WireProtocolError,
 )
@@ -218,7 +220,11 @@ class RemoteShardClient:
                     if trip_timeout is None
                     else min(trip_timeout, remaining)
                 )
-        request_id = next(self._request_ids)
+        # The id is a u32 on the wire: wrap it into [1, 0xFFFFFFFF] so
+        # the echo comparison survives past 2**32 ops, and keep 0 out of
+        # the range — it is reserved for the node's *unrequested* error
+        # frames (a request it could not even frame).
+        request_id = (next(self._request_ids) - 1) % 0xFFFFFFFF + 1
         conn = self._checkout()
         try:
             conn.settimeout(trip_timeout)
@@ -235,10 +241,16 @@ class RemoteShardClient:
             raise
         except socket.timeout as exc:
             self._discard(conn)
-            if context is not None and context.deadline_seconds is not None:
-                raise JoinTimeout(
-                    context.elapsed(), context.deadline_seconds
-                ) from exc
+            # A timed-out trip is deadline expiry only when the budget
+            # is actually spent; a round trip bounded by the smaller
+            # request_timeout with deadline to spare is a transient
+            # shard fault — retryable, so the remaining budget is used.
+            if context is not None:
+                remaining = context.remaining()
+                if remaining is not None and remaining <= 0:
+                    raise JoinTimeout(
+                        context.elapsed(), context.deadline_seconds
+                    ) from exc
             raise ShardUnavailable(
                 self.endpoint, f"{wire.OP_NAMES.get(op, op)} timed out"
             ) from exc
@@ -247,6 +259,27 @@ class RemoteShardClient:
             raise ShardUnavailable(
                 self.endpoint, f"{wire.OP_NAMES.get(op, op)} failed: {exc}"
             ) from exc
+        if frame.is_error and frame.request_id == 0:
+            # The node could not frame our *request* (bytes corrupted in
+            # flight, say) and answered with its best-effort error frame
+            # — request_id 0, which no real op ever uses — before
+            # hanging up. That is a transient transport fault, not a
+            # protocol mismatch: surface it retryable so the policy
+            # re-issues on a fresh connection.
+            self._discard(conn)
+            try:
+                record = wire.decode_error(frame.payload)
+                detail = (
+                    f"remote {record.get('name', '?')}:"
+                    f" {record.get('message', '')}"
+                )
+            except WireProtocolError:
+                detail = "unreadable error payload"
+            raise ShardUnavailable(
+                self.endpoint,
+                f"node could not frame the"
+                f" {wire.OP_NAMES.get(op, op)} request ({detail})",
+            )
         if (
             not frame.is_response
             or frame.op != op
@@ -283,6 +316,17 @@ class RemoteShardClient:
             return JoinTimeout(record["elapsed"], record["deadline"])
         if name == "JoinCancelled":
             return JoinCancelled(message or "cancelled on shard node")
+        if name == "RidDesync":
+            # The node refused (or botched) an idempotent insert: its
+            # rid space disagrees with the front end's map. Typed so the
+            # front end quarantines the shard; non-retryable — retrying
+            # a desynced insert only digs deeper.
+            return RidDesync(f"node reports: {message}")
+        if name == "WireProtocolError":
+            # Other contract violations the node detected at the op
+            # layer (an unservable op, say) stay non-retryable too:
+            # re-issuing the same request cannot fix them.
+            return WireProtocolError(f"node reports: {message}")
         return ShardUnavailable(self.endpoint, f"remote {name}: {message}")
 
     # ------------------------------------------------------------------
@@ -305,12 +349,36 @@ class RemoteShardClient:
         )
         return wire.decode_match_lists(frame.payload)
 
-    def add(self, item, payload=None) -> int:
-        """Insert a record on the node; returns its shard-local rid."""
-        frame = self._call(
-            wire.OP_ADD, wire.encode_json({"item": item, "payload": payload})
-        )
-        return wire.decode_json(frame.payload)["rid"]
+    def add(self, item, payload=None, expected_rid: int | None = None) -> int:
+        """Insert a record on the node; returns its shard-local rid.
+
+        ``expected_rid`` makes the insert idempotent and verified: the
+        node dedupes a retried ADD whose first response was lost (the
+        record already sits at ``expected_rid``) and refuses one that
+        would land anywhere else, and the echoed rid is checked here
+        too — a lost response must never double-insert or silently
+        desync shard-local rids from the front end's global-rid map.
+        The sharded front end always passes it; without it the node
+        assigns the next rid unconditionally (and a retry can then
+        double-insert — only safe when no rid map depends on this
+        node).
+        """
+        body: dict = {"item": item, "payload": payload}
+        if expected_rid is not None:
+            body["rid"] = expected_rid
+            # One token per *logical* insert, reused verbatim by every
+            # retry of this call — the node dedupes on (rid, token), so
+            # a retry after a lost response is recognized while a new
+            # insert that happens to expect the same rid is refused.
+            body["token"] = uuid.uuid4().hex
+        frame = self._call(wire.OP_ADD, wire.encode_json(body))
+        rid = wire.decode_json(frame.payload)["rid"]
+        if expected_rid is not None and rid != expected_rid:
+            raise RidDesync(
+                f"{self.endpoint} answered rid {rid} for an insert"
+                f" expected at shard-local rid {expected_rid}"
+            )
+        return rid
 
     def reindex(self, timeout: float | None = None) -> dict:
         """Run the node's zero-downtime generation rebuild; blocks."""

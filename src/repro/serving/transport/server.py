@@ -42,6 +42,7 @@ from collections.abc import Callable
 
 from repro.core.service import SimilarityIndex
 from repro.runtime.context import JoinContext
+from repro.runtime.errors import RidDesync
 from repro.runtime.rwlock import RWLock
 from repro.serving.generation import GenerationBuilder, _ReindexGuard
 from repro.serving.transport import wire
@@ -58,12 +59,16 @@ class _HostedShard:
     bumps ``epoch``.
     """
 
-    __slots__ = ("index", "rwlock", "epoch", "_reindex_guard")
+    __slots__ = ("index", "rwlock", "epoch", "last_add", "_reindex_guard")
 
     def __init__(self, index: SimilarityIndex):
         self.index = index
         self.rwlock = RWLock()
         self.epoch = 0
+        #: ``(rid, token)`` of the last verified insert — the dedupe
+        #: memory for idempotent ADD (only the latest insert can be a
+        #: lost-response retry, because the front end serializes adds).
+        self.last_add: tuple[int, str] | None = None
         self._reindex_guard = _ReindexGuard()
 
     def begin_reindex(self) -> Callable[[], None]:
@@ -278,7 +283,12 @@ class ShardServer:
         try:
             payload = self._handle(frame)
             flags = wire.FLAG_RESPONSE
-        except BaseException as exc:  # noqa: BLE001 — delivered as error frame
+        except Exception as exc:  # noqa: BLE001 — delivered as error frame
+            # Exception, not BaseException: KeyboardInterrupt/SystemExit
+            # raised in a handler thread must take the connection down,
+            # not masquerade as a typed wire error on a live stream.
+            # Every op failure worth shipping (deadline expiry, cancel,
+            # injected faults) is an Exception.
             self.errors += 1
             payload = wire.encode_error(exc)
             flags = wire.FLAG_RESPONSE | wire.FLAG_ERROR
@@ -312,11 +322,43 @@ class ShardServer:
             )
         if op == wire.OP_ADD:
             body = wire.decode_json(frame.payload)
+            expected = body.get("rid")
+            token = body.get("token")
             # Read side, like the in-process tier's add: the index has
             # its own write lock; the reference lock only has to keep
             # the insert out of a generation flip's swap window.
             with self._shard.rwlock.read_locked():
-                rid = self._shard.index.add(body["item"], payload=body.get("payload"))
+                index = self._shard.index
+                if expected is not None:
+                    # Idempotent insert: the front end names the rid it
+                    # expects plus a per-insert token. A retried ADD
+                    # whose first response was lost after the commit
+                    # (same rid, same token as the last insert) dedupes
+                    # instead of double-inserting; any other
+                    # disagreement about the next rid fails loudly
+                    # (non-retryable) before it can desync the front
+                    # end's global-rid map.
+                    held = len(index)
+                    if (
+                        expected == held - 1
+                        and self._shard.last_add == (expected, token)
+                    ):
+                        return wire.encode_json(
+                            {"rid": expected, "deduped": True}
+                        )
+                    if expected != held:
+                        raise RidDesync(
+                            f"front end expects the next insert at rid"
+                            f" {expected} but the node holds {held} records"
+                        )
+                rid = index.add(body["item"], payload=body.get("payload"))
+                if expected is not None:
+                    self._shard.last_add = (rid, token)
+            if expected is not None and rid != expected:
+                raise RidDesync(
+                    f"insert landed at rid {rid}, front end"
+                    f" expected {expected}"
+                )
             return wire.encode_json({"rid": rid})
         if op == wire.OP_REINDEX:
             builder = GenerationBuilder(

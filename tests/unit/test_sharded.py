@@ -5,8 +5,14 @@ import threading
 import pytest
 
 from repro import OverlapPredicate
+from repro.core.results import MatchPair
 from repro.core.service import SimilarityIndex
-from repro.runtime.errors import PartialResult, ServerOverloaded
+from repro.runtime.errors import (
+    PartialResult,
+    RidDesync,
+    ServerOverloaded,
+    ShardUnavailable,
+)
 from repro.runtime.faults import ShardFaults
 from repro.serving import (
     CircuitBreaker,
@@ -15,6 +21,7 @@ from repro.serving import (
     ShardedIndexServer,
     ShardedResult,
 )
+from repro.serving.transport import RemoteShardClient, ShardServer
 from repro.text.tokenizers import tokenize_words
 
 WAIT = 10.0
@@ -277,6 +284,69 @@ class TestFaultDomains:
             server.drain(timeout=WAIT)
 
 
+class TestRidDesyncQuarantine:
+    """A shard whose local-rid space desyncs from the global map is
+    quarantined: loud on the triggering add, exact (partial) on every
+    query after, named in health — never wrongly-mapped pairs."""
+
+    def test_desynced_remote_shard_is_quarantined(self):
+        node = ShardServer(
+            SimilarityIndex(OverlapPredicate(2), tokenizer=tokenize_words)
+        ).start()
+        try:
+            server = ShardedIndexServer(
+                OverlapPredicate(2),
+                shards=1,
+                tokenizer=tokenize_words,
+                workers=2,
+                shard_endpoints=[f"127.0.0.1:{node.port}"],
+            )
+            server.add(TEXTS[0])
+            # A record lands on the node behind the front end's back:
+            # its next rid no longer matches the global map.
+            with RemoteShardClient(*node.address) as rogue:
+                rogue.add(TEXTS[1])
+            with pytest.raises(RidDesync):
+                server.add(TEXTS[2])
+            server.start()
+            try:
+                # The shard is lost for every query — with exact
+                # accounting, not wrongly-mapped matches.
+                result = server.query(PROBE, timeout=WAIT)
+                assert result.partial
+                assert result.shards_failed == (0,)
+                assert result.matches == ()
+                with pytest.raises(PartialResult):
+                    server.query(PROBE, timeout=WAIT, require_complete=True)
+                # Adds refuse too, and health names the reason.
+                with pytest.raises(ShardUnavailable, match="quarantined"):
+                    server.add(TEXTS[3])
+                row = server.health()["shards"][0]
+                assert row["quarantined"] is not None
+                assert len(server) == 1  # every failed add rolled back
+            finally:
+                server.drain(timeout=WAIT)
+        finally:
+            node.stop()
+
+    def test_merge_refuses_unmapped_local_rids(self):
+        """Backstop for a probe racing the quarantine moment: a shard
+        answering local rids the map never assigned is dropped from the
+        answer as failed, never guessed at (the pre-fix behavior was an
+        IndexError or a silently wrong global rid)."""
+        server = _server(shards=2)
+        try:
+            shard = server._shards[0]
+            stray = [MatchPair(len(shard.global_rids), 0, 1.0)]
+            result = server._merge({0: stray, 1: []}, [])
+            assert result.partial
+            assert result.shards_failed == (0,)
+            assert result.shards_ok == (1,)
+            assert shard.quarantined is not None
+        finally:
+            server.drain(timeout=WAIT)
+
+
 class TestHedging:
     def test_hedge_races_a_straggler_and_wins(self):
         faults = ShardFaults()
@@ -442,8 +512,10 @@ class TestServerLifecycle:
                     "shard", "records", "epoch", "generation", "breaker",
                     "cache", "latency", "probes", "hedges", "hedge_wins",
                     "failures", "remote", "retries", "reconnects",
+                    "quarantined",
                 }
                 assert row["remote"] is False
+                assert row["quarantined"] is None
                 assert row["retries"] == 0
                 assert row["reconnects"] == 0
             assert health["index"]["records"] == len(TEXTS)

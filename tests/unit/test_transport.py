@@ -8,6 +8,7 @@ the remote index, and reconnect/retry accounting the sharded tier's
 health report surfaces.
 """
 
+import itertools
 import socket
 import threading
 
@@ -18,7 +19,9 @@ from repro.predicates import JaccardPredicate
 from repro.runtime.context import JoinContext
 from repro.runtime.errors import (
     FrameChecksumError,
+    JoinInterrupted,
     JoinTimeout,
+    RidDesync,
     ShardUnavailable,
     WireProtocolError,
 )
@@ -117,6 +120,69 @@ class TestRoundTrips:
                 assert _fingerprint(client.query("alpha beta gamma")) == baseline
 
 
+class TestIdempotentAdd:
+    def test_expected_rid_verifies_the_insert(self):
+        with ShardServer(_index([])) as node:
+            with RemoteShardClient(*node.address) as client:
+                assert client.add("alpha beta", expected_rid=0) == 0
+                assert client.add("beta gamma", expected_rid=1) == 1
+                assert len(client) == 2
+
+    def test_lost_response_retry_dedupes_instead_of_double_inserting(self):
+        """The high-severity review case: the node commits the insert,
+        the response dies on the wire, the retry must not insert again
+        (or the node's rids desync from the front end's global map)."""
+        with ShardServer(_index([])) as node:
+            with NetworkFaults(*node.address) as proxy:
+                proxy.kill(times=1)  # response starts, then the peer dies
+                client = RemoteShardClient(
+                    "127.0.0.1",
+                    proxy.port,
+                    retry_policy=RetryPolicy(
+                        max_attempts=3, base_delay=0.01, sleep=lambda s: None
+                    ),
+                )
+                try:
+                    assert client.add("alpha beta gamma", expected_rid=0) == 0
+                    assert client.retries == 1
+                    # Two ADD ops served, exactly one record committed.
+                    assert node.requests["add"] == 2
+                    assert len(node.index) == 1
+                    # The rid sequence continues unbroken.
+                    assert client.add("beta gamma delta", expected_rid=1) == 1
+                    assert len(node.index) == 2
+                finally:
+                    client.close()
+
+    def test_insert_expecting_the_wrong_rid_is_a_typed_desync(self):
+        with ShardServer(_index([])) as node:
+            with RemoteShardClient(*node.address) as client:
+                with pytest.raises(RidDesync):
+                    client.add("alpha beta", expected_rid=3)
+                assert len(node.index) == 0  # refused, not inserted
+
+    def test_unmapped_committed_record_refuses_the_next_insert(self):
+        """A record the front end never mapped (its rollback raced a
+        commit, or a rogue writer) must fail the next verified insert
+        loudly — deduping it would silently serve the wrong record."""
+        with ShardServer(_index([])) as node:
+            with RemoteShardClient(*node.address) as rogue:
+                rogue.add("stray unmapped record")  # plain, unverified
+            client = RemoteShardClient(
+                *node.address,
+                retry_policy=RetryPolicy(
+                    max_attempts=3, base_delay=0.01, sleep=lambda s: None
+                ),
+            )
+            try:
+                with pytest.raises(RidDesync):
+                    client.add("alpha beta", expected_rid=0)
+                assert client.retries == 0  # desync is not retryable
+                assert len(node.index) == 1  # nothing double-inserted
+            finally:
+                client.close()
+
+
 class TestFailureTyping:
     def test_connect_refused_is_shard_unavailable(self):
         # Bind-then-close guarantees an unused port.
@@ -138,6 +204,90 @@ class TestFailureTyping:
                     pass
                 with pytest.raises(JoinTimeout):
                     client.query("alpha beta", context=context)
+
+    def test_slow_trip_with_deadline_budget_left_is_retryable(self):
+        """A round trip bounded by request_timeout while the deadline
+        still has plenty of budget is a transient shard fault, not
+        deadline expiry — reporting JoinTimeout would (wrongly) skip
+        the remaining retry budget."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)  # accepts at TCP level, never answers
+        try:
+            client = RemoteShardClient(
+                "127.0.0.1",
+                listener.getsockname()[1],
+                request_timeout=0.2,
+            )
+            context = JoinContext(deadline_seconds=60.0)
+            context.start()
+            with pytest.raises(ShardUnavailable) as info:
+                client.query("alpha beta", context=context)
+            assert not isinstance(info.value, JoinInterrupted)
+            assert context.remaining() > 0
+            client.close()
+        finally:
+            listener.close()
+
+    def test_unframeable_request_error_frame_is_retryable(self):
+        """The node's best-effort answer for a request it could not
+        frame (request_id 0, FLAG_ERROR) must surface as a retryable
+        transport fault, not a permanent protocol mismatch."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def unframeable_node():
+            conn, _peer = listener.accept()
+            conn.recv(65536)
+            conn.sendall(
+                wire.encode_frame(
+                    wire.OP_PING,
+                    wire.encode_error(FrameChecksumError(1, 2)),
+                    flags=wire.FLAG_RESPONSE | wire.FLAG_ERROR,
+                )
+            )
+            conn.close()
+
+        threading.Thread(target=unframeable_node, daemon=True).start()
+        try:
+            client = RemoteShardClient("127.0.0.1", listener.getsockname()[1])
+            with pytest.raises(ShardUnavailable) as info:
+                client.query("alpha beta")
+            assert isinstance(info.value, ConnectionError)  # retryable
+            assert "FrameChecksumError" in str(info.value)
+            client.close()
+        finally:
+            listener.close()
+
+    def test_request_ids_survive_u32_wraparound(self):
+        with ShardServer(_index()) as node:
+            with RemoteShardClient(*node.address) as client:
+                # Fast-forward the counter to the wire-width boundary:
+                # ids must stay within u32 (so the echo compares equal)
+                # and skip 0 (reserved for unrequested error frames).
+                client._request_ids = itertools.count(0xFFFFFFFF)
+                for _ in range(3):  # 0xFFFFFFFF, then wraps to 1, 2
+                    client.ping()
+                assert node.requests["ping"] == 3
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_interrupt_in_a_handler_drops_the_connection(self):
+        """KeyboardInterrupt raised inside an op handler must not be
+        smuggled to the client as a typed wire error on a live stream."""
+        index = _index()
+        with ShardServer(index) as node:
+            def interrupted_query(*args, **kwargs):
+                raise KeyboardInterrupt
+
+            index.query = interrupted_query
+            with RemoteShardClient(*node.address) as client:
+                with pytest.raises(ShardUnavailable):
+                    client.query("alpha beta")
+                # The node itself keeps serving fresh connections.
+                assert client.ping()[0] == 0
 
     def test_closed_client_refuses_new_calls(self):
         with ShardServer(_index()) as node:
