@@ -1,45 +1,100 @@
-"""Post-paper comparison: MergeOpt vs prefix filtering.
+"""Post-paper comparison: MergeOpt vs prefix filtering vs PPJoin+.
 
-The prefix-filter line (SSJoin/AllPairs/PPJoin) succeeded this paper.
-Both attack the same skew: MergeOpt *skips* the longest posting lists
-at probe time; prefix filtering never *indexes* anything beyond each
-record's rare prefix. This bench compares the two on the paper's
-citation workload across thresholds.
+The prefix-filter line (SSJoin/AllPairs/PPJoin/PPJoin+) succeeded this
+paper. All three contenders attack the same skew: MergeOpt *skips* the
+longest posting lists at probe time; prefix filtering never *indexes*
+anything beyond each record's rare prefix; the full positional stack
+additionally folds in length, position, and suffix filters before any
+candidate is verified. This bench runs the paper's citation workload
+across overlap thresholds (where the prefix bound is already tight and
+the extra layers only trim verifications) and across Jaccard
+thresholds (the PPJoin setting, where the position filter does the
+heavy pruning).
 """
 
 import pytest
 
 from harness import citation_words, run_join
-from repro import OverlapPredicate
+from repro import JaccardPredicate, OverlapPredicate
+from repro.core.positional_filter import PositionalFilterJoin
 from repro.core.prefix_filter import PrefixFilterJoin
 
 N = 2000
 THRESHOLDS = [10, 12, 15, 18, 21]
+JACCARD_THRESHOLDS = [0.6, 0.7, 0.8]
 
 
-@pytest.mark.parametrize("threshold", THRESHOLDS)
-def test_prefix_vs_mergeopt(benchmark, report, threshold):
-    data = citation_words(N)
-    predicate = OverlapPredicate(threshold)
-
-    def run():
-        prefix = PrefixFilterJoin().join(data, predicate)
-        mergeopt = run_join("probe-count-sort", data, predicate)
-        return prefix, mergeopt
-
-    prefix, mergeopt = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert prefix.pair_set() == mergeopt.pair_set()
+def _report_three_way(report, group, label, prefix, stack, mergeopt):
     report(
-        "prefix-filter vs mergeopt (citation n=2000)",
-        f"prefix-filter T={threshold}",
+        group,
+        f"prefix-filter {label}",
         seconds=prefix.elapsed_seconds,
         candidates=prefix.counters.candidates_checked,
         index_entries=prefix.counters.index_entries,
     )
     report(
-        "prefix-filter vs mergeopt (citation n=2000)",
-        f"probe-count-sort T={threshold}",
+        group,
+        f"positional-filter {label}",
+        seconds=stack.elapsed_seconds,
+        candidates=stack.counters.candidates_checked,
+        index_entries=stack.counters.index_entries,
+        rejected=(
+            stack.counters.candidate_rejections_position
+            + stack.counters.candidate_rejections_suffix
+        ),
+    )
+    report(
+        group,
+        f"probe-count-sort {label}",
         seconds=mergeopt.elapsed_seconds,
         candidates=mergeopt.counters.candidates_checked,
         index_entries=mergeopt.counters.index_entries,
+    )
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_prefix_stack_vs_mergeopt_overlap(benchmark, report, threshold):
+    data = citation_words(N)
+    predicate = OverlapPredicate(threshold)
+
+    def run():
+        prefix = PrefixFilterJoin().join(data, predicate)
+        stack = PositionalFilterJoin().join(data, predicate)
+        mergeopt = run_join("probe-count-sort", data, predicate)
+        return prefix, stack, mergeopt
+
+    prefix, stack, mergeopt = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert prefix.pair_set() == mergeopt.pair_set()
+    assert stack.pair_set() == mergeopt.pair_set()
+    _report_three_way(
+        report,
+        "prefix stack vs mergeopt, overlap (citation n=2000)",
+        f"T={threshold}",
+        prefix,
+        stack,
+        mergeopt,
+    )
+
+
+@pytest.mark.parametrize("fraction", JACCARD_THRESHOLDS)
+def test_prefix_stack_vs_mergeopt_jaccard(benchmark, report, fraction):
+    data = citation_words(N)
+    predicate = JaccardPredicate(fraction)
+
+    def run():
+        prefix = PrefixFilterJoin().join(data, predicate)
+        stack = PositionalFilterJoin().join(data, predicate)
+        mergeopt = run_join("probe-count-sort", data, predicate)
+        return prefix, stack, mergeopt
+
+    prefix, stack, mergeopt = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert prefix.pair_set() == mergeopt.pair_set()
+    assert stack.pair_set() == mergeopt.pair_set()
+    _report_three_way(
+        report,
+        "prefix stack vs mergeopt, jaccard (citation n=2000)",
+        f"f={fraction}",
+        prefix,
+        stack,
+        mergeopt,
     )

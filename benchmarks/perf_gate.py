@@ -35,6 +35,19 @@ accumulator run's ``work`` plus both improvement ratios into
 (where stable) wall-clock improvement — the headline win this backend
 exists for must not silently erode.
 
+With ``--prefix`` the gate covers the prefix-filter stack
+(:mod:`repro.core.positional_filter`): every case runs the same join
+three ways — MergeOpt (``probe-count-sort``), the basic prefix filter,
+and the full PPJoin+ positional/suffix stack — asserts all three pair
+sets are identical (the stack is pure pruning), and records the
+stack's ``work`` plus the candidate-count reduction over the basic
+prefix filter into ``BENCH_prefix.json``. Every case carries a pinned
+floor on ``1 - candidates(stack) / candidates(prefix)`` — the extra
+filter layers must keep pruning at least that share of candidates.
+Cases are Jaccard workloads by design: for a constant overlap
+threshold the prefix bound is already tight (``upper >= overlap + 1 +
+(t - 1) >= t``), so the position filter provably never fires there.
+
 With ``--serve`` the gate covers the serving tier
 (:mod:`repro.serving`): every case runs the same query stream through
 a single-index :class:`IndexServer`, an in-process
@@ -60,6 +73,8 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_gate.py --bitmap --check  # gate bitmap paths
     PYTHONPATH=src python benchmarks/perf_gate.py --merge           # rewrite merge baseline
     PYTHONPATH=src python benchmarks/perf_gate.py --merge --check   # gate merge backends
+    PYTHONPATH=src python benchmarks/perf_gate.py --prefix          # rewrite prefix-stack baseline
+    PYTHONPATH=src python benchmarks/perf_gate.py --prefix --check  # gate the filter stack
     PYTHONPATH=src python benchmarks/perf_gate.py --serve           # rewrite serve baseline
     PYTHONPATH=src python benchmarks/perf_gate.py --serve --check   # gate sharded serving
     PYTHONPATH=src python benchmarks/perf_gate.py --report          # cross-BENCH trajectory table
@@ -80,7 +95,6 @@ from harness import BENCHMARK_SEED, dataset_by_name  # noqa: E402
 
 from repro import JaccardPredicate, OverlapPredicate, similarity_join  # noqa: E402
 from repro.compression.compressed_join import CompressedProbeJoin  # noqa: E402
-from repro.core.prefix_filter import PrefixFilterJoin  # noqa: E402
 from repro.core.service import SimilarityIndex  # noqa: E402
 from repro.serving import IndexServer, ShardedIndexServer  # noqa: E402
 from repro.serving.transport import ShardServer  # noqa: E402
@@ -90,6 +104,7 @@ DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_serial.json")
 BITMAP_BASELINE = os.path.join(REPO_ROOT, "BENCH_bitmap.json")
 MERGE_BASELINE = os.path.join(REPO_ROOT, "BENCH_merge.json")
 PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+PREFIX_BASELINE = os.path.join(REPO_ROOT, "BENCH_prefix.json")
 SERVE_BASELINE = os.path.join(REPO_ROOT, "BENCH_serve.json")
 
 #: Allowed relative growth of a case's ``work`` counter before the gate
@@ -161,6 +176,25 @@ _MERGE_QUICK_CASES = {
     "merge/optmerge/citation-words/overlap-12",
 }
 
+#: Prefix-stack gate matrix: (case-name, dataset, predicate, threshold,
+#: min_candidate_reduction). Each case runs probe-count-sort (MergeOpt),
+#: prefix-filter, and positional-filter; all three must emit identical
+#: pairs, and the stack must prune at least ``min_candidate_reduction``
+#: of the basic prefix filter's candidates. All cases are Jaccard: the
+#: position filter needs a size-dependent threshold to fire at all.
+_PREFIX_CASES = [
+    ("prefix-stack/citation-words/jaccard-0.7", "citation-words", "jaccard", 0.7, 0.50),
+    ("prefix-stack/citation-words/jaccard-0.8", "citation-words", "jaccard", 0.8, 0.50),
+    ("prefix-stack/citation-3grams/jaccard-0.7", "citation-3grams", "jaccard", 0.7, 0.50),
+    ("prefix-stack/address-3grams/jaccard-0.7", "address-3grams", "jaccard", 0.7, 0.50),
+]
+
+#: Prefix-stack cases exercised under ``--quick`` (CI).
+_PREFIX_QUICK_CASES = {
+    "prefix-stack/citation-words/jaccard-0.7",
+    "prefix-stack/citation-3grams/jaccard-0.7",
+}
+
 #: Serving-tier gate matrix: (case-name, dataset, predicate, threshold,
 #: shards). Each case streams the same queries through a single-index
 #: IndexServer and a ShardedIndexServer and must get identical answers;
@@ -191,9 +225,7 @@ _PROFILES = {"quick": 500, "full": 2000}
 
 
 def _join_once(dataset, predicate, algorithm, bitmap_filter=None, merge_backend=None):
-    if algorithm == "prefix-filter":
-        instance = PrefixFilterJoin()
-    elif algorithm == "probe-count-compressed":
+    if algorithm == "probe-count-compressed":
         instance = CompressedProbeJoin()
     else:
         from repro import make_algorithm
@@ -271,6 +303,42 @@ def _run_merge_case(dataset_name, predicate_name, threshold, algorithm, n):
         if heap.elapsed_seconds
         else 0.0,
         "seconds": round(acc.elapsed_seconds, 4),
+    }
+
+
+def _run_prefix_case(dataset_name, predicate_name, threshold, n):
+    """MergeOpt vs basic prefix vs the full stack; pairs must agree."""
+    dataset = dataset_by_name(dataset_name, n)
+    predicate = _PREDICATES[predicate_name](threshold)
+    mergeopt = _join_once(dataset, predicate, "probe-count-sort")
+    prefix = _join_once(dataset, predicate, "prefix-filter")
+    stack = _join_once(dataset, predicate, "positional-filter")
+    canonical = sorted((p.rid_a, p.rid_b) for p in mergeopt.pairs)
+    pairs_match = (
+        sorted((p.rid_a, p.rid_b) for p in prefix.pairs) == canonical
+        and sorted((p.rid_a, p.rid_b) for p in stack.pairs) == canonical
+    )
+    base_candidates = prefix.counters.candidates_checked
+    reduction = (
+        1.0 - stack.counters.candidates_checked / base_candidates
+        if base_candidates
+        else 0.0
+    )
+    return {
+        "work": stack.counters.total_work(),
+        "pairs": len(stack.pairs),
+        "pairs_match": pairs_match,
+        "candidates_prefix": base_candidates,
+        "candidates_stack": stack.counters.candidates_checked,
+        "reduction": round(reduction, 4),
+        "rejections_position": stack.counters.candidate_rejections_position,
+        "rejections_suffix": stack.counters.candidate_rejections_suffix,
+        "suffix_recursions": stack.counters.extra.get("suffix_recursions", 0),
+        "prefix_work": prefix.counters.total_work(),
+        "mergeopt_work": mergeopt.counters.total_work(),
+        "prefix_seconds": round(prefix.elapsed_seconds, 4),
+        "mergeopt_seconds": round(mergeopt.elapsed_seconds, 4),
+        "seconds": round(stack.elapsed_seconds, 4),
     }
 
 
@@ -389,14 +457,44 @@ def _run_serve_case(dataset_name, predicate_name, threshold, shards, n):
 
 
 def run_profile(
-    profile: str, bitmap: bool = False, merge: bool = False, serve: bool = False
+    profile: str,
+    bitmap: bool = False,
+    merge: bool = False,
+    serve: bool = False,
+    prefix: bool = False,
 ) -> dict:
     n = _PROFILES[profile]
     cases = {}
     started = time.perf_counter()
-    label = "bitmap" if bitmap else "merge" if merge else "serve" if serve else "perf"
+    label = (
+        "bitmap"
+        if bitmap
+        else "merge"
+        if merge
+        else "serve"
+        if serve
+        else "prefix-stack"
+        if prefix
+        else "perf"
+    )
     print(f"{label} matrix [{profile}] n={n}:")
-    if serve:
+    if prefix:
+        for name, dataset_name, predicate_name, threshold, _ in _PREFIX_CASES:
+            if profile == "quick" and name not in _PREFIX_QUICK_CASES:
+                continue
+            cases[name] = _run_prefix_case(
+                dataset_name, predicate_name, threshold, n
+            )
+            row = cases[name]
+            print(
+                f"  {name:<48} work={row['work']:<12}"
+                f" match={row['pairs_match']}"
+                f" candidates {row['candidates_prefix']}"
+                f" -> {row['candidates_stack']}"
+                f" reduction={row['reduction']:.1%}"
+                f" {row['seconds']:.3f}s"
+            )
+    elif serve:
         for name, dataset_name, predicate_name, threshold, shards in _SERVE_CASES:
             if profile == "quick" and name not in _SERVE_QUICK_CASES:
                 continue
@@ -459,7 +557,11 @@ def run_profile(
 
 
 def _report_shell(
-    profiles: dict, bitmap: bool = False, merge: bool = False, serve: bool = False
+    profiles: dict,
+    bitmap: bool = False,
+    merge: bool = False,
+    serve: bool = False,
+    prefix: bool = False,
 ) -> dict:
     kind = (
         "bitmap-perf-baseline"
@@ -468,6 +570,8 @@ def _report_shell(
         if merge
         else "serve-perf-baseline"
         if serve
+        else "prefix-stack-perf-baseline"
+        if prefix
         else "serial-perf-baseline"
     )
     return {
@@ -567,6 +671,26 @@ def check_merge(fresh: dict, baseline: dict, profile: str) -> list[str]:
     return failures
 
 
+def check_prefix(fresh: dict, baseline: dict, profile: str) -> list[str]:
+    """Gate the filter-stack cases: pair identity, then pruning floors."""
+    failures = check(fresh, baseline, profile)
+    floors = {name: floor for name, _, _, _, floor in _PREFIX_CASES}
+    for name, row in fresh["cases"].items():
+        if not row.get("pairs_match", True):
+            failures.append(
+                f"{name}: the filter stack emitted different pairs than"
+                " MergeOpt / the basic prefix filter (a filter layer is"
+                " UNSOUND)"
+            )
+        floor = floors.get(name)
+        if floor is not None and row["reduction"] < floor:
+            failures.append(
+                f"{name}: candidate reduction {row['reduction']:.1%}"
+                f" fell below the pinned floor {floor:.0%}"
+            )
+    return failures
+
+
 def check_serve(fresh: dict, baseline: dict, profile: str) -> list[str]:
     """Gate the serving cases: answer identity first, then merge work."""
     failures = check(fresh, baseline, profile)
@@ -628,6 +752,15 @@ def report_trajectory() -> int:
         lambda row: (
             f"work {row.get('work_improvement', 0.0):+.1%}"
             f" wall {row.get('wallclock_improvement', 0.0):+.1%}"
+        ),
+    )
+    add_profile_cases(
+        "prefix",
+        _load_json(PREFIX_BASELINE),
+        lambda row: (
+            f"candidates {row.get('candidates_prefix', 0)}"
+            f" -> {row.get('candidates_stack', 0)}"
+            f" ({row.get('reduction', 0.0):.1%})"
         ),
     )
     add_profile_cases(
@@ -702,6 +835,12 @@ def main(argv: list[str] | None = None) -> int:
         " (each case runs per backend and must emit identical pairs)",
     )
     parser.add_argument(
+        "--prefix", action="store_true",
+        help="run the prefix-filter-stack matrix against BENCH_prefix.json"
+        " (each case runs MergeOpt, prefix-filter, and positional-filter"
+        " and all three must emit identical pairs)",
+    )
+    parser.add_argument(
         "--serve", action="store_true",
         help="run the sharded-serving matrix against BENCH_serve.json"
         " (each case streams identical queries through the single and"
@@ -721,8 +860,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.report:
         return report_trajectory()
-    if sum((args.bitmap, args.merge, args.serve)) > 1:
-        parser.error("--bitmap, --merge, and --serve are mutually exclusive")
+    if sum((args.bitmap, args.merge, args.serve, args.prefix)) > 1:
+        parser.error(
+            "--bitmap, --merge, --serve, and --prefix are mutually exclusive"
+        )
     baseline_path = args.baseline or (
         BITMAP_BASELINE
         if args.bitmap
@@ -730,6 +871,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.merge
         else SERVE_BASELINE
         if args.serve
+        else PREFIX_BASELINE
+        if args.prefix
         else DEFAULT_BASELINE
     )
     checker = (
@@ -739,6 +882,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.merge
         else check_serve
         if args.serve
+        else check_prefix
+        if args.prefix
         else check
     )
     fresh_name = (
@@ -748,13 +893,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.merge
         else "BENCH_serve.fresh.json"
         if args.serve
+        else "BENCH_prefix.fresh.json"
+        if args.prefix
         else "BENCH_serial.fresh.json"
     )
 
     if args.check:
         profile = "quick" if args.quick else "full"
         fresh = run_profile(
-            profile, bitmap=args.bitmap, merge=args.merge, serve=args.serve
+            profile,
+            bitmap=args.bitmap,
+            merge=args.merge,
+            serve=args.serve,
+            prefix=args.prefix,
         )
         if not os.path.exists(baseline_path):
             print(f"FAIL: no committed baseline at {baseline_path}", file=sys.stderr)
@@ -768,7 +919,8 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(
                 _report_shell(
                     {profile: fresh},
-                    bitmap=args.bitmap, merge=args.merge, serve=args.serve,
+                    bitmap=args.bitmap, merge=args.merge,
+                    serve=args.serve, prefix=args.prefix,
                 ),
                 handle, indent=2, sort_keys=True,
             )
@@ -789,13 +941,18 @@ def main(argv: list[str] | None = None) -> int:
     report = _report_shell(
         {
             name: run_profile(
-                name, bitmap=args.bitmap, merge=args.merge, serve=args.serve
+                name,
+                bitmap=args.bitmap,
+                merge=args.merge,
+                serve=args.serve,
+                prefix=args.prefix,
             )
             for name in names
         },
         bitmap=args.bitmap,
         merge=args.merge,
         serve=args.serve,
+        prefix=args.prefix,
     )
     output = args.output or baseline_path
     with open(output, "w", encoding="utf-8") as handle:

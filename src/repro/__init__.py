@@ -33,6 +33,8 @@ from repro.core.join import (
 from repro.core.naive import NaiveJoin
 from repro.core.topk import TopKJoin
 from repro.core.pair_count import PairCountJoin, PairTableOverflow
+from repro.core.positional_filter import PositionalFilterJoin
+from repro.core.prefix_filter import PrefixFilterJoin
 from repro.core.probe_cluster import ProbeClusterJoin
 from repro.core.probe_count import ProbeCountJoin
 from repro.core.records import Dataset
@@ -101,6 +103,8 @@ __all__ = [
     "PairTableOverflow",
     "HammingPredicate",
     "MatchQuality",
+    "PositionalFilterJoin",
+    "PrefixFilterJoin",
     "ProbeClusterJoin",
     "ProbeCountJoin",
     "SimilarityIndex",

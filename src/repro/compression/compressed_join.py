@@ -19,6 +19,7 @@ from repro.core.base import SetJoinAlgorithm, _band_accept
 from repro.core.inverted_index import PostingList
 from repro.core.records import Dataset
 from repro.core.results import MatchPair
+from repro.core.token_order import ensure_unit_scores
 from repro.predicates.base import BoundPredicate
 from repro.utils.counters import CostCounters
 
@@ -95,10 +96,4 @@ class CompressedProbeJoin(SetJoinAlgorithm):
 
     @staticmethod
     def _check_unit_scores(dataset: Dataset, bound: BoundPredicate) -> None:
-        if not bound.record_independent_scores:
-            raise ValueError("compressed join supports unit-score predicates only")
-        for rid in range(min(len(dataset), 5)):
-            if any(score != 1.0 for score in bound.cached_score_vector(rid)):
-                raise ValueError(
-                    "compressed join supports unit-score predicates only"
-                )
+        ensure_unit_scores(dataset, bound, what="compressed join")

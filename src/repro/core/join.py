@@ -15,6 +15,8 @@ from repro.core.accumulator import resolve_merge_backend
 from repro.core.cluster_mem import ClusterMemJoin, MemoryBudget
 from repro.core.naive import NaiveJoin
 from repro.core.pair_count import PairCountJoin
+from repro.core.positional_filter import PositionalFilterJoin
+from repro.core.prefix_filter import PrefixFilterJoin
 from repro.core.probe_cluster import ProbeClusterJoin
 from repro.core.probe_count import ProbeCountJoin
 from repro.core.records import Dataset
@@ -45,6 +47,8 @@ _SPECS: dict[str, tuple[type, dict]] = {
     "word-groups": (WordGroupsJoin, {"optimized": False}),
     "word-groups-optmerge": (WordGroupsJoin, {"optimized": True}),
     "probe-cluster": (ProbeClusterJoin, {}),
+    "prefix-filter": (PrefixFilterJoin, {}),
+    "positional-filter": (PositionalFilterJoin, {}),
 }
 
 #: Factory per algorithm name; every entry is a zero-argument callable

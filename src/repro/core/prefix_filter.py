@@ -11,17 +11,28 @@ instead *skips* long lists.
 
 Implementation notes:
 
-* Online (probe before insert), like §3.2.
+* Online (probe before insert), like §3.2, driven through the shared
+  runtime loop, so deadlines, cancellation, checkpoint/resume, and
+  shard windows all work here.
+* The global ordering and record canonicalization come from
+  :class:`~repro.core.token_order.TokenOrder` (shared with the full
+  PPJoin+ stack of :mod:`repro.core.positional_filter`).
 * Per-record prefix lengths use the sound per-record bound
   ``t_r = T(r, minS)`` — the same index-level threshold bound the
   MergeOpt engines use — so any predicate with unit scores and a
   monotone threshold (overlap, Jaccard, Dice, Hamming,
   overlap-coefficient) is supported; every candidate is exactly
   verified.
+* Candidates accumulate in an insertion-ordered dict and are probed in
+  that order: first-insertion order is a pure function of the posting
+  lists, so emission order stays deterministic (serial, resumed, and
+  sharded runs agree) without the per-probe ``sorted()`` the first
+  version paid for.
 * The predicate's band filter is applied before verification.
 
-The accompanying benchmark pits this against MergeOpt on the paper's
-workloads — a comparison the paper itself predates.
+The accompanying benchmark pits this against MergeOpt and the full
+positional stack on the paper's workloads — a comparison the paper
+itself predates.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ import math
 from repro.core.base import SetJoinAlgorithm
 from repro.core.records import Dataset
 from repro.core.results import MatchPair
+from repro.core.token_order import TokenOrder, ensure_unit_scores
 from repro.predicates.base import WEIGHT_EPS, BoundPredicate
 from repro.utils.counters import CostCounters
 
@@ -45,33 +57,28 @@ class PrefixFilterJoin(SetJoinAlgorithm):
     def _run(
         self, dataset: Dataset, bound: BoundPredicate, counters: CostCounters
     ) -> list[MatchPair]:
-        self._check_unit_scores(dataset, bound)
+        ensure_unit_scores(dataset, bound)
         if len(dataset) == 0:
             return []
-        # Canonical order: ascending document frequency, rarest first.
-        frequency = dataset.frequency
-        rank = {
-            token: position
-            for position, token in enumerate(
-                sorted(frequency, key=lambda t: (frequency[t], t))
-            )
-        }
-        ordered_records = [
-            sorted(record, key=rank.__getitem__) for record in dataset.records
-        ]
+        ordered_records = TokenOrder.for_dataset(dataset).canonicalize_all(dataset)
         min_norm = min((bound.norm(rid) for rid in range(len(dataset))), default=0.0)
         band = bound.band_filter()
 
         index: dict[int, list[int]] = {}
         index_get = index.get
         pairs: list[MatchPair] = []
-        # One candidate set for the whole scan, cleared per record:
-        # allocating a fresh set per probe was measurable on large
+        # One candidate dict for the whole scan, cleared per record:
+        # allocating fresh containers per probe was measurable on large
         # corpora (this loop runs once per record).
-        candidates: set[int] = set()
+        candidates: dict[int, None] = {}
         candidates_update = candidates.update
-        for rid, ordered in enumerate(ordered_records):
-            counters.probes += 1
+        fromkeys = dict.fromkeys
+        for _position, rid, replay in self._drive(
+            range(len(dataset)), counters, pairs
+        ):
+            if not replay:
+                counters.probes += 1
+            ordered = ordered_records[rid]
             size = len(ordered)
             threshold_floor = bound.index_threshold(bound.norm(rid), min_norm)
             # Records whose minimum possible pair threshold exceeds their
@@ -82,35 +89,28 @@ class PrefixFilterJoin(SetJoinAlgorithm):
             prefix_length = size - t + 1
             prefix = ordered[:prefix_length]
 
-            candidates.clear()
-            touched = 0
-            for token in prefix:
-                plist = index_get(token)
-                if plist is not None:
-                    touched += len(plist)
-                    candidates_update(plist)
-            counters.list_items_touched += touched
-            counters.candidates_checked += len(candidates)
-            key_r = None
-            if band is not None:
-                key_r = band.keys[rid]
-                radius = band.radius + 1e-12
-            for sid in sorted(candidates):
-                if band is not None and abs(band.keys[sid] - key_r) > radius:
-                    continue
-                self._verify_pair(bound, sid, rid, counters, pairs)
+            # Replay (checkpoint resume / shard warm-up) rebuilds the
+            # index only; the probe's pairs are already accounted for.
+            if not replay:
+                candidates.clear()
+                touched = 0
+                for token in prefix:
+                    plist = index_get(token)
+                    if plist is not None:
+                        touched += len(plist)
+                        candidates_update(fromkeys(plist))
+                counters.list_items_touched += touched
+                counters.candidates_checked += len(candidates)
+                key_r = None
+                if band is not None:
+                    key_r = band.keys[rid]
+                    radius = band.radius + 1e-12
+                for sid in candidates:
+                    if band is not None and abs(band.keys[sid] - key_r) > radius:
+                        continue
+                    self._verify_pair(bound, sid, rid, counters, pairs)
 
             for token in prefix:
                 index.setdefault(token, []).append(rid)
             counters.index_entries += prefix_length
         return pairs
-
-    @staticmethod
-    def _check_unit_scores(dataset: Dataset, bound: BoundPredicate) -> None:
-        if not bound.record_independent_scores:
-            raise ValueError("prefix filtering here supports unit-score predicates only")
-        for rid in range(min(len(dataset), 5)):
-            if any(score != 1.0 for score in bound.cached_score_vector(rid)):
-                raise ValueError(
-                    "prefix filtering here supports unit-score predicates only"
-                )

@@ -34,6 +34,7 @@ from repro.core.inverted_index import ScoredInvertedIndex
 from repro.core.merge_opt import merge_opt
 from repro.core.records import Dataset
 from repro.core.results import JoinResult, MatchPair
+from repro.core.token_order import ensure_unit_scores
 from repro.mining.minhash import compact_groups
 from repro.predicates.base import BoundPredicate, SimilarityPredicate
 from repro.utils.counters import CostCounters
@@ -127,13 +128,7 @@ class WordMergedIndexJoin:
 
     @staticmethod
     def _check_unit_scores(dataset: Dataset, bound: BoundPredicate) -> None:
-        if not bound.record_independent_scores:
-            raise ValueError("word-merged join supports unit-score predicates only")
-        for rid in range(min(len(dataset), 5)):
-            if any(score != 1.0 for score in bound.cached_score_vector(rid)):
-                raise ValueError(
-                    "word-merged join supports unit-score predicates only"
-                )
+        ensure_unit_scores(dataset, bound, what="word-merged join")
 
     @staticmethod
     def _verify(bound, rid_a, rid_b, counters, pairs) -> None:

@@ -65,6 +65,8 @@ PARALLEL_ALGORITHMS = frozenset(
         "probe-count-online",
         "probe-count-sort",
         "probe-cluster",
+        "prefix-filter",
+        "positional-filter",
     }
 )
 

@@ -61,6 +61,16 @@ class BoundPredicate(ABC):
     #: Word-Groups requires this — a word group has one weight per word.
     record_independent_scores = True
 
+    #: True when every score is exactly 1.0, so the match weight *is*
+    #: the intersection size and a record's norm is its size. The
+    #: prefix-filter stack (prefix/position/suffix filters) requires
+    #: this — its lemmas count tokens, not weights. Declared statically
+    #: here (instance attribute where it depends on construction, e.g.
+    #: weighted Jaccard); predicates that leave it False are checked by
+    #: a full score scan in
+    #: :func:`repro.core.token_order.ensure_unit_scores`.
+    unit_scores = False
+
     #: Whether :meth:`SetJoinAlgorithm._verify_pair` may use the 64-bit
     #: word-signature prefilter. Sound only for predicates whose verify
     #: is the match-weight threshold test (zero common tokens => weight

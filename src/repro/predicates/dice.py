@@ -24,6 +24,8 @@ __all__ = ["DicePredicate", "OverlapCoefficientPredicate"]
 
 
 class _BoundDice(BoundPredicate):
+    unit_scores = True
+
     def __init__(self, dataset: Dataset, f: float):
         super().__init__(dataset)
         self.f = f
@@ -72,6 +74,8 @@ class DicePredicate(SimilarityPredicate):
 
 
 class _BoundOverlapCoefficient(BoundPredicate):
+    unit_scores = True
+
     def __init__(self, dataset: Dataset, f: float):
         super().__init__(dataset)
         self.f = f

@@ -63,6 +63,9 @@ class _BoundEditDistance(BoundPredicate):
     # weight; the signature prefilter's zero-weight reasoning does not
     # apply, so it must stay off.
     use_signature_prefilter = False
+    # Every numbered q-gram scores 1.0, so the prefix-filter stack may
+    # generate candidates from the q-gram count bound.
+    unit_scores = True
     # The bitmap filter may still prune: threshold() is the q-gram
     # lemma's *necessary* bound on the common numbered-gram count, so a
     # weight cap below it proves ed > k (repro.filters.adapters).

@@ -26,6 +26,8 @@ __all__ = ["HammingPredicate"]
 
 
 class _BoundHamming(BoundPredicate):
+    unit_scores = True
+
     def __init__(self, dataset: Dataset, k: int):
         super().__init__(dataset)
         self.k = k

@@ -31,6 +31,7 @@ class _BoundJaccard(BoundPredicate):
         super().__init__(dataset)
         self.f = f
         self.weight_of = weight_of
+        self.unit_scores = weight_of is None
         self._band: BandFilter | None = None
 
     def score_vector(self, rid: int) -> tuple[float, ...]:

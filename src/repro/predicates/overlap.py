@@ -27,6 +27,8 @@ __all__ = ["OverlapPredicate", "WeightedOverlapPredicate"]
 class _BoundOverlap(BoundPredicate):
     """Unweighted T-overlap bound to a dataset: all scores are 1."""
 
+    unit_scores = True
+
     def __init__(self, dataset: Dataset, t: float):
         super().__init__(dataset)
         self.t = t

@@ -22,6 +22,7 @@ from bisect import bisect_right
 from repro.compression.varbyte import varbyte_decode_deltas, varbyte_encode
 from repro.core.inverted_index import PostingList
 from repro.core.records import Dataset
+from repro.core.token_order import ensure_unit_scores
 from repro.predicates.base import BoundPredicate
 from repro.utils.counters import CostCounters
 
@@ -192,11 +193,7 @@ class DiskInvertedIndex:
 
     @staticmethod
     def _check_unit_scores(dataset: Dataset, bound: BoundPredicate) -> None:
-        if not bound.record_independent_scores:
-            raise ValueError("the disk index supports unit-score predicates only")
-        for rid in range(min(len(dataset), 5)):
-            if any(score != 1.0 for score in bound.cached_score_vector(rid)):
-                raise ValueError("the disk index supports unit-score predicates only")
+        ensure_unit_scores(dataset, bound, what="the disk index")
 
 
 class DiskProbeJoin:

@@ -76,6 +76,19 @@ class CostCounters:
             ``binary_searches`` already counts each search once, at the
             same weight the heap backend pays, keeping the two
             backends' work directly comparable.
+        candidate_rejections_position: candidates killed by the PPJoin
+            position filter (:mod:`repro.core.positional_filter`): the
+            positional upper bound on their remaining overlap fell
+            below the pair threshold mid-scan, so they never reached
+            ``candidates_checked``. Excluded from :meth:`total_work` —
+            each rejection is an O(1) comparison on a posting entry
+            already counted as ``list_items_touched``, and the whole
+            point of the filter is to *shrink* the gated work.
+        candidate_rejections_suffix: position-filter survivors killed
+            by the PPJoin+ suffix filter's divide-and-conquer Hamming
+            bound before verification. Excluded from :meth:`total_work`
+            for the same reason (the recursion volume stays observable
+            as ``suffix_recursions`` in ``extra``).
     """
 
     probes: int = 0
@@ -102,6 +115,8 @@ class CostCounters:
     accum_writes: int = 0
     accum_scans: int = 0
     gallop_steps: int = 0
+    candidate_rejections_position: int = 0
+    candidate_rejections_suffix: int = 0
     extra: dict = field(default_factory=dict)
 
     def merge(self, other: "CostCounters") -> None:

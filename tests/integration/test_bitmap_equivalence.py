@@ -20,7 +20,7 @@ from repro.filters import BitmapFilterConfig
 from repro.parallel import PARALLEL_ALGORITHMS
 from tests.conftest import random_dataset
 
-SEVEN = sorted(PARALLEL_ALGORITHMS)
+SUPPORTED = sorted(PARALLEL_ALGORITHMS)
 
 PREDICATES = [OverlapPredicate(3), JaccardPredicate(0.6)]
 
@@ -39,7 +39,7 @@ def _pairs(result):
 
 
 class TestSerialEquivalence:
-    @pytest.mark.parametrize("algorithm", SEVEN)
+    @pytest.mark.parametrize("algorithm", SUPPORTED)
     @pytest.mark.parametrize("predicate", PREDICATES, ids=lambda p: p.name)
     def test_filtered_matches_unfiltered(self, corpus, algorithm, predicate):
         plain = similarity_join(corpus, predicate, algorithm=algorithm)
@@ -51,7 +51,7 @@ class TestSerialEquivalence:
 
 
 class TestParallelEquivalence:
-    @pytest.mark.parametrize("algorithm", SEVEN)
+    @pytest.mark.parametrize("algorithm", SUPPORTED)
     def test_workers4_matches_serial_unfiltered(self, corpus, algorithm):
         predicate = OverlapPredicate(3)
         plain = similarity_join(corpus, predicate, algorithm=algorithm)

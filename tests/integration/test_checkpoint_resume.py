@@ -34,6 +34,8 @@ RESUMABLE = {
     "probe-count-sort": lambda n: 15,  # single driven pass
     "probe-count-online": lambda n: 15,
     "probe-cluster": lambda n: 15,
+    "prefix-filter": lambda n: 15,  # single driven pass (probe + insert)
+    "positional-filter": lambda n: 15,
     "cluster-mem": lambda n: n + 20,  # n phase-1 ticks, then mid-phase-2
 }
 
