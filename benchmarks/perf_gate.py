@@ -60,9 +60,23 @@ merge-work counters plus client-observed p50/p99 for every tier into
 the latencies — including the local-vs-remote comparison — are
 machine-dependent and recorded for trend-watching only.
 
+With ``--mmap`` the gate covers the memory-mapped columnar index
+(:mod:`repro.storage.mmap_index`): every case runs the same join on
+all three substrates — the in-memory index, the zero-copy mapped
+columns (``index_backend='mmap'``), and the varbyte streaming-decode
+fallback — asserts the mapped run's matches are *bit-identical* to
+the in-memory run (pairs and similarities; the substrate contract)
+and the disk fallback agrees on pairs, then measures what the format
+exists for: ``SimilarityIndex.load(mmap=True)`` open time must stay
+under an absolute ceiling (open cost is O(directory), so the bound is
+noise-proof on any runner) and the bytes resident after a pinned
+query stream — directory plus touched postings, a deterministic
+counter, not an RSS sample — gates against ``BENCH_mmap.json`` like
+any other work counter.
+
 With ``--report`` the gate prints a compact trajectory table across
 every committed BENCH file (serial / parallel / bitmap / merge /
-serve) and exits; nothing is run.
+prefix / mmap / serve) and exits; nothing is run.
 
 Usage::
 
@@ -77,6 +91,8 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_gate.py --prefix --check  # gate the filter stack
     PYTHONPATH=src python benchmarks/perf_gate.py --serve           # rewrite serve baseline
     PYTHONPATH=src python benchmarks/perf_gate.py --serve --check   # gate sharded serving
+    PYTHONPATH=src python benchmarks/perf_gate.py --mmap            # rewrite mmap baseline
+    PYTHONPATH=src python benchmarks/perf_gate.py --mmap --check    # gate the mapped index
     PYTHONPATH=src python benchmarks/perf_gate.py --report          # cross-BENCH trajectory table
 """
 
@@ -106,6 +122,7 @@ MERGE_BASELINE = os.path.join(REPO_ROOT, "BENCH_merge.json")
 PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 PREFIX_BASELINE = os.path.join(REPO_ROOT, "BENCH_prefix.json")
 SERVE_BASELINE = os.path.join(REPO_ROOT, "BENCH_serve.json")
+MMAP_BASELINE = os.path.join(REPO_ROOT, "BENCH_mmap.json")
 
 #: Allowed relative growth of a case's ``work`` counter before the gate
 #: fails. Counters are deterministic, so any growth is a real algorithmic
@@ -214,6 +231,33 @@ _SERVE_QUICK_CASES = {
 #: Queries per serve case: the first K corpus records re-asked as probes.
 _SERVE_QUERIES = 64
 
+#: Mapped-index gate matrix: (case-name, dataset, predicate, threshold,
+#: algorithm). Each case joins on all three substrates (in-memory,
+#: mapped columns, varbyte streaming decode) and serves a pinned query
+#: stream off a ``save(format='mmap')`` file.
+_MMAP_CASES = [
+    ("mmap/optmerge/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count-optmerge"),
+    ("mmap/two-pass/citation-words/overlap-12", "citation-words", "overlap", 12, "probe-count"),
+    ("mmap/optmerge/citation-3grams/jaccard-0.7", "citation-3grams", "jaccard", 0.7, "probe-count-optmerge"),
+]
+
+#: Mmap cases exercised under ``--quick`` (CI).
+_MMAP_QUICK_CASES = {
+    "mmap/optmerge/citation-words/overlap-12",
+    "mmap/two-pass/citation-words/overlap-12",
+}
+
+#: Absolute ceiling on ``load(mmap=True)`` open time, milliseconds.
+#: Open cost is O(directory) — parse the header and JSON directory,
+#: map the file — and measures ~2ms where the snapshot decode+rebuild
+#: path takes ~75ms, so 100ms (the acceptance bound for multi-hundred-
+#: MB files) is noise-proof on any CI runner. The committed baseline's
+#: ``open_ms`` is additionally honored as 3x headroom where tighter.
+_MMAP_OPEN_CEILING_MS = 100.0
+
+#: Queries per mmap serving measurement: the first K corpus records.
+_MMAP_QUERIES = 64
+
 #: Dict-shaped mirror of ``CostCounters.total_work`` for servers that
 #: report ``counters_snapshot()`` instead of a counters object.
 _WORK_COUNTERS = (
@@ -224,7 +268,14 @@ _WORK_COUNTERS = (
 _PROFILES = {"quick": 500, "full": 2000}
 
 
-def _join_once(dataset, predicate, algorithm, bitmap_filter=None, merge_backend=None):
+def _join_once(
+    dataset,
+    predicate,
+    algorithm,
+    bitmap_filter=None,
+    merge_backend=None,
+    index_backend=None,
+):
     if algorithm == "probe-count-compressed":
         instance = CompressedProbeJoin()
     else:
@@ -234,6 +285,8 @@ def _join_once(dataset, predicate, algorithm, bitmap_filter=None, merge_backend=
     instance.bitmap_filter = bitmap_filter
     if merge_backend is not None:
         instance.merge_backend = merge_backend
+    if index_backend is not None:
+        instance.index_backend = index_backend
     return instance.join(dataset, predicate)
 
 
@@ -456,12 +509,89 @@ def _run_serve_case(dataset_name, predicate_name, threshold, shards, n):
     }
 
 
+def _run_mmap_case(dataset_name, predicate_name, threshold, algorithm, n):
+    """The same join on all three substrates + a mapped serving pass.
+
+    The in-memory and mapped runs must be bit-identical (pairs *and*
+    similarities); the varbyte streaming-decode fallback must agree on
+    pairs. The serving pass measures open time (best of 3) and the
+    deterministic residency counter — directory bytes plus postings the
+    query stream touched — off a ``save(format='mmap')`` file.
+    """
+    import tempfile
+
+    from repro.storage.disk_index import DiskProbeJoin
+
+    dataset = dataset_by_name(dataset_name, n)
+    predicate = _PREDICATES[predicate_name](threshold)
+    memory = _join_once(dataset, predicate, algorithm)
+    mapped = _join_once(dataset, predicate, algorithm, index_backend="mmap")
+    disk = DiskProbeJoin().join(dataset, predicate)
+    memory_tuples = sorted(
+        (p.rid_a, p.rid_b, p.similarity) for p in memory.pairs
+    )
+    mapped_tuples = sorted(
+        (p.rid_a, p.rid_b, p.similarity) for p in mapped.pairs
+    )
+    disk_pairs = sorted((p.rid_a, p.rid_b) for p in disk.pairs)
+    pairs_match = (
+        mapped_tuples == memory_tuples
+        and disk_pairs == [(a, b) for a, b, _s in memory_tuples]
+    )
+
+    service = SimilarityIndex(predicate)
+    for record in dataset.records:
+        service.add(record)
+    with tempfile.TemporaryDirectory(prefix="repro-mmap-gate-") as tmp:
+        path = os.path.join(tmp, "serve.rpmx")
+        service.save(path, format="mmap")
+        file_bytes = os.path.getsize(path)
+        open_ms = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            opened = SimilarityIndex.load(path, predicate, mmap=True)
+            open_ms = min(open_ms, (time.perf_counter() - started) * 1000.0)
+            opened.close()
+        opened = SimilarityIndex.load(path, predicate, mmap=True)
+        try:
+            queries = list(dataset.records[:_MMAP_QUERIES])
+            live_answers = [
+                [(m.rid_a, round(m.similarity, 12)) for m in service.query(q)]
+                for q in queries
+            ]
+            mapped_answers = [
+                [(m.rid_a, round(m.similarity, 12)) for m in opened.query(q)]
+                for q in queries
+            ]
+            serve_match = mapped_answers == live_answers
+            directory_bytes = opened._index.directory_bytes
+            resident_bytes = opened._index.resident_bytes()
+        finally:
+            opened.close()
+
+    return {
+        "work": mapped.counters.total_work(),
+        "pairs": len(mapped.pairs),
+        "pairs_match": pairs_match,
+        "serve_match": serve_match,
+        "memory_work": memory.counters.total_work(),
+        "disk_work": disk.counters.total_work(),
+        "open_ms": round(open_ms, 3),
+        "file_bytes": file_bytes,
+        "directory_bytes": directory_bytes,
+        "resident_bytes": resident_bytes,
+        "memory_seconds": round(memory.elapsed_seconds, 4),
+        "seconds": round(mapped.elapsed_seconds, 4),
+    }
+
+
 def run_profile(
     profile: str,
     bitmap: bool = False,
     merge: bool = False,
     serve: bool = False,
     prefix: bool = False,
+    mmap: bool = False,
 ) -> dict:
     n = _PROFILES[profile]
     cases = {}
@@ -475,10 +605,28 @@ def run_profile(
         if serve
         else "prefix-stack"
         if prefix
+        else "mmap"
+        if mmap
         else "perf"
     )
     print(f"{label} matrix [{profile}] n={n}:")
-    if prefix:
+    if mmap:
+        for name, dataset_name, predicate_name, threshold, algorithm in _MMAP_CASES:
+            if profile == "quick" and name not in _MMAP_QUICK_CASES:
+                continue
+            cases[name] = _run_mmap_case(
+                dataset_name, predicate_name, threshold, algorithm, n
+            )
+            row = cases[name]
+            print(
+                f"  {name:<48} work={row['work']:<12}"
+                f" match={row['pairs_match']}"
+                f" serve_match={row['serve_match']}"
+                f" open={row['open_ms']}ms"
+                f" resident {row['resident_bytes']}/{row['file_bytes']}B"
+                f" {row['seconds']:.3f}s"
+            )
+    elif prefix:
         for name, dataset_name, predicate_name, threshold, _ in _PREFIX_CASES:
             if profile == "quick" and name not in _PREFIX_QUICK_CASES:
                 continue
@@ -562,6 +710,7 @@ def _report_shell(
     merge: bool = False,
     serve: bool = False,
     prefix: bool = False,
+    mmap: bool = False,
 ) -> dict:
     kind = (
         "bitmap-perf-baseline"
@@ -572,6 +721,8 @@ def _report_shell(
         if serve
         else "prefix-stack-perf-baseline"
         if prefix
+        else "mmap-perf-baseline"
+        if mmap
         else "serial-perf-baseline"
     )
     return {
@@ -691,6 +842,53 @@ def check_prefix(fresh: dict, baseline: dict, profile: str) -> list[str]:
     return failures
 
 
+def check_mmap(fresh: dict, baseline: dict, profile: str) -> list[str]:
+    """Gate the mapped index: bit-identity, open-time, residency."""
+    failures = check(fresh, baseline, profile)
+    base_cases = baseline.get("profiles", {}).get(profile, {}).get("cases", {})
+    for name, row in fresh["cases"].items():
+        if not row.get("pairs_match", True):
+            failures.append(
+                f"{name}: the mapped join emitted different matches than"
+                " the in-memory or streaming-decode substrate (the mapped"
+                " columns are NOT a drop-in)"
+            )
+        if not row.get("serve_match", True):
+            failures.append(
+                f"{name}: the mapped service answered differently than the"
+                " live index (serving off the mapped file is NOT exact)"
+            )
+        base = base_cases.get(name)
+        # Open time: O(directory), so an absolute ceiling is noise-proof;
+        # honor the committed number with 3x headroom where it's tighter.
+        ceiling_ms = _MMAP_OPEN_CEILING_MS
+        if base is not None and "open_ms" in base:
+            ceiling_ms = min(ceiling_ms, max(base["open_ms"] * 3.0, 25.0))
+        if row["open_ms"] > ceiling_ms:
+            failures.append(
+                f"{name}: load(mmap=True) took {row['open_ms']}ms,"
+                f" ceiling {ceiling_ms:.1f}ms (open must stay O(directory))"
+            )
+        # Residency is a deterministic counter (directory + touched
+        # postings), so it gates like work: no silent growth past 10%.
+        if base is not None and "resident_bytes" in base:
+            allowed = base["resident_bytes"] * (1 + TOLERANCE)
+            if row["resident_bytes"] > allowed:
+                failures.append(
+                    f"{name}: resident bytes regressed"
+                    f" {base['resident_bytes']} -> {row['resident_bytes']}"
+                    f" (tolerance {1 + TOLERANCE:.0%}; the query stream is"
+                    " faulting in more of the file)"
+                )
+        if row["resident_bytes"] >= row["file_bytes"]:
+            failures.append(
+                f"{name}: resident bytes {row['resident_bytes']} reached the"
+                f" file size {row['file_bytes']} (zero-copy serving is"
+                " materializing the whole index)"
+            )
+    return failures
+
+
 def check_serve(fresh: dict, baseline: dict, profile: str) -> list[str]:
     """Gate the serving cases: answer identity first, then merge work."""
     failures = check(fresh, baseline, profile)
@@ -761,6 +959,15 @@ def report_trajectory() -> int:
             f"candidates {row.get('candidates_prefix', 0)}"
             f" -> {row.get('candidates_stack', 0)}"
             f" ({row.get('reduction', 0.0):.1%})"
+        ),
+    )
+    add_profile_cases(
+        "mmap",
+        _load_json(MMAP_BASELINE),
+        lambda row: (
+            f"open {row.get('open_ms', 0.0)}ms"
+            f" resident {row.get('resident_bytes', 0) / 1e6:.2f}MB"
+            f" / {row.get('file_bytes', 0) / 1e6:.2f}MB file"
         ),
     )
     add_profile_cases(
@@ -847,6 +1054,13 @@ def main(argv: list[str] | None = None) -> int:
         " sharded servers and must get identical answers)",
     )
     parser.add_argument(
+        "--mmap", action="store_true",
+        help="run the mapped-index matrix against BENCH_mmap.json"
+        " (each case joins on the in-memory, mapped, and streaming-decode"
+        " substrates — matches must be bit-identical — and gates"
+        " load(mmap=True) open time and post-query residency)",
+    )
+    parser.add_argument(
         "--report", action="store_true",
         help="print a compact trajectory table across every committed"
         " BENCH file (serial/parallel/bitmap/merge/serve) and exit",
@@ -860,9 +1074,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.report:
         return report_trajectory()
-    if sum((args.bitmap, args.merge, args.serve, args.prefix)) > 1:
+    if sum((args.bitmap, args.merge, args.serve, args.prefix, args.mmap)) > 1:
         parser.error(
-            "--bitmap, --merge, --serve, and --prefix are mutually exclusive"
+            "--bitmap, --merge, --serve, --prefix, and --mmap are"
+            " mutually exclusive"
         )
     baseline_path = args.baseline or (
         BITMAP_BASELINE
@@ -873,6 +1088,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.serve
         else PREFIX_BASELINE
         if args.prefix
+        else MMAP_BASELINE
+        if args.mmap
         else DEFAULT_BASELINE
     )
     checker = (
@@ -884,6 +1101,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.serve
         else check_prefix
         if args.prefix
+        else check_mmap
+        if args.mmap
         else check
     )
     fresh_name = (
@@ -895,6 +1114,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.serve
         else "BENCH_prefix.fresh.json"
         if args.prefix
+        else "BENCH_mmap.fresh.json"
+        if args.mmap
         else "BENCH_serial.fresh.json"
     )
 
@@ -906,6 +1127,7 @@ def main(argv: list[str] | None = None) -> int:
             merge=args.merge,
             serve=args.serve,
             prefix=args.prefix,
+            mmap=args.mmap,
         )
         if not os.path.exists(baseline_path):
             print(f"FAIL: no committed baseline at {baseline_path}", file=sys.stderr)
@@ -920,7 +1142,7 @@ def main(argv: list[str] | None = None) -> int:
                 _report_shell(
                     {profile: fresh},
                     bitmap=args.bitmap, merge=args.merge,
-                    serve=args.serve, prefix=args.prefix,
+                    serve=args.serve, prefix=args.prefix, mmap=args.mmap,
                 ),
                 handle, indent=2, sort_keys=True,
             )
@@ -946,6 +1168,7 @@ def main(argv: list[str] | None = None) -> int:
                 merge=args.merge,
                 serve=args.serve,
                 prefix=args.prefix,
+                mmap=args.mmap,
             )
             for name in names
         },
@@ -953,6 +1176,7 @@ def main(argv: list[str] | None = None) -> int:
         merge=args.merge,
         serve=args.serve,
         prefix=args.prefix,
+        mmap=args.mmap,
     )
     output = args.output or baseline_path
     with open(output, "w", encoding="utf-8") as handle:

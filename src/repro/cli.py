@@ -46,6 +46,7 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from contextlib import contextmanager
 
 from repro.core.accumulator import MERGE_BACKENDS
+from repro.storage.mmap_index import INDEX_BACKENDS
 from repro.core.dedupe import connected_components
 from repro.core.join import ALGORITHMS, edit_distance_join, make_algorithm, similarity_join
 from repro.core.records import Dataset
@@ -140,6 +141,7 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         " the result is identical to the serial join",
     )
     _add_merge_backend_option(parser)
+    _add_index_backend_option(parser)
     _add_bitmap_options(parser)
     runtime = parser.add_argument_group("hardened runtime")
     runtime.add_argument(
@@ -167,6 +169,22 @@ def _add_merge_backend_option(parser: argparse.ArgumentParser) -> None:
         help="probe-merge engine: 'heap' (heap merge), 'accumulator'"
         " (score-accumulator scan), or 'auto' (adaptive per probe, the"
         " default); results are identical across backends",
+    )
+
+
+def _add_index_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--index-backend", choices=INDEX_BACKENDS, default="memory",
+        help="where the probe index lives: 'memory' (in-process, the"
+        " default) or 'mmap' (write-once on-disk columnar file probed"
+        " zero-copy through a memory mapping; needs a two-pass"
+        " algorithm such as probe-count-optmerge); results are"
+        " identical across backends",
+    )
+    parser.add_argument(
+        "--index-path", metavar="FILE", default=None,
+        help="with --index-backend mmap, keep the mapped index at FILE"
+        " instead of an unlinked temp file",
     )
 
 
@@ -421,13 +439,23 @@ def _make_cli_algorithm(args):
             budget=MemoryBudget(args.memory_budget),
             bitmap_filter=_bitmap_config(args),
             merge_backend=args.merge_backend,
+            index_backend=getattr(args, "index_backend", None),
+            index_path=getattr(args, "index_path", None),
         )
     try:
-        return make_algorithm(
+        algorithm = make_algorithm(
             args.algorithm,
             bitmap_filter=_bitmap_config(args),
             merge_backend=args.merge_backend,
+            index_backend=getattr(args, "index_backend", None),
+            index_path=getattr(args, "index_path", None),
         )
+        # Surface an unsupported --index-backend combination as a CLI
+        # one-liner now rather than a traceback at join time.
+        check = getattr(algorithm, "_check_index_backend", None)
+        if check is not None:
+            check()
+        return algorithm
     except ValueError as exc:
         raise _CLIError(str(exc)) from exc
 
@@ -445,6 +473,13 @@ def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
                 f" {args.algorithm!r} is not one of"
                 f" {sorted(PARALLEL_ALGORITHMS)}"
             )
+        if getattr(args, "index_path", None) is not None:
+            # Every worker builds its own index; a single pinned file
+            # would have them clobbering each other.
+            raise _CLIError("--index-path cannot be combined with --workers > 1")
+        # Validate the backend combination here: a worker raising the
+        # same ValueError surfaces as a crash, not a CLI one-liner.
+        _make_cli_algorithm(args)
         if context is None:
             # A bare context so Ctrl-C still cancels the worker pool
             # cooperatively instead of killing it mid-stream.
@@ -458,6 +493,7 @@ def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
                 context=context,
                 bitmap_filter=_bitmap_config(args),
                 merge_backend=args.merge_backend,
+                index_backend=getattr(args, "index_backend", None),
             )
     algorithm = _make_cli_algorithm(args)
     with _sigint_cancels(context):

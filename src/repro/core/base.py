@@ -78,6 +78,24 @@ class SetJoinAlgorithm(ABC):
     #: Candidate sets are pair-for-pair identical across backends.
     merge_backend: str = "auto"
 
+    #: Index-backend knob (:mod:`repro.storage.mmap_index`):
+    #: ``"memory"`` (default) builds the in-RAM
+    #: :class:`~repro.core.inverted_index.ScoredInvertedIndex`;
+    #: ``"mmap"`` lands the build pass in a write-once columnar file and
+    #: probes it zero-copy through the mapping, so resident memory is
+    #: the token directory plus touched postings instead of the full
+    #: index. Set via ``make_algorithm(..., index_backend=...)`` — the
+    #: same instance-attribute pattern as ``bitmap_filter`` and
+    #: ``merge_backend``, so it flows through ``similarity_join``, the
+    #: parallel workers' algorithm specs, and the CLI unchanged. Only
+    #: two-pass builds can use it (``join()`` raises a clear error
+    #: otherwise); pairs are bit-identical across backends.
+    index_backend: str = "memory"
+
+    #: Optional explicit file path for the mapped index; ``None`` uses a
+    #: ``mkstemp`` temp file removed when the join finishes.
+    index_path: str | None = None
+
     # Per-run merge state: the resolved backend string and the dense
     # accumulator buffer, armed by join()/join_between() and shared by
     # every probe of one execution via _merge_lists/_merge_opt_lists.
@@ -120,6 +138,7 @@ class SetJoinAlgorithm(ABC):
                 checkpointer attached, progress is flushed first so the
                 invocation can be resumed.
         """
+        self._check_index_backend()
         bound = predicate.bind(dataset)
         counters = CostCounters()
         restored = self._install_runtime(dataset, predicate, context, counters)
@@ -323,6 +342,31 @@ class SetJoinAlgorithm(ABC):
         return result.pairs
 
     # ------------------------------------------------------------------
+    # Index-backend dispatch
+    # ------------------------------------------------------------------
+
+    def _supports_index_backend(self, backend: str) -> bool:
+        """Whether this algorithm can honour a non-default index backend.
+
+        The mapped index is write-once, so only algorithms with a
+        separate full build pass can use it; overriders (Probe-Count's
+        two-pass variants) return True for ``"mmap"``.
+        """
+        return False
+
+    def _check_index_backend(self) -> None:
+        from repro.storage.mmap_index import resolve_index_backend
+
+        backend = resolve_index_backend(self.index_backend)
+        if backend != "memory" and not self._supports_index_backend(backend):
+            raise ValueError(
+                f"algorithm {self.name!r} does not support"
+                f" index_backend={backend!r}: the write-once mapped index"
+                " needs a two-pass build (use probe-count,"
+                " probe-count-optmerge, or probe-count-stopwords)"
+            )
+
+    # ------------------------------------------------------------------
     # Merge-backend dispatch
     # ------------------------------------------------------------------
 
@@ -426,6 +470,12 @@ class SetJoinAlgorithm(ABC):
         ``context`` enables deadline/cancellation/memory checks per
         probed record; checkpoint/resume is not supported here.
         """
+        from repro.storage.mmap_index import resolve_index_backend
+
+        if resolve_index_backend(self.index_backend) != "memory":
+            raise ValueError(
+                "join_between does not support a mapped index backend"
+            )
         if left.vocabulary is not None and left.vocabulary is not right.vocabulary:
             raise ValueError(
                 "join_between needs both datasets built over the same vocabulary"

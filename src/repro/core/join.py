@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 
 from repro.core.accumulator import resolve_merge_backend
+from repro.storage.mmap_index import resolve_index_backend
 from repro.core.cluster_mem import ClusterMemJoin, MemoryBudget
 from repro.core.naive import NaiveJoin
 from repro.core.pair_count import PairCountJoin
@@ -74,9 +75,18 @@ def make_algorithm(name: str, **kwargs):
     registry — accepts it uniformly. ``merge_backend=`` selects the
     probe-merge engine the same way (``"heap"``, ``"accumulator"``, or
     the adaptive default ``"auto"`` — see :mod:`repro.core.accumulator`).
+    ``index_backend=`` picks where the probe index lives (``"memory"``
+    or the zero-copy ``"mmap"`` columnar file of
+    :mod:`repro.storage.mmap_index`; ``index_path=`` pins the file
+    location instead of a temp file). Like the other knobs it is an
+    instance attribute, so it flows through ``similarity_join`` and the
+    parallel workers unchanged; algorithms without a two-pass build
+    raise a clear error at ``join()`` time.
     """
     bitmap_filter = kwargs.pop("bitmap_filter", None)
     merge_backend = resolve_merge_backend(kwargs.pop("merge_backend", None))
+    index_backend = resolve_index_backend(kwargs.pop("index_backend", None))
+    index_path = kwargs.pop("index_path", None)
     if name == "cluster-mem":
         budget = kwargs.pop("budget", None)
         fraction = kwargs.pop("memory_fraction", None)
@@ -91,6 +101,8 @@ def make_algorithm(name: str, **kwargs):
                 respects_memory_budget = True
                 bitmap_filter = None
                 merge_backend = "auto"
+                index_backend = "memory"
+                index_path = None
 
                 def join(self, dataset, predicate, context=None):
                     resolved = ClusterMemJoin(
@@ -98,15 +110,21 @@ def make_algorithm(name: str, **kwargs):
                     )
                     resolved.bitmap_filter = self.bitmap_filter
                     resolved.merge_backend = self.merge_backend
+                    resolved.index_backend = self.index_backend
+                    resolved.index_path = self.index_path
                     return resolved.join(dataset, predicate, context=context)
 
             deferred = _Deferred()
             deferred.bitmap_filter = bitmap_filter
             deferred.merge_backend = merge_backend
+            deferred.index_backend = index_backend
+            deferred.index_path = index_path
             return deferred
         algorithm = ClusterMemJoin(budget, **kwargs)
         algorithm.bitmap_filter = bitmap_filter
         algorithm.merge_backend = merge_backend
+        algorithm.index_backend = index_backend
+        algorithm.index_path = index_path
         return algorithm
     spec = _SPECS.get(name)
     if spec is None:
@@ -118,6 +136,8 @@ def make_algorithm(name: str, **kwargs):
     algorithm = cls(**{**base, **kwargs})
     algorithm.bitmap_filter = bitmap_filter
     algorithm.merge_backend = merge_backend
+    algorithm.index_backend = index_backend
+    algorithm.index_path = index_path
     return algorithm
 
 

@@ -67,6 +67,59 @@ class ProbeCountJoin(SetJoinAlgorithm):
             return self._run_stopwords(dataset, bound, counters)
         return self._run_two_pass(dataset, bound, counters)
 
+    def _supports_index_backend(self, backend: str) -> bool:
+        # online/sort insert as they go; the write-once mapped file
+        # needs the full build pass the two-pass variants have.
+        return backend == "mmap" and self.variant in (
+            "basic",
+            "optmerge",
+            "stopwords",
+        )
+
+    def _build_full_index(
+        self,
+        dataset: Dataset,
+        bound: BoundPredicate,
+        counters: CostCounters,
+        keep=None,
+    ):
+        """One full build pass; returns ``(index, dispose)``.
+
+        ``keep`` optionally filters each record's ``(tokens, scores)``
+        before insertion (the stopwords variant). Under
+        ``index_backend="mmap"`` the pass lands in a write-once columnar
+        file probed zero-copy through the mapping — build inserts are
+        not charged to the memory budget (the data leaves RAM); the
+        opened index charges its directory plus each posting list on
+        first touch instead. ``dispose`` must run when probing is done
+        (closes the mapping and removes a temp file).
+        """
+        if self.index_backend == "mmap":
+            from repro.storage.mmap_index import JoinIndexBuilder
+
+            builder = JoinIndexBuilder(self.index_path)
+            for rid in range(len(dataset)):
+                self._tick(counters)
+                tokens = dataset[rid]
+                scores = bound.cached_score_vector(rid)
+                if keep is not None:
+                    tokens, scores = keep(tokens, scores)
+                builder.insert(rid, tokens, scores, bound.norm(rid))
+            index = builder.finish(counters)
+            return index, index.dispose
+        index = ScoredInvertedIndex()
+        for rid in range(len(dataset)):
+            self._tick(counters)
+            tokens = dataset[rid]
+            scores = bound.cached_score_vector(rid)
+            if keep is not None:
+                tokens, scores = keep(tokens, scores)
+            index.insert(rid, tokens, scores, bound.norm(rid), counters)
+        # The build phase is over; freeze the columnar postings so the
+        # probe phase provably cannot mutate shared lists.
+        index.seal()
+        return index, _noop_dispose
+
     # ------------------------------------------------------------------
     # Two-pass variants: basic / optmerge
     # ------------------------------------------------------------------
@@ -74,41 +127,38 @@ class ProbeCountJoin(SetJoinAlgorithm):
     def _run_two_pass(
         self, dataset: Dataset, bound: BoundPredicate, counters: CostCounters
     ) -> list[MatchPair]:
-        index = ScoredInvertedIndex()
-        for rid in range(len(dataset)):
-            self._tick(counters)
-            index.insert(
-                rid, dataset[rid], bound.cached_score_vector(rid), bound.norm(rid), counters
-            )
-        # The build phase is over; freeze the columnar postings so the
-        # probe phase provably cannot mutate shared lists.
-        index.seal()
-        band = bound.band_filter()
-        pairs: list[MatchPair] = []
-        use_optmerge = self.variant == "optmerge"
-        for _position, rid, replay in self._drive(range(len(dataset)), counters, pairs):
-            if replay:
-                continue
-            counters.probes += 1
-            lists = index.probe_lists(dataset[rid], bound.cached_score_vector(rid))
-            if not lists:
-                continue
-            norm_r = bound.norm(rid)
-            threshold_of = _threshold_closure(bound, norm_r)
-            accept = _band_accept(band, rid) if band is not None else None
-            if use_optmerge:
-                index_threshold = bound.index_threshold(norm_r, index.min_norm)
-                candidates = self._merge_opt_lists(
-                    lists, index_threshold, threshold_of, counters, accept
-                )
-            else:
-                candidates = self._merge_lists(lists, threshold_of, counters, accept)
-            for sid, _weight in candidates:
-                # The full index contains rid itself and yields each pair
-                # twice; emit once, in canonical orientation.
-                if sid < rid:
-                    self._verify_pair(bound, sid, rid, counters, pairs)
-        return pairs
+        index, dispose = self._build_full_index(dataset, bound, counters)
+        try:
+            band = bound.band_filter()
+            pairs: list[MatchPair] = []
+            use_optmerge = self.variant == "optmerge"
+            for _position, rid, replay in self._drive(
+                range(len(dataset)), counters, pairs
+            ):
+                if replay:
+                    continue
+                counters.probes += 1
+                lists = index.probe_lists(dataset[rid], bound.cached_score_vector(rid))
+                if not lists:
+                    continue
+                norm_r = bound.norm(rid)
+                threshold_of = _threshold_closure(bound, norm_r)
+                accept = _band_accept(band, rid) if band is not None else None
+                if use_optmerge:
+                    index_threshold = bound.index_threshold(norm_r, index.min_norm)
+                    candidates = self._merge_opt_lists(
+                        lists, index_threshold, threshold_of, counters, accept
+                    )
+                else:
+                    candidates = self._merge_lists(lists, threshold_of, counters, accept)
+                for sid, _weight in candidates:
+                    # The full index contains rid itself and yields each pair
+                    # twice; emit once, in canonical orientation.
+                    if sid < rid:
+                        self._verify_pair(bound, sid, rid, counters, pairs)
+            return pairs
+        finally:
+            dispose()
 
     # ------------------------------------------------------------------
     # Stopwords variant (§3.1)
@@ -119,52 +169,55 @@ class ProbeCountJoin(SetJoinAlgorithm):
     ) -> list[MatchPair]:
         stopwords = self._select_stopwords(dataset, bound)
         counters.extra["stopwords"] = len(stopwords)
-        index = ScoredInvertedIndex()
-        for rid in range(len(dataset)):
-            self._tick(counters)
-            tokens = dataset[rid]
-            scores = bound.cached_score_vector(rid)
+
+        def keep(tokens, scores):
             kept_tokens = []
             kept_scores = []
             for token, score in zip(tokens, scores):
                 if token not in stopwords:
                     kept_tokens.append(token)
                     kept_scores.append(score)
-            index.insert(rid, kept_tokens, kept_scores, bound.norm(rid), counters)
-        index.seal()
-        band = bound.band_filter()
-        pairs: list[MatchPair] = []
-        for _position, rid, replay in self._drive(range(len(dataset)), counters, pairs):
-            if replay:
-                continue
-            counters.probes += 1
-            tokens = dataset[rid]
-            scores = bound.cached_score_vector(rid)
-            probe_tokens = []
-            probe_scores = []
-            stop_contribution = 0.0
-            for token, score in zip(tokens, scores):
-                if token in stopwords:
-                    # Assume, pessimistically, that the partner record
-                    # shares the stopword at the maximum indexed score.
-                    stop_contribution += score * stopwords[token]
-                else:
-                    probe_tokens.append(token)
-                    probe_scores.append(score)
-            lists = index.probe_lists(probe_tokens, probe_scores)
-            if not lists:
-                continue
-            norm_r = bound.norm(rid)
+            return kept_tokens, kept_scores
 
-            def threshold_of(sid: int, _n=norm_r, _cut=stop_contribution) -> float:
-                return bound.threshold(_n, bound.norm(sid)) - _cut
+        index, dispose = self._build_full_index(dataset, bound, counters, keep=keep)
+        try:
+            band = bound.band_filter()
+            pairs: list[MatchPair] = []
+            for _position, rid, replay in self._drive(
+                range(len(dataset)), counters, pairs
+            ):
+                if replay:
+                    continue
+                counters.probes += 1
+                tokens = dataset[rid]
+                scores = bound.cached_score_vector(rid)
+                probe_tokens = []
+                probe_scores = []
+                stop_contribution = 0.0
+                for token, score in zip(tokens, scores):
+                    if token in stopwords:
+                        # Assume, pessimistically, that the partner record
+                        # shares the stopword at the maximum indexed score.
+                        stop_contribution += score * stopwords[token]
+                    else:
+                        probe_tokens.append(token)
+                        probe_scores.append(score)
+                lists = index.probe_lists(probe_tokens, probe_scores)
+                if not lists:
+                    continue
+                norm_r = bound.norm(rid)
 
-            accept = _band_accept(band, rid) if band is not None else None
-            candidates = self._merge_lists(lists, threshold_of, counters, accept)
-            for sid, _weight in candidates:
-                if sid < rid:
-                    self._verify_pair(bound, sid, rid, counters, pairs)
-        return pairs
+                def threshold_of(sid: int, _n=norm_r, _cut=stop_contribution) -> float:
+                    return bound.threshold(_n, bound.norm(sid)) - _cut
+
+                accept = _band_accept(band, rid) if band is not None else None
+                candidates = self._merge_lists(lists, threshold_of, counters, accept)
+                for sid, _weight in candidates:
+                    if sid < rid:
+                        self._verify_pair(bound, sid, rid, counters, pairs)
+            return pairs
+        finally:
+            dispose()
 
     def _select_stopwords(self, dataset: Dataset, bound: BoundPredicate) -> dict[int, float]:
         """Pick the highest-frequency words whose combined maximum
@@ -253,6 +306,10 @@ class ProbeCountJoin(SetJoinAlgorithm):
                     )
             index.insert(position, tokens, scores, norm_r, counters)
         return pairs
+
+
+def _noop_dispose() -> None:
+    """Nothing to release for the in-memory index."""
 
 
 def _threshold_closure(bound: BoundPredicate, norm_r: float):

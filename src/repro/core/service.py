@@ -31,6 +31,7 @@ from repro.filters.controller import AdaptiveController, NullController
 from repro.predicates.base import WEIGHT_EPS, SimilarityPredicate
 from repro.runtime.errors import (
     ConcurrentMutation,
+    ReadOnlyIndex,
     SnapshotCorrupted,
     SnapshotEncodingError,
 )
@@ -287,6 +288,10 @@ class SimilarityIndex:
         #: External result caches (:class:`repro.serving.cache.QueryCache`)
         #: key on it to invalidate on any index mutation.
         self._generation = 0
+        #: True for instances restored with ``load(..., mmap=True)``:
+        #: the index *is* the write-once mapped file, so mutations raise
+        #: :class:`~repro.runtime.errors.ReadOnlyIndex`.
+        self._read_only = False
 
     @property
     def generation(self) -> int:
@@ -391,6 +396,8 @@ class SimilarityIndex:
         bound predicate could silently drop true matches for
         corpus-dependent predicates (TF-IDF cosine, weighted overlap).
         """
+        if self._read_only:
+            raise ReadOnlyIndex("rebind", self._index.path)
         with self._write_locked("rebind"):
             self._rebind()
             self._rebuild_index()
@@ -475,6 +482,8 @@ class SimilarityIndex:
 
     def add(self, item, payload=None) -> int:
         """Insert a record; returns its rid."""
+        if self._read_only:
+            raise ReadOnlyIndex("add", self._index.path)
         with self._write_locked("add"):
             tokens = self._tokens_of(item)
             record = self._record_of(tokens)
@@ -684,15 +693,41 @@ class SimilarityIndex:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, path: str, codec=None, fs=None) -> None:
-        """Crash-safely serialize the indexed records to ``path``.
+    @staticmethod
+    def _tagged_payload(rid: int, payload, codec) -> list:
+        """``["json", value]`` / ``["codec", text]`` snapshot entry."""
+        try:
+            canonical_json(payload)
+        except SnapshotEncodingError:
+            if codec is None:
+                raise SnapshotEncodingError(
+                    f"payload of record {rid} ({type(payload).__name__})"
+                    " is not JSON-representable; pass codec= to"
+                    " SimilarityIndex.save/load to round-trip it"
+                ) from None
+            encoded = codec.encode(payload)
+            if not isinstance(encoded, str):
+                raise SnapshotEncodingError(
+                    f"codec.encode must return str, got"
+                    f" {type(encoded).__name__} for record {rid}"
+                )
+            return ["codec", encoded]
+        return ["json", payload]
 
-        The snapshot is versioned, checksummed, and written with
-        write-to-temp + atomic rename (see :mod:`repro.runtime.snapshot`):
-        a crash at any point leaves the previous snapshot loadable.
-        Only the records and payloads are stored; the inverted index is
-        rebuilt on load. Runs under the read lock: concurrent queries
-        proceed, concurrent ``add``/``rebind`` wait.
+    def save(self, path: str, codec=None, fs=None, format: str = "snapshot") -> None:
+        """Crash-safely serialize the index to ``path``.
+
+        ``format="snapshot"`` (the default) writes the JSON snapshot of
+        :mod:`repro.runtime.snapshot`: records and payloads only, with
+        the inverted index rebuilt on load. ``format="mmap"`` writes the
+        columnar :mod:`repro.storage.mmap_index` file instead — postings,
+        records, payloads, and vocabulary land as mapped sections, so
+        ``load(..., mmap=True)`` opens it in milliseconds and serves
+        queries straight off the file with no rebuild. Both formats are
+        versioned, checksummed, and written with write-to-temp + atomic
+        rename: a crash at any point leaves the previous file loadable.
+        Runs under the read lock: concurrent queries proceed, concurrent
+        ``add``/``rebind`` wait.
 
         Args:
             codec: optional payload codec with ``encode(payload) -> str``
@@ -700,30 +735,36 @@ class SimilarityIndex:
                 represent. Without one, a non-JSON payload raises
                 :class:`~repro.runtime.errors.SnapshotEncodingError`
                 instead of being silently coerced (and lost) as ``str``.
-            fs: filesystem shim for fault injection in tests.
+            fs: filesystem shim for fault injection in tests
+                (``snapshot`` format only).
+            format: ``"snapshot"`` or ``"mmap"``.
         """
+        if format not in ("snapshot", "mmap"):
+            raise ValueError(
+                f"unknown save format {format!r}; expected 'snapshot' or 'mmap'"
+            )
+        if format == "mmap":
+            if fs is not None:
+                raise ValueError(
+                    "the fault-injection fs shim is only supported for"
+                    " format='snapshot'"
+                )
+            with self._read_locked("save"):
+                self._save_mmap(path, codec)
+            return
         with self._read_locked("save"):
-            payloads = []
-            for rid, payload in enumerate(self._dataset.payloads):
-                try:
-                    canonical_json(payload)
-                except SnapshotEncodingError:
-                    if codec is None:
-                        raise SnapshotEncodingError(
-                            f"payload of record {rid} ({type(payload).__name__})"
-                            " is not JSON-representable; pass codec= to"
-                            " SimilarityIndex.save/load to round-trip it"
-                        ) from None
-                    encoded = codec.encode(payload)
-                    if not isinstance(encoded, str):
-                        raise SnapshotEncodingError(
-                            f"codec.encode must return str, got"
-                            f" {type(encoded).__name__} for record {rid}"
-                        )
-                    payloads.append(["codec", encoded])
-                else:
-                    payloads.append(["json", payload])
-            state = {"token_lists": self._token_lists, "payloads": payloads}
+            payloads = [
+                self._tagged_payload(rid, payload, codec)
+                for rid, payload in enumerate(self._dataset.payloads)
+            ]
+            token_lists = (
+                self._token_lists
+                if isinstance(self._token_lists, list)
+                # A mapped (read-only) service holds a lazy on-file view;
+                # materialize it for the JSON snapshot.
+                else [list(tokens) for tokens in self._token_lists]
+            )
+            state = {"token_lists": token_lists, "payloads": payloads}
             if (
                 self._bitmap_store is not None
                 and len(self._bitmap_store) == len(self._dataset)
@@ -738,6 +779,79 @@ class SimilarityIndex:
                 }
             write_snapshot(path, state, kind=_SNAPSHOT_KIND, fs=fs)
 
+    def _save_mmap(self, path: str, codec) -> None:
+        """Write the columnar mapped snapshot (read-locked caller).
+
+        Postings are rebuilt from a *fresh* predicate bind — exactly
+        what a snapshot ``load`` would compute via ``_rebind`` +
+        ``_rebuild_index`` — so a service restored with ``mmap=True``
+        answers queries bit-identically to one restored from the JSON
+        snapshot, even when this instance's live index carries
+        insert-time scores that a rebind would refresh.
+        """
+        import json as _json
+        from array import array
+
+        from repro.storage.mmap_index import MappedIndexWriter
+
+        n = len(self._dataset)
+        bound = self.predicate.bind(self._dataset) if n else None
+        token_ids: dict[int, array] = {}
+        token_scores: dict[int, array] = {}
+        min_norm = float("inf")
+        record_tokens = array("q")
+        record_offsets = array("q", [0])
+        payload_blob = bytearray()
+        payload_offsets = array("q", [0])
+        token_list_blob = bytearray()
+        token_list_offsets = array("q", [0])
+        for rid in range(n):
+            record = self._dataset[rid]
+            vector = bound.cached_score_vector(rid)
+            for token, score in zip(record, vector):
+                id_column = token_ids.get(token)
+                if id_column is None:
+                    id_column = array("q")
+                    token_ids[token] = id_column
+                    token_scores[token] = array("d")
+                id_column.append(rid)
+                token_scores[token].append(score)
+            norm = bound.norm(rid)
+            if norm < min_norm:
+                min_norm = norm
+            record_tokens.extend(record)
+            record_offsets.append(len(record_tokens))
+            entry = self._tagged_payload(rid, self._dataset.payload(rid), codec)
+            payload_blob += _json.dumps(entry, separators=(",", ":")).encode("utf-8")
+            payload_offsets.append(len(payload_blob))
+            token_list_blob += _json.dumps(
+                list(self._token_lists[rid]), separators=(",", ":")
+            ).encode("utf-8")
+            token_list_offsets.append(len(token_list_blob))
+        vocab_by_id = [None] * len(self._vocabulary)
+        for token, token_id in self._vocabulary.items():
+            vocab_by_id[token_id] = token
+        writer = MappedIndexWriter(path, scored=True, compressed=False)
+        try:
+            for token, id_column in token_ids.items():
+                writer.add_posting(token, id_column, token_scores[token])
+            writer.add_section("records_tokens", record_tokens.tobytes())
+            writer.add_section("records_offsets", record_offsets.tobytes())
+            writer.add_section("payloads", bytes(payload_blob))
+            writer.add_section("payload_offsets", payload_offsets.tobytes())
+            writer.add_section("token_lists", bytes(token_list_blob))
+            writer.add_section("token_list_offsets", token_list_offsets.tobytes())
+            writer.add_section(
+                "vocab",
+                _json.dumps(vocab_by_id, separators=(",", ":")).encode("utf-8"),
+            )
+            writer.finish(
+                min_norm=min_norm, n_entities=n, meta={"kind": _SNAPSHOT_KIND}
+            )
+        except BaseException:
+            writer.abort()
+            raise
+
     @classmethod
     def load(
         cls,
@@ -749,6 +863,7 @@ class SimilarityIndex:
         lock=None,
         bitmap_filter=None,
         merge_backend=None,
+        mmap: bool = False,
     ) -> "SimilarityIndex":
         """Restore an index saved with :meth:`save`.
 
@@ -764,7 +879,41 @@ class SimilarityIndex:
         are restored directly when their width matches the requested
         config; otherwise (old snapshot, different width) they are
         rebuilt from the records — the filter works either way.
+
+        With ``mmap=True`` the file must have been written by
+        ``save(format='mmap')``: it is memory-mapped instead of parsed,
+        the inverted index *is* the file's posting columns (nothing is
+        rebuilt — open time is independent of index size, resident
+        memory is the directory plus whatever postings queries touch),
+        and the mapping is shared read-only across threads and fork'd
+        worker processes. Query answers are bit-identical to a snapshot
+        load of the same corpus. The instance is read-only —
+        ``add``/``rebind`` raise
+        :class:`~repro.runtime.errors.ReadOnlyIndex` — and
+        ``bitmap_filter`` is unsupported (signatures are not stored in
+        the mapped format; passing one raises ``ValueError``). Call
+        :meth:`close` to drop the mapping.
         """
+        if mmap:
+            if bitmap_filter is not None:
+                raise ValueError(
+                    "bitmap_filter cannot be combined with mmap=True:"
+                    " signatures are not stored in the mapped format (load"
+                    " without mmap to rebuild them)"
+                )
+            if fs is not None:
+                raise ValueError(
+                    "the fault-injection fs shim is only supported for"
+                    " snapshot loads"
+                )
+            return cls._load_mmap(
+                path,
+                predicate,
+                tokenizer=tokenizer,
+                codec=codec,
+                lock=lock,
+                merge_backend=merge_backend,
+            )
         state = read_snapshot(path, kind=_SNAPSHOT_KIND, fs=fs)
         token_lists, payload_entries, bitmap_state = cls._validate_state(path, state)
         service = cls(
@@ -792,6 +941,143 @@ class SimilarityIndex:
         service._rebuild_index()
         service._restore_bitmap(bitmap_state)
         return service
+
+    @classmethod
+    def _load_mmap(
+        cls, path: str, predicate, *, tokenizer, codec, lock, merge_backend
+    ) -> "SimilarityIndex":
+        """Open a ``save(format='mmap')`` file as a read-only service."""
+        import json as _json
+
+        from repro.storage.mmap_index import (
+            MappedDataset,
+            MappedInvertedIndex,
+            mapped_blob_view,
+            mapped_record_view,
+        )
+
+        index = MappedInvertedIndex.open(path)
+        try:
+            if index.meta.get("kind") != _SNAPSHOT_KIND:
+                raise SnapshotCorrupted(
+                    path,
+                    "mapped file carries no serving state; it was not"
+                    " written by SimilarityIndex.save(format='mmap')",
+                )
+            required = (
+                "records_tokens",
+                "records_offsets",
+                "payloads",
+                "payload_offsets",
+                "token_lists",
+                "token_list_offsets",
+                "vocab",
+            )
+            missing = [name for name in required if not index.has_section(name)]
+            if missing:
+                raise SnapshotCorrupted(
+                    path, f"missing serving sections {missing}"
+                )
+            try:
+                vocab_by_id = _json.loads(bytes(index.section("vocab")))
+            except (UnicodeDecodeError, _json.JSONDecodeError) as exc:
+                raise SnapshotCorrupted(
+                    path, f"'vocab' section is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(vocab_by_id, list) or not all(
+                isinstance(token, str) for token in vocab_by_id
+            ):
+                raise SnapshotCorrupted(
+                    path, "'vocab' section is not a list of strings"
+                )
+            vocabulary = {token: tid for tid, token in enumerate(vocab_by_id)}
+            if len(vocabulary) != len(vocab_by_id):
+                raise SnapshotCorrupted(path, "'vocab' holds duplicate tokens")
+
+            def decode_payload(raw: bytes):
+                try:
+                    entry = _json.loads(raw)
+                except (UnicodeDecodeError, _json.JSONDecodeError) as exc:
+                    raise SnapshotCorrupted(
+                        path, f"payload entry is not valid JSON: {exc}"
+                    ) from exc
+                if (
+                    not isinstance(entry, list)
+                    or len(entry) != 2
+                    or entry[0] not in ("json", "codec")
+                ):
+                    raise SnapshotCorrupted(
+                        path, "payload entry is not a tagged [kind, value] pair"
+                    )
+                tag, value = entry
+                if tag == "codec":
+                    if codec is None:
+                        raise SnapshotEncodingError(
+                            f"snapshot {path!r} contains codec-encoded"
+                            " payloads; pass the codec used at save time"
+                        )
+                    return codec.decode(value)
+                return value
+
+            def decode_token_list(raw: bytes):
+                try:
+                    tokens = _json.loads(raw)
+                except (UnicodeDecodeError, _json.JSONDecodeError) as exc:
+                    raise SnapshotCorrupted(
+                        path, f"token-list entry is not valid JSON: {exc}"
+                    ) from exc
+                if not isinstance(tokens, list) or not all(
+                    isinstance(token, str) for token in tokens
+                ):
+                    raise SnapshotCorrupted(
+                        path, "token-list entry is not a list of strings"
+                    )
+                return tokens
+
+            records = mapped_record_view(index)
+            payloads = mapped_blob_view(
+                index, "payloads", "payload_offsets", decode_payload
+            )
+            token_lists = mapped_blob_view(
+                index, "token_lists", "token_list_offsets", decode_token_list
+            )
+            if not (
+                len(records) == len(payloads) == len(token_lists) == index.n_entities
+            ):
+                raise SnapshotCorrupted(
+                    path,
+                    f"serving sections disagree: {len(records)} records,"
+                    f" {len(payloads)} payloads, {len(token_lists)} token"
+                    f" lists, {index.n_entities} indexed entities",
+                )
+            service = cls(
+                predicate,
+                tokenizer=tokenizer,
+                lock=lock,
+                merge_backend=merge_backend,
+                vocabulary=vocabulary,
+            )
+            service._dataset = MappedDataset(records, vocabulary, payloads)
+            service._token_lists = token_lists
+            service._index = index
+            service._read_only = True
+            service._rebind()
+            index.attach_counters(service.counters)
+            return service
+        except BaseException:
+            index.close()
+            raise
+
+    def close(self) -> None:
+        """Release the mapped file behind a ``load(mmap=True)`` instance.
+
+        No-op for a regular in-memory service. In-flight posting views
+        keep the mapping alive until they are garbage-collected, so a
+        concurrent query cannot be yanked mid-merge.
+        """
+        release = getattr(self._index, "close", None)
+        if release is not None:
+            release()
 
     def _restore_bitmap(self, bitmap_state: dict | None) -> None:
         """Arm the filter after a load, reusing persisted signatures when

@@ -20,6 +20,7 @@ __all__ = [
     "JoinTimeout",
     "MemoryBudgetExceeded",
     "PartialResult",
+    "ReadOnlyIndex",
     "ReindexTimeout",
     "RidDesync",
     "ServerOverloaded",
@@ -256,6 +257,24 @@ class FrameChecksumError(WireProtocolError, OSError):
         )
         self.expected = expected
         self.actual = actual
+
+
+class ReadOnlyIndex(JoinRuntimeError):
+    """A mutation was attempted on a memory-mapped (read-only) index.
+
+    An index opened with ``SimilarityIndex.load(..., mmap=True)`` serves
+    queries straight off the write-once mapped file; ``add``/``rebind``
+    have nowhere to land. Build a mutable index (load without ``mmap``)
+    or write a new mapped snapshot from one.
+    """
+
+    def __init__(self, operation: str, path: str):
+        super().__init__(
+            f"cannot {operation}: index is served read-only from the"
+            f" memory-mapped file {path!r}; load without mmap=True to mutate"
+        )
+        self.operation = operation
+        self.path = path
 
 
 class ConcurrentMutation(JoinRuntimeError):

@@ -4,10 +4,35 @@
   re-reads records from (§4.2), with fetch/seek accounting.
 * :class:`DiskInvertedIndex` / :class:`DiskProbeJoin` — a disk-resident
   inverted index (the §6 Heinz & Zobel direction): varbyte-compressed
-  posting lists on disk, token directory in memory.
+  posting lists on disk, decoded per probe (streaming fallback).
+* :mod:`repro.storage.mmap_index` — the shared write-once columnar
+  format behind both: :class:`MappedInvertedIndex` serves postings
+  zero-copy off a memory mapping (``index_backend='mmap'``,
+  ``SimilarityIndex.save(format='mmap')``), :class:`MappedIndexWriter`
+  writes it, :class:`JoinIndexBuilder` builds one for a two-pass join.
 """
 
 from repro.storage.disk_index import DiskInvertedIndex, DiskProbeJoin
+from repro.storage.mmap_index import (
+    INDEX_BACKENDS,
+    JoinIndexBuilder,
+    MappedDataset,
+    MappedIndexWriter,
+    MappedInvertedIndex,
+    MappedPostingList,
+    resolve_index_backend,
+)
 from repro.storage.record_store import DiskRecordStore
 
-__all__ = ["DiskInvertedIndex", "DiskProbeJoin", "DiskRecordStore"]
+__all__ = [
+    "DiskInvertedIndex",
+    "DiskProbeJoin",
+    "DiskRecordStore",
+    "INDEX_BACKENDS",
+    "JoinIndexBuilder",
+    "MappedDataset",
+    "MappedIndexWriter",
+    "MappedInvertedIndex",
+    "MappedPostingList",
+    "resolve_index_backend",
+]

@@ -3,57 +3,63 @@
 The paper's §6 points at IR work on "constructing disk-resident
 inverted indices under limited memory conditions" (Heinz & Zobel) as a
 complementary direction to its partitioning. This module provides that
-substrate: posting lists are serialized varbyte-compressed to a single
-file with an in-memory token directory (token -> offset, length,
-max-score); probes read and decode only the touched lists.
+substrate on top of the columnar :mod:`repro.storage.mmap_index` file
+format: posting ids are varbyte-gap-compressed into skip blocks, the
+per-token directory (offset, byte length, count, checksum) lives in the
+file's JSON directory, and probes read and decode only the touched
+lists.
 
-Combined with the merge engines this gives a third answer to "the index
-does not fit in memory", next to ClusterMem partitioning and in-memory
-compression — all three measurable against each other.
+Format lineage: version 1 was this module's own ``RPIX1`` varbyte
+layout, which recovered each payload's byte length by ``bisect`` over
+the sorted offsets; version 2 is the shared ``RPMX`` layout, which
+stores every region's byte length (and CRC32) in the directory
+directly. Old ``RPIX`` files are refused with a clear
+:class:`~repro.runtime.errors.SnapshotCorrupted` telling the operator
+to rebuild.
+
+:class:`DiskProbeJoin` stays the *streaming-decode* fallback: each
+probed list is decoded into a fresh in-memory
+:class:`~repro.core.inverted_index.PostingList`, so its working set is
+the directory plus one probe's lists — the trade to compare against
+ClusterMem partitioning, in-memory compression, and the zero-copy
+``index_backend='mmap'`` path (all four measurable against each other).
 """
 
 from __future__ import annotations
 
-import json
 import os
-import struct
-from bisect import bisect_right
+import tempfile
+from array import array
 
-from repro.compression.varbyte import varbyte_decode_deltas, varbyte_encode
+from repro.core.accumulator import (
+    accumulate_merge_opt,
+    resolve_merge_backend,
+    use_accumulator,
+)
 from repro.core.inverted_index import PostingList
 from repro.core.records import Dataset
 from repro.core.token_order import ensure_unit_scores
 from repro.predicates.base import BoundPredicate
+from repro.storage.mmap_index import MappedIndexWriter, MappedInvertedIndex
 from repro.utils.counters import CostCounters
 
-__all__ = ["DiskInvertedIndex"]
-
-_MAGIC = b"RPIX1\n"
+__all__ = ["DiskInvertedIndex", "DiskProbeJoin"]
 
 
 class DiskInvertedIndex:
     """Write-once inverted index with on-disk posting lists.
 
-    Unit-score predicates only (only ids are serialized); ``min_norm``
-    is persisted in the header so threshold bounds work after reload.
+    Unit-score predicates only (only ids are serialized — readers
+    synthesize constant 1.0 scores); ``min_norm`` is persisted in the
+    directory so threshold bounds work after reload. Any damage to the
+    file — truncation, foreign or version-1 (``RPIX``) magic, a mangled
+    directory, a flipped posting byte — raises
+    :class:`~repro.runtime.errors.SnapshotCorrupted`, never wrong ids.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, mapped: MappedInvertedIndex | None = None):
         self.path = path
-        self._directory: dict[int, tuple[int, int]] = {}
-        self._sorted_offsets: list[int] = []
-        self._data_end = 0
-        self.min_norm = float("inf")
-        self.n_entries = 0
-        self._handle = None
-        self.lists_read = 0
-        self.bytes_read = 0
-
-    def _finalize_directory(self, data_end: int) -> None:
-        self._sorted_offsets = sorted(
-            offset for offset, _count in self._directory.values()
-        )
-        self._data_end = data_end
+        self._mapped = mapped
 
     # ------------------------------------------------------------------
     # Construction
@@ -65,106 +71,76 @@ class DiskInvertedIndex:
     ) -> "DiskInvertedIndex":
         """Serialize the full record-level index of ``dataset``."""
         cls._check_unit_scores(dataset, bound)
-        postings: dict[int, list[int]] = {}
+        postings: dict[int, array] = {}
         min_norm = float("inf")
         for rid in range(len(dataset)):
             for token in dataset[rid]:
-                postings.setdefault(token, []).append(rid)
+                column = postings.get(token)
+                if column is None:
+                    column = array("q")
+                    postings[token] = column
+                column.append(rid)
             norm = bound.norm(rid)
             if norm < min_norm:
                 min_norm = norm
-
-        index = cls(path)
-        index.min_norm = min_norm
-        with open(path, "wb") as handle:
-            handle.write(_MAGIC)
-            header_slot = handle.tell()
-            handle.write(struct.pack("<Q", 0))  # placeholder: header offset
+        writer = MappedIndexWriter(path, scored=False, compressed=True)
+        try:
             for token, ids in postings.items():
-                gaps = [ids[0]] + [b - a for a, b in zip(ids, ids[1:])]
-                payload = varbyte_encode(gaps)
-                index._directory[token] = (handle.tell(), len(ids))
-                handle.write(payload)
-                index.n_entries += len(ids)
-            header_offset = handle.tell()
-            header = json.dumps(
-                {
-                    "min_norm": min_norm if min_norm != float("inf") else None,
-                    "n_entries": index.n_entries,
-                    "directory": {
-                        str(token): [offset, count]
-                        for token, (offset, count) in index._directory.items()
-                    },
-                }
-            ).encode("utf-8")
-            handle.write(header)
-            handle.seek(header_slot)
-            handle.write(struct.pack("<Q", header_offset))
-        index._finalize_directory(header_offset)
-        index._handle = open(path, "rb")
-        return index
+                writer.add_posting(token, ids)
+            writer.finish(min_norm=min_norm, n_entities=len(dataset))
+        except BaseException:
+            writer.abort()
+            raise
+        return cls.open(path)
 
     @classmethod
     def open(cls, path: str) -> "DiskInvertedIndex":
         """Open an index previously written by :meth:`build`."""
-        index = cls(path)
-        handle = open(path, "rb")
-        magic = handle.read(len(_MAGIC))
-        if magic != _MAGIC:
-            handle.close()
-            raise ValueError(f"{path!r} is not a repro disk index")
-        (header_offset,) = struct.unpack("<Q", handle.read(8))
-        handle.seek(header_offset)
-        header = json.loads(handle.read().decode("utf-8"))
-        index.min_norm = (
-            header["min_norm"] if header["min_norm"] is not None else float("inf")
-        )
-        index.n_entries = header["n_entries"]
-        index._directory = {
-            int(token): (offset, count)
-            for token, (offset, count) in header["directory"].items()
-        }
-        index._finalize_directory(header_offset)
-        index._handle = handle
-        return index
+        return cls(path, MappedInvertedIndex.open(path))
 
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------
 
+    @property
+    def min_norm(self) -> float:
+        return self._require_open().min_norm
+
+    @property
+    def n_entries(self) -> int:
+        return self._require_open().n_entries
+
+    @property
+    def lists_read(self) -> int:
+        return self._require_open().lists_read
+
+    @property
+    def bytes_read(self) -> int:
+        return self._require_open().bytes_read
+
+    def _require_open(self) -> MappedInvertedIndex:
+        if self._mapped is None:
+            raise ValueError("index is not open")
+        return self._mapped
+
     def __contains__(self, token: int) -> bool:
-        return token in self._directory
+        return token in self._require_open()
 
     def __len__(self) -> int:
-        return len(self._directory)
+        return len(self._require_open())
 
     def read_posting(self, token: int) -> list[int]:
         """Read and decode one posting list from disk."""
-        if self._handle is None:
-            raise ValueError("index is not open")
-        entry = self._directory.get(token)
-        if entry is None:
-            return []
-        offset, count = entry
-        self._handle.seek(offset)
-        position = bisect_right(self._sorted_offsets, offset)
-        end = (
-            self._sorted_offsets[position]
-            if position < len(self._sorted_offsets)
-            else self._data_end
-        )
-        data = self._handle.read(end - offset)
-        self.lists_read += 1
-        self.bytes_read += len(data)
-        return varbyte_decode_deltas(data, 0, count, 0)
+        return self._require_open().read_posting(token)
 
     def probe_lists(self, tokens, probe_scores) -> list[tuple[PostingList, float]]:
         """Decode the probed lists into in-memory posting lists."""
+        mapped = self._require_open()
         out = []
         for token, probe_score in zip(tokens, probe_scores):
             if probe_score == 0.0:
                 continue
-            ids = self.read_posting(token)
+            ids = mapped.read_posting(token)
             if not ids:
                 continue
             plist = PostingList()
@@ -174,9 +150,9 @@ class DiskInvertedIndex:
         return out
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._mapped is not None:
+            self._mapped.close()
+            self._mapped = None
 
     def unlink(self) -> None:
         self.close()
@@ -197,20 +173,27 @@ class DiskInvertedIndex:
 
 
 class DiskProbeJoin:
-    """Two-pass MergeOpt probe against a disk-resident index.
+    """Two-pass probe join against a disk-resident index.
 
     Builds the index on disk (or reuses one), probes it with every
-    record. The in-memory footprint is the token directory alone;
-    posting bytes stream from disk per probe.
+    record, decoding each touched list per probe. The in-memory
+    footprint is the token directory plus one probe's lists.
+
+    Args:
+        path: keep the index file here (reusable afterwards); ``None``
+            uses a private temp file removed when the join ends.
+        merge_backend: probe-merge engine — ``"heap"``, ``"accumulator"``,
+            or the adaptive default ``"auto"`` (see
+            :mod:`repro.core.accumulator`); results are identical.
     """
 
     name = "probe-count-disk"
 
-    def __init__(self, path: str | None = None):
+    def __init__(self, path: str | None = None, *, merge_backend=None):
         self.path = path
+        self.merge_backend = resolve_merge_backend(merge_backend)
 
     def join(self, dataset: Dataset, predicate) -> "JoinResult":
-        import tempfile
         import time
 
         from repro.core.merge_opt import merge_opt
@@ -220,7 +203,11 @@ class DiskProbeJoin:
         counters = CostCounters()
         start = time.perf_counter()
         owns_path = self.path is None
-        path = self.path or tempfile.mktemp(prefix="repro-diskindex-")
+        if owns_path:
+            fd, path = tempfile.mkstemp(prefix="repro-diskindex-", suffix=".rpmx")
+            os.close(fd)
+        else:
+            path = self.path
         index = DiskInvertedIndex.build(dataset, bound, path)
         try:
             band = bound.band_filter()
@@ -246,13 +233,16 @@ class DiskProbeJoin:
                     def accept(sid: int) -> bool:
                         return abs(keys[sid] - key_r) <= radius
 
-                for sid, _weight in merge_opt(
-                    lists,
-                    bound.index_threshold(norm_r, index.min_norm),
-                    threshold_of,
-                    counters,
-                    accept,
-                ):
+                index_threshold = bound.index_threshold(norm_r, index.min_norm)
+                if use_accumulator(self.merge_backend, lists):
+                    candidates = accumulate_merge_opt(
+                        lists, index_threshold, threshold_of, counters, accept
+                    )
+                else:
+                    candidates = merge_opt(
+                        lists, index_threshold, threshold_of, counters, accept
+                    )
+                for sid, _weight in candidates:
                     if sid < rid:
                         counters.pairs_verified += 1
                         ok, similarity = bound.verify(sid, rid)

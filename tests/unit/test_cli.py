@@ -489,3 +489,68 @@ class TestMergeBackendFlag:
              "--merge-backend", "accumulator"]
         )
         assert code == 0
+
+
+class TestIndexBackendFlag:
+    def test_backend_choices_rejected(self, sample_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["join", "-i", sample_file, "-t", "0.8",
+                 "--index-backend", "cloud"]
+            )
+
+    def test_mmap_join_identical_to_memory(self, sample_file, capsys):
+        base = ["join", "-i", sample_file, "--predicate", "jaccard",
+                "-t", "0.8", "--algorithm", "probe-count-optmerge"]
+        assert main(base) == 0
+        expected = capsys.readouterr().out
+        assert main(base + ["--index-backend", "mmap"]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_index_path_keeps_the_file(self, sample_file, tmp_path, capsys):
+        path = str(tmp_path / "cli.rpmx")
+        code = main(
+            ["join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+             "--algorithm", "probe-count-optmerge",
+             "--index-backend", "mmap", "--index-path", path]
+        )
+        assert code == 0
+        assert os.path.exists(path)
+
+    def test_unsupported_algorithm_is_usage_error(self, sample_file, capsys):
+        code = main(
+            ["join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+             "--algorithm", "probe-count-online", "--index-backend", "mmap"]
+        )
+        assert code == EXIT_USAGE
+        assert "does not support index_backend" in capsys.readouterr().err
+
+    def test_unsupported_algorithm_with_workers_is_usage_error(
+        self, sample_file, capsys
+    ):
+        code = main(
+            ["join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+             "--algorithm", "probe-cluster", "--index-backend", "mmap",
+             "--workers", "2"]
+        )
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "does not support index_backend" in err
+        assert "crashed" not in err
+
+    def test_index_path_rejected_with_workers(self, sample_file, tmp_path, capsys):
+        code = main(
+            ["join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+             "--algorithm", "probe-count-optmerge", "--index-backend", "mmap",
+             "--index-path", str(tmp_path / "x.rpmx"), "--workers", "2"]
+        )
+        assert code == EXIT_USAGE
+        assert "--workers" in capsys.readouterr().err
+
+    def test_parallel_mmap_identical_to_serial(self, sample_file, capsys):
+        base = ["join", "-i", sample_file, "--predicate", "jaccard",
+                "-t", "0.8", "--algorithm", "probe-count-optmerge"]
+        assert main(base) == 0
+        expected = capsys.readouterr().out
+        assert main(base + ["--index-backend", "mmap", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == expected

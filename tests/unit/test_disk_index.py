@@ -9,6 +9,7 @@ from repro import (
     OverlapPredicate,
     WeightedOverlapPredicate,
 )
+from repro.runtime.errors import SnapshotCorrupted
 from repro.storage.disk_index import DiskInvertedIndex, DiskProbeJoin
 from tests.conftest import random_dataset
 
@@ -47,8 +48,16 @@ class TestDiskInvertedIndex:
 
     def test_open_rejects_foreign_file(self, tmp_path):
         path = tmp_path / "junk.bin"
-        path.write_bytes(b"definitely not an index")
-        with pytest.raises(ValueError):
+        path.write_bytes(b"definitely not an index" + bytes(64))
+        with pytest.raises(SnapshotCorrupted):
+            DiskInvertedIndex.open(str(path))
+
+    def test_open_rejects_format_version_1(self, tmp_path):
+        # The pre-unification RPIX varbyte layout: refused with a clear
+        # rebuild message, not misread.
+        path = tmp_path / "old.bin"
+        path.write_bytes(b"RPIX1\n" + bytes(64))
+        with pytest.raises(SnapshotCorrupted, match="version 1"):
             DiskInvertedIndex.open(str(path))
 
     def test_probe_lists(self, data, tmp_path):
@@ -99,6 +108,14 @@ class TestDiskProbeJoin:
         predicate = JaccardPredicate(0.6)
         truth = NaiveJoin().join(data, predicate).pair_set()
         assert DiskProbeJoin().join(data, predicate).pair_set() == truth
+
+    @pytest.mark.parametrize("backend", ["heap", "accumulator"])
+    def test_merge_backend_equivalence(self, backend):
+        data = random_dataset(seed=94)
+        predicate = JaccardPredicate(0.6)
+        truth = DiskProbeJoin().join(data, predicate).pair_set()
+        result = DiskProbeJoin(merge_backend=backend).join(data, predicate)
+        assert result.pair_set() == truth
 
     def test_explicit_path_kept(self, tmp_path):
         data = random_dataset(seed=93, n_base=20)
