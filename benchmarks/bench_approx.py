@@ -1,0 +1,176 @@
+"""Approximate-mode benchmark: recall/work trade across target recalls.
+
+Sweeps the seeded CPSJoin-style approximate mode (:mod:`repro.approx`)
+over a range of ``target_recall`` settings on the citation workloads
+and compares every point against two exact baselines — Probe-Cluster
+(the repo default) and the PPJoin+ positional-filter stack (the
+strongest exact candidate generator). For each point it records the
+*measured* recall against the exact pair set, the sampled recall
+estimate the join itself reports, independent false-positive
+re-verification (must always be zero), and the machine-independent
+``work`` ratio against both baselines.
+
+The sweep is deterministic: datasets and path forests both derive from
+one seed (``--seed``, default :data:`harness.BENCHMARK_SEED`), so the
+recall/work numbers in the report are a pure function of the workload
+and reproduce bit-for-bit on any machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_approx.py           # full (n=2000)
+    PYTHONPATH=src python benchmarks/bench_approx.py --quick   # CI (n=500)
+    PYTHONPATH=src python benchmarks/bench_approx.py --seed 7  # robustness run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import BENCHMARK_SEED, dataset_by_name  # noqa: E402
+
+from repro import JaccardPredicate, similarity_join  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_approx.bench.json")
+
+#: (case-name, dataset, jaccard threshold) — the two citation shapes:
+#: short word sets with dense near-duplicate groups, and long 3-gram
+#: sets where candidate pruning matters most.
+CASES = [
+    ("citation-words/jaccard-0.7", "citation-words", 0.7),
+    ("citation-3grams/jaccard-0.7", "citation-3grams", 0.7),
+]
+
+#: The recall targets swept per case; 0.9 is the pinned gate point.
+TARGET_RECALLS = [0.5, 0.7, 0.8, 0.9, 0.95]
+
+
+def machine_profile() -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def run_case(dataset_name, threshold, n, seed, targets) -> dict:
+    dataset = dataset_by_name(dataset_name, n, seed=seed)
+    predicate = JaccardPredicate(threshold)
+    exact = similarity_join(dataset, predicate, algorithm="positional-filter")
+    cluster = similarity_join(dataset, predicate, algorithm="probe-cluster")
+    truth = exact.pair_set()
+    exact_work = exact.counters.total_work()
+    cluster_work = cluster.counters.total_work()
+    bound = predicate.bind(dataset)
+
+    points = []
+    for target in targets:
+        approx = similarity_join(
+            dataset,
+            predicate,
+            mode="approx",
+            target_recall=target,
+            seed=seed,
+        )
+        emitted = approx.pair_set()
+        recall = len(emitted & truth) / len(truth) if truth else 1.0
+        false_positives = sum(
+            1 for a, b in emitted if not bound.verify(a, b)[0]
+        )
+        if false_positives:
+            raise AssertionError(
+                f"{dataset_name} target={target}: {false_positives} emitted"
+                " pair(s) failed exact re-verification"
+            )
+        work = approx.counters.total_work()
+        points.append(
+            {
+                "target_recall": target,
+                "recall": round(recall, 4),
+                "recall_estimate": round(
+                    approx.extra.get("recall_estimate", 0.0), 4
+                ),
+                "repetitions": approx.extra.get("approx_repetitions"),
+                "pairs": len(approx.pairs),
+                "false_positives": false_positives,
+                "work": work,
+                "work_vs_exact": round(work / exact_work, 4) if exact_work else 0.0,
+                "work_vs_cluster": round(work / cluster_work, 4)
+                if cluster_work
+                else 0.0,
+                "seconds": round(approx.elapsed_seconds, 4),
+            }
+        )
+    return {
+        "exact_pairs": len(truth),
+        "exact": {
+            "algorithm": "positional-filter",
+            "work": exact_work,
+            "seconds": round(exact.elapsed_seconds, 4),
+        },
+        "cluster": {
+            "algorithm": "probe-cluster",
+            "work": cluster_work,
+            "seconds": round(cluster.elapsed_seconds, 4),
+        },
+        "points": points,
+    }
+
+
+def run(n: int, seed: int, targets) -> dict:
+    cases = {}
+    print(f"approx sweep n={n} seed={seed}:")
+    for name, dataset_name, threshold in CASES:
+        row = run_case(dataset_name, threshold, n, seed, targets)
+        cases[name] = row
+        print(
+            f"  {name:<32} exact {row['exact']['work']} work,"
+            f" {row['exact_pairs']} pairs"
+        )
+        for point in row["points"]:
+            print(
+                f"    target={point['target_recall']:<5}"
+                f" recall={point['recall']:.4f}"
+                f" reps={point['repetitions']:<4}"
+                f" work ratio {point['work_vs_exact']:.3f} (exact)"
+                f" / {point['work_vs_cluster']:.3f} (cluster)"
+                f"  {point['seconds']:.3f}s"
+            )
+    return {"n": n, "seed": seed, "cases": cases}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI profile (n=500)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help=f"dataset + path-forest seed (default {BENCHMARK_SEED};"
+        " override for robustness sweeps)",
+    )
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    n = 500 if args.quick else 2000
+    seed = BENCHMARK_SEED if args.seed is None else args.seed
+    report = {
+        "schema": 1,
+        "kind": "approx-recall-benchmark",
+        "seed": seed,
+        "machine": machine_profile(),
+        "profile": run(n, seed, TARGET_RECALLS),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,9 +74,25 @@ query stream — directory plus touched postings, a deterministic
 counter, not an RSS sample — gates against ``BENCH_mmap.json`` like
 any other work counter.
 
+With ``--approx`` the gate covers the approximate join mode
+(:mod:`repro.approx`): every case runs the exact positional-filter
+join (ground truth), the exact Probe-Cluster join (the default the
+approximate mode competes against), and the seeded LSH approximate
+join at ``target_recall=0.9``, then gates three things at once —
+measured recall against the exact pair set must stay at or above the
+target, every emitted pair must *independently* re-verify exactly
+(zero false positives, the mode's soundness contract), and the
+approximate run's ``work`` must stay at or below half the exact
+positional-filter baseline's (the speedup this mode exists for) —
+into ``BENCH_approx.json``. The seed is :data:`BENCHMARK_SEED`, so
+recall and work are deterministic and the committed numbers hold on
+any runner.
+
 With ``--report`` the gate prints a compact trajectory table across
 every committed BENCH file (serial / parallel / bitmap / merge /
-prefix / mmap / serve) and exits; nothing is run.
+prefix / mmap / serve / approx) and exits; nothing is run. Missing or
+unreadable BENCH files are skipped with a warning — a fresh clone that
+has only some baselines still gets a table for what exists.
 
 Usage::
 
@@ -93,6 +109,8 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_gate.py --serve --check   # gate sharded serving
     PYTHONPATH=src python benchmarks/perf_gate.py --mmap            # rewrite mmap baseline
     PYTHONPATH=src python benchmarks/perf_gate.py --mmap --check    # gate the mapped index
+    PYTHONPATH=src python benchmarks/perf_gate.py --approx          # rewrite approx baseline
+    PYTHONPATH=src python benchmarks/perf_gate.py --approx --check  # gate recall/soundness/speedup
     PYTHONPATH=src python benchmarks/perf_gate.py --report          # cross-BENCH trajectory table
 """
 
@@ -123,6 +141,7 @@ PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 PREFIX_BASELINE = os.path.join(REPO_ROOT, "BENCH_prefix.json")
 SERVE_BASELINE = os.path.join(REPO_ROOT, "BENCH_serve.json")
 MMAP_BASELINE = os.path.join(REPO_ROOT, "BENCH_mmap.json")
+APPROX_BASELINE = os.path.join(REPO_ROOT, "BENCH_approx.json")
 
 #: Allowed relative growth of a case's ``work`` counter before the gate
 #: fails. Counters are deterministic, so any growth is a real algorithmic
@@ -246,6 +265,25 @@ _MMAP_QUICK_CASES = {
     "mmap/optmerge/citation-words/overlap-12",
     "mmap/two-pass/citation-words/overlap-12",
 }
+
+#: Approximate-mode gate matrix: (case-name, dataset, predicate,
+#: threshold, target_recall, min_recall, max_work_ratio). Each case
+#: runs positional-filter (exact ground truth), probe-cluster (the
+#: competing exact default, informational), and the seeded approximate
+#: join; measured recall against the exact pair set must reach
+#: ``min_recall``, every emitted pair must independently re-verify
+#: (zero false positives), and ``work(approx) / work(exact)`` must stay
+#: at or below ``max_work_ratio``. Both citation shapes are covered:
+#: All-words (short sets, dense matches) and All-3grams (long sets,
+#: where path hashing prunes hardest).
+_APPROX_CASES = [
+    ("approx/citation-words/jaccard-0.7", "citation-words", "jaccard", 0.7, 0.9, 0.9, 0.5),
+    ("approx/citation-3grams/jaccard-0.7", "citation-3grams", "jaccard", 0.7, 0.9, 0.9, 0.5),
+]
+
+#: Approx cases exercised under ``--quick`` (CI): both — the matrix is
+#: only two cases and recall/soundness are the headline contract.
+_APPROX_QUICK_CASES = {name for name, *_ in _APPROX_CASES}
 
 #: Absolute ceiling on ``load(mmap=True)`` open time, milliseconds.
 #: Open cost is O(directory) — parse the header and JSON directory,
@@ -585,6 +623,54 @@ def _run_mmap_case(dataset_name, predicate_name, threshold, algorithm, n):
     }
 
 
+def _run_approx_case(dataset_name, predicate_name, threshold, target_recall, n):
+    """Exact ground truth vs the seeded approximate join.
+
+    Recall is measured against the positional-filter pair set (exact by
+    construction), soundness by re-verifying every emitted pair with a
+    freshly bound predicate — independent of the join's own verifier —
+    and the work ratio against the exact baseline's ``total_work()``.
+    Probe-Cluster work is recorded alongside for context.
+    """
+    dataset = dataset_by_name(dataset_name, n)
+    predicate = _PREDICATES[predicate_name](threshold)
+    exact = _join_once(dataset, predicate, "positional-filter")
+    cluster = _join_once(dataset, predicate, "probe-cluster")
+    approx = similarity_join(
+        dataset,
+        predicate,
+        mode="approx",
+        target_recall=target_recall,
+        seed=BENCHMARK_SEED,
+    )
+    truth = {(p.rid_a, p.rid_b) for p in exact.pairs}
+    emitted = {(p.rid_a, p.rid_b) for p in approx.pairs}
+    recall = len(emitted & truth) / len(truth) if truth else 1.0
+    bound = predicate.bind(dataset)
+    false_positives = sum(
+        1
+        for a, b in emitted
+        if (a, b) not in truth or not bound.verify(a, b)[0]
+    )
+    exact_work = exact.counters.total_work()
+    approx_work = approx.counters.total_work()
+    return {
+        "work": approx_work,
+        "pairs": len(approx.pairs),
+        "exact_pairs": len(truth),
+        "recall": round(recall, 4),
+        "recall_estimate": round(approx.extra.get("recall_estimate", 0.0), 4),
+        "false_positives": false_positives,
+        "exact_work": exact_work,
+        "cluster_work": cluster.counters.total_work(),
+        "work_ratio": round(approx_work / exact_work, 4) if exact_work else 0.0,
+        "repetitions": approx.extra.get("approx_repetitions"),
+        "jaccard_floor": approx.extra.get("approx_jaccard_floor"),
+        "exact_seconds": round(exact.elapsed_seconds, 4),
+        "seconds": round(approx.elapsed_seconds, 4),
+    }
+
+
 def run_profile(
     profile: str,
     bitmap: bool = False,
@@ -592,6 +678,7 @@ def run_profile(
     serve: bool = False,
     prefix: bool = False,
     mmap: bool = False,
+    approx: bool = False,
 ) -> dict:
     n = _PROFILES[profile]
     cases = {}
@@ -607,10 +694,27 @@ def run_profile(
         if prefix
         else "mmap"
         if mmap
+        else "approx"
+        if approx
         else "perf"
     )
     print(f"{label} matrix [{profile}] n={n}:")
-    if mmap:
+    if approx:
+        for name, dataset_name, predicate_name, threshold, target, _, _ in _APPROX_CASES:
+            if profile == "quick" and name not in _APPROX_QUICK_CASES:
+                continue
+            cases[name] = _run_approx_case(
+                dataset_name, predicate_name, threshold, target, n
+            )
+            row = cases[name]
+            print(
+                f"  {name:<48} work={row['work']:<12}"
+                f" recall={row['recall']:.4f}"
+                f" fp={row['false_positives']}"
+                f" ratio={row['work_ratio']:.3f}"
+                f" ({row['seconds']:.3f}s vs exact {row['exact_seconds']:.3f}s)"
+            )
+    elif mmap:
         for name, dataset_name, predicate_name, threshold, algorithm in _MMAP_CASES:
             if profile == "quick" and name not in _MMAP_QUICK_CASES:
                 continue
@@ -711,6 +815,7 @@ def _report_shell(
     serve: bool = False,
     prefix: bool = False,
     mmap: bool = False,
+    approx: bool = False,
 ) -> dict:
     kind = (
         "bitmap-perf-baseline"
@@ -723,6 +828,8 @@ def _report_shell(
         if prefix
         else "mmap-perf-baseline"
         if mmap
+        else "approx-perf-baseline"
+        if approx
         else "serial-perf-baseline"
     )
     return {
@@ -906,16 +1013,61 @@ def check_serve(fresh: dict, baseline: dict, profile: str) -> list[str]:
     return failures
 
 
+def check_approx(fresh: dict, baseline: dict, profile: str) -> list[str]:
+    """Gate the approximate mode: soundness, recall floor, work ratio."""
+    failures = check(fresh, baseline, profile)
+    recall_floors = {name: floor for name, _, _, _, _, floor, _ in _APPROX_CASES}
+    ratio_caps = {name: cap for name, _, _, _, _, _, cap in _APPROX_CASES}
+    for name, row in fresh["cases"].items():
+        if row.get("false_positives", 0):
+            failures.append(
+                f"{name}: {row['false_positives']} emitted pair(s) failed"
+                " independent exact re-verification (the approximate mode"
+                " is UNSOUND — it must never emit a false positive)"
+            )
+        floor = recall_floors.get(name)
+        if floor is not None and row["recall"] < floor:
+            failures.append(
+                f"{name}: measured recall {row['recall']:.4f} fell below"
+                f" the pinned floor {floor} (target_recall no longer met)"
+            )
+        cap = ratio_caps.get(name)
+        if cap is not None and row["work_ratio"] > cap:
+            failures.append(
+                f"{name}: work ratio {row['work_ratio']:.3f} vs the exact"
+                f" positional-filter baseline exceeded the cap {cap}"
+                " (the speedup this mode exists for has eroded)"
+            )
+    return failures
+
+
 # ----------------------------------------------------------------------
 # Cross-BENCH trajectory report
 # ----------------------------------------------------------------------
 
 
 def _load_json(path: str) -> dict | None:
+    """Read a BENCH file, or skip-and-warn when absent or unreadable.
+
+    The report is a trajectory view, not a gate: a clone that only has
+    some baselines (or a truncated file from an interrupted rewrite)
+    still gets a table for everything that parses.
+    """
     if not os.path.exists(path):
+        print(
+            f"warning: {os.path.basename(path)} not found — skipping",
+            file=sys.stderr,
+        )
         return None
-    with open(path, encoding="utf-8") as handle:
-        return json.load(handle)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(
+            f"warning: {os.path.basename(path)} unreadable ({exc}) — skipping",
+            file=sys.stderr,
+        )
+        return None
 
 
 def report_trajectory() -> int:
@@ -977,6 +1129,15 @@ def report_trajectory() -> int:
             f"p50 {row.get('sharded_p50_ms', 0.0)}ms"
             f" (single {row.get('single_p50_ms', 0.0)}ms)"
             f" p99 {row.get('sharded_p99_ms', 0.0)}ms"
+        ),
+    )
+    add_profile_cases(
+        "approx",
+        _load_json(APPROX_BASELINE),
+        lambda row: (
+            f"recall={row.get('recall', 0.0):.4f}"
+            f" fp={row.get('false_positives', 0)}"
+            f" ratio={row.get('work_ratio', 0.0):.3f} of exact"
         ),
     )
     parallel = _load_json(PARALLEL_BASELINE)
@@ -1061,9 +1222,17 @@ def main(argv: list[str] | None = None) -> int:
         " load(mmap=True) open time and post-query residency)",
     )
     parser.add_argument(
+        "--approx", action="store_true",
+        help="run the approximate-mode matrix against BENCH_approx.json"
+        " (each case measures recall against the exact pair set,"
+        " independently re-verifies every emitted pair, and gates the"
+        " work ratio vs the exact positional-filter baseline)",
+    )
+    parser.add_argument(
         "--report", action="store_true",
         help="print a compact trajectory table across every committed"
-        " BENCH file (serial/parallel/bitmap/merge/serve) and exit",
+        " BENCH file (serial/parallel/bitmap/merge/serve/approx) and"
+        " exit; missing or unreadable files are skipped with a warning",
     )
     parser.add_argument("--baseline", default=None)
     parser.add_argument(
@@ -1074,10 +1243,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.report:
         return report_trajectory()
-    if sum((args.bitmap, args.merge, args.serve, args.prefix, args.mmap)) > 1:
+    if sum(
+        (args.bitmap, args.merge, args.serve, args.prefix, args.mmap, args.approx)
+    ) > 1:
         parser.error(
-            "--bitmap, --merge, --serve, --prefix, and --mmap are"
-            " mutually exclusive"
+            "--bitmap, --merge, --serve, --prefix, --mmap, and --approx"
+            " are mutually exclusive"
         )
     baseline_path = args.baseline or (
         BITMAP_BASELINE
@@ -1090,6 +1261,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.prefix
         else MMAP_BASELINE
         if args.mmap
+        else APPROX_BASELINE
+        if args.approx
         else DEFAULT_BASELINE
     )
     checker = (
@@ -1103,6 +1276,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.prefix
         else check_mmap
         if args.mmap
+        else check_approx
+        if args.approx
         else check
     )
     fresh_name = (
@@ -1116,6 +1291,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.prefix
         else "BENCH_mmap.fresh.json"
         if args.mmap
+        else "BENCH_approx.fresh.json"
+        if args.approx
         else "BENCH_serial.fresh.json"
     )
 
@@ -1128,6 +1305,7 @@ def main(argv: list[str] | None = None) -> int:
             serve=args.serve,
             prefix=args.prefix,
             mmap=args.mmap,
+            approx=args.approx,
         )
         if not os.path.exists(baseline_path):
             print(f"FAIL: no committed baseline at {baseline_path}", file=sys.stderr)
@@ -1143,6 +1321,7 @@ def main(argv: list[str] | None = None) -> int:
                     {profile: fresh},
                     bitmap=args.bitmap, merge=args.merge,
                     serve=args.serve, prefix=args.prefix, mmap=args.mmap,
+                    approx=args.approx,
                 ),
                 handle, indent=2, sort_keys=True,
             )
@@ -1169,6 +1348,7 @@ def main(argv: list[str] | None = None) -> int:
                 serve=args.serve,
                 prefix=args.prefix,
                 mmap=args.mmap,
+                approx=args.approx,
             )
             for name in names
         },
@@ -1177,6 +1357,7 @@ def main(argv: list[str] | None = None) -> int:
         serve=args.serve,
         prefix=args.prefix,
         mmap=args.mmap,
+        approx=args.approx,
     )
     output = args.output or baseline_path
     with open(output, "w", encoding="utf-8") as handle:

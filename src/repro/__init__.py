@@ -21,6 +21,7 @@ Quickstart::
         print(pair.rid_a, pair.rid_b, f"jaccard={pair.similarity:.2f}")
 """
 
+from repro.approx import ApproxJoin, estimate_recall
 from repro.core.cluster_mem import ClusterMemJoin, MemoryBudget
 from repro.core.dedupe import connected_components, dedupe_texts
 from repro.core.join import (
@@ -73,6 +74,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "ApproxJoin",
     "BitmapFilterConfig",
     "CancellationToken",
     "CheckpointMismatch",
@@ -114,6 +116,7 @@ __all__ = [
     "connected_components",
     "dedupe_texts",
     "edit_distance_join",
+    "estimate_recall",
     "hamming_join",
     "make_algorithm",
     "pair_quality",

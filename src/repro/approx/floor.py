@@ -1,0 +1,81 @@
+"""Per-predicate Jaccard floor: the bridge from §5 predicates to LSH.
+
+MinHash collision probability between two records equals their *token
+Jaccard similarity*, so sizing an LSH candidate generator for a recall
+target needs one number per join: a lower bound on the Jaccard of any
+pair that satisfies the predicate. This module derives that bound.
+
+For unit-score predicates (overlap, unweighted Jaccard, Dice, the
+q-gram count bound of edit distance, ...) the bound is *sound* and
+follows from the monotone threshold alone: a qualifying pair with sizes
+``(a, b)`` has intersection ``x >= t(a, b)``, and ``x / (a + b - x)``
+is increasing in ``x``, so its Jaccard is at least
+``t(a, b) / (a + b - t(a, b))``. Minimizing over the size pairs that
+actually occur in the dataset (and are feasible, ``t <= min(a, b)``)
+gives the floor. For unweighted Jaccard this recovers exactly the
+predicate threshold ``t``; for T-overlap it is ``T / (a + b - T)`` at
+the largest feasible sizes; for Dice ``d`` it is ``d / (2 - d)``.
+
+Weighted predicates have no exact token-count bound; they either
+declare a heuristic floor via
+:meth:`BoundPredicate.approx_jaccard_floor` (TF-IDF cosine uses ``f**2``,
+which is exact in the unweighted case) or fall back to a conservative
+default. Heuristic floors keep the join *sound* (verification is still
+exact) but make the recall target best-effort; the planner records
+which case applied so results can say so.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import Dataset
+from repro.predicates.base import WEIGHT_EPS, BoundPredicate
+
+__all__ = ["DEFAULT_HEURISTIC_FLOOR", "MIN_FLOOR", "MAX_FLOOR", "pair_jaccard_floor"]
+
+#: Clamp range for the derived floor. The lower clamp guards against
+#: vacuous thresholds (t <= 0 admits disjoint pairs, which no LSH can
+#: target); the upper clamp keeps the repetition sizing finite.
+MIN_FLOOR = 0.02
+MAX_FLOOR = 0.999
+
+#: Fallback for weighted predicates that declare no heuristic floor.
+DEFAULT_HEURISTIC_FLOOR = 0.15
+
+
+def _clamp(value: float) -> float:
+    return min(max(value, MIN_FLOOR), MAX_FLOOR)
+
+
+def pair_jaccard_floor(bound: BoundPredicate, dataset: Dataset) -> tuple[float, bool]:
+    """Lower-bound the token Jaccard of any qualifying pair.
+
+    Returns ``(floor, sound)``. ``sound`` is True when the floor is a
+    proven consequence of the predicate (unit scores, or a predicate
+    override documented as exact); False marks a heuristic floor, under
+    which ``target_recall`` is best-effort rather than guaranteed.
+    """
+    override = bound.approx_jaccard_floor()
+    if override is not None:
+        return _clamp(float(override)), False
+    if not getattr(bound, "unit_scores", False):
+        return _clamp(DEFAULT_HEURISTIC_FLOOR), False
+    sizes = sorted({len(record) for record in dataset.records if record})
+    if not sizes:
+        return MAX_FLOOR, True
+    floor = 1.0
+    feasible = False
+    for i, a in enumerate(sizes):
+        for b in sizes[i:]:
+            t = bound.threshold(float(a), float(b))
+            if t > a + WEIGHT_EPS:  # a <= b, so min(a, b) == a
+                continue  # no pair of these sizes can qualify
+            feasible = True
+            if t <= WEIGHT_EPS:
+                floor = 0.0  # vacuous threshold: disjoint pairs qualify
+            else:
+                floor = min(floor, t / (a + b - t))
+    if not feasible:
+        # The predicate admits no pair at the observed sizes; the join
+        # is empty whatever we do, so any floor is vacuously sound.
+        return MAX_FLOOR, True
+    return _clamp(floor), True

@@ -1,0 +1,147 @@
+"""Seeded recursive MinHash path splitting.
+
+One repetition partitions the record ids into *leaves* by recursive
+MinHash: at depth ``d`` every surviving group is split by the records'
+minimum of ``(a * token + b) mod p`` under coefficients drawn for
+``(rep, d)``. Two records share a child with probability equal to
+their token Jaccard — the chosen-path collision argument the planner's
+recall bound rests on. Groups that fit ``leaf_size`` stop early (the
+brute-force fallback catches *every* pair inside them); groups still
+alive at ``max_depth`` become forced leaves.
+
+Determinism is arithmetic end to end: coefficients come from
+``random.Random`` seeded with an integer mix of ``(seed, rep, depth)``
+(never Python's salted ``hash``), groups are processed in ascending
+record order, and bucket order follows first occurrence — so a fixed
+seed yields an identical forest on any machine or worker.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from repro.utils.counters import CostCounters
+
+__all__ = ["PathHasher", "build_leaves"]
+
+#: Same Mersenne prime the MinHash sketches of :mod:`repro.mining` use.
+_MERSENNE_PRIME = (1 << 61) - 1
+
+# 64-bit odd multipliers (splitmix64 constants) for the integer seed mix.
+_MIX_A = 0x9E3779B97F4A7C15
+_MIX_B = 0xBF58476D1CE4E5B9
+_MIX_C = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+class PathHasher:
+    """Lazy per-``(rep, depth)`` family of MinHash coefficient pairs."""
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._coefficients: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def coefficients(self, rep: int, depth: int) -> tuple[int, int]:
+        key = (rep, depth)
+        pair = self._coefficients.get(key)
+        if pair is None:
+            mix = (self.seed * _MIX_A + rep * _MIX_B + depth * _MIX_C) & _MASK64
+            rng = random.Random(mix)
+            pair = (
+                rng.randint(1, _MERSENNE_PRIME - 1),
+                rng.randint(0, _MERSENNE_PRIME - 1),
+            )
+            self._coefficients[key] = pair
+        return pair
+
+
+#: Crowd control for forced leaves (see :func:`build_leaves`): groups
+#: still larger than ``OVERSIZE_FACTOR * leaf_size`` at the nominal
+#: depth keep splitting for up to ``OVERSIZE_EXTRA_DEPTH`` more levels
+#: instead of being brute-forced quadratically.
+OVERSIZE_FACTOR = 4
+OVERSIZE_EXTRA_DEPTH = 8
+
+
+def build_leaves(
+    records: Sequence[tuple[int, ...]],
+    rep: int,
+    hasher: PathHasher,
+    *,
+    leaf_size: int,
+    max_depth: int,
+    counters: CostCounters,
+    tick: Callable[[], None],
+) -> list[list[int]]:
+    """One repetition's leaves, each an ascending list of record ids.
+
+    Empty records are excluded up front (they share no token with
+    anything, so no positive-threshold predicate can match them), and
+    singleton buckets are dropped as they arise — a leaf always holds
+    at least two records.
+
+    Crowd control: common tokens glue cohorts together (all records
+    sharing a corpus-wide frequent token take the same branch whenever
+    that token hashes minimal), so occasionally a large group survives
+    every nominal split and would be brute-forced at quadratic cost.
+    Groups still larger than ``OVERSIZE_FACTOR * leaf_size`` at
+    ``max_depth`` therefore keep splitting for up to
+    ``OVERSIZE_EXTRA_DEPTH`` extra levels (groups of identical records,
+    which no token hash can ever separate, leaf out immediately — their
+    pairs are all true matches anyway). The recall trade is explicit:
+    pairs inside such a crowd face up to that many extra
+    stay-together trials, so the planner's per-tree bound
+    ``floor**max_depth`` holds for every pair *not* in an oversized
+    crowd and degrades toward ``floor**(max_depth + extra)`` for pairs
+    that are; measured recall is what the estimator and the perf gate
+    check.
+
+    ``tick`` runs once per split group so deadlines and cancellation
+    reach into the build; ``path_hash_tokens`` in ``counters.extra``
+    accounts every token touched by hashing (the sketching cost,
+    reported alongside — not inside — ``total_work()``, mirroring how
+    ``suffix_recursions`` stays out of the gated scalar).
+    """
+    first = [rid for rid in range(len(records)) if records[rid]]
+    if len(first) < 2:
+        return []
+    leaves: list[list[int]] = []
+    frontier: list[list[int]] = [first]
+    hashed_tokens = 0
+    oversize = leaf_size * OVERSIZE_FACTOR
+    for depth in range(max_depth + OVERSIZE_EXTRA_DEPTH):
+        if not frontier:
+            break
+        stop_size = leaf_size if depth < max_depth else oversize
+        a, b = hasher.coefficients(rep, depth)
+        next_frontier: list[list[int]] = []
+        for group in frontier:
+            tick()
+            if len(group) <= stop_size:
+                leaves.append(group)
+                continue
+            buckets: dict[int, list[int]] = {}
+            for rid in group:
+                tokens = records[rid]
+                hashed_tokens += len(tokens)
+                key = min((a * token + b) % _MERSENNE_PRIME for token in tokens)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [rid]
+                else:
+                    bucket.append(rid)
+            if len(buckets) == 1:
+                tokens_first = records[group[0]]
+                if all(records[rid] == tokens_first for rid in group):
+                    leaves.append(group)  # identical sets never split
+                    continue
+            for bucket in buckets.values():
+                if len(bucket) > 1:
+                    next_frontier.append(bucket)
+        frontier = next_frontier
+    leaves.extend(frontier)  # forced leaves at the depth limit
+    if hashed_tokens:
+        extra = counters.extra
+        extra["path_hash_tokens"] = extra.get("path_hash_tokens", 0) + hashed_tokens
+    return leaves

@@ -1,0 +1,132 @@
+"""Sizing the path forest: the expected-work stopping rule.
+
+One *repetition* is one recursive MinHash path tree over the dataset:
+records are split by a fresh seeded MinHash at each level until a group
+fits in ``leaf_size`` (brute-force territory) or the depth cap is hit,
+and every leaf is verified exhaustively. Two records land in the same
+child with probability equal to their token Jaccard, so a qualifying
+pair — Jaccard at least ``floor`` (:mod:`repro.approx.floor`) —
+survives one tree all the way to a *forced* depth-``D`` leaf with
+probability at least ``floor**D``. Pairs that stop earlier (a
+``leaf_size`` stop) are caught *with certainty* by the leaf
+brute-force, so ``floor**D`` is a worst-case per-tree recall bound.
+
+Independent repetitions then give
+
+    P(pair surfaced) >= 1 - (1 - floor**D) ** R
+
+and the planner picks the smallest ``R`` with that bound at
+``target_recall``:
+
+    R = ceil( ln(1 - target_recall) / ln(1 - floor**D) )
+
+Depth is the work trade: deeper trees make purer (cheaper) leaves but
+need more repetitions. The planner takes the deepest depth within
+``max_depth`` whose repetition count fits ``max_repetitions``; when
+even depth 1 cannot reach the target inside the cap (low floors —
+think T-overlap over wildly varying sizes), it runs the cap and
+records the shortfall (``recall_capped``) instead of looping forever —
+that *is* the stopping rule: expected work is bounded up front, and
+the achievable recall under the bound is reported honestly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.approx.floor import pair_jaccard_floor
+from repro.core.records import Dataset
+from repro.predicates.base import BoundPredicate
+
+__all__ = ["ApproxPlan", "plan_paths"]
+
+
+@dataclass(frozen=True)
+class ApproxPlan:
+    """Resolved execution shape for one approximate join."""
+
+    target_recall: float
+    jaccard_floor: float
+    floor_is_sound: bool
+    depth: int
+    leaf_size: int
+    repetitions: int
+    #: Worst-case per-tree pair survival probability, ``floor ** depth``.
+    per_tree_recall: float
+    #: ``1 - (1 - per_tree_recall) ** repetitions`` — the guarantee the
+    #: forest actually delivers (>= target unless ``recall_capped``).
+    expected_recall: float
+    #: True when ``max_repetitions`` bound the forest below the target.
+    recall_capped: bool
+
+    def as_extra(self) -> dict:
+        """Flat, JSON-friendly snapshot for ``JoinResult.extra``."""
+        return {
+            "approx_target_recall": self.target_recall,
+            "approx_jaccard_floor": round(self.jaccard_floor, 6),
+            "approx_floor_sound": self.floor_is_sound,
+            "approx_depth": self.depth,
+            "approx_leaf_size": self.leaf_size,
+            "approx_repetitions": self.repetitions,
+            "approx_expected_recall": round(self.expected_recall, 6),
+            "approx_recall_capped": self.recall_capped,
+        }
+
+
+def _repetitions_for(per_tree: float, target: float) -> int:
+    if per_tree >= 1.0 - 1e-12:
+        return 1
+    if per_tree <= 0.0:
+        return math.inf  # type: ignore[return-value]
+    return max(1, math.ceil(math.log(1.0 - target) / math.log(1.0 - per_tree)))
+
+
+def plan_paths(
+    bound: BoundPredicate,
+    dataset: Dataset,
+    *,
+    target_recall: float,
+    leaf_size: int,
+    max_depth: int,
+    max_repetitions: int,
+) -> ApproxPlan:
+    """Choose (depth, repetitions) for the recall target; see module doc."""
+    if not 0.0 < target_recall < 1.0:
+        raise ValueError(f"target_recall must be in (0, 1), got {target_recall}")
+    if leaf_size < 2:
+        raise ValueError(f"leaf_size must be >= 2, got {leaf_size}")
+    if max_depth < 1:
+        raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+    if max_repetitions < 1:
+        raise ValueError(f"max_repetitions must be >= 1, got {max_repetitions}")
+    floor, sound = pair_jaccard_floor(bound, dataset)
+    for depth in range(max_depth, 0, -1):
+        per_tree = floor**depth
+        repetitions = _repetitions_for(per_tree, target_recall)
+        if repetitions <= max_repetitions:
+            return ApproxPlan(
+                target_recall=target_recall,
+                jaccard_floor=floor,
+                floor_is_sound=sound,
+                depth=depth,
+                leaf_size=leaf_size,
+                repetitions=int(repetitions),
+                per_tree_recall=per_tree,
+                expected_recall=1.0 - (1.0 - per_tree) ** repetitions,
+                recall_capped=False,
+            )
+    # Even a depth-1 forest cannot reach the target inside the
+    # repetition budget: run the budget and report what it buys.
+    per_tree = floor
+    return ApproxPlan(
+        target_recall=target_recall,
+        jaccard_floor=floor,
+        floor_is_sound=sound,
+        depth=1,
+        leaf_size=leaf_size,
+        repetitions=max_repetitions,
+        per_tree_recall=per_tree,
+        expected_recall=1.0 - (1.0 - per_tree) ** max_repetitions,
+        recall_capped=True,
+    )

@@ -140,6 +140,21 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         help="shard the join over N worker processes (default 1 = serial);"
         " the result is identical to the serial join",
     )
+    approx = parser.add_argument_group("approximate mode")
+    approx.add_argument(
+        "--mode", choices=("exact", "approx"), default="exact",
+        help="'exact' (default) runs --algorithm; 'approx' trades a"
+        " bounded, seeded fraction of recall for speed via LSH"
+        " candidate generation — emitted pairs are still verified"
+        " exactly (never a false positive) and a sampled recall"
+        " estimate is reported on stderr",
+    )
+    approx.add_argument(
+        "--target-recall", type=float, default=0.9, metavar="FRACTION",
+        help="with --mode approx: per-qualifying-pair surfacing"
+        " probability the run is sized for (default 0.9)",
+    )
+    _add_seed_option(parser)
     _add_merge_backend_option(parser)
     _add_index_backend_option(parser)
     _add_bitmap_options(parser)
@@ -160,6 +175,15 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         "--memory-budget", metavar="ENTRIES", type=int, default=None,
         help="cap live index entries (word occurrences); exceeding it"
         " degrades the join to the cluster-mem algorithm",
+    )
+
+
+def _add_seed_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="deterministic seed for approximate candidate generation"
+        " (--mode approx / --algorithm approx); a fixed seed yields an"
+        " identical pair set at any --workers count (default 0)",
     )
 
 
@@ -234,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     edit_parser.add_argument("-k", type=int, required=True, help="max edit distance")
     edit_parser.add_argument("-q", type=int, default=3, help="q-gram length")
     edit_parser.add_argument("--algorithm", default="probe-count-optmerge")
+    _add_seed_option(edit_parser)
     _add_merge_backend_option(edit_parser)
     _add_bitmap_options(edit_parser)
 
@@ -425,6 +450,36 @@ def _sigint_cancels(context: JoinContext | None):
         signal.signal(signal.SIGINT, previous)
 
 
+def _approx_kwargs(args) -> dict:
+    """Extra construction kwargs for the approx algorithm, else {}."""
+    if getattr(args, "algorithm", None) != "approx":
+        return {}
+    kwargs = {"seed": getattr(args, "seed", 0)}
+    target = getattr(args, "target_recall", None)
+    if target is not None:
+        kwargs["target_recall"] = target
+    return kwargs
+
+
+def _print_approx_summary(args, result) -> None:
+    """One stderr line of approx-mode accounting (join and dedupe)."""
+    if getattr(args, "algorithm", None) != "approx":
+        return
+    extra = result.extra
+    parts = [f"target_recall={getattr(args, 'target_recall', 0.9)}"]
+    parts.append(f"seed={extra.get('approx_seed', getattr(args, 'seed', 0))}")
+    reps = extra.get("approx_repetitions")
+    if reps is not None:
+        parts.append(f"repetitions={reps}")
+    estimate = extra.get("recall_estimate")
+    if estimate is not None:
+        truth = extra.get("recall_sample_truth", 0)
+        parts.append(f"sampled_recall={estimate:.3f} (over {truth} true pairs)")
+    if extra.get("approx_recall_capped"):
+        parts.append("repetition cap hit: target not reachable")
+    print(f"# approx: {', '.join(parts)}", file=sys.stderr)
+
+
 def _make_cli_algorithm(args):
     """Instantiate the requested algorithm with CLI-friendly errors."""
     if args.algorithm == "cluster-mem":
@@ -449,6 +504,7 @@ def _make_cli_algorithm(args):
             merge_backend=args.merge_backend,
             index_backend=getattr(args, "index_backend", None),
             index_path=getattr(args, "index_path", None),
+            **_approx_kwargs(args),
         )
         # Surface an unsupported --index-backend combination as a CLI
         # one-liner now rather than a traceback at join time.
@@ -461,6 +517,15 @@ def _make_cli_algorithm(args):
 
 
 def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
+    if getattr(args, "mode", "exact") == "approx":
+        # --mode approx supplies its own candidate generator; only the
+        # default --algorithm (or an explicit "approx") composes with it.
+        if args.algorithm not in ("probe-cluster", "approx"):
+            raise _CLIError(
+                f"--mode approx cannot run --algorithm {args.algorithm!r};"
+                " drop --algorithm (approx replaces the candidate generator)"
+            )
+        args.algorithm = "approx"
     workers = getattr(args, "workers", 1)
     if workers < 1:
         raise _CLIError(f"--workers must be >= 1, got {workers}")
@@ -485,7 +550,7 @@ def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
             # cooperatively instead of killing it mid-stream.
             context = JoinContext(cancel_token=CancellationToken())
         with _sigint_cancels(context):
-            return parallel_join(
+            result = parallel_join(
                 dataset,
                 predicate,
                 algorithm=args.algorithm,
@@ -494,7 +559,24 @@ def _run_join(args, dataset: Dataset, predicate, context: JoinContext | None):
                 bitmap_filter=_bitmap_config(args),
                 merge_backend=args.merge_backend,
                 index_backend=getattr(args, "index_backend", None),
+                **_approx_kwargs(args),
             )
+        if args.algorithm == "approx" and not result.degraded and len(dataset):
+            # Workers run under shard windows and skip the per-shard
+            # estimate (it would only see a slice of the pair set), so
+            # sample recall here against the merged pairs instead.
+            from repro.approx import estimate_recall
+
+            result.extra["approx_seed"] = getattr(args, "seed", 0)
+            result.extra.update(
+                estimate_recall(
+                    dataset,
+                    predicate,
+                    result.pair_set(),
+                    seed=getattr(args, "seed", 0),
+                )
+            )
+        return result
     algorithm = _make_cli_algorithm(args)
     with _sigint_cancels(context):
         return algorithm.join(dataset, predicate, context=context)
@@ -969,6 +1051,7 @@ def _dispatch(args) -> int:
             algorithm=args.algorithm,
             bitmap_filter=_bitmap_config(args),
             merge_backend=args.merge_backend,
+            **_approx_kwargs(args),
         )
         for pair in result.sorted_pairs():
             print(f"{pair.rid_a}\t{pair.rid_b}\t{int(pair.similarity)}")
@@ -1010,6 +1093,7 @@ def _dispatch(args) -> int:
             f" algorithm={result.algorithm}{degraded}",
             file=sys.stderr,
         )
+        _print_approx_summary(args, result)
         return 0
 
     # dedupe
@@ -1017,6 +1101,7 @@ def _dispatch(args) -> int:
     for members in groups:
         print("\t".join(str(rid) for rid in members))
     print(f"# {len(groups)} duplicate groups", file=sys.stderr)
+    _print_approx_summary(args, result)
     return 0
 
 

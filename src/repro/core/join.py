@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.approx.join import ApproxJoin
 from repro.core.accumulator import resolve_merge_backend
 from repro.storage.mmap_index import resolve_index_backend
 from repro.core.cluster_mem import ClusterMemJoin, MemoryBudget
@@ -50,6 +51,7 @@ _SPECS: dict[str, tuple[type, dict]] = {
     "probe-cluster": (ProbeClusterJoin, {}),
     "prefix-filter": (PrefixFilterJoin, {}),
     "positional-filter": (PositionalFilterJoin, {}),
+    "approx": (ApproxJoin, {}),
 }
 
 #: Factory per algorithm name; every entry is a zero-argument callable
@@ -146,9 +148,10 @@ def similarity_join(
     predicate: SimilarityPredicate,
     algorithm: str = "probe-cluster",
     context=None,
+    mode: str = "exact",
     **kwargs,
 ) -> JoinResult:
-    """Exact similarity self-join with the named algorithm.
+    """Similarity self-join with the named algorithm.
 
     Args:
         dataset: the tokenized records.
@@ -157,10 +160,27 @@ def similarity_join(
         context: optional :class:`~repro.runtime.context.JoinContext`
             carrying a deadline, cancellation token, memory budget,
             and/or checkpointer (see ``docs/operations.md``).
+        mode: ``"exact"`` (default) runs the named algorithm;
+            ``"approx"`` runs the LSH candidate generator of
+            :mod:`repro.approx` instead — its knobs (``target_recall=``,
+            ``seed=``, ``leaf_size=``, ...) arrive via ``kwargs``, every
+            emitted pair is still verified exactly (no false positives),
+            and a fixed seed gives identical pairs. Passing a
+            non-default ``algorithm`` together with ``mode="approx"``
+            is a contradiction and raises.
         kwargs: algorithm construction options.
 
     Returns a :class:`~repro.core.results.JoinResult`.
     """
+    if mode == "approx":
+        if algorithm not in ("probe-cluster", "approx"):
+            raise ValueError(
+                f"mode='approx' selects its own candidate generator;"
+                f" it cannot run algorithm {algorithm!r}"
+            )
+        algorithm = "approx"
+    elif mode != "exact":
+        raise ValueError(f"unknown join mode {mode!r}; expected 'exact' or 'approx'")
     return make_algorithm(algorithm, **kwargs).join(dataset, predicate, context=context)
 
 

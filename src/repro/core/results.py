@@ -60,6 +60,11 @@ class JoinResult:
     elapsed_seconds: float = 0.0
     degraded_from: str | None = None
     degradation_reason: str | None = None
+    #: Algorithm-specific annotations that are *not* work counters:
+    #: the approximate mode reports its resolved plan and sampled
+    #: recall estimate here (``approx_*`` / ``recall_*`` keys). Unlike
+    #: ``counters.extra`` these values are never summed across shards.
+    extra: dict = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:

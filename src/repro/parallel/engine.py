@@ -67,6 +67,11 @@ PARALLEL_ALGORITHMS = frozenset(
         "probe-cluster",
         "prefix-filter",
         "positional-filter",
+        # The approximate mode drives the same per-record scan (a pair
+        # is emitted at its larger rid's position) and its path forest
+        # is a pure function of the seed, so shard windows partition
+        # its pair set exactly like the exact algorithms'.
+        "approx",
     }
 )
 

@@ -105,6 +105,19 @@ class BoundPredicate(ABC):
         """Optional band filter; None when the predicate has no filter."""
         return None
 
+    def approx_jaccard_floor(self) -> float | None:
+        """Optional token-Jaccard lower bound for qualifying pairs.
+
+        Consumed by :mod:`repro.approx` to size its LSH candidate
+        generator. ``None`` (the default) asks the planner to derive a
+        bound itself — sound for unit-score predicates, a conservative
+        default otherwise. Weighted predicates with a better analytic
+        handle (TF-IDF cosine) override this; an override is treated as
+        a *heuristic* floor unless the derivation is exact for the
+        weighting in use.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Derived machinery
     # ------------------------------------------------------------------

@@ -38,6 +38,14 @@ class _BoundCosine(BoundPredicate):
     def threshold(self, norm_r: float, norm_s: float) -> float:
         return self.f
 
+    def approx_jaccard_floor(self) -> float | None:
+        # For equal token weights, cos >= f forces x >= f*sqrt(ab) and
+        # x <= min(a, b), so sqrt(a/b) ranges over [f, 1/f] and
+        # J = x/(a+b-x) >= f / (f + 1/f - f) = f^2 — exact. With TF-IDF
+        # weights the bound is heuristic (a few rare tokens can carry
+        # the cosine), so the planner flags it best-effort.
+        return self.f * self.f
+
     def similarity_name(self) -> str:
         return "cosine"
 

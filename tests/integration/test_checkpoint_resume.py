@@ -37,6 +37,12 @@ RESUMABLE = {
     "prefix-filter": lambda n: 15,  # single driven pass (probe + insert)
     "positional-filter": lambda n: 15,
     "cluster-mem": lambda n: n + 20,  # n phase-1 ticks, then mid-phase-2
+    # The seeded path-forest build ticks once per split group (~2030
+    # observations on this pinned corpus under the default plan) before
+    # the driven scan starts; the constant lands the kill a few records
+    # into the scan. Rebuilding the forest on resume is deterministic
+    # (same seed), so replayed positions see identical candidates.
+    "approx": lambda n: 2030 + 15,
 }
 
 

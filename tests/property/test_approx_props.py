@@ -1,0 +1,121 @@
+"""Properties of the approximate join mode across predicates and workers.
+
+Three contracts, on seeded corpora (real worker processes make
+hypothesis-style generation too expensive here — the same trade as
+``test_parallel_props``):
+
+* **Soundness** — the approximate pair set is a subset of the naive
+  exact join's for every predicate family; never a false positive.
+* **Determinism** — a fixed seed yields an identical pair set whether
+  the join runs serially or sharded over any worker count.
+* **Recall** — on corpora with planted near-duplicate groups, measured
+  recall against the exact pair set reaches the planner's floor.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    ApproxJoin,
+    CosinePredicate,
+    JaccardPredicate,
+    OverlapPredicate,
+    parallel_join,
+    similarity_join,
+)
+from repro.core.records import Dataset
+
+WORKER_COUNTS = [1, 2, 4]
+
+PREDICATES = [
+    pytest.param(OverlapPredicate(4), id="overlap"),
+    pytest.param(JaccardPredicate(0.5), id="jaccard"),
+    pytest.param(CosinePredicate(0.7), id="cosine"),
+]
+
+
+def seeded_dataset(seed: int, n: int = 90, vocabulary: int = 50) -> Dataset:
+    rng = random.Random(seed)
+    records = []
+    for _ in range(n):
+        size = rng.randint(3, 10)
+        records.append(tuple(sorted(rng.sample(range(vocabulary), size))))
+    return Dataset(records)
+
+
+def duplicate_heavy_dataset(seed: int, groups: int = 30) -> Dataset:
+    """Planted near-duplicate groups: every group shares most tokens."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(groups):
+        base = sorted(rng.sample(range(400), 10))
+        for _ in range(rng.randint(2, 4)):
+            mutated = list(base)
+            if rng.random() < 0.7:
+                mutated[rng.randrange(len(mutated))] = 400 + rng.randrange(100)
+            records.append(tuple(sorted(set(mutated))))
+    return Dataset(records)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_subset_of_naive(self, predicate):
+        data = seeded_dataset(seed=21)
+        exact = similarity_join(data, predicate, algorithm="naive")
+        approx = ApproxJoin(seed=5).join(data, predicate)
+        assert approx.pair_set() <= exact.pair_set()
+
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_similarities_match_exact(self, predicate):
+        data = seeded_dataset(seed=22)
+        exact = similarity_join(data, predicate, algorithm="naive")
+        truth = {(p.rid_a, p.rid_b): p.similarity for p in exact.pairs}
+        approx = ApproxJoin(seed=6).join(data, predicate)
+        for pair in approx.pairs:
+            assert truth[(pair.rid_a, pair.rid_b)] == pytest.approx(
+                pair.similarity
+            )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_serial_equals_parallel(self, workers):
+        data = duplicate_heavy_dataset(seed=23)
+        predicate = JaccardPredicate(0.6)
+        serial = similarity_join(
+            data, predicate, mode="approx", target_recall=0.9, seed=13
+        )
+        sharded = parallel_join(
+            data,
+            predicate,
+            algorithm="approx",
+            workers=workers,
+            target_recall=0.9,
+            seed=13,
+        )
+        assert sharded.pair_set() == serial.pair_set()
+
+    def test_different_seeds_reuse_nothing_hidden(self):
+        # Two seeds are allowed to disagree; both must stay sound.
+        data = duplicate_heavy_dataset(seed=24)
+        predicate = JaccardPredicate(0.6)
+        exact = similarity_join(data, predicate, algorithm="naive")
+        for seed in (1, 2):
+            approx = ApproxJoin(seed=seed, target_recall=0.7).join(data, predicate)
+            assert approx.pair_set() <= exact.pair_set()
+
+
+class TestRecall:
+    @pytest.mark.parametrize("seed", [31, 32, 33])
+    def test_measured_recall_reaches_target(self, seed):
+        data = duplicate_heavy_dataset(seed=seed, groups=40)
+        predicate = JaccardPredicate(0.7)
+        exact = similarity_join(data, predicate, algorithm="naive")
+        truth = exact.pair_set()
+        assert truth  # planted duplicates must produce matches
+        approx = ApproxJoin(seed=seed, target_recall=0.9).join(data, predicate)
+        recall = len(approx.pair_set() & truth) / len(truth)
+        assert recall >= 0.9

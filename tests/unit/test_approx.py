@@ -1,0 +1,244 @@
+"""Unit tests for the approximate join mode (:mod:`repro.approx`).
+
+Covers the planner's repetition sizing, the per-predicate Jaccard
+floor derivations, seed determinism, the brute-force degenerate case
+(one leaf holds everything ⇒ exactly the naive join), the sampled
+recall estimator, and the ``mode="approx"`` dispatch contract.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    ApproxJoin,
+    CosinePredicate,
+    DicePredicate,
+    JaccardPredicate,
+    OverlapPredicate,
+    estimate_recall,
+    similarity_join,
+)
+from repro.approx.floor import (
+    DEFAULT_HEURISTIC_FLOOR,
+    MAX_FLOOR,
+    pair_jaccard_floor,
+)
+from repro.approx.plan import plan_paths
+from repro.core.records import Dataset
+from repro.predicates import WeightedOverlapPredicate
+
+
+def seeded_dataset(seed: int, n: int = 80, vocabulary: int = 40) -> Dataset:
+    rng = random.Random(seed)
+    records = []
+    for _ in range(n):
+        size = rng.randint(2, 9)
+        records.append(tuple(sorted(rng.sample(range(vocabulary), size))))
+    return Dataset(records)
+
+
+class TestFloor:
+    def test_jaccard_floor_is_threshold(self):
+        data = seeded_dataset(1)
+        bound = JaccardPredicate(0.6).bind(data)
+        floor, sound = pair_jaccard_floor(bound, data)
+        assert sound
+        assert floor == pytest.approx(0.6)
+
+    def test_dice_floor(self):
+        # Dice d ⇒ Jaccard >= d / (2 - d), independent of sizes.
+        data = seeded_dataset(2)
+        bound = DicePredicate(0.5).bind(data)
+        floor, sound = pair_jaccard_floor(bound, data)
+        assert sound
+        assert floor == pytest.approx(0.5 / 1.5)
+
+    def test_overlap_floor_uses_observed_sizes(self):
+        data = Dataset([(1, 2, 3, 4), (1, 2, 3, 5), (6, 7, 8, 9)])
+        bound = OverlapPredicate(3).bind(data)
+        floor, sound = pair_jaccard_floor(bound, data)
+        assert sound
+        # All records have size 4: J >= 3 / (4 + 4 - 3).
+        assert floor == pytest.approx(3 / 5)
+
+    def test_overlap_infeasible_threshold_is_vacuous(self):
+        data = Dataset([(1, 2), (1, 3), (2, 3)])
+        bound = OverlapPredicate(10).bind(data)
+        floor, sound = pair_jaccard_floor(bound, data)
+        assert sound
+        assert floor == MAX_FLOOR  # no pair can qualify; join is empty
+
+    def test_cosine_declares_f_squared(self):
+        data = seeded_dataset(3)
+        bound = CosinePredicate(0.8).bind(data)
+        floor, sound = pair_jaccard_floor(bound, data)
+        assert not sound  # heuristic under TF-IDF weights
+        assert floor == pytest.approx(0.64)
+
+    def test_weighted_fallback_heuristic(self):
+        data = seeded_dataset(4)
+        weights = {token: 1.0 + (token % 3) for token in range(40)}
+        bound = WeightedOverlapPredicate(2.0, weights).bind(data)
+        floor, sound = pair_jaccard_floor(bound, data)
+        assert not sound
+        assert floor == pytest.approx(DEFAULT_HEURISTIC_FLOOR)
+
+
+class TestPlan:
+    def _plan(self, target, **kwargs):
+        data = seeded_dataset(5)
+        bound = JaccardPredicate(0.7).bind(data)
+        defaults = dict(
+            target_recall=target, leaf_size=4, max_depth=4, max_repetitions=256
+        )
+        defaults.update(kwargs)
+        return plan_paths(bound, data, **defaults)
+
+    def test_repetitions_monotone_in_target(self):
+        reps = [self._plan(t).repetitions for t in (0.5, 0.7, 0.9, 0.99)]
+        assert reps == sorted(reps)
+        assert reps[0] < reps[-1]
+
+    def test_expected_recall_meets_target(self):
+        for target in (0.5, 0.9, 0.99):
+            plan = self._plan(target)
+            assert not plan.recall_capped
+            assert plan.expected_recall >= target
+
+    def test_repetition_cap_flags_shortfall(self):
+        plan = self._plan(0.999, max_repetitions=2)
+        assert plan.recall_capped
+        assert plan.repetitions == 2
+        assert plan.expected_recall < 0.999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._plan(1.0)
+        with pytest.raises(ValueError):
+            self._plan(0.0)
+        with pytest.raises(ValueError):
+            self._plan(0.9, leaf_size=1)
+        with pytest.raises(ValueError):
+            self._plan(0.9, max_depth=0)
+
+    def test_as_extra_keys(self):
+        extra = self._plan(0.9).as_extra()
+        assert extra["approx_target_recall"] == 0.9
+        assert extra["approx_jaccard_floor"] == pytest.approx(0.7)
+        assert extra["approx_floor_sound"] is True
+        assert extra["approx_repetitions"] >= 1
+        assert extra["approx_recall_capped"] is False
+
+
+class TestApproxJoin:
+    def test_fixed_seed_is_deterministic(self):
+        data = seeded_dataset(6)
+        predicate = JaccardPredicate(0.5)
+        first = ApproxJoin(seed=11).join(data, predicate)
+        second = ApproxJoin(seed=11).join(data, predicate)
+        assert first.pair_set() == second.pair_set()
+        assert {(p.rid_a, p.rid_b): p.similarity for p in first.pairs} == {
+            (p.rid_a, p.rid_b): p.similarity for p in second.pairs
+        }
+
+    def test_zero_false_positives(self):
+        data = seeded_dataset(7)
+        predicate = JaccardPredicate(0.5)
+        exact = similarity_join(data, predicate, algorithm="naive")
+        approx = ApproxJoin(seed=3).join(data, predicate)
+        assert approx.pair_set() <= exact.pair_set()
+        bound = predicate.bind(data)
+        for pair in approx.pairs:
+            matches, similarity = bound.verify(pair.rid_a, pair.rid_b)
+            assert matches
+            assert similarity == pytest.approx(pair.similarity)
+
+    def test_giant_leaf_equals_naive(self):
+        # leaf_size >= n: the root never splits, every pair is
+        # brute-forced, and the result is exactly the naive join.
+        data = seeded_dataset(8, n=40)
+        predicate = JaccardPredicate(0.4)
+        exact = similarity_join(data, predicate, algorithm="naive")
+        approx = ApproxJoin(seed=0, leaf_size=len(data)).join(data, predicate)
+        assert approx.pair_set() == exact.pair_set()
+        assert approx.extra["recall_estimate"] == pytest.approx(1.0)
+
+    def test_result_extra_annotations(self):
+        data = seeded_dataset(9)
+        result = ApproxJoin(target_recall=0.9, seed=5).join(
+            data, JaccardPredicate(0.6)
+        )
+        extra = result.extra
+        assert extra["approx_seed"] == 5
+        assert extra["approx_target_recall"] == 0.9
+        assert extra["approx_repetitions"] >= 1
+        assert 0.0 <= extra["recall_estimate"] <= 1.0
+
+    def test_recall_sample_zero_disables_estimate(self):
+        data = seeded_dataset(10)
+        result = ApproxJoin(seed=1, recall_sample=0).join(
+            data, JaccardPredicate(0.6)
+        )
+        assert "recall_estimate" not in result.extra
+
+    def test_tiny_dataset(self):
+        result = ApproxJoin(seed=0).join(Dataset([(1, 2)]), JaccardPredicate(0.5))
+        assert result.pairs == []
+
+
+class TestEstimator:
+    def test_perfect_pairs_estimate_one(self):
+        data = seeded_dataset(11)
+        predicate = JaccardPredicate(0.5)
+        exact = similarity_join(data, predicate, algorithm="naive")
+        stats = estimate_recall(
+            data, predicate, exact.pair_set(), sample_size=10, seed=2
+        )
+        assert stats["recall_estimate"] == pytest.approx(1.0)
+
+    def test_empty_pairs_estimate_zero_when_truth_exists(self):
+        data = seeded_dataset(12)
+        predicate = JaccardPredicate(0.4)
+        exact = similarity_join(data, predicate, algorithm="naive")
+        assert exact.pairs  # the corpus must actually have matches
+        stats = estimate_recall(data, predicate, set(), sample_size=20, seed=2)
+        assert stats["recall_sample_truth"] > 0
+        assert stats["recall_estimate"] == pytest.approx(0.0)
+
+    def test_estimator_is_deterministic(self):
+        data = seeded_dataset(13)
+        predicate = JaccardPredicate(0.5)
+        pairs = ApproxJoin(seed=4).join(data, predicate).pair_set()
+        first = estimate_recall(data, predicate, pairs, sample_size=8, seed=9)
+        second = estimate_recall(data, predicate, pairs, sample_size=8, seed=9)
+        assert first == second
+
+
+class TestModeDispatch:
+    def test_mode_approx_runs_approx(self):
+        data = seeded_dataset(14)
+        result = similarity_join(
+            data, JaccardPredicate(0.6), mode="approx", seed=3
+        )
+        assert result.algorithm == "approx"
+        assert result.extra["approx_seed"] == 3
+
+    def test_mode_approx_rejects_other_algorithms(self):
+        data = seeded_dataset(15)
+        with pytest.raises(ValueError):
+            similarity_join(
+                data, JaccardPredicate(0.6), mode="approx", algorithm="naive"
+            )
+
+    def test_unknown_mode_raises(self):
+        data = seeded_dataset(16)
+        with pytest.raises(ValueError):
+            similarity_join(data, JaccardPredicate(0.6), mode="turbo")
+
+    def test_exact_mode_default_unchanged(self):
+        data = seeded_dataset(17)
+        result = similarity_join(data, JaccardPredicate(0.6))
+        assert result.algorithm == "probe-cluster"

@@ -65,6 +65,58 @@ class TestJoinCommand:
         assert "0\t1\t" in out
 
 
+class TestApproxMode:
+    def test_mode_approx_finds_duplicates(self, sample_file, capsys):
+        code = main(
+            ["join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+             "--mode", "approx", "--target-recall", "0.9", "--seed", "7"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "algorithm=approx" in captured.err
+        assert "# approx:" in captured.err
+        assert "seed=7" in captured.err
+
+    def test_fixed_seed_matches_across_worker_counts(self, sample_file, capsys):
+        outputs = []
+        for workers in ("1", "2"):
+            code = main(
+                ["join", "-i", sample_file, "--predicate", "jaccard",
+                 "-t", "0.8", "--mode", "approx", "--seed", "5",
+                 "--workers", workers]
+            )
+            assert code == 0
+            outputs.append(sorted(capsys.readouterr().out.strip().splitlines()))
+        assert outputs[0] == outputs[1]
+
+    def test_mode_approx_rejects_explicit_algorithm(self, sample_file, capsys):
+        code = main(
+            ["join", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+             "--mode", "approx", "--algorithm", "probe-count"]
+        )
+        assert code == EXIT_USAGE
+        assert "--mode approx" in capsys.readouterr().err
+
+    def test_dedupe_accepts_mode_approx(self, sample_file, capsys):
+        code = main(
+            ["dedupe", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8",
+             "--mode", "approx", "--seed", "3"]
+        )
+        assert code == 0
+        assert "# approx:" in capsys.readouterr().err
+
+    def test_editjoin_accepts_seed(self, tmp_path, capsys):
+        path = tmp_path / "names.txt"
+        path.write_text("sunita sarawagi\nsunita sarawagy\nalok kirpal\n")
+        code = main(
+            ["editjoin", "-i", str(path), "-k", "1",
+             "--algorithm", "approx", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert "0\t1\t1" in out
+
+
 class TestDedupeCommand:
     def test_groups_printed(self, sample_file, capsys):
         code = main(["dedupe", "-i", sample_file, "--predicate", "jaccard", "-t", "0.8"])
